@@ -1,0 +1,310 @@
+// Benchmarks regenerating every table and figure of the paper. Each bench
+// runs the corresponding experiment end to end at a reduced scale (DESIGN.md
+// maps ids to paper artifacts; EXPERIMENTS.md records harness-scale output)
+// and reports the experiment's headline number as a custom metric.
+//
+// Run all:   go test -bench=. -benchmem
+// Run one:   go test -bench=BenchmarkFig11 -benchmem
+package e2lshos
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"e2lshos/internal/dataset"
+	"e2lshos/internal/experiments"
+)
+
+// benchEnv is shared across benchmarks so dataset clones and indexes are
+// built once. The scale keeps any single bench iteration under a couple of
+// seconds.
+var (
+	benchEnvOnce sync.Once
+	benchEnvVal  *experiments.Env
+)
+
+func benchEnv() *experiments.Env {
+	benchEnvOnce.Do(func() {
+		env := experiments.DefaultEnv()
+		env.Scale = 0
+		env.MinN = 4000
+		env.MaxN = 4000
+		env.Queries = 20
+		env.Sigmas = []float64{0.5, 2, 8, 32, 128}
+		env.SRSBudgetFracs = []float64{0.001, 0.005, 0.02, 0.1, 0.2}
+		benchEnvVal = env
+	})
+	return benchEnvVal
+}
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				if row.Name == string(dataset.SIFT) {
+					b.ReportMetric(row.RC, "SIFT-RC")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable2Devices(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Rows[0].KIOPSQD128, "cSSD-kIOPS@QD128")
+		}
+	}
+}
+
+func BenchmarkTable3Interfaces(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4IOCounts(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				if row.Dataset == string(dataset.SIFT) {
+					b.ReportMetric(row.IOsInf, "SIFT-N_IO-inf")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable5Configs(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6IndexSize(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table6(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				if row.Dataset == string(dataset.SIFT) {
+					b.ReportMetric(float64(row.DiskIndexStorage)/(1<<20), "SIFT-index-MiB")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig2Speedup(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				if row.Dataset == string(dataset.SIFT) {
+					b.ReportMetric(row.SpeedupOverSRS, "SIFT-speedup-vs-SRS")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig3IOCount(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.IOs[512][2], "N_IO@1.05-B512")
+		}
+	}
+}
+
+func BenchmarkFig4IOPSReq(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range res.Series {
+				if s.Label == "B=512" {
+					b.ReportMetric(s.KIOPS[2], "kIOPS-req@1.05")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig5IOPSReq(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6TopK(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7IOPSReq(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range res.Series {
+				if strings.HasPrefix(s.Label, "SIFT") {
+					b.ReportMetric(s.KIOPS[2], "SIFT-kIOPS-req@1.05")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig8TopK(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11Configs(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, g := range res.Groups {
+				if strings.HasPrefix(g.Label, "Group 6") {
+					b.ReportMetric(g.Speedup[len(g.Speedup)/2], "XLFDD-speedup-vs-SRS")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig12IOCost(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				if row.Setup == "io_uring" {
+					b.ReportMetric(row.IOCostMS*1000, "io_uring-IOcost-us")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig13Speedups(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14Sublinear(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig14(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(res.Rows) > 0 {
+			last := res.Rows[len(res.Rows)-1]
+			b.ReportMetric(last.SRSMS/last.DiskMS, "SRS/E2LSHoS-at-max-n")
+		}
+	}
+}
+
+func BenchmarkFig15Devices(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig15(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Rows[0].QueriesPerSec, "qps@1-cSSD")
+		}
+	}
+}
+
+func BenchmarkFig16Threads(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig16(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := res.Rows[len(res.Rows)-1]
+			b.ReportMetric(last.DiskXLFDDQPS, "XLFDD-qps@32-threads")
+		}
+	}
+}
+
+func BenchmarkSyncVsAsync(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SyncComparison(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Slowdown, "sync-slowdown")
+			b.ReportMetric(res.PageMissRate*100, "page-miss-%")
+		}
+	}
+}

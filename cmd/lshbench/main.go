@@ -1,0 +1,63 @@
+// Command lshbench reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	lshbench -exp table4                 # one experiment
+//	lshbench -exp fig11,fig12           # several
+//	lshbench -exp all -scale 0.05       # everything, larger clones
+//
+// Each experiment prints the same rows/series the paper reports; DESIGN.md
+// maps experiment ids to paper artifacts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"e2lshos"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		scale   = flag.Float64("scale", 0.02, "fraction of the paper's dataset sizes")
+		maxN    = flag.Int("maxn", 64000, "cap on per-dataset object count")
+		queries = flag.Int("queries", 40, "queries per dataset")
+		seed    = flag.Int64("seed", 1, "random seed")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range e2lshos.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "lshbench: -exp is required (use -list to see ids)")
+		os.Exit(2)
+	}
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = e2lshos.ExperimentIDs()
+	}
+	opts := e2lshos.ExperimentOptions{
+		Scale: *scale, MaxN: *maxN, Queries: *queries, Seed: *seed,
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		start := time.Now()
+		if err := e2lshos.RunExperiment(id, opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "lshbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

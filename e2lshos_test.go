@@ -1,0 +1,225 @@
+package e2lshos
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func facadeDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := GenerateDataset(DatasetSpec{
+		Name: "facade", N: 2000, Queries: 10, Dim: 32,
+		Clusters: 6, Spread: 0.06, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestInMemoryIndexEndToEnd(t *testing.T) {
+	d := facadeDataset(t)
+	ix, err := NewInMemoryIndex(d.Vectors, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := GroundTruth(d, 1)
+	var sum float64
+	for qi, q := range d.Queries {
+		res := ix.Search(q, 1)
+		sum += OverallRatio(res, gt[qi], 1)
+	}
+	if avg := sum / float64(d.NQ()); avg > 1.6 {
+		t.Errorf("in-memory ratio %v too weak", avg)
+	}
+	if ix.IndexBytes() <= 0 {
+		t.Error("IndexBytes not positive")
+	}
+	s := ix.Searcher()
+	if res := s.Search(d.Queries[0], 3); len(res.Neighbors) == 0 {
+		t.Error("searcher found nothing")
+	}
+}
+
+func TestStorageIndexEndToEnd(t *testing.T) {
+	d := facadeDataset(t)
+	ix, err := NewStorageIndex(d.Vectors, Config{Sigma: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.Search(d.Queries[0], 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) == 0 {
+		t.Fatal("storage search found nothing")
+	}
+	if ix.StorageBytes() <= 0 || ix.MemBytes() <= 0 {
+		t.Error("size accounting broken")
+	}
+	if ix.MemBytes() >= ix.StorageBytes() {
+		t.Error("DRAM metadata should be much smaller than the storage index")
+	}
+}
+
+func TestStorageIndexPersistence(t *testing.T) {
+	d := facadeDataset(t)
+	ix, err := NewStorageIndex(d.Vectors, Config{Sigma: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.e2ix")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenStorageIndex(path, d.Vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ix.Search(d.Queries[1], 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Search(d.Queries[1], 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Neighbors) != len(got.Neighbors) {
+		t.Fatal("results differ after reload")
+	}
+	for i := range want.Neighbors {
+		if want.Neighbors[i] != got.Neighbors[i] {
+			t.Fatal("results differ after reload")
+		}
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	d := facadeDataset(t)
+	ix, err := NewStorageIndex(d.Vectors, Config{Sigma: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSlow, err := ix.Simulate(d.Queries, SimulationConfig{Device: ConsumerSSD, Iface: IOUring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repFast, err := ix.Simulate(d.Queries, SimulationConfig{Device: XLFlashDrive, Devices: 12, Iface: XLFDDInterface})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repSlow.QueryTimeMS <= 0 || repFast.QueryTimeMS <= 0 {
+		t.Fatal("non-positive simulated query times")
+	}
+	if repFast.QueryTimeMS > repSlow.QueryTimeMS {
+		t.Errorf("XLFDD x12 (%v ms) slower than cSSD x1 (%v ms)", repFast.QueryTimeMS, repSlow.QueryTimeMS)
+	}
+	if repSlow.MeanIOsPerQuery <= 0 {
+		t.Error("no I/Os accounted")
+	}
+	if len(repSlow.Results) != d.NQ() {
+		t.Error("missing per-query results")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	d := facadeDataset(t)
+	ix, err := NewStorageIndex(d.Vectors, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Simulate(nil, SimulationConfig{}); err == nil {
+		t.Error("empty query batch accepted")
+	}
+	if _, err := ix.Simulate(d.Queries, SimulationConfig{Device: DeviceModel(99)}); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if _, err := ix.Simulate(d.Queries, SimulationConfig{Iface: Interface(99)}); err == nil {
+		t.Error("unknown interface accepted")
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	d := facadeDataset(t)
+	gt := GroundTruth(d, 1)
+
+	srsIx, err := NewSRSIndex(d.Vectors, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qalshIx, err := NewQALSHIndex(d.Vectors, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srsSum, qalshSum float64
+	for qi, q := range d.Queries {
+		srsSum += OverallRatio(srsIx.Search(q, 1, 200), gt[qi], 1)
+		qalshSum += OverallRatio(qalshIx.Search(q, 1), gt[qi], 1)
+	}
+	nq := float64(d.NQ())
+	if srsSum/nq > 1.6 {
+		t.Errorf("SRS ratio %v too weak", srsSum/nq)
+	}
+	if qalshSum/nq > 1.8 {
+		t.Errorf("QALSH ratio %v too weak", qalshSum/nq)
+	}
+	if srsIx.IndexBytes() <= 0 {
+		t.Error("SRS IndexBytes not positive")
+	}
+}
+
+func TestWithBudgetViews(t *testing.T) {
+	d := facadeDataset(t)
+	mem, err := NewInMemoryIndex(d.Vectors, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := NewStorageIndex(d.Vectors, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.WithBudget(1000) == nil || disk.WithBudget(1000) == nil {
+		t.Fatal("budget views nil")
+	}
+}
+
+func TestGeneratePaperDataset(t *testing.T) {
+	d, err := GeneratePaperDataset(SIFT, 0, 1500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() < 1500 || d.Dim != 128 {
+		t.Errorf("unexpected clone shape: n=%d d=%d", d.N(), d.Dim)
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	var buf bytes.Buffer
+	opts := ExperimentOptions{Scale: 0.0001, MaxN: 2000, Queries: 10}
+	if err := RunExperiment("table3", opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SPDK") {
+		t.Error("experiment output missing content")
+	}
+	if err := RunExperiment("missing", opts, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(ExperimentIDs()) < 19 {
+		t.Errorf("only %d experiments registered", len(ExperimentIDs()))
+	}
+}
+
+func TestConfigDeriveErrors(t *testing.T) {
+	if _, err := NewInMemoryIndex(nil, Config{}); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := NewStorageIndex(nil, Config{}); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := NewQALSHIndex(nil, 0, 0); err == nil {
+		t.Error("empty data accepted")
+	}
+}

@@ -1,0 +1,65 @@
+// Capacity planning: the paper's §4 analysis as a tool. Given a workload and
+// a target throughput, sweep simulated storage configurations to find the
+// cheapest one that meets the goal — before buying any hardware.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"e2lshos"
+)
+
+func main() {
+	ds, err := e2lshos.GeneratePaperDataset(e2lshos.SIFT, 0, 20000, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := e2lshos.NewStorageIndex(ds.Vectors, e2lshos.Config{Sigma: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const targetQPS = 2000.0
+	fmt.Printf("workload: %d-dim SIFT-like, n=%d; target: %.0f queries/s on one core\n\n",
+		ds.Dim, ds.N(), targetQPS)
+
+	type option struct {
+		name    string
+		cfg     e2lshos.SimulationConfig
+		costUSD int // rough street prices, for the paper's cost argument
+	}
+	options := []option{
+		{"HDD x1", e2lshos.SimulationConfig{Device: e2lshos.HardDisk, Devices: 1, Iface: e2lshos.IOUring}, 250},
+		{"cSSD x1 + io_uring", e2lshos.SimulationConfig{Device: e2lshos.ConsumerSSD, Devices: 1, Iface: e2lshos.IOUring}, 300},
+		{"cSSD x4 + io_uring", e2lshos.SimulationConfig{Device: e2lshos.ConsumerSSD, Devices: 4, Iface: e2lshos.IOUring}, 1200},
+		{"cSSD x4 + SPDK", e2lshos.SimulationConfig{Device: e2lshos.ConsumerSSD, Devices: 4, Iface: e2lshos.SPDK}, 1200},
+		{"eSSD x1 + SPDK", e2lshos.SimulationConfig{Device: e2lshos.EnterpriseSSD, Devices: 1, Iface: e2lshos.SPDK}, 900},
+		{"eSSD x8 + SPDK", e2lshos.SimulationConfig{Device: e2lshos.EnterpriseSSD, Devices: 8, Iface: e2lshos.SPDK}, 7200},
+	}
+
+	fmt.Printf("%-22s %12s %12s %10s %8s\n", "configuration", "queries/s", "kIOPS", "cost $", "meets?")
+	var best *option
+	for i := range options {
+		rep, err := ix.Simulate(ds.Queries, options[i].cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meets := rep.QueriesPerSecond >= targetQPS
+		mark := " "
+		if meets {
+			mark = "yes"
+			if best == nil || options[i].costUSD < best.costUSD {
+				best = &options[i]
+			}
+		}
+		fmt.Printf("%-22s %12.0f %12.0f %10d %8s\n",
+			options[i].name, rep.QueriesPerSecond, rep.ObservedKIOPS, options[i].costUSD, mark)
+	}
+	fmt.Println()
+	if best != nil {
+		fmt.Printf("cheapest configuration meeting %.0f q/s: %s ($%d)\n", targetQPS, best.name, best.costUSD)
+	} else {
+		fmt.Println("no configuration meets the target; add devices or cores")
+	}
+}

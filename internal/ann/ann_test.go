@@ -1,0 +1,239 @@
+package ann
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKBasic(t *testing.T) {
+	tk := NewTopK(3)
+	if tk.Full() {
+		t.Fatal("new TopK should not be full")
+	}
+	if !math.IsInf(tk.Worst(), 1) {
+		t.Fatal("Worst of non-full TopK should be +Inf")
+	}
+	tk.Push(1, 5)
+	tk.Push(2, 1)
+	tk.Push(3, 3)
+	if !tk.Full() {
+		t.Fatal("TopK should be full after 3 pushes")
+	}
+	if tk.Worst() != 5 {
+		t.Fatalf("Worst = %v, want 5", tk.Worst())
+	}
+	if entered := tk.Push(4, 10); entered {
+		t.Fatal("distance 10 should not enter top-3 of {1,3,5}")
+	}
+	if entered := tk.Push(5, 2); !entered {
+		t.Fatal("distance 2 should enter top-3 of {1,3,5}")
+	}
+	res := tk.Result()
+	wantIDs := []uint32{2, 5, 3}
+	for i, id := range res.IDs() {
+		if id != wantIDs[i] {
+			t.Fatalf("Result IDs = %v, want %v", res.IDs(), wantIDs)
+		}
+	}
+}
+
+func TestTopKPanicsOnZeroK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTopK(0) did not panic")
+		}
+	}()
+	NewTopK(0)
+}
+
+func TestTopKMatchesSortAllSizes(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := r.Intn(200)
+		k := 1 + r.Intn(20)
+		dists := make([]float64, n)
+		tk := NewTopK(k)
+		for i := 0; i < n; i++ {
+			dists[i] = r.Float64() * 100
+			tk.Push(uint32(i), dists[i])
+		}
+		sorted := append([]float64(nil), dists...)
+		sort.Float64s(sorted)
+		res := tk.Result()
+		wantLen := k
+		if n < k {
+			wantLen = n
+		}
+		if len(res.Neighbors) != wantLen {
+			t.Fatalf("result length %d, want %d", len(res.Neighbors), wantLen)
+		}
+		for i, nb := range res.Neighbors {
+			if nb.Dist != sorted[i] {
+				t.Fatalf("rank %d dist %v, want %v", i, nb.Dist, sorted[i])
+			}
+		}
+	}
+}
+
+func TestTopKCountWithin(t *testing.T) {
+	tk := NewTopK(5)
+	for i, d := range []float64{1, 2, 3, 4, 5} {
+		tk.Push(uint32(i), d)
+	}
+	if got := tk.CountWithin(3); got != 3 {
+		t.Errorf("CountWithin(3) = %d, want 3", got)
+	}
+	if got := tk.CountWithin(0.5); got != 0 {
+		t.Errorf("CountWithin(0.5) = %d, want 0", got)
+	}
+}
+
+func TestTopKResultSortedProperty(t *testing.T) {
+	f := func(ds []float64) bool {
+		tk := NewTopK(7)
+		for i, d := range ds {
+			tk.Push(uint32(i), math.Abs(d))
+		}
+		res := tk.Result()
+		for i := 1; i < len(res.Neighbors); i++ {
+			if res.Neighbors[i].Dist < res.Neighbors[i-1].Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func exactResult(dists ...float64) Result {
+	r := Result{}
+	for i, d := range dists {
+		r.Neighbors = append(r.Neighbors, Neighbor{ID: uint32(i), Dist: d})
+	}
+	return r
+}
+
+func TestOverallRatioExact(t *testing.T) {
+	exact := exactResult(1, 2, 3)
+	if got := OverallRatio(exact, exact, 3); got != 1 {
+		t.Errorf("OverallRatio(exact, exact) = %v, want 1", got)
+	}
+}
+
+func TestOverallRatioApproximate(t *testing.T) {
+	exact := exactResult(1, 2, 4)
+	got := Result{Neighbors: []Neighbor{{ID: 9, Dist: 1.5}, {ID: 8, Dist: 2}, {ID: 7, Dist: 6}}}
+	want := (1.5/1 + 2.0/2 + 6.0/4) / 3
+	if r := OverallRatio(got, exact, 3); math.Abs(r-want) > 1e-12 {
+		t.Errorf("OverallRatio = %v, want %v", r, want)
+	}
+}
+
+func TestOverallRatioMissingNeighbors(t *testing.T) {
+	exact := exactResult(1, 2, 3)
+	partial := Result{Neighbors: []Neighbor{{ID: 1, Dist: 2}}}
+	r := OverallRatio(partial, exact, 3)
+	// worst returned ratio is 2; two missing ranks penalized at 2 each.
+	want := (2.0 + 2 + 2) / 3
+	if math.Abs(r-want) > 1e-12 {
+		t.Errorf("OverallRatio with missing = %v, want %v", r, want)
+	}
+	empty := Result{}
+	if r := OverallRatio(empty, exact, 3); r != 10 {
+		t.Errorf("OverallRatio(empty) = %v, want 10", r)
+	}
+}
+
+func TestOverallRatioNeverBelowOne(t *testing.T) {
+	exact := exactResult(1, 2, 3)
+	tooGood := Result{Neighbors: []Neighbor{{ID: 1, Dist: 0.5}, {ID: 2, Dist: 2}, {ID: 3, Dist: 3}}}
+	if r := OverallRatio(tooGood, exact, 3); r < 1 {
+		t.Errorf("OverallRatio = %v, must be >= 1", r)
+	}
+}
+
+func TestOverallRatioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short ground truth")
+		}
+	}()
+	OverallRatio(Result{}, exactResult(1), 2)
+}
+
+func TestRecall(t *testing.T) {
+	exact := exactResult(1, 2, 3) // IDs 0,1,2
+	got := Result{Neighbors: []Neighbor{{ID: 0, Dist: 1}, {ID: 5, Dist: 2}, {ID: 2, Dist: 3}}}
+	if r := Recall(got, exact, 3); math.Abs(r-2.0/3) > 1e-12 {
+		t.Errorf("Recall = %v, want 2/3", r)
+	}
+	if r := Recall(exact, exact, 3); r != 1 {
+		t.Errorf("Recall(exact) = %v, want 1", r)
+	}
+	if r := Recall(Result{}, exact, 3); r != 0 {
+		t.Errorf("Recall(empty) = %v, want 0", r)
+	}
+}
+
+func TestBruteForce(t *testing.T) {
+	data := [][]float32{
+		{0, 0}, {1, 0}, {0, 2}, {3, 3}, {-1, -1},
+	}
+	q := []float32{0.1, 0}
+	res := BruteForce(data, q, 3)
+	if len(res.Neighbors) != 3 {
+		t.Fatalf("got %d neighbors, want 3", len(res.Neighbors))
+	}
+	if res.Neighbors[0].ID != 0 || res.Neighbors[1].ID != 1 {
+		t.Errorf("wrong order: %v", res.IDs())
+	}
+	for i := 1; i < len(res.Neighbors); i++ {
+		if res.Neighbors[i].Dist < res.Neighbors[i-1].Dist {
+			t.Error("result not sorted")
+		}
+	}
+}
+
+func TestBruteForceMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const n, d, k = 300, 12, 10
+	data := make([][]float32, n)
+	for i := range data {
+		data[i] = make([]float32, d)
+		for j := range data[i] {
+			data[i][j] = float32(r.NormFloat64())
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := make([]float32, d)
+		for j := range q {
+			q[j] = float32(r.NormFloat64())
+		}
+		got := BruteForce(data, q, k)
+		// Naive: sort all distances.
+		type pair struct {
+			id uint32
+			d  float64
+		}
+		all := make([]pair, n)
+		for i, v := range data {
+			var s float64
+			for j := range v {
+				df := float64(v[j]) - float64(q[j])
+				s += df * df
+			}
+			all[i] = pair{uint32(i), math.Sqrt(s)}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+		for i := 0; i < k; i++ {
+			if math.Abs(got.Neighbors[i].Dist-all[i].d) > 1e-9 {
+				t.Fatalf("rank %d: dist %v, want %v", i, got.Neighbors[i].Dist, all[i].d)
+			}
+		}
+	}
+}

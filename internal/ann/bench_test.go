@@ -1,0 +1,40 @@
+package ann
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkTopKPush(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	dists := make([]float64, 4096)
+	for i := range dists {
+		dists[i] = r.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := NewTopK(10)
+		for j, d := range dists {
+			t.Push(uint32(j), d)
+		}
+	}
+}
+
+func BenchmarkBruteForce10k(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	const n, dim = 10000, 64
+	data := make([][]float32, n)
+	for i := range data {
+		data[i] = make([]float32, dim)
+		for j := range data[i] {
+			data[i][j] = float32(r.NormFloat64())
+		}
+	}
+	q := data[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForce(data, q, 10)
+	}
+}

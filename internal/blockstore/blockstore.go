@@ -1,0 +1,248 @@
+// Package blockstore provides the 512-byte block address space that holds
+// the E2LSHoS hash index (§5.1). 512 bytes is the minimum read unit of a
+// typical NVMe SSD and the paper's chosen block size.
+//
+// The store is a data plane only: reads and writes move bytes, never time.
+// Virtual-time accounting for reads lives in internal/sched + internal/iosim;
+// real-file deployments read blocks through the same interface with wall
+// clocks. Address 0 is the nil address, so allocation starts at block 1.
+package blockstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// BlockSize is the fixed block size in bytes.
+const BlockSize = 512
+
+// Addr addresses one block. 0 is Nil.
+type Addr uint64
+
+// Nil is the null block address.
+const Nil Addr = 0
+
+// Backend stores raw blocks.
+type Backend interface {
+	// ReadBlock copies block a into buf (len >= BlockSize).
+	ReadBlock(a Addr, buf []byte) error
+	// WriteBlock stores data (len <= BlockSize; shorter data is zero-padded).
+	WriteBlock(a Addr, data []byte) error
+	// NumBlocks returns the number of blocks ever written plus one (the
+	// exclusive upper bound of valid addresses).
+	NumBlocks() uint64
+}
+
+// Store couples a backend with a bump allocator.
+type Store struct {
+	backend Backend
+	next    Addr
+}
+
+// NewMem returns a store backed by chunked in-memory slabs.
+func NewMem() *Store {
+	return &Store{backend: &memBackend{}, next: 1}
+}
+
+// NewWithBackend wraps an existing backend, resuming allocation after its
+// last block.
+func NewWithBackend(b Backend) *Store {
+	next := Addr(b.NumBlocks())
+	if next < 1 {
+		next = 1
+	}
+	return &Store{backend: b, next: next}
+}
+
+// Allocate reserves one block and returns its address.
+func (s *Store) Allocate() Addr {
+	a := s.next
+	s.next++
+	return a
+}
+
+// AllocateRange reserves n contiguous blocks and returns the first address.
+// Hash table regions use it so an entry's block is base + entry/64.
+func (s *Store) AllocateRange(n uint64) Addr {
+	a := s.next
+	s.next += Addr(n)
+	return a
+}
+
+// NumBlocks returns the number of allocated blocks.
+func (s *Store) NumBlocks() uint64 { return uint64(s.next) - 1 }
+
+// Bytes returns the allocated size in bytes, the paper's "Index storage"
+// metric (Table 6).
+func (s *Store) Bytes() int64 { return int64(s.NumBlocks()) * BlockSize }
+
+// ReadBlock reads block a into buf.
+func (s *Store) ReadBlock(a Addr, buf []byte) error {
+	if a == Nil || a >= s.next {
+		return fmt.Errorf("blockstore: read of invalid address %d (allocated %d)", a, s.NumBlocks())
+	}
+	return s.backend.ReadBlock(a, buf)
+}
+
+// WriteBlock writes data to block a, which must be allocated.
+func (s *Store) WriteBlock(a Addr, data []byte) error {
+	if a == Nil || a >= s.next {
+		return fmt.Errorf("blockstore: write to invalid address %d (allocated %d)", a, s.NumBlocks())
+	}
+	if len(data) > BlockSize {
+		return fmt.Errorf("blockstore: write of %d bytes exceeds block size", len(data))
+	}
+	return s.backend.WriteBlock(a, data)
+}
+
+// memBackend stores blocks in fixed-size chunks to avoid one giant
+// allocation and to grow smoothly.
+type memBackend struct {
+	chunks [][]byte
+	blocks uint64
+}
+
+// chunkBlocks is the number of blocks per chunk (2 MiB chunks).
+const chunkBlocks = 4096
+
+func (m *memBackend) locate(a Addr) (chunk, offset uint64) {
+	i := uint64(a)
+	return i / chunkBlocks, (i % chunkBlocks) * BlockSize
+}
+
+func (m *memBackend) ensure(chunk uint64) {
+	for uint64(len(m.chunks)) <= chunk {
+		m.chunks = append(m.chunks, make([]byte, chunkBlocks*BlockSize))
+	}
+}
+
+func (m *memBackend) ReadBlock(a Addr, buf []byte) error {
+	if len(buf) < BlockSize {
+		return fmt.Errorf("blockstore: read buffer of %d bytes too small", len(buf))
+	}
+	c, off := m.locate(a)
+	if c >= uint64(len(m.chunks)) {
+		// Allocated but never written: zero block.
+		clear(buf[:BlockSize])
+		return nil
+	}
+	copy(buf[:BlockSize], m.chunks[c][off:off+BlockSize])
+	return nil
+}
+
+func (m *memBackend) WriteBlock(a Addr, data []byte) error {
+	c, off := m.locate(a)
+	m.ensure(c)
+	dst := m.chunks[c][off : off+BlockSize]
+	n := copy(dst, data)
+	clear(dst[n:])
+	if uint64(a) >= m.blocks {
+		m.blocks = uint64(a) + 1
+	}
+	return nil
+}
+
+func (m *memBackend) NumBlocks() uint64 { return m.blocks }
+
+// fileBackend stores blocks in a flat file at offset (addr-1)*BlockSize.
+type fileBackend struct {
+	f      *os.File
+	blocks uint64
+}
+
+// OpenFile returns a store backed by the named file, creating it if needed.
+// An existing file resumes allocation after its last full block.
+func OpenFile(path string) (*Store, *os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("blockstore: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("blockstore: stat %s: %w", path, err)
+	}
+	fb := &fileBackend{f: f, blocks: uint64(st.Size())/BlockSize + 1}
+	return NewWithBackend(fb), f, nil
+}
+
+func (fb *fileBackend) ReadBlock(a Addr, buf []byte) error {
+	if len(buf) < BlockSize {
+		return fmt.Errorf("blockstore: read buffer of %d bytes too small", len(buf))
+	}
+	n, err := fb.f.ReadAt(buf[:BlockSize], int64(a-1)*BlockSize)
+	if err == io.EOF && n > 0 {
+		clear(buf[n:BlockSize])
+		return nil
+	}
+	if err == io.EOF {
+		clear(buf[:BlockSize])
+		return nil
+	}
+	return err
+}
+
+func (fb *fileBackend) WriteBlock(a Addr, data []byte) error {
+	var block [BlockSize]byte
+	copy(block[:], data)
+	if _, err := fb.f.WriteAt(block[:], int64(a-1)*BlockSize); err != nil {
+		return fmt.Errorf("blockstore: write block %d: %w", a, err)
+	}
+	if uint64(a) >= fb.blocks {
+		fb.blocks = uint64(a) + 1
+	}
+	return nil
+}
+
+func (fb *fileBackend) NumBlocks() uint64 { return fb.blocks }
+
+// WriteTo serializes the allocated blocks: an 8-byte block count followed by
+// raw block contents. It lets a memory-built index be persisted and later
+// served from a file backend.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], s.NumBlocks())
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("blockstore: write header: %w", err)
+	}
+	written := int64(8)
+	buf := make([]byte, BlockSize)
+	for a := Addr(1); a < s.next; a++ {
+		if err := s.backend.ReadBlock(a, buf); err != nil {
+			return written, err
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return written, fmt.Errorf("blockstore: write block %d: %w", a, err)
+		}
+		written += BlockSize
+	}
+	return written, bw.Flush()
+}
+
+// ReadFrom restores a store serialized by WriteTo into the current backend.
+func (s *Store) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, fmt.Errorf("blockstore: read header: %w", err)
+	}
+	blocks := binary.LittleEndian.Uint64(hdr[:])
+	readBytes := int64(8)
+	buf := make([]byte, BlockSize)
+	s.next = 1
+	for i := uint64(0); i < blocks; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return readBytes, fmt.Errorf("blockstore: read block %d: %w", i+1, err)
+		}
+		a := s.Allocate()
+		if err := s.backend.WriteBlock(a, buf); err != nil {
+			return readBytes, err
+		}
+		readBytes += BlockSize
+	}
+	return readBytes, nil
+}

@@ -1,0 +1,272 @@
+package blockstore
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAllocate(t *testing.T) {
+	s := NewMem()
+	a1 := s.Allocate()
+	a2 := s.Allocate()
+	if a1 == Nil || a2 == Nil || a1 == a2 {
+		t.Fatalf("bad addresses: %d %d", a1, a2)
+	}
+	if s.NumBlocks() != 2 {
+		t.Errorf("NumBlocks = %d, want 2", s.NumBlocks())
+	}
+	if s.Bytes() != 2*BlockSize {
+		t.Errorf("Bytes = %d", s.Bytes())
+	}
+}
+
+func TestAllocateRangeContiguous(t *testing.T) {
+	s := NewMem()
+	base := s.AllocateRange(64)
+	next := s.Allocate()
+	if uint64(next) != uint64(base)+64 {
+		t.Errorf("range not contiguous: base=%d next=%d", base, next)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := NewMem()
+	a := s.Allocate()
+	data := make([]byte, BlockSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := s.WriteBlock(a, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, BlockSize)
+	if err := s.ReadBlock(a, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read data differs from written data")
+	}
+}
+
+func TestShortWriteZeroPads(t *testing.T) {
+	s := NewMem()
+	a := s.Allocate()
+	if err := s.WriteBlock(a, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, BlockSize)
+	if err := s.ReadBlock(a, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Error("prefix not preserved")
+	}
+	for i := 3; i < BlockSize; i++ {
+		if got[i] != 0 {
+			t.Fatal("suffix not zero-padded")
+		}
+	}
+}
+
+func TestOverwriteShorterClearsTail(t *testing.T) {
+	s := NewMem()
+	a := s.Allocate()
+	full := bytes.Repeat([]byte{0xFF}, BlockSize)
+	if err := s.WriteBlock(a, full); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBlock(a, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, BlockSize)
+	s.ReadBlock(a, got)
+	if got[0] != 7 || got[1] != 0 || got[BlockSize-1] != 0 {
+		t.Error("overwrite did not clear stale bytes")
+	}
+}
+
+func TestInvalidAddresses(t *testing.T) {
+	s := NewMem()
+	buf := make([]byte, BlockSize)
+	if err := s.ReadBlock(Nil, buf); err == nil {
+		t.Error("read of Nil accepted")
+	}
+	if err := s.ReadBlock(5, buf); err == nil {
+		t.Error("read of unallocated address accepted")
+	}
+	if err := s.WriteBlock(Nil, buf); err == nil {
+		t.Error("write to Nil accepted")
+	}
+	a := s.Allocate()
+	if err := s.WriteBlock(a, make([]byte, BlockSize+1)); err == nil {
+		t.Error("oversized write accepted")
+	}
+}
+
+func TestAllocatedButUnwrittenReadsZero(t *testing.T) {
+	s := NewMem()
+	a := s.Allocate()
+	got := bytes.Repeat([]byte{0xAA}, BlockSize)
+	if err := s.ReadBlock(a, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+}
+
+func TestManyBlocksAcrossChunks(t *testing.T) {
+	s := NewMem()
+	r := rand.New(rand.NewSource(1))
+	const n = chunkBlocks*2 + 100 // force multiple chunks
+	addrs := make([]Addr, n)
+	want := make([]byte, n)
+	for i := 0; i < n; i++ {
+		addrs[i] = s.Allocate()
+		want[i] = byte(r.Intn(256))
+		if err := s.WriteBlock(addrs[i], []byte{want[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, BlockSize)
+	for i := 0; i < n; i++ {
+		if err := s.ReadBlock(addrs[i], buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != want[i] {
+			t.Fatalf("block %d: got %d, want %d", i, buf[0], want[i])
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	s := NewMem()
+	for i := 0; i < 50; i++ {
+		a := s.Allocate()
+		s.WriteBlock(a, []byte{byte(i), byte(i * 2)})
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewMem()
+	if _, err := restored.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumBlocks() != s.NumBlocks() {
+		t.Fatalf("restored %d blocks, want %d", restored.NumBlocks(), s.NumBlocks())
+	}
+	b1 := make([]byte, BlockSize)
+	b2 := make([]byte, BlockSize)
+	for a := Addr(1); a <= Addr(s.NumBlocks()); a++ {
+		s.ReadBlock(a, b1)
+		restored.ReadBlock(a, b2)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("block %d differs after round trip", a)
+		}
+	}
+}
+
+func TestReadFromRejectsTruncated(t *testing.T) {
+	s := NewMem()
+	a := s.Allocate()
+	s.WriteBlock(a, []byte{1})
+	var buf bytes.Buffer
+	s.WriteTo(&buf)
+	raw := buf.Bytes()
+	fresh := NewMem()
+	if _, err := fresh.ReadFrom(bytes.NewReader(raw[:len(raw)-10])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestFileBackend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.blk")
+	s, f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.Allocate()
+	if err := s.WriteBlock(a, []byte{42, 43}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, BlockSize)
+	if err := s.ReadBlock(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 42 || buf[1] != 43 {
+		t.Fatal("file round trip failed")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: data persists and allocation resumes past existing blocks.
+	s2, f2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if err := s2.ReadBlock(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 42 {
+		t.Fatal("data lost across reopen")
+	}
+	b := s2.Allocate()
+	if b <= a {
+		t.Errorf("allocation did not resume: %d <= %d", b, a)
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	if _, _, err := OpenFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x")); err == nil {
+		t.Error("OpenFile in missing directory accepted")
+	}
+}
+
+func TestMemVsFileBackendEquivalence(t *testing.T) {
+	mem := NewMem()
+	path := filepath.Join(t.TempDir(), "eq.blk")
+	file, f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := rand.New(rand.NewSource(2))
+	data := make([]byte, BlockSize)
+	for i := 0; i < 200; i++ {
+		r.Read(data)
+		am, af := mem.Allocate(), file.Allocate()
+		if am != af {
+			t.Fatalf("allocators diverged: %d vs %d", am, af)
+		}
+		if err := mem.WriteBlock(am, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := file.WriteBlock(af, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b1, b2 := make([]byte, BlockSize), make([]byte, BlockSize)
+	for a := Addr(1); a <= Addr(mem.NumBlocks()); a++ {
+		mem.ReadBlock(a, b1)
+		file.ReadBlock(a, b2)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("backends diverge at block %d", a)
+		}
+	}
+	// File size on disk matches the block span.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != int64(mem.NumBlocks())*BlockSize {
+		t.Errorf("file size %d, want %d", st.Size(), int64(mem.NumBlocks())*BlockSize)
+	}
+}

@@ -1,0 +1,64 @@
+package bptree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	t, _ := New(Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(r.Float64(), uint32(i))
+	}
+}
+
+func BenchmarkBulkLoad100k(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	const n = 100000
+	keys := make([]float64, n)
+	vals := make([]uint32, n)
+	for i := range keys {
+		keys[i] = r.Float64()
+		vals[i] = uint32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkLoad(keys, vals, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCursorScan(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	const n = 100000
+	keys := make([]float64, n)
+	vals := make([]uint32, n)
+	for i := range keys {
+		keys[i] = r.Float64()
+		vals[i] = uint32(i)
+	}
+	t, err := BulkLoad(keys, vals, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Scan a 1% window around a random center, the QALSH access pattern.
+		center := r.Float64()
+		count := 0
+		for c := t.SeekAscend(center); c.Next() && c.Key() <= center+0.005; {
+			count++
+		}
+		for c := t.SeekDescend(center); c.Next() && c.Key() >= center-0.005; {
+			count++
+		}
+		_ = count
+	}
+	_ = math.Pi
+}

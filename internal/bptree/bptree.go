@@ -1,0 +1,407 @@
+// Package bptree implements an in-memory B+-tree keyed by float64 with
+// uint32 payloads and duplicate-key support.
+//
+// It is the index substrate of the QALSH baseline (§3.1): QALSH maintains one
+// B+-tree per query-aware hash function over the objects' 1-D projections and
+// answers queries by expanding a window around the query's projection. The
+// tree therefore exposes bidirectional cursors that stream entries outward
+// from a seek point, which is exactly the access pattern of QALSH's virtual
+// rehashing.
+package bptree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultOrder is the maximum number of children per internal node (and
+// entries per leaf) when Options.Order is zero.
+const DefaultOrder = 64
+
+// Options configure tree construction.
+type Options struct {
+	// Order is the node capacity: maximum children of an internal node and
+	// maximum entries of a leaf. Must be at least 3 if set.
+	Order int
+}
+
+type node struct {
+	leaf bool
+	// keys: for leaves, one per entry; for internal nodes, keys[i] is the
+	// smallest key in children[i+1]'s subtree (len(keys) == len(children)-1).
+	keys     []float64
+	values   []uint32 // leaf only
+	children []*node  // internal only
+	next     *node    // leaf chain
+	prev     *node
+}
+
+// Tree is a B+-tree. The zero value is not usable; construct with New.
+type Tree struct {
+	order int
+	root  *node
+	size  int
+	first *node // leftmost leaf
+	last  *node // rightmost leaf
+}
+
+// New returns an empty tree.
+func New(opts Options) (*Tree, error) {
+	order := opts.Order
+	if order == 0 {
+		order = DefaultOrder
+	}
+	if order < 3 {
+		return nil, fmt.Errorf("bptree: order must be at least 3, got %d", order)
+	}
+	leaf := &node{leaf: true}
+	return &Tree{order: order, root: leaf, first: leaf, last: leaf}, nil
+}
+
+// BulkLoad builds a tree from keys and values in one pass. The pairs do not
+// need to be pre-sorted; they are sorted by key (stable in value order).
+func BulkLoad(keys []float64, values []uint32, opts Options) (*Tree, error) {
+	if len(keys) != len(values) {
+		return nil, fmt.Errorf("bptree: BulkLoad with %d keys but %d values", len(keys), len(values))
+	}
+	t, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+
+	// Fill leaves left to right at ~full occupancy, then build internal
+	// levels bottom-up.
+	cap := t.order
+	var leaves []*node
+	for lo := 0; lo < len(idx); lo += cap {
+		hi := lo + cap
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		leaf := &node{leaf: true}
+		for _, j := range idx[lo:hi] {
+			leaf.keys = append(leaf.keys, keys[j])
+			leaf.values = append(leaf.values, values[j])
+		}
+		if len(leaves) > 0 {
+			prev := leaves[len(leaves)-1]
+			prev.next = leaf
+			leaf.prev = prev
+		}
+		leaves = append(leaves, leaf)
+	}
+	if len(leaves) == 0 {
+		return t, nil
+	}
+	t.first, t.last = leaves[0], leaves[len(leaves)-1]
+	t.size = len(idx)
+	level := leaves
+	for len(level) > 1 {
+		var parents []*node
+		for lo := 0; lo < len(level); lo += cap {
+			hi := lo + cap
+			if hi > len(level) {
+				hi = len(level)
+			}
+			p := &node{children: append([]*node(nil), level[lo:hi]...)}
+			for _, c := range p.children[1:] {
+				p.keys = append(p.keys, smallestKey(c))
+			}
+			parents = append(parents, p)
+		}
+		level = parents
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+func smallestKey(n *node) float64 {
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (1 for a single leaf).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// Insert adds one entry. Duplicate keys are allowed; among equal keys,
+// insertion order is preserved.
+func (t *Tree) Insert(key float64, value uint32) {
+	split, sepKey := t.insert(t.root, key, value)
+	if split != nil {
+		newRoot := &node{
+			keys:     []float64{sepKey},
+			children: []*node{t.root, split},
+		}
+		t.root = newRoot
+	}
+	t.size++
+}
+
+// insert descends into n; if n splits, it returns the new right sibling and
+// the separator key.
+func (t *Tree) insert(n *node, key float64, value uint32) (*node, float64) {
+	if n.leaf {
+		// Insert after the last equal key to preserve duplicate order.
+		i := sort.SearchFloat64s(n.keys, key)
+		for i < len(n.keys) && n.keys[i] == key {
+			i++
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.values = append(n.values, 0)
+		copy(n.values[i+1:], n.values[i:])
+		n.values[i] = value
+		if len(n.keys) <= t.order {
+			return nil, 0
+		}
+		return t.splitLeaf(n)
+	}
+	ci := sort.SearchFloat64s(n.keys, key)
+	// keys[i] is the smallest key of children[i+1]; descend into the
+	// rightmost child whose subtree may contain key. Equal keys go right so
+	// that cursor semantics (>= key) start at the first duplicate.
+	for ci < len(n.keys) && n.keys[ci] <= key {
+		ci++
+	}
+	split, sepKey := t.insert(n.children[ci], key, value)
+	if split == nil {
+		return nil, 0
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = sepKey
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = split
+	if len(n.children) <= t.order {
+		return nil, 0
+	}
+	return t.splitInternal(n)
+}
+
+func (t *Tree) splitLeaf(n *node) (*node, float64) {
+	mid := len(n.keys) / 2
+	right := &node{
+		leaf:   true,
+		keys:   append([]float64(nil), n.keys[mid:]...),
+		values: append([]uint32(nil), n.values[mid:]...),
+		next:   n.next,
+		prev:   n,
+	}
+	n.keys = n.keys[:mid:mid]
+	n.values = n.values[:mid:mid]
+	if right.next != nil {
+		right.next.prev = right
+	} else {
+		t.last = right
+	}
+	n.next = right
+	return right, right.keys[0]
+}
+
+func (t *Tree) splitInternal(n *node) (*node, float64) {
+	midChild := len(n.children) / 2
+	sepKey := n.keys[midChild-1]
+	right := &node{
+		keys:     append([]float64(nil), n.keys[midChild:]...),
+		children: append([]*node(nil), n.children[midChild:]...),
+	}
+	n.keys = n.keys[: midChild-1 : midChild-1]
+	n.children = n.children[:midChild:midChild]
+	return right, sepKey
+}
+
+// Delete removes one entry matching (key, value) and reports whether it was
+// found. Deletion is lazy: entries are removed from their leaf without
+// rebalancing, which is the usual trade-off for index workloads dominated by
+// lookups (the tree never becomes incorrect, only possibly under-full).
+func (t *Tree) Delete(key float64, value uint32) bool {
+	for c := t.SeekAscend(key); c.Next(); {
+		if c.Key() != key {
+			return false // passed beyond the duplicates of key
+		}
+		if c.Value() == value {
+			n := c.n
+			n.keys = append(n.keys[:c.i], n.keys[c.i+1:]...)
+			n.values = append(n.values[:c.i], n.values[c.i+1:]...)
+			t.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Cursor streams leaf entries in one direction. Obtain with SeekAscend or
+// SeekDescend; call Next to advance. A Cursor is invalidated by writes.
+type Cursor struct {
+	n       *node
+	i       int
+	forward bool
+	started bool
+}
+
+// SeekAscend positions a cursor at the first entry with key >= key, moving
+// rightward on Next.
+func (t *Tree) SeekAscend(key float64) *Cursor {
+	n := t.root
+	for !n.leaf {
+		ci := sort.SearchFloat64s(n.keys, key)
+		// Descend left on equality so the cursor lands on the first duplicate.
+		n = n.children[ci]
+	}
+	i := sort.SearchFloat64s(n.keys, key)
+	c := &Cursor{n: n, i: i, forward: true}
+	c.normalizeForward()
+	return c
+}
+
+// SeekDescend positions a cursor at the last entry with key < key, moving
+// leftward on Next.
+func (t *Tree) SeekDescend(key float64) *Cursor {
+	n := t.root
+	for !n.leaf {
+		ci := sort.SearchFloat64s(n.keys, key)
+		n = n.children[ci]
+	}
+	i := sort.SearchFloat64s(n.keys, key) - 1
+	c := &Cursor{n: n, i: i}
+	c.normalizeBackward()
+	return c
+}
+
+func (c *Cursor) normalizeForward() {
+	for c.n != nil && c.i >= len(c.n.keys) {
+		c.n = c.n.next
+		c.i = 0
+	}
+}
+
+func (c *Cursor) normalizeBackward() {
+	for c.n != nil && c.i < 0 {
+		c.n = c.n.prev
+		if c.n != nil {
+			c.i = len(c.n.keys) - 1
+		}
+	}
+}
+
+// Valid reports whether the cursor references an entry.
+func (c *Cursor) Valid() bool { return c.n != nil && c.i >= 0 && c.i < len(c.n.keys) }
+
+// Key returns the current entry's key. The cursor must be Valid.
+func (c *Cursor) Key() float64 { return c.n.keys[c.i] }
+
+// Value returns the current entry's value. The cursor must be Valid.
+func (c *Cursor) Value() uint32 { return c.n.values[c.i] }
+
+// Next advances the cursor one entry in its direction and reports whether it
+// still references an entry. The first call does not move the cursor, so the
+// idiomatic loop is: for cur.Next() { use cur.Key()/cur.Value() }.
+func (c *Cursor) Next() bool {
+	if !c.started {
+		c.started = true
+		return c.Valid()
+	}
+	if !c.Valid() {
+		return false
+	}
+	if c.forward {
+		c.i++
+		c.normalizeForward()
+	} else {
+		c.i--
+		c.normalizeBackward()
+	}
+	return c.Valid()
+}
+
+// Validate checks the structural invariants: sorted keys, correct separator
+// keys, uniform leaf depth and a consistent doubly-linked leaf chain. It is
+// used by tests and safe to call on any tree.
+func (t *Tree) Validate() error {
+	depth := -1
+	var walk func(n *node, d int, lo, hi float64) error
+	walk = func(n *node, d int, lo, hi float64) error {
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i] < n.keys[i-1] {
+				return fmt.Errorf("bptree: unsorted keys at depth %d", d)
+			}
+		}
+		if len(n.keys) > 0 {
+			if n.keys[0] < lo || n.keys[len(n.keys)-1] > hi {
+				return fmt.Errorf("bptree: key out of separator range at depth %d", d)
+			}
+		}
+		if n.leaf {
+			if len(n.keys) != len(n.values) {
+				return fmt.Errorf("bptree: leaf keys/values length mismatch")
+			}
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return fmt.Errorf("bptree: leaves at depths %d and %d", depth, d)
+			}
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("bptree: internal node with %d children, %d keys", len(n.children), len(n.keys))
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			if err := walk(c, d+1, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, negInf, posInf); err != nil {
+		return err
+	}
+	// Leaf chain: forward walk must visit size entries in sorted order.
+	count := 0
+	last := negInf
+	for n := t.first; n != nil; n = n.next {
+		for _, k := range n.keys {
+			if k < last {
+				return fmt.Errorf("bptree: leaf chain out of order")
+			}
+			last = k
+			count++
+		}
+		if n.next != nil && n.next.prev != n {
+			return fmt.Errorf("bptree: broken leaf back-pointer")
+		}
+	}
+	if count != t.size {
+		return fmt.Errorf("bptree: leaf chain has %d entries, size is %d", count, t.size)
+	}
+	return nil
+}
+
+const (
+	negInf = -1.797693134862315708145274237317043567981e+308
+	posInf = 1.797693134862315708145274237317043567981e+308
+)

@@ -1,0 +1,373 @@
+package bptree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Order: 2}); err == nil {
+		t.Error("order 2 accepted")
+	}
+	tr, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("empty tree: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("empty tree invalid: %v", err)
+	}
+}
+
+func TestInsertAndAscend(t *testing.T) {
+	tr, _ := New(Options{Order: 4})
+	keys := []float64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for i, k := range keys {
+		tr.Insert(k, uint32(i))
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("after insert %v: %v", k, err)
+		}
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+	}
+	var got []float64
+	for c := tr.SeekAscend(math.Inf(-1)); c.Next(); {
+		got = append(got, c.Key())
+	}
+	if !sort.Float64sAreSorted(got) || len(got) != len(keys) {
+		t.Fatalf("ascend order broken: %v", got)
+	}
+}
+
+func TestInsertManyRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, order := range []int{3, 4, 16, 64} {
+		tr, _ := New(Options{Order: order})
+		const n = 2000
+		for i := 0; i < n; i++ {
+			tr.Insert(r.Float64()*100, uint32(i))
+		}
+		if tr.Len() != n {
+			t.Fatalf("order %d: Len=%d", order, tr.Len())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+		// Height should be logarithmic.
+		maxH := int(math.Ceil(math.Log(float64(n))/math.Log(float64(order/2+1)))) + 2
+		if tr.Height() > maxH {
+			t.Errorf("order %d: height %d too tall (max %d)", order, tr.Height(), maxH)
+		}
+	}
+}
+
+func TestBulkLoadMatchesInsert(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	const n = 3000
+	keys := make([]float64, n)
+	vals := make([]uint32, n)
+	for i := range keys {
+		keys[i] = math.Round(r.Float64()*500) / 10 // force duplicates
+		vals[i] = uint32(i)
+	}
+	bulk, err := BulkLoad(keys, vals, Options{Order: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.Validate(); err != nil {
+		t.Fatalf("bulk: %v", err)
+	}
+	ins, _ := New(Options{Order: 16})
+	for i := range keys {
+		ins.Insert(keys[i], vals[i])
+	}
+	collect := func(tr *Tree) []float64 {
+		var out []float64
+		for c := tr.SeekAscend(math.Inf(-1)); c.Next(); {
+			out = append(out, c.Key())
+		}
+		return out
+	}
+	bk, ik := collect(bulk), collect(ins)
+	if len(bk) != len(ik) {
+		t.Fatalf("lengths differ: %d vs %d", len(bk), len(ik))
+	}
+	for i := range bk {
+		if bk[i] != ik[i] {
+			t.Fatalf("key order differs at %d: %v vs %v", i, bk[i], ik[i])
+		}
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	if _, err := BulkLoad([]float64{1}, []uint32{1, 2}, Options{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	tr, err := BulkLoad(nil, nil, Options{})
+	if err != nil || tr.Len() != 0 {
+		t.Errorf("empty bulk load: %v, len=%d", err, tr.Len())
+	}
+}
+
+func TestSeekAscend(t *testing.T) {
+	tr, _ := New(Options{Order: 4})
+	for _, k := range []float64{10, 20, 30, 40, 50} {
+		tr.Insert(k, uint32(k))
+	}
+	cases := []struct {
+		seek  float64
+		first float64
+		count int
+	}{
+		{5, 10, 5},
+		{10, 10, 5},
+		{11, 20, 4},
+		{50, 50, 1},
+		{51, 0, 0},
+	}
+	for _, c := range cases {
+		cur := tr.SeekAscend(c.seek)
+		n := 0
+		first := math.NaN()
+		for cur.Next() {
+			if n == 0 {
+				first = cur.Key()
+			}
+			n++
+		}
+		if n != c.count {
+			t.Errorf("SeekAscend(%v): %d entries, want %d", c.seek, n, c.count)
+		}
+		if c.count > 0 && first != c.first {
+			t.Errorf("SeekAscend(%v): first %v, want %v", c.seek, first, c.first)
+		}
+	}
+}
+
+func TestSeekDescend(t *testing.T) {
+	tr, _ := New(Options{Order: 4})
+	for _, k := range []float64{10, 20, 30, 40, 50} {
+		tr.Insert(k, uint32(k))
+	}
+	cases := []struct {
+		seek  float64
+		first float64
+		count int
+	}{
+		{100, 50, 5},
+		{50, 40, 4}, // strictly less than seek
+		{10, 0, 0},
+		{10.5, 10, 1},
+	}
+	for _, c := range cases {
+		cur := tr.SeekDescend(c.seek)
+		n := 0
+		first := math.NaN()
+		prev := math.Inf(1)
+		for cur.Next() {
+			if n == 0 {
+				first = cur.Key()
+			}
+			if cur.Key() > prev {
+				t.Fatalf("SeekDescend(%v) not descending", c.seek)
+			}
+			prev = cur.Key()
+			n++
+		}
+		if n != c.count {
+			t.Errorf("SeekDescend(%v): %d entries, want %d", c.seek, n, c.count)
+		}
+		if c.count > 0 && first != c.first {
+			t.Errorf("SeekDescend(%v): first %v, want %v", c.seek, first, c.first)
+		}
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr, _ := New(Options{Order: 3})
+	const dups = 50
+	for i := 0; i < dups; i++ {
+		tr.Insert(7, uint32(i))
+		tr.Insert(3, uint32(100+i))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	count7 := 0
+	for c := tr.SeekAscend(7); c.Next(); {
+		if c.Key() != 7 {
+			break
+		}
+		count7++
+	}
+	if count7 != dups {
+		t.Errorf("found %d duplicates of 7, want %d", count7, dups)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, _ := New(Options{Order: 4})
+	for i := 0; i < 100; i++ {
+		tr.Insert(float64(i%10), uint32(i))
+	}
+	if !tr.Delete(3, 23) {
+		t.Fatal("failed to delete existing entry")
+	}
+	if tr.Delete(3, 23) {
+		t.Fatal("deleted same entry twice")
+	}
+	if tr.Delete(99, 1) {
+		t.Fatal("deleted nonexistent key")
+	}
+	if tr.Len() != 99 {
+		t.Fatalf("Len = %d, want 99", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Remaining duplicates of key 3 intact.
+	got := 0
+	for c := tr.SeekAscend(3); c.Next() && c.Key() == 3; {
+		if c.Value() == 23 {
+			t.Fatal("deleted value still present")
+		}
+		got++
+	}
+	if got != 9 {
+		t.Errorf("%d duplicates of 3 remain, want 9", got)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr, _ := New(Options{Order: 3})
+	const n = 200
+	r := rand.New(rand.NewSource(3))
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = r.Float64() * 50
+		tr.Insert(keys[i], uint32(i))
+	}
+	perm := r.Perm(n)
+	for _, i := range perm {
+		if !tr.Delete(keys[i], uint32(i)) {
+			t.Fatalf("failed to delete entry %d", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if cur := tr.SeekAscend(math.Inf(-1)); cur.Next() {
+		t.Fatal("cursor found entries in emptied tree")
+	}
+}
+
+func TestCursorWindowExpansion(t *testing.T) {
+	// The QALSH access pattern: expand a window around a center in rounds,
+	// consuming entries from both cursors up to the round's bound.
+	tr, _ := New(Options{Order: 8})
+	for i := 0; i <= 100; i++ {
+		tr.Insert(float64(i), uint32(i))
+	}
+	center := 50.5
+	asc := tr.SeekAscend(center)
+	desc := tr.SeekDescend(center)
+	var collected []uint32
+	ascNext, descNext := asc.Next(), desc.Next()
+	for _, half := range []float64{2, 5, 10} {
+		for ascNext && asc.Key() <= center+half {
+			collected = append(collected, asc.Value())
+			ascNext = asc.Next()
+		}
+		for descNext && desc.Key() >= center-half {
+			collected = append(collected, desc.Value())
+			descNext = desc.Next()
+		}
+		want := 0
+		for i := 0; i <= 100; i++ {
+			if math.Abs(float64(i)-center) <= half {
+				want++
+			}
+		}
+		if len(collected) != want {
+			t.Fatalf("window ±%v: collected %d, want %d", half, len(collected), want)
+		}
+	}
+}
+
+func TestRandomizedAgainstSortedSlice(t *testing.T) {
+	f := func(raw []float64, seekRaw float64) bool {
+		if len(raw) > 300 {
+			raw = raw[:300]
+		}
+		keys := make([]float64, 0, len(raw))
+		for _, k := range raw {
+			if !math.IsNaN(k) && !math.IsInf(k, 0) {
+				keys = append(keys, k)
+			}
+		}
+		seek := seekRaw
+		if math.IsNaN(seek) || math.IsInf(seek, 0) {
+			seek = 0
+		}
+		tr, _ := New(Options{Order: 5})
+		for i, k := range keys {
+			tr.Insert(k, uint32(i))
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), keys...)
+		sort.Float64s(sorted)
+		wantGE := 0
+		for _, k := range sorted {
+			if k >= seek {
+				wantGE++
+			}
+		}
+		got := 0
+		prev := math.Inf(-1)
+		for c := tr.SeekAscend(seek); c.Next(); {
+			if c.Key() < seek || c.Key() < prev {
+				return false
+			}
+			prev = c.Key()
+			got++
+		}
+		return got == wantGE
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulkLoadLargeAscendDescendSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const n = 5000
+	keys := make([]float64, n)
+	vals := make([]uint32, n)
+	for i := range keys {
+		keys[i] = r.NormFloat64()
+		vals[i] = uint32(i)
+	}
+	tr, err := BulkLoad(keys, vals, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := 0
+	for c := tr.SeekAscend(math.Inf(-1)); c.Next(); {
+		up++
+	}
+	down := 0
+	for c := tr.SeekDescend(math.Inf(1)); c.Next(); {
+		down++
+	}
+	if up != n || down != n {
+		t.Fatalf("ascend %d, descend %d, want %d both", up, down, n)
+	}
+}

@@ -1,0 +1,63 @@
+package costmodel
+
+import (
+	"testing"
+
+	"e2lshos/internal/simclock"
+)
+
+func TestDefaultsSane(t *testing.T) {
+	m := Default()
+	if m.HashPerDim <= 0 || m.DistPerDim <= 0 || m.MemPerLine <= 0 ||
+		m.ScanPerEntry <= 0 || m.SeenOp <= 0 || m.QueryFixed <= 0 {
+		t.Fatalf("default model has non-positive entries: %+v", m)
+	}
+	if m.FootprintStall <= 1 {
+		t.Errorf("FootprintStall should exceed 1, got %v", m.FootprintStall)
+	}
+}
+
+func TestLinesPerVector(t *testing.T) {
+	cases := []struct{ dim, want int }{
+		{1, 1}, {16, 1}, {17, 2}, {128, 8}, {960, 60},
+	}
+	for _, c := range cases {
+		if got := LinesPerVector(c.dim); got != c.want {
+			t.Errorf("LinesPerVector(%d) = %d, want %d", c.dim, got, c.want)
+		}
+	}
+}
+
+func TestCostsScale(t *testing.T) {
+	m := Default()
+	if m.Projections(128, 10) != 10*m.Projections(128, 1) {
+		t.Error("Projections not linear in count")
+	}
+	if m.Distance(256) <= m.Distance(128) {
+		t.Error("Distance not increasing in dim")
+	}
+	if m.Scan(100) != 100*m.ScanPerEntry {
+		t.Error("Scan cost wrong")
+	}
+	if m.Combines(7) != 7*m.HashCombine {
+		t.Error("Combines cost wrong")
+	}
+	if m.Dedup(3) != 3*m.SeenOp {
+		t.Error("Dedup cost wrong")
+	}
+	if m.NodeVisit() <= 0 {
+		t.Error("NodeVisit not positive")
+	}
+}
+
+func TestToTime(t *testing.T) {
+	if ToTime(-5) != 0 {
+		t.Error("negative ns should clamp to 0")
+	}
+	if ToTime(1.6) != simclock.Time(2) {
+		t.Errorf("ToTime(1.6) = %d, want 2", ToTime(1.6))
+	}
+	if ToTime(1000) != simclock.Microsecond {
+		t.Error("ToTime(1000) != 1us")
+	}
+}

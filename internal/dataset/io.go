@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// File format: a small header followed by raw little-endian float32 slabs.
+//
+//	magic   [4]byte "E2DS"
+//	version uint32  (1)
+//	dim     uint32
+//	n       uint64
+//	nq      uint64
+//	values  uint32  (ValueType)
+//	nameLen uint32, name bytes
+//	n*dim float32 database vectors
+//	nq*dim float32 query vectors
+const (
+	fileMagic   = "E2DS"
+	fileVersion = 1
+)
+
+// Save writes the dataset to w in the package's binary format.
+func Save(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return fmt.Errorf("dataset: write magic: %w", err)
+	}
+	hdr := []any{
+		uint32(fileVersion),
+		uint32(d.Dim),
+		uint64(d.N()),
+		uint64(d.NQ()),
+		uint32(d.Values),
+		uint32(len(d.Name)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("dataset: write header: %w", err)
+		}
+	}
+	if _, err := bw.WriteString(d.Name); err != nil {
+		return fmt.Errorf("dataset: write name: %w", err)
+	}
+	if err := writeVectors(bw, d.Vectors); err != nil {
+		return err
+	}
+	if err := writeVectors(bw, d.Queries); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeVectors(w io.Writer, vs [][]float32) error {
+	buf := make([]byte, 0, 4096)
+	for _, v := range vs {
+		buf = buf[:0]
+		for _, x := range v {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("dataset: write vectors: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dataset: read magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	var (
+		version, dim, values, nameLen uint32
+		n, nq                         uint64
+	)
+	for _, p := range []any{&version, &dim, &n, &nq, &values, &nameLen} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("dataset: read header: %w", err)
+		}
+	}
+	if version != fileVersion {
+		return nil, fmt.Errorf("dataset: unsupported version %d", version)
+	}
+	if dim == 0 || dim > 1<<20 {
+		return nil, fmt.Errorf("dataset: implausible dimension %d", dim)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("dataset: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("dataset: read name: %w", err)
+	}
+	d := &Dataset{
+		Name:   string(name),
+		Dim:    int(dim),
+		Values: ValueType(values),
+	}
+	var err error
+	if d.slab, err = readSlab(br, int(n), int(dim)); err != nil {
+		return nil, err
+	}
+	if d.querySlab, err = readSlab(br, int(nq), int(dim)); err != nil {
+		return nil, err
+	}
+	d.Vectors = sliceViews(d.slab, int(n), int(dim))
+	d.Queries = sliceViews(d.querySlab, int(nq), int(dim))
+	return d, nil
+}
+
+func readSlab(r io.Reader, n, dim int) ([]float32, error) {
+	slab := make([]float32, n*dim)
+	buf := make([]byte, 4096)
+	idx := 0
+	remaining := len(slab) * 4
+	for remaining > 0 {
+		chunk := len(buf)
+		if chunk > remaining {
+			chunk = remaining
+		}
+		if _, err := io.ReadFull(r, buf[:chunk]); err != nil {
+			return nil, fmt.Errorf("dataset: read vectors: %w", err)
+		}
+		for off := 0; off < chunk; off += 4 {
+			slab[idx] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+			idx++
+		}
+		remaining -= chunk
+	}
+	return slab, nil
+}
+
+// SaveFile writes the dataset to the named file.
+func SaveFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	if err := Save(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from the named file.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,93 @@
+package dataset
+
+import "fmt"
+
+// PaperName identifies one of the eight Table 1 datasets.
+type PaperName string
+
+// The eight datasets of Table 1.
+const (
+	MSONG  PaperName = "MSONG"
+	SIFT   PaperName = "SIFT"
+	GIST   PaperName = "GIST"
+	RAND   PaperName = "RAND"
+	GLOVE  PaperName = "GLOVE"
+	GAUSS  PaperName = "GAUSS"
+	MNIST  PaperName = "MNIST"
+	BIGANN PaperName = "BIGANN"
+)
+
+// PaperNames lists the Table 1 datasets in the paper's row order.
+var PaperNames = []PaperName{MSONG, SIFT, GIST, RAND, GLOVE, GAUSS, MNIST, BIGANN}
+
+// paperBase holds the per-dataset generator recipe. N values are the paper's
+// (×10³) sizes; PaperSpec scales them down by the caller's factor. The
+// cluster/spread recipes are tuned so the clones' RC/LID hardness ordering
+// matches Table 1: GAUSS hardest (RC→1), RAND/GIST hard, GLOVE medium,
+// SIFT/MSONG/MNIST/BIGANN easy (strong cluster structure).
+var paperBase = map[PaperName]Spec{
+	MSONG:  {Dim: 420, Values: FloatValues, Clusters: 60, Spread: 0.045, Noise: 0.02},
+	SIFT:   {Dim: 128, Values: ByteValues, Clusters: 80, Spread: 0.06, Noise: 0.03},
+	GIST:   {Dim: 960, Values: FloatValues, Clusters: 25, Spread: 0.13, Noise: 0.10},
+	RAND:   {Dim: 100, Values: FloatValues, Uniform: true},
+	GLOVE:  {Dim: 100, Values: FloatValues, Clusters: 40, Spread: 0.11, Noise: 0.08},
+	GAUSS:  {Dim: 512, Values: FloatValues, Gaussian: true},
+	MNIST:  {Dim: 784, Values: ByteValues, Clusters: 10, Spread: 0.05, Noise: 0.01},
+	BIGANN: {Dim: 128, Values: ByteValues, Clusters: 120, Spread: 0.06, Noise: 0.03},
+}
+
+// paperN is the Table 1 database size in thousands of objects.
+var paperN = map[PaperName]int{
+	MSONG:  983,
+	SIFT:   1000,
+	GIST:   1000,
+	RAND:   1000,
+	GLOVE:  1183,
+	GAUSS:  2000,
+	MNIST:  8000,
+	BIGANN: 1000000,
+}
+
+// PaperSpec returns the generator spec for a Table 1 clone. scale multiplies
+// the paper's database size: scale=1 reproduces the paper sizes (983k–1B
+// objects), while the default harness uses a much smaller scale (see
+// DESIGN.md). The result is clamped to at least minN objects so tiny scales
+// still produce meaningful indexes. queries fixes the query-set size.
+func PaperSpec(name PaperName, scale float64, minN, queries int) (Spec, error) {
+	base, ok := paperBase[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("dataset: unknown paper dataset %q", name)
+	}
+	n := int(float64(paperN[name]) * 1000 * scale)
+	if n < minN {
+		n = minN
+	}
+	base.Name = string(name)
+	base.N = n
+	base.Queries = queries
+	base.Seed = seedFor(name)
+	return base, nil
+}
+
+// GeneratePaper is a convenience wrapper generating a Table 1 clone.
+func GeneratePaper(name PaperName, scale float64, minN, queries int) (*Dataset, error) {
+	spec, err := PaperSpec(name, scale, minN, queries)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(spec)
+}
+
+// seedFor derives a stable per-dataset seed so that repeated runs (and
+// different experiments) see identical clones.
+func seedFor(name PaperName) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

@@ -1,0 +1,194 @@
+package diskindex
+
+import (
+	"encoding/binary"
+
+	"e2lshos/internal/ann"
+	"e2lshos/internal/blockstore"
+	"e2lshos/internal/costmodel"
+	"e2lshos/internal/lsh"
+	"e2lshos/internal/sched"
+	"e2lshos/internal/vecmath"
+)
+
+// AsyncResult collects one query's outcome from an engine run.
+type AsyncResult struct {
+	Result ann.Result
+	Stats  Stats
+}
+
+// AsyncQueryFunc adapts the index to the scheduling engine: the returned
+// sched.QueryFunc evaluates queries[i] for top-k and stores its outcome in
+// results[i]. It implements §5.4: per radius, the query computes its L
+// compound hashes, issues the hash-table reads for all occupied buckets
+// without blocking (step 1), follows each completed table entry with a
+// bucket block read (step 2), scans arriving bucket blocks — checking
+// fingerprints and distances — and chases chain links (step 3). The radius
+// round ends when every chain has drained; termination mirrors the
+// synchronous reference.
+//
+// CPU work is charged to the virtual clock through the shared cost model, so
+// the same function serves both asynchronous (Fig 1B) and synchronous/mmap
+// (Fig 1A, §6.5) engines. The engine path requires the default 512-byte
+// bucket blocks.
+func (ix *Index) AsyncQueryFunc(model costmodel.CPUModel, queries [][]float32, k int, results []AsyncResult) sched.QueryFunc {
+	if ix.physPerBucket != 1 {
+		panic("diskindex: the engine path requires 512-byte bucket blocks")
+	}
+	return func(qi int, tc *sched.Ctx, done func()) {
+		run := &asyncRun{
+			ix:     ix,
+			model:  model,
+			q:      queries[qi],
+			k:      k,
+			out:    &results[qi],
+			topk:   ann.NewTopK(k),
+			seen:   make(map[uint32]struct{}),
+			proj:   make([]float64, ix.params.L*ix.params.M),
+			hashes: make([]uint32, ix.params.L),
+		}
+		ix.checkDim(run.q)
+		tc.Charge(costmodel.ToTime(model.QueryFixed))
+		if ix.opts.ShareProjections {
+			tc.Charge(costmodel.ToTime(model.Projections(ix.params.Dim, ix.params.L*ix.params.M)))
+			ix.families[0].Project(run.q, run.proj)
+		}
+		run.startRadius(tc, done)
+	}
+}
+
+// asyncRun is the per-query state machine.
+type asyncRun struct {
+	ix    *Index
+	model costmodel.CPUModel
+	q     []float32
+	k     int
+	out   *AsyncResult
+
+	topk   *ann.TopK
+	seen   map[uint32]struct{}
+	proj   []float64
+	hashes []uint32
+
+	rIdx        int
+	checked     int // per-radius candidate budget consumption
+	outstanding int // bucket chains still draining this radius
+}
+
+// startRadius begins one (R,c)-NN round. The round's completion — and with
+// it the advance to the next radius or query termination — funnels through
+// chainDone, which holds a sentinel reference while reads are being issued
+// so that inline (synchronous-mode) completions cannot close the round
+// early.
+func (run *asyncRun) startRadius(tc *sched.Ctx, done func()) {
+	ix := run.ix
+	p := ix.params
+	if run.rIdx >= p.R() {
+		run.finish(done)
+		return
+	}
+	run.out.Stats.Radii++
+	fam := ix.FamilyFor(run.rIdx)
+	if !ix.opts.ShareProjections {
+		tc.Charge(costmodel.ToTime(run.model.Projections(p.Dim, p.L*p.M)))
+		fam.Project(run.q, run.proj)
+	}
+	tc.Charge(costmodel.ToTime(run.model.Combines(p.L * p.M)))
+	fam.HashesAt(run.proj, p.Radii[run.rIdx], run.hashes)
+	run.checked = 0
+	run.outstanding = 1 // sentinel: held until all reads are issued
+	// Step 1: issue table reads for every occupied bucket, unblocked.
+	for l := 0; l < p.L; l++ {
+		run.out.Stats.Probes++
+		idx, fp := lsh.SplitHash(run.hashes[l], ix.u)
+		if !ix.isOccupied(run.rIdx, l, idx) {
+			continue
+		}
+		run.out.Stats.NonEmptyProbes++
+		run.outstanding++
+		blk, off := ix.tableEntryBlock(run.rIdx, l, idx)
+		tc.Read(blk, func(block []byte) {
+			run.onTableBlock(tc, done, block, off, fp)
+		})
+	}
+	run.chainDone(tc, done) // release the sentinel
+}
+
+// onTableBlock handles a completed hash-table read (end of step 1).
+func (run *asyncRun) onTableBlock(tc *sched.Ctx, done func(), block []byte, off int, fp uint32) {
+	run.out.Stats.TableIOs++
+	tc.Charge(costmodel.ToTime(run.model.Scan(1)))
+	head := blockstore.Addr(binary.LittleEndian.Uint64(block[off : off+8]))
+	if head == blockstore.Nil || run.checked >= run.ix.params.S {
+		// Stale occupancy cannot happen on a frozen index, but budget
+		// exhaustion makes the remaining chains moot.
+		run.chainDone(tc, done)
+		return
+	}
+	// Step 2: fetch the bucket's first block.
+	tc.Read(head, func(b []byte) { run.onBucketBlock(tc, done, b, fp) })
+}
+
+// onBucketBlock scans one arrived bucket block (step 3) and chases the chain.
+func (run *asyncRun) onBucketBlock(tc *sched.Ctx, done func(), block []byte, fp uint32) {
+	ix := run.ix
+	run.out.Stats.BucketIOs++
+	next, count := bucketHeader(block)
+	off := HeaderBytes
+	truncated := false
+	for i := 0; i < count; i++ {
+		run.out.Stats.EntriesScanned++
+		tc.Charge(costmodel.ToTime(run.model.Scan(1)))
+		id, efp := ix.unpackEntry(getUint40(block[off:]))
+		off += EntryBytes
+		if efp != fp {
+			run.out.Stats.FPRejected++
+			continue
+		}
+		if run.checked >= ix.params.S {
+			truncated = true
+			break
+		}
+		tc.Charge(costmodel.ToTime(run.model.Dedup(1)))
+		if _, dup := run.seen[id]; dup {
+			run.out.Stats.Duplicates++
+			continue
+		}
+		run.seen[id] = struct{}{}
+		tc.Charge(costmodel.ToTime(run.model.Distance(ix.params.Dim)))
+		run.topk.Push(id, vecmath.Dist(ix.data[id], run.q))
+		run.out.Stats.Checked++
+		run.checked++
+	}
+	if next != blockstore.Nil && !truncated && run.checked < ix.params.S {
+		tc.Read(next, func(b []byte) { run.onBucketBlock(tc, done, b, fp) })
+		return
+	}
+	run.chainDone(tc, done)
+}
+
+// chainDone marks one bucket chain finished; the last one closes the radius.
+func (run *asyncRun) chainDone(tc *sched.Ctx, done func()) {
+	run.outstanding--
+	if run.outstanding > 0 {
+		return
+	}
+	if run.radiusSatisfied() {
+		run.finish(done)
+		return
+	}
+	run.rIdx++
+	run.startRadius(tc, done)
+}
+
+// radiusSatisfied applies the (R,c)-NN termination test at the end of the
+// current radius round.
+func (run *asyncRun) radiusSatisfied() bool {
+	p := run.ix.params
+	return run.topk.Full() && run.topk.CountWithin(p.C*p.Radii[run.rIdx]) >= run.k
+}
+
+func (run *asyncRun) finish(done func()) {
+	run.out.Result = run.topk.Result()
+	done()
+}

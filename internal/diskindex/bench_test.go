@@ -1,0 +1,84 @@
+package diskindex
+
+import (
+	"testing"
+
+	"e2lshos/internal/blockstore"
+	"e2lshos/internal/dataset"
+	"e2lshos/internal/lsh"
+)
+
+func benchSetup(b *testing.B) (*dataset.Dataset, lsh.Params, *Index) {
+	b.Helper()
+	d, err := dataset.Generate(dataset.Spec{
+		Name: "bench", N: 20000, Queries: 50, Dim: 64,
+		Clusters: 16, Spread: 0.05, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := lsh.DefaultConfig()
+	cfg.Rho = 0.25
+	cfg.Sigma = 8
+	p, err := lsh.Derive(cfg, d.N(), d.Dim, 0.3, lsh.MaxRadius(d.MaxAbs(), d.Dim))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := Build(d.Vectors, p, DefaultOptions(), blockstore.NewMem())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, p, ix
+}
+
+func BenchmarkBuild20k(b *testing.B) {
+	d, p, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(d.Vectors, p, DefaultOptions(), blockstore.NewMem()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSyncSearch(b *testing.B) {
+	d, _, ix := benchSetup(b)
+	s := ix.NewSearcher()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Search(d.Queries[i%d.NQ()], 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelSearch(b *testing.B) {
+	d, _, ix := benchSetup(b)
+	ps, err := ix.NewParallelSearcher(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ps.Search(d.Queries[i%d.NQ()], 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	d, _, ix := benchSetup(b)
+	v := make([]float32, d.Dim)
+	copy(v, d.Vectors[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Insert(v); err != nil {
+			b.StopTimer()
+			// ID space exhausted: rebuild a fresh index and continue.
+			_, _, ix = benchSetup(b)
+			b.StartTimer()
+		}
+	}
+}

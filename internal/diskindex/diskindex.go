@@ -1,0 +1,446 @@
+// Package diskindex implements E2LSH-on-Storage (E2LSHoS), the paper's core
+// contribution (§5): the E2LSH hash index adapted to external memory.
+//
+// Layout (§5.1, Fig 9/10). The index lives in a 512-byte block store. For
+// every (search radius, compound hash) pair there is a hash table region —
+// an array of 2^u bucket head addresses — plus linked chains of bucket
+// blocks. A bucket block holds a 16-byte header (8-byte next-block address,
+// 2-byte entry count, 6 bytes reserved) followed by 5-byte object infos.
+// Each object info packs the object ID together with the fingerprint: the
+// high (32−u) bits of the 32-bit compound hash whose low u bits selected the
+// bucket (§5.2), restoring full 32-bit precision at scan time.
+//
+// DRAM keeps only the table base addresses, per-table occupancy bitmaps
+// (so empty buckets cost zero I/O) and the hash functions — the small
+// "Index mem" of Table 6.
+package diskindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"e2lshos/internal/blockstore"
+	"e2lshos/internal/lsh"
+	"e2lshos/internal/memindex"
+)
+
+const (
+	// HeaderBytes is the bucket block header size (§5.1).
+	HeaderBytes = 16
+	// EntryBytes is the packed object info size (§5.2).
+	EntryBytes = 5
+	// addrsPerTableBlock is how many 8-byte bucket addresses fit one block.
+	addrsPerTableBlock = blockstore.BlockSize / 8
+)
+
+// Options configure index construction.
+type Options struct {
+	// ShareProjections mirrors memindex.Options.ShareProjections.
+	ShareProjections bool
+	// Seed drives hash function generation. Equal (params, options, data)
+	// produce byte-identical indexes.
+	Seed int64
+	// Workers bounds hashing parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// TableBits is the paper's u: the hash bits consumed by the table. 0
+	// selects automatically (slightly below log2 n, §5.2).
+	TableBits uint
+	// BucketBytes is the logical bucket block size B. The default (0) is
+	// 512; Fig 3's analysis sweeps 128 and 4096 too. Sizes other than 512
+	// are served by the analysis searchers only.
+	BucketBytes int
+}
+
+// DefaultOptions returns the build options used by the experiment harness.
+func DefaultOptions() Options {
+	return Options{ShareProjections: true, Seed: 1}
+}
+
+// autoTableBits picks u slightly below log2 n so buckets average a few block
+// entries each, clamped to a practical range.
+func autoTableBits(n int) uint {
+	lg := uint(bits.Len(uint(n))) // ceil(log2 n)+1-ish; fine for a heuristic
+	if lg < 5 {
+		lg = 5
+	}
+	u := lg - 4
+	if u < 8 {
+		u = 8
+	}
+	if u > 26 {
+		u = 26
+	}
+	return u
+}
+
+// Index is a frozen on-storage E2LSHoS index.
+type Index struct {
+	params   lsh.Params
+	opts     Options
+	data     [][]float32
+	families []*lsh.Family
+	store    *blockstore.Store
+
+	u      uint // table bits
+	idBits uint // bits of an object ID inside an object info
+	// bucketBytes is the logical bucket block size; physPerBucket is how
+	// many 512-byte store blocks one logical block spans.
+	bucketBytes     int
+	physPerBucket   int
+	entriesPerBlock int
+
+	// tableBase[r][l] is the first block of the (r,l) hash table region.
+	tableBase [][]blockstore.Addr
+	// occupied[r][l] is the 2^u-bit occupancy bitmap kept on DRAM.
+	occupied [][][]uint64
+}
+
+// Params returns the algorithmic parameters.
+func (ix *Index) Params() lsh.Params { return ix.params }
+
+// WithBudget returns a view of the index whose per-radius candidate budget S
+// is replaced, sharing all storage with the receiver (§3.3: S tunes accuracy
+// without rebuilding).
+func (ix *Index) WithBudget(s int) *Index {
+	if s <= 0 {
+		panic("diskindex: WithBudget requires a positive budget")
+	}
+	clone := *ix
+	clone.params.S = s
+	return &clone
+}
+
+// Options returns the build options (with defaults resolved).
+func (ix *Index) Options() Options { return ix.opts }
+
+// Store returns the underlying block store.
+func (ix *Index) Store() *blockstore.Store { return ix.store }
+
+// Data returns the indexed vectors (resident on DRAM, as in the paper).
+func (ix *Index) Data() [][]float32 { return ix.data }
+
+// TableBits returns the paper's u.
+func (ix *Index) TableBits() uint { return ix.u }
+
+// EntriesPerBlock returns how many object infos fit one bucket block:
+// (B − 16)/5, 99 for the default 512-byte block (§5.1).
+func (ix *Index) EntriesPerBlock() int { return ix.entriesPerBlock }
+
+// StorageBytes returns the on-storage index size (Table 6, "Index storage").
+func (ix *Index) StorageBytes() int64 { return ix.store.Bytes() }
+
+// MemBytes returns the DRAM footprint of index metadata: occupancy bitmaps,
+// table base addresses and hash functions (Table 6, "(Index mem)").
+func (ix *Index) MemBytes() int64 {
+	var b int64
+	for _, radius := range ix.occupied {
+		for _, bm := range radius {
+			b += int64(len(bm)) * 8
+		}
+	}
+	b += int64(ix.params.R()) * int64(ix.params.L) * 8 // table bases
+	for _, f := range ix.families {
+		b += int64(f.L*f.M)*int64(f.Dim)*4 + int64(f.L*f.M)*8 + int64(f.L)*8
+	}
+	return b
+}
+
+// FamilyFor returns the hash family used at radius index rIdx.
+func (ix *Index) FamilyFor(rIdx int) *lsh.Family {
+	if ix.opts.ShareProjections {
+		return ix.families[0]
+	}
+	return ix.families[rIdx]
+}
+
+// isOccupied reports whether bucket idx of table (r,l) is non-empty.
+func (ix *Index) isOccupied(r, l int, idx uint32) bool {
+	return ix.occupied[r][l][idx>>6]&(1<<(idx&63)) != 0
+}
+
+func (ix *Index) setOccupied(r, l int, idx uint32) {
+	ix.occupied[r][l][idx>>6] |= 1 << (idx & 63)
+}
+
+// tableEntryBlock returns the block holding table entry idx of (r,l) and the
+// byte offset of the 8-byte address within that block.
+func (ix *Index) tableEntryBlock(r, l int, idx uint32) (blockstore.Addr, int) {
+	return ix.tableBase[r][l] + blockstore.Addr(idx/addrsPerTableBlock),
+		int(idx%addrsPerTableBlock) * 8
+}
+
+// packEntry encodes an object info: fingerprint in the high bits, ID in the
+// low idBits.
+func (ix *Index) packEntry(id, fp uint32) uint64 {
+	return uint64(fp)<<ix.idBits | uint64(id)
+}
+
+// unpackEntry decodes an object info.
+func (ix *Index) unpackEntry(v uint64) (id, fp uint32) {
+	id = uint32(v & (1<<ix.idBits - 1))
+	fp = uint32(v >> ix.idBits)
+	return id, fp
+}
+
+// Build constructs an E2LSHoS index over data into store.
+func Build(data [][]float32, p lsh.Params, opts Options, store *blockstore.Store) (*Index, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("diskindex: empty dataset")
+	}
+	if len(data) != p.N {
+		return nil, fmt.Errorf("diskindex: params derived for n=%d but dataset has %d", p.N, len(data))
+	}
+	if len(data[0]) != p.Dim {
+		return nil, fmt.Errorf("diskindex: params derived for dim=%d but dataset has %d", p.Dim, len(data[0]))
+	}
+	if p.R() == 0 {
+		return nil, fmt.Errorf("diskindex: empty radius schedule")
+	}
+	if store == nil {
+		return nil, fmt.Errorf("diskindex: nil block store")
+	}
+	if opts.BucketBytes == 0 {
+		opts.BucketBytes = blockstore.BlockSize
+	}
+	if opts.BucketBytes < HeaderBytes+EntryBytes {
+		return nil, fmt.Errorf("diskindex: bucket block of %d bytes cannot hold any entry", opts.BucketBytes)
+	}
+	u := opts.TableBits
+	if u == 0 {
+		u = autoTableBits(len(data))
+		opts.TableBits = u
+	}
+	if u < 6 || u > 30 {
+		return nil, fmt.Errorf("diskindex: table bits %d out of supported range [6,30]", u)
+	}
+	idBits := uint(bits.Len(uint(len(data) - 1)))
+	if idBits < 1 {
+		idBits = 1
+	}
+	fpBits := 32 - u
+	if u > 32 {
+		fpBits = 0
+	}
+	if idBits+fpBits > 8*EntryBytes {
+		return nil, fmt.Errorf("diskindex: id bits (%d) + fingerprint bits (%d) exceed the %d-bit object info",
+			idBits, fpBits, 8*EntryBytes)
+	}
+
+	ix := &Index{
+		params:          p,
+		opts:            opts,
+		data:            data,
+		store:           store,
+		u:               u,
+		idBits:          idBits,
+		bucketBytes:     opts.BucketBytes,
+		physPerBucket:   (opts.BucketBytes + blockstore.BlockSize - 1) / blockstore.BlockSize,
+		entriesPerBlock: (opts.BucketBytes - HeaderBytes) / EntryBytes,
+	}
+	fams, err := lsh.NewFamilies(p, opts.ShareProjections, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ix.families = fams
+	if err := ix.build(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// build hashes every object and writes all table regions and bucket chains.
+func (ix *Index) build() error {
+	p := ix.params
+	n := len(ix.data)
+	keys := memindex.HashKeys(ix.data, ix.families, p, ix.opts.ShareProjections, ix.opts.Workers)
+
+	numBuckets := uint32(1) << ix.u
+	mask := numBuckets - 1
+	// Reused scratch buffers.
+	counts := make([]int32, numBuckets)
+	starts := make([]int32, numBuckets+1)
+	sorted := make([]uint32, n) // object ids grouped by bucket index
+	table := make([]blockstore.Addr, numBuckets)
+	blockBuf := make([]byte, ix.bucketBytes)
+
+	ix.tableBase = make([][]blockstore.Addr, p.R())
+	ix.occupied = make([][][]uint64, p.R())
+	for r := 0; r < p.R(); r++ {
+		ix.tableBase[r] = make([]blockstore.Addr, p.L)
+		ix.occupied[r] = make([][]uint64, p.L)
+		for l := 0; l < p.L; l++ {
+			hashes := keys[r][l]
+			// Group object ids by bucket index (stable counting sort).
+			clear(counts)
+			for _, h := range hashes {
+				counts[h&mask]++
+			}
+			starts[0] = 0
+			for i := uint32(0); i < numBuckets; i++ {
+				starts[i+1] = starts[i] + counts[i]
+			}
+			fill := make([]int32, numBuckets)
+			copy(fill, starts[:numBuckets])
+			for obj, h := range hashes {
+				idx := h & mask
+				sorted[fill[idx]] = uint32(obj)
+				fill[idx]++
+			}
+
+			// Allocate the table region, then write bucket chains.
+			tableBlocks := uint64(numBuckets / addrsPerTableBlock)
+			if numBuckets%addrsPerTableBlock != 0 {
+				tableBlocks++
+			}
+			ix.tableBase[r][l] = ix.store.AllocateRange(tableBlocks)
+			bm := make([]uint64, (numBuckets+63)/64)
+			ix.occupied[r][l] = bm
+
+			clear(table)
+			for idx := uint32(0); idx < numBuckets; idx++ {
+				cnt := int(counts[idx])
+				if cnt == 0 {
+					continue
+				}
+				head, err := ix.writeChain(hashes, sorted[starts[idx]:starts[idx+1]], blockBuf)
+				if err != nil {
+					return err
+				}
+				table[idx] = head
+				bm[idx>>6] |= 1 << (idx & 63)
+			}
+			if err := ix.writeTableRegion(ix.tableBase[r][l], table); err != nil {
+				return err
+			}
+			keys[r][l] = nil // release hash memory as tables freeze
+		}
+	}
+	return nil
+}
+
+// writeChain writes one bucket's entries as a chain of bucket blocks and
+// returns the head block address.
+func (ix *Index) writeChain(hashes []uint32, objs []uint32, buf []byte) (blockstore.Addr, error) {
+	nBlocks := (len(objs) + ix.entriesPerBlock - 1) / ix.entriesPerBlock
+	base := ix.store.AllocateRange(uint64(nBlocks * ix.physPerBucket))
+	for b := 0; b < nBlocks; b++ {
+		lo := b * ix.entriesPerBlock
+		hi := lo + ix.entriesPerBlock
+		if hi > len(objs) {
+			hi = len(objs)
+		}
+		clear(buf)
+		var next blockstore.Addr
+		if b+1 < nBlocks {
+			next = base + blockstore.Addr((b+1)*ix.physPerBucket)
+		}
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(next))
+		binary.LittleEndian.PutUint16(buf[8:10], uint16(hi-lo))
+		off := HeaderBytes
+		for _, obj := range objs[lo:hi] {
+			fp := hashes[obj] >> ix.u
+			packed := ix.packEntry(obj, fp)
+			putUint40(buf[off:], packed)
+			off += EntryBytes
+		}
+		if err := ix.writeLogicalBlock(base+blockstore.Addr(b*ix.physPerBucket), buf); err != nil {
+			return 0, err
+		}
+	}
+	return base, nil
+}
+
+// writeLogicalBlock writes one logical bucket block (possibly spanning
+// several physical blocks).
+func (ix *Index) writeLogicalBlock(addr blockstore.Addr, buf []byte) error {
+	for i := 0; i < ix.physPerBucket; i++ {
+		lo := i * blockstore.BlockSize
+		hi := lo + blockstore.BlockSize
+		if hi > len(buf) {
+			hi = len(buf)
+		}
+		if lo >= hi {
+			break
+		}
+		if err := ix.store.WriteBlock(addr+blockstore.Addr(i), buf[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bucketBufBytes is the scratch size needed to read one logical bucket
+// block: whole physical blocks, even when B < 512.
+func (ix *Index) bucketBufBytes() int {
+	return ix.physPerBucket * blockstore.BlockSize
+}
+
+// readLogicalBlock reads one logical bucket block into buf, which must be
+// bucketBufBytes long. Only the first BucketBytes are meaningful.
+func (ix *Index) readLogicalBlock(addr blockstore.Addr, buf []byte) error {
+	for i := 0; i < ix.physPerBucket; i++ {
+		lo := i * blockstore.BlockSize
+		if err := ix.store.ReadBlock(addr+blockstore.Addr(i), buf[lo:lo+blockstore.BlockSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTableRegion writes the bucket head addresses of one hash table.
+func (ix *Index) writeTableRegion(base blockstore.Addr, table []blockstore.Addr) error {
+	var buf [blockstore.BlockSize]byte
+	for blk := 0; blk*addrsPerTableBlock < len(table); blk++ {
+		clear(buf[:])
+		lo := blk * addrsPerTableBlock
+		hi := lo + addrsPerTableBlock
+		if hi > len(table) {
+			hi = len(table)
+		}
+		for i, a := range table[lo:hi] {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(a))
+		}
+		if err := ix.store.WriteBlock(base+blockstore.Addr(blk), buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// putUint40 stores the low 40 bits of v little-endian.
+func putUint40(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+}
+
+// getUint40 loads a 40-bit little-endian value.
+func getUint40(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 | uint64(b[4])<<32
+}
+
+// bucketHeader decodes a bucket block header.
+func bucketHeader(block []byte) (next blockstore.Addr, count int) {
+	return blockstore.Addr(binary.LittleEndian.Uint64(block[0:8])),
+		int(binary.LittleEndian.Uint16(block[8:10]))
+}
+
+// expectedTableBlocks returns how many blocks one table region spans.
+func (ix *Index) expectedTableBlocks() uint64 {
+	numBuckets := uint64(1) << ix.u
+	blocks := numBuckets / addrsPerTableBlock
+	if numBuckets%addrsPerTableBlock != 0 {
+		blocks++
+	}
+	return blocks
+}
+
+// checkDim validates a query vector's dimension.
+func (ix *Index) checkDim(q []float32) {
+	if len(q) != ix.params.Dim {
+		panic(fmt.Sprintf("diskindex: query dim %d, index dim %d", len(q), ix.params.Dim))
+	}
+}

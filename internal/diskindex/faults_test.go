@@ -1,0 +1,111 @@
+package diskindex
+
+import (
+	"errors"
+	"testing"
+
+	"e2lshos/internal/blockstore"
+)
+
+// faultBackend wraps a backend and fails reads after a countdown, injecting
+// storage faults mid-query.
+type faultBackend struct {
+	inner     blockstore.Backend
+	failAfter int
+	err       error
+}
+
+func (f *faultBackend) ReadBlock(a blockstore.Addr, buf []byte) error {
+	if f.failAfter <= 0 {
+		return f.err
+	}
+	f.failAfter--
+	return f.inner.ReadBlock(a, buf)
+}
+
+func (f *faultBackend) WriteBlock(a blockstore.Addr, data []byte) error {
+	return f.inner.WriteBlock(a, data)
+}
+
+func (f *faultBackend) NumBlocks() uint64 { return f.inner.NumBlocks() }
+
+// faultyCopy clones an index's blocks into a store that fails after n reads.
+func faultyCopy(t *testing.T, ix *Index, failAfter int) *Index {
+	t.Helper()
+	errInjected := errors.New("injected storage fault")
+	// Copy blocks into a fresh mem backend, then wrap it.
+	inner := blockstore.NewMem()
+	buf := make([]byte, blockstore.BlockSize)
+	for a := blockstore.Addr(1); a <= blockstore.Addr(ix.Store().NumBlocks()); a++ {
+		if err := ix.Store().ReadBlock(a, buf); err != nil {
+			t.Fatal(err)
+		}
+		b := inner.Allocate()
+		if err := inner.WriteBlock(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rebuild a Store over the fault wrapper. NewWithBackend resumes
+	// allocation; reads below the high-water mark stay valid.
+	var backend blockstore.Backend = &faultBackend{inner: storeBackend{inner}, failAfter: failAfter, err: errInjected}
+	faulty := blockstore.NewWithBackend(backend)
+	clone := *ix
+	clone.store = faulty
+	return &clone
+}
+
+// storeBackend adapts a *Store back to the Backend interface.
+type storeBackend struct{ s *blockstore.Store }
+
+func (sb storeBackend) ReadBlock(a blockstore.Addr, buf []byte) error { return sb.s.ReadBlock(a, buf) }
+func (sb storeBackend) WriteBlock(a blockstore.Addr, d []byte) error  { return sb.s.WriteBlock(a, d) }
+func (sb storeBackend) NumBlocks() uint64                             { return sb.s.NumBlocks() + 1 }
+
+func TestSyncSearchPropagatesStorageErrors(t *testing.T) {
+	d, ix, _ := testSetup(t, 800, 8, DefaultOptions())
+	for _, failAfter := range []int{0, 1, 3} {
+		faulty := faultyCopy(t, ix, failAfter)
+		s := faulty.NewSearcher()
+		sawErr := false
+		for _, q := range d.Queries {
+			if _, _, err := s.Search(q, 1); err != nil {
+				sawErr = true
+				break
+			}
+		}
+		if !sawErr {
+			t.Errorf("failAfter=%d: no error surfaced from faulty storage", failAfter)
+		}
+	}
+}
+
+func TestParallelSearchPropagatesStorageErrors(t *testing.T) {
+	d, ix, _ := testSetup(t, 800, 8, DefaultOptions())
+	faulty := faultyCopy(t, ix, 2)
+	ps, err := faulty.NewParallelSearcher(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawErr := false
+	for _, q := range d.Queries {
+		if _, _, err := ps.Search(q, 1); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Error("parallel searcher swallowed storage errors")
+	}
+}
+
+func TestHealthySearchAfterManyReads(t *testing.T) {
+	// A fault budget larger than the workload must never trigger.
+	d, ix, _ := testSetup(t, 500, 8, DefaultOptions())
+	faulty := faultyCopy(t, ix, 1<<30)
+	s := faulty.NewSearcher()
+	for _, q := range d.Queries {
+		if _, _, err := s.Search(q, 1); err != nil {
+			t.Fatalf("unexpected error from healthy wrapped store: %v", err)
+		}
+	}
+}

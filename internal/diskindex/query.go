@@ -1,0 +1,208 @@
+package diskindex
+
+import (
+	"encoding/binary"
+
+	"e2lshos/internal/ann"
+	"e2lshos/internal/blockstore"
+	"e2lshos/internal/lsh"
+	"e2lshos/internal/vecmath"
+)
+
+// Stats records what one query did against the on-storage index, in the
+// units the paper's analysis uses.
+type Stats struct {
+	// Radii is the number of (R,c)-NN rounds executed.
+	Radii int
+	// Probes counts table lookups attempted (L per radius).
+	Probes int
+	// NonEmptyProbes counts lookups whose occupancy bit was set; only these
+	// cost I/O.
+	NonEmptyProbes int
+	// TableIOs counts hash-table block reads (one per non-empty probe).
+	TableIOs int
+	// BucketIOs counts logical bucket block reads, including chain blocks.
+	BucketIOs int
+	// EntriesScanned counts object infos examined.
+	EntriesScanned int
+	// FPRejected counts entries dropped by the fingerprint check (§5.2):
+	// u-bit collisions that are not 32-bit collisions.
+	FPRejected int
+	// Duplicates counts entries skipped because the object was already seen.
+	Duplicates int
+	// Checked counts distance computations.
+	Checked int
+}
+
+// IOs returns the total I/O count of the query (the paper's N_IO).
+func (st Stats) IOs() int { return st.TableIOs + st.BucketIOs }
+
+// Searcher executes queries synchronously against the store's data plane:
+// no virtual time, just block reads. It is the reference implementation the
+// asynchronous engine path is tested against, and the I/O-count oracle for
+// the Fig 3–8 analyses. Not safe for concurrent use; create one per worker.
+type Searcher struct {
+	ix     *Index
+	proj   []float64
+	hashes []uint32
+	seen   []uint32
+	epoch  uint32
+	buf    []byte
+	// multiProbe > 0 probes each table's base bucket plus this many
+	// perturbed neighbors (§8 extension; see lsh.PerturbationSets). On
+	// storage, extra probes trade I/O for recall without growing the index.
+	multiProbe int
+	floors     []int64
+	fracs      []float64
+	pfloors    []int64
+}
+
+// NewSearcher returns a fresh synchronous searcher.
+func (ix *Index) NewSearcher() *Searcher {
+	return &Searcher{
+		ix:     ix,
+		proj:   make([]float64, ix.params.L*ix.params.M),
+		hashes: make([]uint32, ix.params.L),
+		seen:   make([]uint32, len(ix.data)),
+		buf:    make([]byte, ix.bucketBufBytes()),
+	}
+}
+
+// SetMultiProbe enables Multi-Probe querying with t extra probes per table
+// (t = 0 restores classic probing).
+func (s *Searcher) SetMultiProbe(t int) {
+	if t < 0 {
+		panic("diskindex: negative multi-probe count")
+	}
+	s.multiProbe = t
+	if t > 0 && s.floors == nil {
+		s.floors = make([]int64, s.ix.params.L*s.ix.params.M)
+		s.fracs = make([]float64, s.ix.params.L*s.ix.params.M)
+		s.pfloors = make([]int64, s.ix.params.M)
+	}
+}
+
+// Search answers a top-k query by walking the on-storage index, mirroring
+// the in-memory reference algorithm table by table (§5.4 steps 1–3, executed
+// sequentially). It returns the neighbors and the per-query statistics.
+func (s *Searcher) Search(q []float32, k int) (ann.Result, Stats, error) {
+	ix := s.ix
+	ix.checkDim(q)
+	p := ix.params
+	var st Stats
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.seen)
+		s.epoch = 1
+	}
+	topk := ann.NewTopK(k)
+	if ix.opts.ShareProjections {
+		ix.families[0].Project(q, s.proj)
+	}
+	for rIdx, radius := range p.Radii {
+		st.Radii++
+		fam := ix.FamilyFor(rIdx)
+		if !ix.opts.ShareProjections {
+			fam.Project(q, s.proj)
+		}
+		if s.multiProbe > 0 {
+			fam.FloorsAt(s.proj, radius, s.floors, s.fracs)
+			for l := 0; l < p.L; l++ {
+				s.hashes[l] = fam.CombineFloors(l, s.floors[l*p.M:(l+1)*p.M])
+			}
+		} else {
+			fam.HashesAt(s.proj, radius, s.hashes)
+		}
+		checked := 0
+	tables:
+		for l := 0; l < p.L; l++ {
+			full, err := s.probeBucket(rIdx, l, s.hashes[l], q, topk, &st, &checked)
+			if err != nil {
+				return ann.Result{}, st, err
+			}
+			if full {
+				break tables
+			}
+			if s.multiProbe == 0 {
+				continue
+			}
+			fracs := s.fracs[l*p.M : (l+1)*p.M]
+			base := s.floors[l*p.M : (l+1)*p.M]
+			for _, set := range lsh.PerturbationSets(fracs, s.multiProbe) {
+				copy(s.pfloors, base)
+				for _, pert := range set {
+					s.pfloors[pert.Coord] += int64(pert.Delta)
+				}
+				full, err := s.probeBucket(rIdx, l, ix.FamilyFor(rIdx).CombineFloors(l, s.pfloors), q, topk, &st, &checked)
+				if err != nil {
+					return ann.Result{}, st, err
+				}
+				if full {
+					break tables
+				}
+			}
+		}
+		if topk.Full() && topk.CountWithin(p.C*radius) >= k {
+			break
+		}
+	}
+	return topk.Result(), st, nil
+}
+
+// probeBucket walks one bucket's chain, verifying fingerprint-matched
+// candidates, and reports whether the per-radius budget was exhausted.
+func (s *Searcher) probeBucket(rIdx, l int, h uint32, q []float32, topk *ann.TopK, st *Stats, checked *int) (bool, error) {
+	ix := s.ix
+	p := ix.params
+	st.Probes++
+	idx, fp := lsh.SplitHash(h, ix.u)
+	if !ix.isOccupied(rIdx, l, idx) {
+		return false, nil
+	}
+	st.NonEmptyProbes++
+	head, err := s.readTableEntry(rIdx, l, idx, st)
+	if err != nil {
+		return false, err
+	}
+	addr := head
+	for addr != blockstore.Nil {
+		if err := ix.readLogicalBlock(addr, s.buf); err != nil {
+			return false, err
+		}
+		st.BucketIOs++
+		next, count := bucketHeader(s.buf)
+		off := HeaderBytes
+		for i := 0; i < count; i++ {
+			st.EntriesScanned++
+			id, efp := ix.unpackEntry(getUint40(s.buf[off:]))
+			off += EntryBytes
+			if efp != fp {
+				st.FPRejected++
+				continue
+			}
+			if s.seen[id] == s.epoch {
+				st.Duplicates++
+				continue
+			}
+			s.seen[id] = s.epoch
+			topk.Push(id, vecmath.Dist(ix.data[id], q))
+			st.Checked++
+			*checked++
+			if *checked >= p.S {
+				return true, nil
+			}
+		}
+		addr = next
+	}
+	return false, nil
+}
+
+// readTableEntry fetches the bucket head address for table (r,l) entry idx.
+func (s *Searcher) readTableEntry(r, l int, idx uint32, st *Stats) (blockstore.Addr, error) {
+	blk, off := s.ix.tableEntryBlock(r, l, idx)
+	if err := s.ix.store.ReadBlock(blk, s.buf[:blockstore.BlockSize]); err != nil {
+		return 0, err
+	}
+	st.TableIOs++
+	return blockstore.Addr(binary.LittleEndian.Uint64(s.buf[off : off+8])), nil
+}

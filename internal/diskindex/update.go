@@ -1,0 +1,220 @@
+package diskindex
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"e2lshos/internal/blockstore"
+	"e2lshos/internal/lsh"
+)
+
+// Online updates (§7 of the paper): the paper notes that "the impact of
+// object insertion and deletion is small" compared to full rebuilds, which
+// consume SSD endurance. This file implements both operations directly on
+// the block layout:
+//
+//   - Insert appends the object to the head block of each of its L·r
+//     buckets, prepending a fresh block when the head is full — one block
+//     write per (radius, table) pair, never a rebuild.
+//   - Delete removes the object's entries in place by swapping the last
+//     entry of the chain head into the vacated slot (lazy: blocks are never
+//     reclaimed, matching the paper's advice to rebuild sparingly).
+//
+// Updates are not safe concurrently with queries; serialize externally.
+
+// Insert adds a vector to the index and the resident database, returning its
+// object ID. The index must have been built with headroom in its ID space:
+// inserts fail once n reaches 2^idBits.
+func (ix *Index) Insert(v []float32) (uint32, error) {
+	ix.checkDim(v)
+	id := uint32(len(ix.data))
+	if uint64(id) >= uint64(1)<<ix.idBits {
+		return 0, fmt.Errorf("diskindex: ID space exhausted (%d bits); rebuild with a larger dataset", ix.idBits)
+	}
+	ix.data = append(ix.data, v)
+
+	p := ix.params
+	proj := make([]float64, p.L*p.M)
+	hashes := make([]uint32, p.L)
+	if ix.opts.ShareProjections {
+		ix.families[0].Project(v, proj)
+	}
+	for r := 0; r < p.R(); r++ {
+		fam := ix.FamilyFor(r)
+		if !ix.opts.ShareProjections {
+			fam.Project(v, proj)
+		}
+		fam.HashesAt(proj, p.Radii[r], hashes)
+		for l := 0; l < p.L; l++ {
+			idx, fp := lsh.SplitHash(hashes[l], ix.u)
+			if err := ix.insertEntry(r, l, idx, id, fp); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return id, nil
+}
+
+// insertEntry adds one object info to bucket (r, l, idx).
+func (ix *Index) insertEntry(r, l int, idx, id, fp uint32) error {
+	buf := make([]byte, ix.bucketBufBytes())
+	head, err := ix.loadTableEntry(r, l, idx, buf)
+	if err != nil {
+		return err
+	}
+	if head != blockstore.Nil {
+		// Try to append into the head block.
+		if err := ix.readLogicalBlock(head, buf); err != nil {
+			return err
+		}
+		next, count := bucketHeader(buf)
+		if count < ix.entriesPerBlock {
+			off := HeaderBytes + count*EntryBytes
+			putUint40(buf[off:], ix.packEntry(id, fp))
+			binary.LittleEndian.PutUint16(buf[8:10], uint16(count+1))
+			_ = next
+			return ix.writeLogicalBlock(head, buf[:ix.bucketBytes])
+		}
+	}
+	// Prepend a fresh head block chaining to the old head.
+	clear(buf)
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(head))
+	binary.LittleEndian.PutUint16(buf[8:10], 1)
+	putUint40(buf[HeaderBytes:], ix.packEntry(id, fp))
+	newHead := ix.store.AllocateRange(uint64(ix.physPerBucket))
+	if err := ix.writeLogicalBlock(newHead, buf[:ix.bucketBytes]); err != nil {
+		return err
+	}
+	if err := ix.storeTableEntry(r, l, idx, newHead); err != nil {
+		return err
+	}
+	ix.setOccupied(r, l, idx)
+	return nil
+}
+
+// Delete removes the object with the given ID from every bucket. The
+// object's vector must still be resident (it is needed to locate its
+// buckets); the caller should treat the ID as retired afterwards. It
+// reports whether any entry was removed.
+func (ix *Index) Delete(id uint32) (bool, error) {
+	if int(id) >= len(ix.data) {
+		return false, fmt.Errorf("diskindex: delete of unknown ID %d", id)
+	}
+	v := ix.data[id]
+	p := ix.params
+	proj := make([]float64, p.L*p.M)
+	hashes := make([]uint32, p.L)
+	if ix.opts.ShareProjections {
+		ix.families[0].Project(v, proj)
+	}
+	removedAny := false
+	for r := 0; r < p.R(); r++ {
+		fam := ix.FamilyFor(r)
+		if !ix.opts.ShareProjections {
+			fam.Project(v, proj)
+		}
+		fam.HashesAt(proj, p.Radii[r], hashes)
+		for l := 0; l < p.L; l++ {
+			idx, fp := lsh.SplitHash(hashes[l], ix.u)
+			if !ix.isOccupied(r, l, idx) {
+				continue
+			}
+			removed, err := ix.deleteEntry(r, l, idx, id, fp)
+			if err != nil {
+				return removedAny, err
+			}
+			removedAny = removedAny || removed
+		}
+	}
+	return removedAny, nil
+}
+
+// deleteEntry removes the (id, fp) object info from bucket (r, l, idx) by
+// swapping in the last entry of the chain's head block.
+func (ix *Index) deleteEntry(r, l int, idx, id, fp uint32) (bool, error) {
+	buf := make([]byte, ix.bucketBufBytes())
+	headBuf := make([]byte, ix.bucketBufBytes())
+	head, err := ix.loadTableEntry(r, l, idx, buf)
+	if err != nil || head == blockstore.Nil {
+		return false, err
+	}
+	// Locate the entry.
+	addr := head
+	for addr != blockstore.Nil {
+		if err := ix.readLogicalBlock(addr, buf); err != nil {
+			return false, err
+		}
+		next, count := bucketHeader(buf)
+		for i := 0; i < count; i++ {
+			off := HeaderBytes + i*EntryBytes
+			eid, efp := ix.unpackEntry(getUint40(buf[off:]))
+			if eid != id || efp != fp {
+				continue
+			}
+			// Found: replace with the last entry of the head block.
+			if err := ix.readLogicalBlock(head, headBuf); err != nil {
+				return false, err
+			}
+			headNext, headCount := bucketHeader(headBuf)
+			lastOff := HeaderBytes + (headCount-1)*EntryBytes
+			if addr == head {
+				// Same block: move its own last entry into the hole.
+				copy(buf[off:off+EntryBytes], buf[lastOff:lastOff+EntryBytes])
+				binary.LittleEndian.PutUint16(buf[8:10], uint16(count-1))
+				return true, ix.finishHeadShrink(r, l, idx, head, buf, count-1)
+			}
+			copy(buf[off:off+EntryBytes], headBuf[lastOff:lastOff+EntryBytes])
+			if err := ix.writeLogicalBlock(addr, buf[:ix.bucketBytes]); err != nil {
+				return false, err
+			}
+			binary.LittleEndian.PutUint16(headBuf[8:10], uint16(headCount-1))
+			_ = headNext
+			return true, ix.finishHeadShrink(r, l, idx, head, headBuf, headCount-1)
+		}
+		addr = next
+	}
+	return false, nil
+}
+
+// finishHeadShrink writes back a head block whose count dropped by one,
+// unlinking it when it became empty.
+func (ix *Index) finishHeadShrink(r, l int, idx uint32, head blockstore.Addr, buf []byte, newCount int) error {
+	if newCount > 0 {
+		return ix.writeLogicalBlock(head, buf[:ix.bucketBytes])
+	}
+	// Head emptied: point the table at the rest of the chain (the emptied
+	// block itself is leaked — deletion is lazy, as documented).
+	next, _ := bucketHeader(buf)
+	if err := ix.storeTableEntry(r, l, idx, next); err != nil {
+		return err
+	}
+	if next == blockstore.Nil {
+		ix.clearOccupied(r, l, idx)
+	}
+	return nil
+}
+
+// loadTableEntry reads the bucket head address of (r, l, idx). buf must be
+// at least one block long.
+func (ix *Index) loadTableEntry(r, l int, idx uint32, buf []byte) (blockstore.Addr, error) {
+	blk, off := ix.tableEntryBlock(r, l, idx)
+	if err := ix.store.ReadBlock(blk, buf[:blockstore.BlockSize]); err != nil {
+		return 0, err
+	}
+	return blockstore.Addr(binary.LittleEndian.Uint64(buf[off : off+8])), nil
+}
+
+// storeTableEntry rewrites one bucket head address in the table region.
+func (ix *Index) storeTableEntry(r, l int, idx uint32, head blockstore.Addr) error {
+	blk, off := ix.tableEntryBlock(r, l, idx)
+	var buf [blockstore.BlockSize]byte
+	if err := ix.store.ReadBlock(blk, buf[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(buf[off:off+8], uint64(head))
+	return ix.store.WriteBlock(blk, buf[:])
+}
+
+func (ix *Index) clearOccupied(r, l int, idx uint32) {
+	ix.occupied[r][l][idx>>6] &^= 1 << (idx & 63)
+}

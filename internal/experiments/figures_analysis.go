@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"fmt"
+
+	"e2lshos/internal/ann"
+	"e2lshos/internal/dataset"
+	"e2lshos/internal/qalsh"
+	"e2lshos/internal/report"
+)
+
+// Fig2Result reproduces Fig 2: in-memory speedup of E2LSH over SRS and
+// QALSH at the target accuracy, per dataset.
+type Fig2Result struct {
+	TargetRatio float64
+	Rows        []Fig2Row
+}
+
+// Fig2Row is one dataset's speedups.
+type Fig2Row struct {
+	Dataset          string
+	SpeedupOverSRS   float64
+	SpeedupOverQALSH float64
+}
+
+// Fig2 sweeps all three methods per dataset and compares query times at the
+// target overall ratio.
+func Fig2(env *Env) (*Fig2Result, error) {
+	res := &Fig2Result{TargetRatio: env.TargetRatio}
+	for _, name := range dataset.PaperNames {
+		ws, err := env.Workload(name)
+		if err != nil {
+			return nil, err
+		}
+		e2lshPts := e2lshSweep(env, ws, 1, nil)
+		e2lshCurve := sweepTimeCurve(e2lshPts, true)
+		srsPts := srsSweep(env, ws, 1)
+		srsCurve := srsTimeCurve(srsPts)
+		qalshNS, err := qalshTimeAt(env, ws, 1)
+		if err != nil {
+			return nil, err
+		}
+		te := e2lshCurve.at(env.TargetRatio)
+		ts := srsCurve.at(env.TargetRatio)
+		res.Rows = append(res.Rows, Fig2Row{
+			Dataset:          ws.DS.Name,
+			SpeedupOverSRS:   ts / te,
+			SpeedupOverQALSH: qalshNS / te,
+		})
+	}
+	return res, nil
+}
+
+// sweepTimeCurve builds a ratio→time curve from an E2LSH sweep; mem selects
+// the in-memory (stalled) time, otherwise E2LSHoS's compute time.
+func sweepTimeCurve(pts []SweepPoint, mem bool) curve {
+	ratios := make([]float64, len(pts))
+	values := make([]float64, len(pts))
+	for i, p := range pts {
+		ratios[i] = p.Ratio
+		if mem {
+			values[i] = p.MemNS
+		} else {
+			values[i] = p.ComputeNS
+		}
+	}
+	return newCurve(ratios, values)
+}
+
+// sweepIOCurve builds a ratio→N_IO curve for block size b from a sweep.
+func sweepIOCurve(pts []SweepPoint, b int) curve {
+	ratios := make([]float64, len(pts))
+	values := make([]float64, len(pts))
+	for i, p := range pts {
+		ratios[i] = p.Ratio
+		values[i] = p.IOs[b]
+	}
+	return newCurve(ratios, values)
+}
+
+// srsTimeCurve builds a ratio→time curve from an SRS sweep.
+func srsTimeCurve(pts []SRSPoint) curve {
+	ratios := make([]float64, len(pts))
+	values := make([]float64, len(pts))
+	for i, p := range pts {
+		ratios[i] = p.Ratio
+		values[i] = p.NS
+	}
+	return newCurve(ratios, values)
+}
+
+// qalshTimeAt builds QALSH indexes over a grid of approximation ratios (its
+// only accuracy knob, §3.3) and interpolates the query time at the env's
+// target ratio.
+func qalshTimeAt(env *Env, ws *Workload, k int) (float64, error) {
+	gt := ws.GroundTruth(k)
+	rmin := ws.Params.Radii[0]
+	rmax := ws.Params.Radii[ws.Params.R()-1]
+	var ratios, times []float64
+	for _, c := range []float64{1.5, 2, 3} {
+		cfg := qalsh.DefaultConfig()
+		cfg.C = c
+		cfg.Seed = env.Seed
+		ix, err := qalsh.Build(ws.DS.Vectors, cfg, rmin, rmax)
+		if err != nil {
+			return 0, err
+		}
+		s := ix.NewSearcher()
+		var ratioSum, nsSum float64
+		for qi, q := range ws.DS.Queries {
+			res, st := s.Search(q, k)
+			ratioSum += ann.OverallRatio(res, gt[qi], k)
+			nsSum += qalshQueryNS(env.Model, ws.DS.Dim, ix.Params().M, st)
+		}
+		nq := float64(ws.DS.NQ())
+		ratios = append(ratios, ratioSum/nq)
+		times = append(times, nsSum/nq)
+	}
+	return newCurve(ratios, times).at(env.TargetRatio), nil
+}
+
+// Render implements Renderable.
+func (r *Fig2Result) Render() []*report.Table {
+	t := report.New(fmt.Sprintf("Fig 2: in-memory E2LSH speedup at overall ratio %.2f", r.TargetRatio),
+		"Dataset", "Speedup over SRS", "Speedup over QALSH")
+	for _, row := range r.Rows {
+		t.AddRow(row.Dataset, report.Num(row.SpeedupOverSRS), report.Num(row.SpeedupOverQALSH))
+	}
+	return []*report.Table{t}
+}
+
+// fig3BlockSizes are the block sizes of Figs 3 and 4 (0 = unlimited).
+func fig3BlockSizes() []int { return []int{128, 512, 4096, 0} }
+
+// Fig3Result reproduces Fig 3: average I/Os per query vs overall ratio for
+// several block sizes (SIFT).
+type Fig3Result struct {
+	Dataset string
+	Ratios  []float64
+	// IOs[b][i] is N_IO at block size b and Ratios[i].
+	IOs map[int][]float64
+}
+
+// Fig3 sweeps accuracy on the SIFT clone and models I/O counts per block
+// size.
+func Fig3(env *Env) (*Fig3Result, error) {
+	ws, err := env.Workload(dataset.SIFT)
+	if err != nil {
+		return nil, err
+	}
+	pts := e2lshSweep(env, ws, 1, fig3BlockSizes())
+	res := &Fig3Result{Dataset: ws.DS.Name, Ratios: ratioGrid(), IOs: map[int][]float64{}}
+	for _, b := range fig3BlockSizes() {
+		c := sweepIOCurve(pts, b)
+		series := make([]float64, len(res.Ratios))
+		for i, r := range res.Ratios {
+			series[i] = c.at(r)
+		}
+		res.IOs[b] = series
+	}
+	return res, nil
+}
+
+// Render implements Renderable.
+func (r *Fig3Result) Render() []*report.Table {
+	t := report.New(fmt.Sprintf("Fig 3: average I/Os per query vs accuracy (%s)", r.Dataset),
+		"Overall ratio", "B=128", "B=512", "B=4096", "B=inf")
+	for i, ratio := range r.Ratios {
+		t.AddRow(report.Num(ratio),
+			report.Num(r.IOs[128][i]), report.Num(r.IOs[512][i]),
+			report.Num(r.IOs[4096][i]), report.Num(r.IOs[0][i]))
+	}
+	return []*report.Table{t}
+}
+
+// IOPSReqResult is the shared shape of Figs 4–8: required storage kIOPS as a
+// function of overall ratio, for one or more series.
+type IOPSReqResult struct {
+	Title  string
+	Ratios []float64
+	Series []IOPSSeries
+}
+
+// IOPSSeries is one line of an IOPS-requirement figure.
+type IOPSSeries struct {
+	Label string
+	KIOPS []float64
+}
+
+// Render implements Renderable.
+func (r *IOPSReqResult) Render() []*report.Table {
+	header := append([]string{"Overall ratio"}, labels(r.Series)...)
+	t := report.New(r.Title, header...)
+	for i, ratio := range r.Ratios {
+		cells := []string{report.Num(ratio)}
+		for _, s := range r.Series {
+			cells = append(cells, report.Num(s.KIOPS[i]))
+		}
+		t.AddRow(cells...)
+	}
+	return []*report.Table{t}
+}
+
+func labels(series []IOPSSeries) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// iopsRequirement evaluates Eq 13/15: required kIOPS = N_IO / T_target at
+// each grid ratio, from a ratio→N_IO curve and a ratio→target-time curve.
+func iopsRequirement(ioCurve, timeCurve curve, grid []float64) []float64 {
+	out := make([]float64, len(grid))
+	for i, r := range grid {
+		tSec := timeCurve.at(r) / 1e9
+		if tSec <= 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = ioCurve.at(r) / tSec / 1000 // kIOPS
+	}
+	return out
+}
+
+// Fig4 reproduces Fig 4: IOPS required to match SRS speed on SIFT, per block
+// size (Eq 13).
+func Fig4(env *Env) (*IOPSReqResult, error) {
+	ws, err := env.Workload(dataset.SIFT)
+	if err != nil {
+		return nil, err
+	}
+	pts := e2lshSweep(env, ws, 1, fig3BlockSizes())
+	srsCurve := srsTimeCurve(srsSweep(env, ws, 1))
+	grid := ratioGrid()
+	res := &IOPSReqResult{
+		Title:  fmt.Sprintf("Fig 4: kIOPS required for SRS speed vs block size (%s)", ws.DS.Name),
+		Ratios: grid,
+	}
+	for _, b := range fig3BlockSizes() {
+		label := fmt.Sprintf("B=%d", b)
+		if b == 0 {
+			label = "B=inf"
+		}
+		res.Series = append(res.Series, IOPSSeries{
+			Label: label,
+			KIOPS: iopsRequirement(sweepIOCurve(pts, b), srsCurve, grid),
+		})
+	}
+	return res, nil
+}
+
+// Fig5 reproduces Fig 5: IOPS required to match SRS speed at B=512, for all
+// datasets.
+func Fig5(env *Env) (*IOPSReqResult, error) {
+	grid := ratioGrid()
+	res := &IOPSReqResult{Title: "Fig 5: kIOPS required for SRS speed, B=512", Ratios: grid}
+	for _, name := range dataset.PaperNames {
+		ws, err := env.Workload(name)
+		if err != nil {
+			return nil, err
+		}
+		pts := e2lshSweep(env, ws, 1, []int{512})
+		srsCurve := srsTimeCurve(srsSweep(env, ws, 1))
+		res.Series = append(res.Series, IOPSSeries{
+			Label: ws.DS.Name,
+			KIOPS: iopsRequirement(sweepIOCurve(pts, 512), srsCurve, grid),
+		})
+	}
+	return res, nil
+}
+
+// fig6Ks is the k grid of Figs 6 and 8.
+func fig6Ks() []int { return []int{1, 5, 10, 50, 100} }
+
+// Fig6 reproduces Fig 6: IOPS required to match SRS speed on SIFT for
+// varying k.
+func Fig6(env *Env) (*IOPSReqResult, error) {
+	ws, err := env.Workload(dataset.SIFT)
+	if err != nil {
+		return nil, err
+	}
+	grid := ratioGrid()
+	res := &IOPSReqResult{
+		Title:  fmt.Sprintf("Fig 6: kIOPS required for SRS speed vs k (%s)", ws.DS.Name),
+		Ratios: grid,
+	}
+	for _, k := range fig6Ks() {
+		pts := e2lshSweep(env, ws, k, []int{512})
+		srsCurve := srsTimeCurve(srsSweep(env, ws, k))
+		res.Series = append(res.Series, IOPSSeries{
+			Label: fmt.Sprintf("k=%d", k),
+			KIOPS: iopsRequirement(sweepIOCurve(pts, 512), srsCurve, grid),
+		})
+	}
+	return res, nil
+}
+
+// Fig7 reproduces Fig 7: IOPS required to reach in-memory E2LSH speed
+// (Eq 15), all datasets, B=512.
+func Fig7(env *Env) (*IOPSReqResult, error) {
+	grid := ratioGrid()
+	res := &IOPSReqResult{Title: "Fig 7: kIOPS required for in-memory E2LSH speed, B=512", Ratios: grid}
+	for _, name := range dataset.PaperNames {
+		ws, err := env.Workload(name)
+		if err != nil {
+			return nil, err
+		}
+		pts := e2lshSweep(env, ws, 1, []int{512})
+		res.Series = append(res.Series, IOPSSeries{
+			Label: ws.DS.Name,
+			KIOPS: iopsRequirement(sweepIOCurve(pts, 512), sweepTimeCurve(pts, true), grid),
+		})
+	}
+	return res, nil
+}
+
+// Fig8 reproduces Fig 8: in-memory-speed IOPS requirement on SIFT for
+// varying k.
+func Fig8(env *Env) (*IOPSReqResult, error) {
+	ws, err := env.Workload(dataset.SIFT)
+	if err != nil {
+		return nil, err
+	}
+	grid := ratioGrid()
+	res := &IOPSReqResult{
+		Title:  fmt.Sprintf("Fig 8: kIOPS required for in-memory speed vs k (%s)", ws.DS.Name),
+		Ratios: grid,
+	}
+	for _, k := range fig6Ks() {
+		pts := e2lshSweep(env, ws, k, []int{512})
+		res.Series = append(res.Series, IOPSSeries{
+			Label: fmt.Sprintf("k=%d", k),
+			KIOPS: iopsRequirement(sweepIOCurve(pts, 512), sweepTimeCurve(pts, true), grid),
+		})
+	}
+	return res, nil
+}

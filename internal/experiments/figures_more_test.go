@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFig6SeriesShape(t *testing.T) {
+	env := testEnv()
+	res, err := Fig6(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != len(fig6Ks()) {
+		t.Fatalf("%d series, want %d", len(res.Series), len(fig6Ks()))
+	}
+	for _, s := range res.Series {
+		if len(s.KIOPS) != len(res.Ratios) {
+			t.Fatalf("series %s has %d points, want %d", s.Label, len(s.KIOPS), len(res.Ratios))
+		}
+		for i, v := range s.KIOPS {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("series %s point %d = %v", s.Label, i, v)
+			}
+		}
+	}
+}
+
+func TestFig8SeriesShape(t *testing.T) {
+	env := testEnv()
+	res, err := Fig8(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		for i, v := range s.KIOPS {
+			if v <= 0 || math.IsNaN(v) {
+				t.Errorf("series %s point %d = %v", s.Label, i, v)
+			}
+		}
+	}
+}
+
+func TestFig13InterfaceOrdering(t *testing.T) {
+	env := testEnv()
+	res, err := Fig13(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// The paper's interface ordering must hold per row: io_uring <= SPDK <=
+	// XLFDD (allow small slack for interpolation noise).
+	for _, row := range res.Rows {
+		if row.IOUring > row.SPDK*1.05 {
+			t.Errorf("%s k=%d: io_uring %v above SPDK %v", row.Dataset, row.K, row.IOUring, row.SPDK)
+		}
+		if row.SPDK > row.XLFDD*1.05 {
+			t.Errorf("%s k=%d: SPDK %v above XLFDD %v", row.Dataset, row.K, row.SPDK, row.XLFDD)
+		}
+		if row.InMemory <= 0 || math.IsNaN(row.InMemory) {
+			t.Errorf("%s k=%d: bad in-memory speedup %v", row.Dataset, row.K, row.InMemory)
+		}
+	}
+}
+
+func TestFig14Shapes(t *testing.T) {
+	env := testEnv()
+	res, err := Fig14(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(res.Rows))
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.N <= first.N {
+		t.Fatal("sizes not increasing")
+	}
+	// SRS (linear) must grow at least as fast as E2LSHoS (sublinear) over
+	// the 16x size range.
+	srsGrowth := last.SRSMS / first.SRSMS
+	diskGrowth := last.DiskMS / first.DiskMS
+	if diskGrowth > srsGrowth*1.1 {
+		t.Errorf("E2LSHoS grew %vx vs SRS %vx; sublinearity not visible", diskGrowth, srsGrowth)
+	}
+	for _, row := range res.Rows {
+		if row.SRSMS <= 0 || row.DiskMS <= 0 || row.MemMS <= 0 || row.SmallRhoMS <= 0 {
+			t.Errorf("non-positive time in row %+v", row)
+		}
+	}
+}
+
+func TestFig14Sizes(t *testing.T) {
+	sizes := fig14Sizes(64000)
+	want := []int{4000, 8000, 16000, 32000, 64000}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("fig14Sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestRenderAllExperiments(t *testing.T) {
+	// Every registered experiment's Render must produce at least one table
+	// with a header. Reuses the cached tiny env, so this mostly re-renders.
+	env := testEnv()
+	for _, id := range []string{"table1", "table3", "table5"} {
+		r, err := Registry[id](env)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		tables := r.Render()
+		if len(tables) == 0 {
+			t.Fatalf("%s rendered no tables", id)
+		}
+		for _, tab := range tables {
+			if len(tab.Header) == 0 {
+				t.Fatalf("%s rendered a headerless table", id)
+			}
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package iosim
+
+import "testing"
+
+func BenchmarkDeviceSubmit(b *testing.B) {
+	d, err := NewDevice(CSSD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Submit(0)
+	}
+}
+
+func BenchmarkPoolSubmit(b *testing.B) {
+	p, err := NewPool(ESSD, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Submit(0, uint64(i))
+	}
+}

@@ -1,0 +1,46 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchFamily(b *testing.B) (*Family, []float32, []float64, []uint32) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	f, err := NewFamily(128, 20, 20, 4, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := make([]float32, 128)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return f, v, make([]float64, f.NumProjections()), make([]uint32, f.L)
+}
+
+func BenchmarkProject128x400(b *testing.B) {
+	f, v, proj, _ := benchFamily(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Project(v, proj)
+	}
+}
+
+func BenchmarkHashesAt(b *testing.B) {
+	f, v, proj, hashes := benchFamily(b)
+	f.Project(v, proj)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.HashesAt(proj, 4, hashes)
+	}
+}
+
+func BenchmarkDerive(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := Derive(cfg, 1000000, 128, 1, 5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package lsh implements the p-stable locality sensitive hashing core shared
+// by the in-memory E2LSH index and the external-memory E2LSHoS index.
+//
+// A single hash function is h(o) = ⌊(a·o + b)/(w·R)⌋ with a ~ N(0,I)^d and
+// b ~ U[0, w) (Eq. 1 of the paper, scaled to the current search radius R). A
+// compound hash g_i concatenates m such functions (Eq. 4); the repository
+// represents the concatenation as a 32-bit mixed value (§5.2: v = 32 bits,
+// split by the indexes into a u-bit table index and a (32−u)-bit
+// fingerprint).
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"e2lshos/internal/vecmath"
+)
+
+// Family is the set of random projections behind one E2LSH index: L compound
+// hashes of M functions each, sharing a base bucket width W. Projections are
+// computed once per vector and re-quantized per radius, which is the
+// ShareProjections optimization described in DESIGN.md.
+type Family struct {
+	Dim, M, L int
+	W         float64
+	// a holds (L*M) projection vectors of length Dim, flattened row-major.
+	a []float32
+	// b holds L*M offsets, uniform in [0, W).
+	b []float64
+	// seeds holds one mixing seed per compound hash (table).
+	seeds []uint64
+}
+
+// NewFamily draws a fresh family from rng. dim, m and l must be positive and
+// w must be a positive width.
+func NewFamily(dim, m, l int, w float64, rng *rand.Rand) (*Family, error) {
+	if dim <= 0 || m <= 0 || l <= 0 {
+		return nil, fmt.Errorf("lsh: NewFamily requires positive dim/m/l, got %d/%d/%d", dim, m, l)
+	}
+	if w <= 0 {
+		return nil, fmt.Errorf("lsh: NewFamily requires positive width, got %v", w)
+	}
+	f := &Family{
+		Dim:   dim,
+		M:     m,
+		L:     l,
+		W:     w,
+		a:     make([]float32, l*m*dim),
+		b:     make([]float64, l*m),
+		seeds: make([]uint64, l),
+	}
+	for i := range f.a {
+		f.a[i] = float32(rng.NormFloat64())
+	}
+	for i := range f.b {
+		f.b[i] = rng.Float64() * w
+	}
+	for i := range f.seeds {
+		f.seeds[i] = rng.Uint64() | 1
+	}
+	return f, nil
+}
+
+// NumProjections returns L*M, the size of a projection buffer.
+func (f *Family) NumProjections() int { return f.L * f.M }
+
+// Project fills out (length L*M) with the raw dot products a_ij·v. The same
+// buffer quantizes into hash values for any radius via HashesAt.
+func (f *Family) Project(v []float32, out []float64) {
+	if len(v) != f.Dim {
+		panic(fmt.Sprintf("lsh: Project dimension mismatch: vector %d, family %d", len(v), f.Dim))
+	}
+	if len(out) != f.NumProjections() {
+		panic(fmt.Sprintf("lsh: Project buffer length %d, want %d", len(out), f.NumProjections()))
+	}
+	for i := 0; i < f.L*f.M; i++ {
+		out[i] = vecmath.Dot(f.a[i*f.Dim:(i+1)*f.Dim], v)
+	}
+}
+
+// HashesAt quantizes a projection buffer at search radius r and mixes each
+// compound hash into a 32-bit value, one per table, written into out
+// (length L).
+func (f *Family) HashesAt(proj []float64, r float64, out []uint32) {
+	if len(proj) != f.NumProjections() {
+		panic(fmt.Sprintf("lsh: HashesAt projection length %d, want %d", len(proj), f.NumProjections()))
+	}
+	if len(out) != f.L {
+		panic(fmt.Sprintf("lsh: HashesAt output length %d, want %d", len(out), f.L))
+	}
+	if r <= 0 {
+		panic("lsh: HashesAt requires positive radius")
+	}
+	inv := 1 / r
+	for l := 0; l < f.L; l++ {
+		h := f.seeds[l]
+		base := l * f.M
+		for j := 0; j < f.M; j++ {
+			floor := int64(math.Floor((proj[base+j]*inv + f.b[base+j]) / f.W))
+			h = mix64(h, uint64(floor))
+		}
+		out[l] = fold32(h)
+	}
+}
+
+// Hash32 computes the 32-bit compound hash of v for table l at radius r
+// without a shared projection buffer. It is the slow path used by tests and
+// by callers hashing a single table.
+func (f *Family) Hash32(v []float32, l int, r float64) uint32 {
+	h := f.seeds[l]
+	base := l * f.M
+	inv := 1 / r
+	for j := 0; j < f.M; j++ {
+		p := vecmath.Dot(f.a[(base+j)*f.Dim:(base+j+1)*f.Dim], v)
+		floor := int64(math.Floor((p*inv + f.b[base+j]) / f.W))
+		h = mix64(h, uint64(floor))
+	}
+	return fold32(h)
+}
+
+// mix64 is a splitmix64-style combiner: it absorbs one 64-bit lane into the
+// running state. It must be deterministic across runs since hash values are
+// persisted in the on-storage index.
+func mix64(h, x uint64) uint64 {
+	h ^= x + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// fold32 reduces the 64-bit state to the paper's v=32-bit hash value.
+func fold32(h uint64) uint32 {
+	return uint32(h ^ (h >> 32))
+}
+
+// SplitHash splits a 32-bit hash value into a u-bit table index and a
+// (32−u)-bit fingerprint (§5.2).
+func SplitHash(h uint32, u uint) (index uint32, fingerprint uint32) {
+	if u == 0 || u > 32 {
+		panic(fmt.Sprintf("lsh: SplitHash requires 0 < u <= 32, got %d", u))
+	}
+	index = h & ((1 << u) - 1)
+	if u == 32 {
+		return index, 0
+	}
+	fingerprint = h >> u
+	return index, fingerprint
+}
+
+// JoinHash is the inverse of SplitHash, used by tests and index verification.
+func JoinHash(index, fingerprint uint32, u uint) uint32 {
+	if u == 32 {
+		return index
+	}
+	return index | fingerprint<<u
+}

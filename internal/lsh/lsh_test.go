@@ -1,0 +1,198 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"e2lshos/internal/vecmath"
+)
+
+func newTestFamily(t *testing.T, dim, m, l int, w float64, seed int64) *Family {
+	t.Helper()
+	f, err := NewFamily(dim, m, l, w, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("NewFamily: %v", err)
+	}
+	return f
+}
+
+func TestNewFamilyValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []struct {
+		dim, m, l int
+		w         float64
+	}{
+		{0, 1, 1, 1}, {1, 0, 1, 1}, {1, 1, 0, 1}, {1, 1, 1, 0}, {1, 1, 1, -2},
+	}
+	for _, c := range bad {
+		if _, err := NewFamily(c.dim, c.m, c.l, c.w, rng); err == nil {
+			t.Errorf("NewFamily(%+v) should fail", c)
+		}
+	}
+}
+
+func TestProjectHashesDeterministic(t *testing.T) {
+	f := newTestFamily(t, 8, 4, 3, 4, 7)
+	v := []float32{1, -2, 3, 0.5, 0, 1, 1, -1}
+	proj := make([]float64, f.NumProjections())
+	f.Project(v, proj)
+	h1 := make([]uint32, f.L)
+	h2 := make([]uint32, f.L)
+	f.HashesAt(proj, 1, h1)
+	f.HashesAt(proj, 1, h2)
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("HashesAt not deterministic")
+		}
+	}
+}
+
+func TestHash32MatchesHashesAt(t *testing.T) {
+	f := newTestFamily(t, 16, 5, 4, 4, 11)
+	rng := rand.New(rand.NewSource(2))
+	proj := make([]float64, f.NumProjections())
+	hashes := make([]uint32, f.L)
+	for trial := 0; trial < 50; trial++ {
+		v := make([]float32, 16)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		r := math.Pow(2, float64(rng.Intn(6)))
+		f.Project(v, proj)
+		f.HashesAt(proj, r, hashes)
+		for l := 0; l < f.L; l++ {
+			if got := f.Hash32(v, l, r); got != hashes[l] {
+				t.Fatalf("Hash32 mismatch at table %d radius %v", l, r)
+			}
+		}
+	}
+}
+
+func TestIdenticalVectorsAlwaysCollide(t *testing.T) {
+	f := newTestFamily(t, 12, 6, 5, 4, 3)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		v := make([]float32, 12)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64() * 10)
+		}
+		for l := 0; l < f.L; l++ {
+			if f.Hash32(v, l, 2) != f.Hash32(v, l, 2) {
+				t.Fatal("identical vectors must have identical hashes")
+			}
+		}
+	}
+}
+
+func TestCollisionRateMatchesTheory(t *testing.T) {
+	// Empirical per-function collision rate at distance s and radius R should
+	// match p_w(s/R)^m for the compound hash.
+	const (
+		dim = 24
+		m   = 3
+		w   = 4.0
+	)
+	f := newTestFamily(t, dim, m, 1, w, 5)
+	rng := rand.New(rand.NewSource(6))
+	for _, sOverR := range []float64{0.5, 1.0, 2.0} {
+		const trials = 4000
+		collisions := 0
+		for i := 0; i < trials; i++ {
+			a := make([]float32, dim)
+			b := make([]float32, dim)
+			// Random direction offset of length s.
+			dir := make([]float64, dim)
+			var norm float64
+			for j := range dir {
+				dir[j] = rng.NormFloat64()
+				norm += dir[j] * dir[j]
+			}
+			norm = math.Sqrt(norm)
+			for j := range a {
+				a[j] = float32(rng.NormFloat64() * 5)
+				b[j] = a[j] + float32(dir[j]/norm*sOverR) // radius R = 1
+			}
+			if f.Hash32(a, 0, 1) == f.Hash32(b, 0, 1) {
+				collisions++
+			}
+		}
+		got := float64(collisions) / trials
+		want := math.Pow(vecmath.CollisionProb(w, sOverR), m)
+		if math.Abs(got-want) > 0.035 {
+			t.Errorf("s/R=%v: empirical compound collision %v, theory %v", sOverR, got, want)
+		}
+	}
+}
+
+func TestRadiusScalingEquivalence(t *testing.T) {
+	// Hashing at radius R must equal hashing the scaled vector v/R at radius 1.
+	f := newTestFamily(t, 10, 4, 3, 4, 8)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		v := make([]float32, 10)
+		scaled := make([]float32, 10)
+		r := math.Pow(2, float64(1+rng.Intn(4)))
+		for i := range v {
+			v[i] = float32(rng.NormFloat64() * 3)
+			scaled[i] = v[i] / float32(r)
+		}
+		for l := 0; l < f.L; l++ {
+			// Equality up to float32 rounding of the scaled input; compute both
+			// through the float64 projection path to avoid that rounding.
+			proj := make([]float64, f.NumProjections())
+			f.Project(v, proj)
+			h := make([]uint32, f.L)
+			f.HashesAt(proj, r, h)
+			projScaled := make([]float64, f.NumProjections())
+			for i := range proj {
+				projScaled[i] = proj[i] / r
+			}
+			hScaled := make([]uint32, f.L)
+			f.HashesAt(projScaled, 1, hScaled)
+			if h[l] != hScaled[l] {
+				t.Fatalf("radius scaling mismatch at table %d, r=%v", l, r)
+			}
+		}
+	}
+}
+
+func TestSplitJoinHash(t *testing.T) {
+	f := func(h uint32, uRaw uint8) bool {
+		u := uint(uRaw%31) + 1
+		idx, fp := SplitHash(h, u)
+		if idx >= 1<<u {
+			return false
+		}
+		return JoinHash(idx, fp, u) == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	idx, fp := SplitHash(0xDEADBEEF, 32)
+	if idx != 0xDEADBEEF || fp != 0 {
+		t.Error("u=32 split should keep full hash as index")
+	}
+}
+
+func TestSplitHashPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SplitHash(0) should panic")
+		}
+	}()
+	SplitHash(1, 0)
+}
+
+func TestTablesProduceDifferentHashes(t *testing.T) {
+	f := newTestFamily(t, 8, 4, 6, 4, 10)
+	v := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	seen := map[uint32]bool{}
+	for l := 0; l < f.L; l++ {
+		seen[f.Hash32(v, l, 1)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("all tables hashed identically; seeds are not independent")
+	}
+}

@@ -1,0 +1,109 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFloorsAtMatchesHashesAt(t *testing.T) {
+	f := newTestFamily(t, 12, 5, 4, 4, 21)
+	rng := rand.New(rand.NewSource(2))
+	proj := make([]float64, f.NumProjections())
+	hashes := make([]uint32, f.L)
+	floors := make([]int64, f.NumProjections())
+	fracs := make([]float64, f.NumProjections())
+	for trial := 0; trial < 30; trial++ {
+		v := make([]float32, 12)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64() * 4)
+		}
+		r := math.Pow(2, float64(rng.Intn(5)))
+		f.Project(v, proj)
+		f.HashesAt(proj, r, hashes)
+		f.FloorsAt(proj, r, floors, fracs)
+		for l := 0; l < f.L; l++ {
+			if got := f.CombineFloors(l, floors[l*f.M:(l+1)*f.M]); got != hashes[l] {
+				t.Fatalf("CombineFloors(base) != HashesAt at table %d", l)
+			}
+		}
+		for _, fr := range fracs {
+			if fr < 0 || fr >= 1 {
+				t.Fatalf("fraction %v outside [0,1)", fr)
+			}
+		}
+	}
+}
+
+func TestPerturbationSetsOrderedAndValid(t *testing.T) {
+	fracs := []float64{0.1, 0.5, 0.9, 0.3}
+	sets := PerturbationSets(fracs, 20)
+	if len(sets) == 0 {
+		t.Fatal("no perturbation sets generated")
+	}
+	prevScore := -1.0
+	for si, set := range sets {
+		if len(set) == 0 {
+			t.Fatal("empty perturbation set")
+		}
+		var score float64
+		coords := map[int]bool{}
+		for _, p := range set {
+			if p.Delta != 1 && p.Delta != -1 {
+				t.Fatalf("set %d: bad delta %d", si, p.Delta)
+			}
+			if coords[p.Coord] {
+				t.Fatalf("set %d perturbs coordinate %d twice", si, p.Coord)
+			}
+			coords[p.Coord] = true
+			score += p.Score
+		}
+		if score < prevScore-1e-12 {
+			t.Fatalf("set %d score %v below previous %v; not ordered", si, score, prevScore)
+		}
+		prevScore = score
+	}
+	// The first set must be the single cheapest perturbation: coordinate 2
+	// with delta +1 costs (1-0.9)² = 0.01.
+	first := sets[0]
+	if len(first) != 1 || first[0].Coord != 2 || first[0].Delta != 1 {
+		t.Errorf("first set = %+v, want single (coord 2, +1)", first)
+	}
+}
+
+func TestPerturbationSetsDistinct(t *testing.T) {
+	fracs := []float64{0.2, 0.7, 0.45}
+	sets := PerturbationSets(fracs, 15)
+	seen := map[string]bool{}
+	for _, set := range sets {
+		key := ""
+		for _, p := range set {
+			key += string(rune('A'+p.Coord)) + string(rune('0'+p.Delta+1))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate perturbation set %q", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestPerturbationSetsEdgeCases(t *testing.T) {
+	if sets := PerturbationSets([]float64{0.5}, 0); sets != nil {
+		t.Error("maxSets=0 should yield nil")
+	}
+	// One coordinate: only two valid sets exist ({-1} and {+1}).
+	sets := PerturbationSets([]float64{0.3}, 10)
+	if len(sets) != 2 {
+		t.Errorf("single coordinate yielded %d sets, want 2", len(sets))
+	}
+}
+
+func TestCombineFloorsPanics(t *testing.T) {
+	f := newTestFamily(t, 4, 3, 2, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CombineFloors accepted wrong length")
+		}
+	}()
+	f.CombineFloors(0, []int64{1, 2})
+}

@@ -1,0 +1,92 @@
+package memindex
+
+import (
+	"testing"
+
+	"e2lshos/internal/dataset"
+	"e2lshos/internal/lsh"
+)
+
+func benchIndex(b *testing.B, share bool) (*dataset.Dataset, *Index) {
+	b.Helper()
+	d, err := dataset.Generate(dataset.Spec{
+		Name: "bench", N: 20000, Queries: 50, Dim: 64,
+		Clusters: 16, Spread: 0.05, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := lsh.DefaultConfig()
+	cfg.Rho = 0.25
+	cfg.Sigma = 8
+	p, err := lsh.Derive(cfg, d.N(), d.Dim, 0.3, lsh.MaxRadius(d.MaxAbs(), d.Dim))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.ShareProjections = share
+	ix, err := Build(d.Vectors, p, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, ix
+}
+
+func BenchmarkBuild20k(b *testing.B) {
+	d, _ := benchIndex(b, true)
+	p := lshParamsFor(b, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(d.Vectors, p, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildIndependentProjections is the DESIGN.md ablation: the cost
+// of the original fully independent per-radius hash functions versus the
+// shared-projection optimization (BenchmarkBuild20k).
+func BenchmarkBuildIndependentProjections(b *testing.B) {
+	d, _ := benchIndex(b, true)
+	p := lshParamsFor(b, d)
+	opts := DefaultOptions()
+	opts.ShareProjections = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(d.Vectors, p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func lshParamsFor(b *testing.B, d *dataset.Dataset) lsh.Params {
+	b.Helper()
+	cfg := lsh.DefaultConfig()
+	cfg.Rho = 0.25
+	cfg.Sigma = 8
+	p, err := lsh.Derive(cfg, d.N(), d.Dim, 0.3, lsh.MaxRadius(d.MaxAbs(), d.Dim))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkSearchTop1(b *testing.B) {
+	d, ix := benchIndex(b, true)
+	s := ix.NewSearcher()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Search(d.Queries[i%d.NQ()], 1)
+	}
+}
+
+func BenchmarkSearchTop100(b *testing.B) {
+	d, ix := benchIndex(b, true)
+	s := ix.NewSearcher()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Search(d.Queries[i%d.NQ()], 100)
+	}
+}

@@ -1,0 +1,83 @@
+// Package pagecache implements a 4 KiB-page LRU cache with hit/miss
+// accounting. It backs the synchronous memory-mapped baseline of §6.5, which
+// runs in-memory E2LSH over mmap so every DRAM access may fault into a
+// limited page cache; the paper reports a 93% miss rate for that setup, and
+// this cache lets the reproduction measure the analogous number.
+package pagecache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PageSize is the cached unit in bytes (a Linux page).
+const PageSize = 4096
+
+// Cache is an LRU page cache. Not safe for concurrent use; the simulator is
+// single-threaded.
+type Cache struct {
+	capacity int
+	lru      *list.List               // front = most recent; values are page ids
+	pages    map[uint64]*list.Element // page id -> node
+	hits     int64
+	misses   int64
+}
+
+// New creates a cache holding up to capacityPages pages.
+func New(capacityPages int) (*Cache, error) {
+	if capacityPages <= 0 {
+		return nil, fmt.Errorf("pagecache: capacity must be positive, got %d", capacityPages)
+	}
+	return &Cache{
+		capacity: capacityPages,
+		lru:      list.New(),
+		pages:    make(map[uint64]*list.Element, capacityPages),
+	}, nil
+}
+
+// CapacityPages returns the configured capacity.
+func (c *Cache) CapacityPages() int { return c.capacity }
+
+// Len returns the number of resident pages.
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// Access touches page and reports whether it was resident (hit). On a miss
+// the page is brought in, evicting the least recently used page if full.
+func (c *Cache) Access(page uint64) bool {
+	if el, ok := c.pages[page]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	if c.lru.Len() >= c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.pages, oldest.Value.(uint64))
+	}
+	c.pages[page] = c.lru.PushFront(page)
+	return false
+}
+
+// PageOf maps a byte offset to its page id.
+func PageOf(offset uint64) uint64 { return offset / PageSize }
+
+// Hits returns the number of hits observed.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the number of misses observed.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// MissRate returns misses/(hits+misses), the paper's page-fault rate.
+func (c *Cache) MissRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}
+
+// ResetStats clears counters but keeps resident pages.
+func (c *Cache) ResetStats() {
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,120 @@
+package pagecache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(-5); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestHitMiss(t *testing.T) {
+	c, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(1) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(1) {
+		t.Error("second access should hit")
+	}
+	c.Access(2)
+	c.Access(3) // evicts 1 (LRU)
+	if c.Access(1) {
+		t.Error("evicted page should miss")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	c, _ := New(3)
+	c.Access(1)
+	c.Access(2)
+	c.Access(3)
+	c.Access(1) // 1 becomes most recent; LRU is 2
+	c.Access(4) // evicts 2
+	if !c.Access(1) || !c.Access(3) || !c.Access(4) {
+		t.Error("resident pages evicted out of LRU order")
+	}
+	if c.Access(2) {
+		t.Error("page 2 should have been evicted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c, _ := New(10)
+	for i := uint64(0); i < 10; i++ {
+		c.Access(i)
+	}
+	for i := uint64(0); i < 10; i++ {
+		c.Access(i)
+	}
+	if c.Hits() != 10 || c.Misses() != 10 {
+		t.Errorf("hits=%d misses=%d, want 10/10", c.Hits(), c.Misses())
+	}
+	if c.MissRate() != 0.5 {
+		t.Errorf("MissRate = %v, want 0.5", c.MissRate())
+	}
+	c.ResetStats()
+	if c.Hits() != 0 || c.Misses() != 0 || c.MissRate() != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+	if c.Len() != 10 {
+		t.Error("ResetStats should keep resident pages")
+	}
+}
+
+func TestRandomAccessOverLargeFootprintMostlyMisses(t *testing.T) {
+	// The §6.5 scenario: random access over a footprint much larger than the
+	// cache must show a high miss rate (the paper observed 93%).
+	c, _ := New(1000)
+	r := rand.New(rand.NewSource(1))
+	const footprint = 20000
+	for i := 0; i < 50000; i++ {
+		c.Access(uint64(r.Intn(footprint)))
+	}
+	if mr := c.MissRate(); mr < 0.9 {
+		t.Errorf("random access miss rate %v, want > 0.9", mr)
+	}
+}
+
+func TestSequentialWithinCacheAllHitsAfterWarmup(t *testing.T) {
+	c, _ := New(100)
+	for pass := 0; pass < 3; pass++ {
+		for i := uint64(0); i < 100; i++ {
+			c.Access(i)
+		}
+	}
+	if c.Misses() != 100 {
+		t.Errorf("misses = %d, want 100 (warmup only)", c.Misses())
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(4095) != 0 || PageOf(4096) != 1 {
+		t.Error("PageOf mapping wrong")
+	}
+	if PageOf(512*9) != 1 {
+		t.Errorf("PageOf(4608) = %d, want 1", PageOf(512*9))
+	}
+}
+
+func TestNeverExceedsCapacity(t *testing.T) {
+	c, _ := New(7)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		c.Access(uint64(r.Intn(100)))
+		if c.Len() > 7 {
+			t.Fatalf("cache grew to %d pages, capacity 7", c.Len())
+		}
+	}
+}

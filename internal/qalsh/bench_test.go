@@ -1,0 +1,44 @@
+package qalsh
+
+import (
+	"testing"
+
+	"e2lshos/internal/dataset"
+	"e2lshos/internal/lsh"
+)
+
+func benchIndex(b *testing.B) (*dataset.Dataset, *Index) {
+	b.Helper()
+	d, err := dataset.Generate(dataset.Spec{
+		Name: "bench", N: 20000, Queries: 50, Dim: 64,
+		Clusters: 16, Spread: 0.05, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := Build(d.Vectors, DefaultConfig(), 0.3, lsh.MaxRadius(d.MaxAbs(), d.Dim))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, ix
+}
+
+func BenchmarkBuild20k(b *testing.B) {
+	d, _ := benchIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(d.Vectors, DefaultConfig(), 0.3, lsh.MaxRadius(d.MaxAbs(), d.Dim)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	d, ix := benchIndex(b)
+	s := ix.NewSearcher()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Search(d.Queries[i%d.NQ()], 1)
+	}
+}

@@ -1,0 +1,247 @@
+package qalsh
+
+import (
+	"math"
+	"testing"
+
+	"e2lshos/internal/ann"
+	"e2lshos/internal/dataset"
+	"e2lshos/internal/lsh"
+)
+
+func testData(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Generate(dataset.Spec{
+		Name: "qalsh-test", N: n, Queries: 15, Dim: 24,
+		Clusters: 6, Spread: 0.06, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func buildIndex(t *testing.T, d *dataset.Dataset, cfg Config) *Index {
+	t.Helper()
+	rmin := dataset.NNDistanceQuantile(d, 0.05, 15, 1)
+	if rmin <= 0 {
+		rmin = 0.1
+	}
+	rmax := lsh.MaxRadius(d.MaxAbs(), d.Dim)
+	ix, err := Build(d.Vectors, cfg, rmin, rmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{C: 1, W: 2.7, Delta: 0.5, BetaFrac: 0.01, MaxRadii: 8},
+		{C: 2, W: 0, Delta: 0.5, BetaFrac: 0.01, MaxRadii: 8},
+		{C: 2, W: 2.7, Delta: 0, BetaFrac: 0.01, MaxRadii: 8},
+		{C: 2, W: 2.7, Delta: 1, BetaFrac: 0.01, MaxRadii: 8},
+		{C: 2, W: 2.7, Delta: 0.5, BetaFrac: 0, MaxRadii: 8},
+		{C: 2, W: 2.7, Delta: 0.5, BetaFrac: 2, MaxRadii: 8},
+		{C: 2, W: 2.7, Delta: 0.5, BetaFrac: 0.01, MaxRadii: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestCollisionProb(t *testing.T) {
+	if got := collisionProb(2.7, 0); got != 1 {
+		t.Errorf("collisionProb at s=0: %v, want 1", got)
+	}
+	// Monotone decreasing in distance.
+	prev := 1.0
+	for s := 0.1; s < 20; s *= 1.5 {
+		p := collisionProb(2.7, s)
+		if p > prev || p < 0 || p > 1 {
+			t.Fatalf("collisionProb(%v) = %v not in order", s, p)
+		}
+		prev = p
+	}
+	// Known value: w=2, s=1 -> 2Φ(1)-1 ≈ 0.6827.
+	if got := collisionProb(2, 1); math.Abs(got-0.6826894921370859) > 1e-9 {
+		t.Errorf("collisionProb(2,1) = %v", got)
+	}
+}
+
+func TestDeriveParams(t *testing.T) {
+	p, err := deriveParams(DefaultConfig(), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.M < 1 || p.L < 1 || p.L > p.M {
+		t.Fatalf("degenerate params: %+v", p)
+	}
+	if !(p.P2 < p.Alpha && p.Alpha < p.P1) {
+		t.Errorf("alpha %v not between p2 %v and p1 %v", p.Alpha, p.P2, p.P1)
+	}
+	if p.Beta != int(math.Ceil(0.02*10000)) {
+		t.Errorf("beta = %d", p.Beta)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Build(nil, cfg, 1, 10); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Build([][]float32{{1, 2}, {1}}, cfg, 1, 10); err == nil {
+		t.Error("ragged data accepted")
+	}
+	bad := cfg
+	bad.C = 0.5
+	if _, err := Build([][]float32{{1, 2}}, bad, 1, 10); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSearchAccuracy(t *testing.T) {
+	d := testData(t, 3000)
+	ix := buildIndex(t, d, DefaultConfig())
+	gt := dataset.GroundTruth(d, 1)
+	s := ix.NewSearcher()
+	var sum float64
+	answered := 0
+	for qi, q := range d.Queries {
+		res, _ := s.Search(q, 1)
+		if len(res.Neighbors) == 0 {
+			continue
+		}
+		answered++
+		sum += ann.OverallRatio(res, gt[qi], 1)
+	}
+	if answered < len(d.Queries)*8/10 {
+		t.Fatalf("answered only %d/%d queries", answered, len(d.Queries))
+	}
+	if avg := sum / float64(answered); avg > 1.5 {
+		t.Errorf("QALSH average ratio %v too weak", avg)
+	}
+}
+
+func TestSelfQueriesFindThemselves(t *testing.T) {
+	d := testData(t, 1500)
+	ix := buildIndex(t, d, DefaultConfig())
+	s := ix.NewSearcher()
+	hits := 0
+	for i := 0; i < 10; i++ {
+		res, _ := s.Search(d.Vectors[i*131], 1)
+		if len(res.Neighbors) > 0 && res.Neighbors[0].Dist == 0 {
+			hits++
+		}
+	}
+	if hits < 8 {
+		t.Errorf("self queries found themselves only %d/10 times", hits)
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	d := testData(t, 2000)
+	cfg := DefaultConfig()
+	cfg.BetaFrac = 0.005
+	ix := buildIndex(t, d, cfg)
+	s := ix.NewSearcher()
+	for _, q := range d.Queries {
+		_, st := s.Search(q, 1)
+		if st.Checked > ix.Params().Beta && st.Checked > 1 {
+			t.Fatalf("checked %d exceeds budget %d", st.Checked, ix.Params().Beta)
+		}
+	}
+}
+
+func TestAccuracyImprovesWithTighterC(t *testing.T) {
+	// The paper adjusts QALSH accuracy through c: smaller c means stricter
+	// termination and better ratios.
+	d := testData(t, 3000)
+	gt := dataset.GroundTruth(d, 1)
+	ratioFor := func(c float64) float64 {
+		cfg := DefaultConfig()
+		cfg.C = c
+		cfg.BetaFrac = 0.05
+		ix := buildIndex(t, d, cfg)
+		s := ix.NewSearcher()
+		var sum float64
+		for qi, q := range d.Queries {
+			res, _ := s.Search(q, 1)
+			sum += ann.OverallRatio(res, gt[qi], 1)
+		}
+		return sum / float64(len(d.Queries))
+	}
+	loose := ratioFor(3)
+	tight := ratioFor(1.5)
+	if tight > loose+0.02 {
+		t.Errorf("c=1.5 ratio %v should not be worse than c=3 ratio %v", tight, loose)
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	d := testData(t, 1500)
+	ix := buildIndex(t, d, DefaultConfig())
+	s := ix.NewSearcher()
+	for _, q := range d.Queries {
+		_, st := s.Search(q, 1)
+		if st.Radii < 1 || st.Radii > len(ix.Radii()) {
+			t.Fatalf("radii %d out of range", st.Radii)
+		}
+		if st.Checked > st.EntriesScanned {
+			t.Fatalf("checked %d exceeds entries scanned %d", st.Checked, st.EntriesScanned)
+		}
+	}
+}
+
+func TestEachObjectVerifiedOnce(t *testing.T) {
+	d := testData(t, 800)
+	ix := buildIndex(t, d, DefaultConfig())
+	s := ix.NewSearcher()
+	// Run the same query twice; epoch reset must make runs identical.
+	r1, st1 := s.Search(d.Queries[0], 5)
+	r2, st2 := s.Search(d.Queries[0], 5)
+	if st1 != st2 {
+		t.Fatalf("stats differ across identical queries: %+v vs %+v", st1, st2)
+	}
+	if len(r1.Neighbors) != len(r2.Neighbors) {
+		t.Fatal("results differ across identical queries")
+	}
+	// No duplicates in results.
+	seen := map[uint32]bool{}
+	for _, nb := range r1.Neighbors {
+		if seen[nb.ID] {
+			t.Fatal("duplicate neighbor: object verified more than once")
+		}
+		seen[nb.ID] = true
+	}
+}
+
+func TestTopK(t *testing.T) {
+	d := testData(t, 2000)
+	cfg := DefaultConfig()
+	cfg.BetaFrac = 0.1
+	ix := buildIndex(t, d, cfg)
+	gt := dataset.GroundTruth(d, 10)
+	s := ix.NewSearcher()
+	var sum float64
+	for qi, q := range d.Queries {
+		res, _ := s.Search(q, 10)
+		sum += ann.OverallRatio(res, gt[qi], 10)
+	}
+	if avg := sum / float64(len(d.Queries)); avg > 1.6 {
+		t.Errorf("top-10 ratio %v too weak", avg)
+	}
+}
+
+func TestIndexBytesPositive(t *testing.T) {
+	d := testData(t, 500)
+	ix := buildIndex(t, d, DefaultConfig())
+	if ix.IndexBytes() <= 0 {
+		t.Error("IndexBytes must be positive")
+	}
+}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := New("Demo", "Name", "Value")
+	tab.AddRow("alpha", "1")
+	tab.AddRow("b", "22222")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "## Demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: "Value" column starts at the same offset everywhere.
+	hdrIdx := strings.Index(lines[1], "Value")
+	rowIdx := strings.Index(lines[4], "22222")
+	if hdrIdx != rowIdx {
+		t.Errorf("columns misaligned: header at %d, row at %d", hdrIdx, rowIdx)
+	}
+}
+
+func TestAddRowPadsShortRows(t *testing.T) {
+	tab := New("", "A", "B", "C")
+	tab.AddRow("only")
+	if len(tab.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tab.Rows[0])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := New("x", "A", "B")
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	tab.FprintCSV(&buf)
+	want := "A,B\n1,2\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestNum(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{5, "5"},
+		{1234.6, "1235"},
+		{3.14159, "3.14"},
+		{0.004217, "0.0042"},
+	}
+	for _, c := range cases {
+		if got := Num(c.v); got != c.want {
+			t.Errorf("Num(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestNumSpecials(t *testing.T) {
+	if got := Num(math.NaN()); got != "NaN" {
+		t.Errorf("Num(NaN) = %q", got)
+	}
+	if got := Num(math.Inf(1)); got != "inf" {
+		t.Errorf("Num(+Inf) = %q", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.0 KiB"},
+		{3 << 20, "3.0 MiB"},
+		{5 << 30, "5.0 GiB"},
+	}
+	for _, c := range cases {
+		if got := Bytes(c.v); got != c.want {
+			t.Errorf("Bytes(%d) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestInt(t *testing.T) {
+	if Int(42) != "42" {
+		t.Error("Int broken")
+	}
+}

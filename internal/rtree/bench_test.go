@@ -1,0 +1,42 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTree(b *testing.B, n, dim int) (*Tree, [][]float32) {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	pts := randPoints(r, n, dim)
+	t, err := Build(pts, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t, pts
+}
+
+func BenchmarkBuild50k8d(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := randPoints(r, 50000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(pts, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIteratorFirst100(b *testing.B) {
+	t, pts := benchTree(b, 50000, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := t.NewIterator(pts[i%len(pts)])
+		for j := 0; j < 100; j++ {
+			if _, _, ok := it.Next(); !ok {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randPoints(r *rand.Rand, n, dim int) [][]float32 {
+	pts := make([][]float32, n)
+	for i := range pts {
+		pts[i] = make([]float32, dim)
+		for j := range pts[i] {
+			pts[i][j] = float32(r.NormFloat64() * 10)
+		}
+	}
+	return pts
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Error("empty point set accepted")
+	}
+	if _, err := Build([][]float32{{}}, Options{}); err == nil {
+		t.Error("zero-dim points accepted")
+	}
+	if _, err := Build([][]float32{{1, 2}, {1}}, Options{}); err == nil {
+		t.Error("ragged points accepted")
+	}
+	if _, err := Build([][]float32{{1}, {2}}, Options{Fanout: 1}); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+}
+
+func TestBuildInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 31, 32, 33, 100, 1000} {
+		for _, dim := range []int{1, 2, 8} {
+			tree, err := Build(randPoints(r, n, dim), Options{})
+			if err != nil {
+				t.Fatalf("n=%d dim=%d: %v", n, dim, err)
+			}
+			if err := tree.Validate(); err != nil {
+				t.Fatalf("n=%d dim=%d: %v", n, dim, err)
+			}
+			if tree.Len() != n {
+				t.Fatalf("Len=%d want %d", tree.Len(), n)
+			}
+		}
+	}
+}
+
+func TestIteratorYieldsAllPointsInOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := randPoints(r, 500, 8)
+	tree, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float32, 8)
+	for j := range q {
+		q[j] = float32(r.NormFloat64() * 10)
+	}
+	it := tree.NewIterator(q)
+	var got []float64
+	seen := map[int32]bool{}
+	for {
+		id, d, ok := it.Next()
+		if !ok {
+			break
+		}
+		if seen[id] {
+			t.Fatalf("iterator yielded id %d twice", id)
+		}
+		seen[id] = true
+		got = append(got, d)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("iterator yielded %d points, want %d", len(got), len(pts))
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatal("iterator distances are not ascending")
+	}
+	// Distances must match brute force.
+	want := make([]float64, len(pts))
+	for i, p := range pts {
+		var s float64
+		for j := range p {
+			diff := float64(p[j]) - float64(q[j])
+			s += diff * diff
+		}
+		want[i] = math.Sqrt(s)
+	}
+	sort.Float64s(want)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("rank %d: dist %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIteratorFirstIsNearest(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(300)
+		pts := randPoints(r, n, 4)
+		tree, err := Build(pts, Options{Fanout: 4 + r.Intn(28)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := make([]float32, 4)
+		for j := range q {
+			q[j] = float32(r.NormFloat64() * 10)
+		}
+		it := tree.NewIterator(q)
+		id, d, ok := it.Next()
+		if !ok {
+			t.Fatal("iterator empty")
+		}
+		// Verify against brute force.
+		best := math.Inf(1)
+		bestID := int32(-1)
+		for i, p := range pts {
+			var s float64
+			for j := range p {
+				diff := float64(p[j]) - float64(q[j])
+				s += diff * diff
+			}
+			if s < best {
+				best = s
+				bestID = int32(i)
+			}
+		}
+		if math.Abs(d-math.Sqrt(best)) > 1e-9 {
+			t.Fatalf("nearest dist %v, want %v (got id %d, want %d)", d, math.Sqrt(best), id, bestID)
+		}
+	}
+}
+
+func TestIteratorLazyVisitsFewerNodes(t *testing.T) {
+	// Pulling only the first few neighbors must visit far fewer nodes than a
+	// full drain: that asymmetry is exactly what SRS exploits.
+	r := rand.New(rand.NewSource(4))
+	pts := randPoints(r, 5000, 6)
+	tree, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pts[123]
+	few := tree.NewIterator(q)
+	for i := 0; i < 10; i++ {
+		few.Next()
+	}
+	full := tree.NewIterator(q)
+	for {
+		if _, _, ok := full.Next(); !ok {
+			break
+		}
+	}
+	if few.Stats().NodesVisited*2 > full.Stats().NodesVisited {
+		t.Errorf("lazy scan visited %d nodes vs %d for full drain; not incremental",
+			few.Stats().NodesVisited, full.Stats().NodesVisited)
+	}
+}
+
+func TestIteratorStatsMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pts := randPoints(r, 300, 3)
+	tree, _ := Build(pts, Options{})
+	it := tree.NewIterator(pts[0])
+	prev := it.Stats()
+	for i := 0; i < 100; i++ {
+		if _, _, ok := it.Next(); !ok {
+			break
+		}
+		cur := it.Stats()
+		if cur.NodesVisited < prev.NodesVisited || cur.EntriesScanned < prev.EntriesScanned {
+			t.Fatal("stats decreased")
+		}
+		prev = cur
+	}
+	if prev.NodesVisited == 0 || prev.EntriesScanned == 0 {
+		t.Fatal("stats never incremented")
+	}
+}
+
+func TestMinDistSq(t *testing.T) {
+	box := []float64{0, 0, 1, 1} // unit square, dim=2
+	cases := []struct {
+		q    []float32
+		want float64
+	}{
+		{[]float32{0.5, 0.5}, 0}, // inside
+		{[]float32{0, 0}, 0},     // corner
+		{[]float32{2, 0.5}, 1},   // right
+		{[]float32{-1, -1}, 2},   // diagonal corner
+		{[]float32{0.5, 3}, 4},   // above
+	}
+	for _, c := range cases {
+		if got := minDistSq(c.q, box, 2); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("minDistSq(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSinglePointTree(t *testing.T) {
+	tree, err := Build([][]float32{{1, 2}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := tree.NewIterator([]float32{4, 6})
+	id, d, ok := it.Next()
+	if !ok || id != 0 || math.Abs(d-5) > 1e-9 {
+		t.Fatalf("got (%d,%v,%v), want (0,5,true)", id, d, ok)
+	}
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("iterator should be exhausted")
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := [][]float32{{1, 1}, {1, 1}, {1, 1}, {2, 2}}
+	tree, err := Build(pts, Options{Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := tree.NewIterator([]float32{1, 1})
+	count := 0
+	for {
+		_, d, ok := it.Next()
+		if !ok {
+			break
+		}
+		if count < 3 && d != 0 {
+			t.Fatalf("rank %d dist %v, want 0", count, d)
+		}
+		count++
+	}
+	if count != 4 {
+		t.Fatalf("yielded %d points, want 4", count)
+	}
+}
+
+func TestIteratorPanicsOnDimMismatch(t *testing.T) {
+	tree, _ := Build([][]float32{{1, 2}}, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on query dim mismatch")
+		}
+	}()
+	tree.NewIterator([]float32{1})
+}

@@ -1,0 +1,98 @@
+// Package simclock provides the virtual-time event queue underneath the
+// storage simulator. All experiment timing in this repository is virtual
+// (see DESIGN.md): events carry explicit nanosecond timestamps, execute in
+// timestamp order with deterministic FIFO tie-breaking, and never touch the
+// wall clock.
+package simclock
+
+import "container/heap"
+
+// Time is a virtual timestamp in nanoseconds since the start of a run.
+type Time int64
+
+// Common durations, mirroring the time package for readability.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds converts a virtual duration to float seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts a virtual duration to float microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis converts a virtual duration to float milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a discrete-event executor. The zero value is ready to use.
+// It is not safe for concurrent use: the entire simulation runs on one
+// goroutine, which is what makes runs bit-reproducible.
+type Queue struct {
+	now  Time
+	seq  uint64
+	heap eventHeap
+}
+
+// Now returns the current virtual time.
+func (q *Queue) Now() Time { return q.now }
+
+// Schedule enqueues fn to run at virtual time at. Scheduling in the past
+// (at < Now) is a bug in the caller and panics, because silently reordering
+// time would corrupt device statistics.
+func (q *Queue) Schedule(at Time, fn func()) {
+	if at < q.now {
+		panic("simclock: scheduling into the past")
+	}
+	q.seq++
+	heap.Push(&q.heap, event{at: at, seq: q.seq, fn: fn})
+}
+
+// Pending returns the number of queued events.
+func (q *Queue) Pending() int { return len(q.heap) }
+
+// Step runs the earliest event, advancing Now to its timestamp. It reports
+// whether an event was run.
+func (q *Queue) Step() bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.heap).(event)
+	q.now = e.at
+	e.fn()
+	return true
+}
+
+// Run drains the queue, running events in timestamp order until none remain.
+// Events may schedule further events.
+func (q *Queue) Run() {
+	for q.Step() {
+	}
+}

@@ -1,0 +1,122 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	var got []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		q.Schedule(at, func() { got = append(got, q.Now()) })
+	}
+	q.Run()
+	if len(got) != 5 {
+		t.Fatalf("ran %d events, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events out of order: %v", got)
+		}
+	}
+	if q.Now() != 50 {
+		t.Errorf("final Now = %v, want 50", q.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(100, func() { order = append(order, i) })
+	}
+	q.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	var q Queue
+	count := 0
+	var recur func()
+	recur = func() {
+		count++
+		if count < 5 {
+			q.Schedule(q.Now()+10, recur)
+		}
+	}
+	q.Schedule(0, recur)
+	q.Run()
+	if count != 5 {
+		t.Errorf("ran %d times, want 5", count)
+	}
+	if q.Now() != 40 {
+		t.Errorf("Now = %v, want 40", q.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var q Queue
+	q.Schedule(100, func() {})
+	q.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling into the past did not panic")
+		}
+	}()
+	q.Schedule(50, func() {})
+}
+
+func TestStepAndPending(t *testing.T) {
+	var q Queue
+	if q.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	q.Schedule(1, func() {})
+	q.Schedule(2, func() {})
+	if q.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", q.Pending())
+	}
+	if !q.Step() || q.Pending() != 1 {
+		t.Fatal("Step did not consume one event")
+	}
+}
+
+func TestRandomizedOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var q Queue
+	times := make([]Time, 500)
+	var got []Time
+	for i := range times {
+		times[i] = Time(r.Int63n(100000))
+		at := times[i]
+		q.Schedule(at, func() { got = append(got, at) })
+	}
+	q.Run()
+	want := append([]Time(nil), times...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Second.Seconds() != 1 {
+		t.Error("Second.Seconds() != 1")
+	}
+	if Millisecond.Micros() != 1000 {
+		t.Error("Millisecond.Micros() != 1000")
+	}
+	if (2 * Second).Millis() != 2000 {
+		t.Error("(2s).Millis() != 2000")
+	}
+}

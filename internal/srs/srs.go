@@ -1,0 +1,193 @@
+// Package srs implements the SRS baseline (Sun et al., PVLDB 8(1), 2014) the
+// paper compares against: c-ANNS in high dimensions with a tiny index.
+//
+// SRS projects every database object into a tiny m-dimensional space with
+// p-stable (Gaussian) projections, indexes the projections in an R-tree, and
+// answers a query by scanning projected points in ascending projected
+// distance while verifying true distances, until either T' points have been
+// verified or the chi-square early-termination test fires. The paper runs
+// SRS fully in memory and controls accuracy through T' (§3.3).
+package srs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"e2lshos/internal/ann"
+	"e2lshos/internal/rtree"
+	"e2lshos/internal/vecmath"
+)
+
+// Config carries the SRS parameters used in the paper's evaluation.
+type Config struct {
+	// ProjDim is the projected dimensionality m. The paper found m = 8 works
+	// well across all datasets (§3.3).
+	ProjDim int
+	// C is the approximation ratio. The paper sets c = 4 for SRS, equivalent
+	// to c = 2 in E2LSH (§3.3), since E2LSH solves c²-ANNS.
+	C float64
+	// PTau is the confidence threshold of the early-termination test: stop
+	// when an unseen better-than-d_k/c point would already have been seen
+	// with probability at least PTau.
+	PTau float64
+	// UseEarlyStop enables the chi-square early-termination test. The
+	// experiment harness disables it and drives accuracy purely through the
+	// T' budget, matching §3.3 ("we control the accuracy by varying the
+	// maximum number of data points to be checked").
+	UseEarlyStop bool
+	// Fanout overrides the R-tree fanout; 0 uses the package default.
+	Fanout int
+	// Seed drives projection generation.
+	Seed int64
+}
+
+// DefaultConfig returns the paper-aligned configuration.
+func DefaultConfig() Config {
+	return Config{ProjDim: 8, C: 4, PTau: 0.9, UseEarlyStop: true, Seed: 1}
+}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.ProjDim <= 0:
+		return fmt.Errorf("srs: ProjDim must be positive, got %d", c.ProjDim)
+	case c.C <= 1:
+		return fmt.Errorf("srs: approximation ratio must exceed 1, got %v", c.C)
+	case c.UseEarlyStop && (c.PTau <= 0 || c.PTau >= 1):
+		return fmt.Errorf("srs: PTau must be in (0,1), got %v", c.PTau)
+	}
+	return nil
+}
+
+// Index is a frozen SRS index.
+type Index struct {
+	cfg  Config
+	dim  int
+	data [][]float32
+	// proj holds the projected points, one slab row per object.
+	proj     [][]float32
+	projSlab []float32
+	// a holds the ProjDim projection vectors, flattened.
+	a    []float32
+	tree *rtree.Tree
+}
+
+// Build constructs the SRS index over data.
+func Build(data [][]float32, cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("srs: empty dataset")
+	}
+	dim := len(data[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("srs: zero-dimensional data")
+	}
+	ix := &Index{cfg: cfg, dim: dim, data: data}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ix.a = make([]float32, cfg.ProjDim*dim)
+	for i := range ix.a {
+		ix.a[i] = float32(rng.NormFloat64())
+	}
+	ix.projSlab = make([]float32, len(data)*cfg.ProjDim)
+	ix.proj = make([][]float32, len(data))
+	for i, v := range data {
+		if len(v) != dim {
+			return nil, fmt.Errorf("srs: object %d has dim %d, want %d", i, len(v), dim)
+		}
+		row := ix.projSlab[i*cfg.ProjDim : (i+1)*cfg.ProjDim]
+		ix.project(v, row)
+		ix.proj[i] = row
+	}
+	tree, err := rtree.Build(ix.proj, rtree.Options{Fanout: cfg.Fanout})
+	if err != nil {
+		return nil, err
+	}
+	ix.tree = tree
+	return ix, nil
+}
+
+// project fills out with the ProjDim Gaussian projections of v.
+func (ix *Index) project(v []float32, out []float32) {
+	for j := 0; j < ix.cfg.ProjDim; j++ {
+		out[j] = float32(vecmath.Dot(ix.a[j*ix.dim:(j+1)*ix.dim], v))
+	}
+}
+
+// Config returns the build configuration.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// IndexBytes estimates the DRAM footprint of the SRS index: the projected
+// table plus R-tree nodes. This is the paper's "Index mem" column for SRS
+// (Table 6).
+func (ix *Index) IndexBytes() int64 {
+	projBytes := int64(len(ix.projSlab)) * 4
+	// Per node: flattened box (2*m float64) + children slice (~fanout int32).
+	nodeBytes := int64(ix.tree.NumNodes()) * int64(2*ix.cfg.ProjDim*8+rtree.DefaultFanout*4)
+	return projBytes + nodeBytes
+}
+
+// Stats records the work one query performed, in the units the shared cost
+// model charges for.
+type Stats struct {
+	// NodesVisited counts R-tree nodes expanded.
+	NodesVisited int
+	// EntriesScanned counts projected boxes/points evaluated inside nodes.
+	EntriesScanned int
+	// Checked counts full-dimensional distance verifications.
+	Checked int
+	// EarlyStopped reports whether the chi-square test (rather than the T'
+	// budget or tree exhaustion) ended the scan.
+	EarlyStopped bool
+}
+
+// Search answers a top-k query, verifying at most maxCheck true distances
+// (the paper's T'). maxCheck <= 0 means no budget, scanning until the early
+// termination test fires or the tree is exhausted.
+func (ix *Index) Search(q []float32, k, maxCheck int) (ann.Result, Stats) {
+	if len(q) != ix.dim {
+		panic(fmt.Sprintf("srs: query dim %d, index dim %d", len(q), ix.dim))
+	}
+	var st Stats
+	qProj := make([]float32, ix.cfg.ProjDim)
+	ix.project(q, qProj)
+	it := ix.tree.NewIterator(qProj)
+	topk := ann.NewTopK(k)
+	for {
+		if maxCheck > 0 && st.Checked >= maxCheck {
+			break
+		}
+		id, projDist, ok := it.Next()
+		if !ok {
+			break
+		}
+		d := vecmath.Dist(ix.data[id], q)
+		topk.Push(uint32(id), d)
+		st.Checked++
+		if ix.cfg.UseEarlyStop && topk.Full() && ix.earlyStop(projDist, topk.KthDist()) {
+			st.EarlyStopped = true
+			break
+		}
+	}
+	ts := it.Stats()
+	st.NodesVisited = ts.NodesVisited
+	st.EntriesScanned = ts.EntriesScanned
+	return topk.Result(), st
+}
+
+// earlyStop implements the SRS stopping test: with the projected frontier at
+// projDist and current k-th true distance dk, any unseen object closer than
+// dk/c would already have appeared in the projected scan with probability
+// Ψ_m(c²·projDist²/dk²); stop once that exceeds PTau.
+func (ix *Index) earlyStop(projDist, dk float64) bool {
+	if dk == 0 {
+		return true
+	}
+	if math.IsInf(dk, 1) {
+		return false
+	}
+	x := (ix.cfg.C * projDist / dk)
+	return vecmath.ChiSquareCDF(x*x, ix.cfg.ProjDim) >= ix.cfg.PTau
+}

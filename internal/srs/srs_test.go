@@ -1,0 +1,239 @@
+package srs
+
+import (
+	"testing"
+
+	"e2lshos/internal/ann"
+	"e2lshos/internal/dataset"
+)
+
+func testData(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Generate(dataset.Spec{
+		Name: "srs-test", N: n, Queries: 20, Dim: 32,
+		Clusters: 6, Spread: 0.06, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func buildIndex(t *testing.T, d *dataset.Dataset) *Index {
+	t.Helper()
+	ix, err := Build(d.Vectors, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{ProjDim: 0, C: 4, PTau: 0.9},
+		{ProjDim: 8, C: 1, PTau: 0.9},
+		{ProjDim: 8, C: 4, PTau: 0, UseEarlyStop: true},
+		{ProjDim: 8, C: 4, PTau: 1, UseEarlyStop: true},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, DefaultConfig()); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Build([][]float32{{1, 2}, {1}}, DefaultConfig()); err == nil {
+		t.Error("ragged data accepted")
+	}
+	bad := DefaultConfig()
+	bad.ProjDim = -1
+	if _, err := Build([][]float32{{1, 2}}, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSearchAccuracy(t *testing.T) {
+	d := testData(t, 3000)
+	cfg := DefaultConfig()
+	cfg.UseEarlyStop = false // accuracy driven by T' alone, as in §3.3
+	ix, err := Build(d.Vectors, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := dataset.GroundTruth(d, 1)
+	var sum float64
+	for qi, q := range d.Queries {
+		res, _ := ix.Search(q, 1, 300)
+		if len(res.Neighbors) == 0 {
+			t.Fatalf("query %d returned nothing", qi)
+		}
+		sum += ann.OverallRatio(res, gt[qi], 1)
+	}
+	avg := sum / float64(len(d.Queries))
+	if avg > 1.3 {
+		t.Errorf("SRS average ratio %v too weak for T'=10%% of n", avg)
+	}
+}
+
+func TestAccuracyImprovesWithBudget(t *testing.T) {
+	d := testData(t, 3000)
+	cfg := DefaultConfig()
+	cfg.UseEarlyStop = false
+	ix, err := Build(d.Vectors, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := dataset.GroundTruth(d, 1)
+	ratioAt := func(budget int) float64 {
+		var sum float64
+		for qi, q := range d.Queries {
+			res, _ := ix.Search(q, 1, budget)
+			sum += ann.OverallRatio(res, gt[qi], 1)
+		}
+		return sum / float64(len(d.Queries))
+	}
+	loose := ratioAt(5)
+	tight := ratioAt(1000)
+	if tight > loose+1e-9 {
+		t.Errorf("accuracy did not improve with T': loose=%v tight=%v", loose, tight)
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	d := testData(t, 2000)
+	ix := buildIndex(t, d)
+	for _, budget := range []int{1, 10, 100} {
+		for _, q := range d.Queries[:5] {
+			_, st := ix.Search(q, 1, budget)
+			if st.Checked > budget {
+				t.Fatalf("checked %d exceeds budget %d", st.Checked, budget)
+			}
+		}
+	}
+}
+
+func TestUnboundedSearchIsExact(t *testing.T) {
+	// With no budget, a near-1 approximation ratio and PTau close to 1, the
+	// early-termination test only fires when a better point is nearly
+	// impossible, so answers should be almost exact.
+	d := testData(t, 800)
+	cfg := DefaultConfig()
+	cfg.C = 1.2
+	cfg.PTau = 0.999
+	ix, err := Build(d.Vectors, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := dataset.GroundTruth(d, 1)
+	var sum float64
+	for qi, q := range d.Queries {
+		res, _ := ix.Search(q, 1, 0)
+		sum += ann.OverallRatio(res, gt[qi], 1)
+	}
+	if avg := sum / float64(len(d.Queries)); avg > 1.05 {
+		t.Errorf("near-exhaustive SRS ratio %v, want near 1", avg)
+	}
+}
+
+func TestSelfQueriesExact(t *testing.T) {
+	d := testData(t, 1000)
+	ix := buildIndex(t, d)
+	for i := 0; i < 10; i++ {
+		q := d.Vectors[i*97]
+		res, _ := ix.Search(q, 1, 50)
+		if len(res.Neighbors) == 0 || res.Neighbors[0].Dist != 0 {
+			t.Fatalf("self query %d did not find itself: %+v", i, res.Neighbors)
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	d := testData(t, 1000)
+	ix := buildIndex(t, d)
+	_, st := ix.Search(d.Queries[0], 1, 100)
+	if st.NodesVisited == 0 || st.EntriesScanned == 0 || st.Checked == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+	if st.Checked > 100 {
+		t.Errorf("checked %d beyond budget", st.Checked)
+	}
+}
+
+func TestEarlyStopTriggers(t *testing.T) {
+	// On strongly clustered data with a permissive PTau, self-queries should
+	// stop early rather than exhausting the tree.
+	d := testData(t, 2000)
+	cfg := DefaultConfig()
+	cfg.PTau = 0.5
+	ix, err := Build(d.Vectors, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped := 0
+	for i := 0; i < 10; i++ {
+		_, st := ix.Search(d.Vectors[i*11], 1, 0)
+		if st.EarlyStopped {
+			stopped++
+		}
+	}
+	if stopped == 0 {
+		t.Error("early termination never fired on self queries")
+	}
+}
+
+func TestTopKSortedUnique(t *testing.T) {
+	d := testData(t, 1500)
+	ix := buildIndex(t, d)
+	for _, q := range d.Queries[:5] {
+		res, _ := ix.Search(q, 10, 500)
+		seen := map[uint32]bool{}
+		for i, nb := range res.Neighbors {
+			if seen[nb.ID] {
+				t.Fatal("duplicate neighbor")
+			}
+			seen[nb.ID] = true
+			if i > 0 && nb.Dist < res.Neighbors[i-1].Dist {
+				t.Fatal("not sorted")
+			}
+		}
+	}
+}
+
+func TestIndexBytesSmall(t *testing.T) {
+	// SRS is the small-index method: its index must be a small fraction of
+	// the database size for high-dimensional data.
+	d := testData(t, 5000)
+	ix := buildIndex(t, d)
+	if ix.IndexBytes() <= 0 {
+		t.Fatal("IndexBytes not positive")
+	}
+	if ix.IndexBytes() > d.Bytes() {
+		t.Errorf("SRS index (%d bytes) should be smaller than the 32-d database (%d bytes)",
+			ix.IndexBytes(), d.Bytes())
+	}
+}
+
+func TestDeterministicBuilds(t *testing.T) {
+	d := testData(t, 500)
+	ix1 := buildIndex(t, d)
+	ix2 := buildIndex(t, d)
+	for _, q := range d.Queries {
+		r1, _ := ix1.Search(q, 3, 100)
+		r2, _ := ix2.Search(q, 3, 100)
+		if len(r1.Neighbors) != len(r2.Neighbors) {
+			t.Fatal("nondeterministic result size")
+		}
+		for i := range r1.Neighbors {
+			if r1.Neighbors[i] != r2.Neighbors[i] {
+				t.Fatal("nondeterministic results")
+			}
+		}
+	}
+}

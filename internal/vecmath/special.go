@@ -1,0 +1,192 @@
+package vecmath
+
+import (
+	"math"
+)
+
+// NormalCDF returns Φ(x), the standard normal cumulative distribution
+// function, used by the p-stable collision probability p_w(s).
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalPDF returns the standard normal density at x.
+func NormalPDF(x float64) float64 {
+	return math.Exp(-0.5*x*x) / math.Sqrt(2*math.Pi)
+}
+
+// CollisionProb returns the p-stable LSH collision probability p_w(s): the
+// probability that two points at Euclidean distance s fall in the same bucket
+// of width w under h(o) = ⌊(a·o+b)/w⌋ with a ~ N(0,I). From Datar et al.:
+//
+//	p_w(s) = 1 - 2Φ(-w/s) - (2s/(√(2π)·w))·(1 - exp(-w²/(2s²)))
+//
+// The function is monotonically decreasing in s and increasing in w.
+// CollisionProb(w, 0) = 1 by convention (identical points always collide).
+func CollisionProb(w, s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	if w <= 0 {
+		return 0
+	}
+	t := w / s
+	p := 1 - 2*NormalCDF(-t) - 2/(math.Sqrt(2*math.Pi)*t)*(1-math.Exp(-t*t/2))
+	// Clamp tiny negative values produced by cancellation at t→0.
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// lnGamma is math.Lgamma restricted to positive arguments, ignoring sign.
+func lnGamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// RegIncGammaP returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x)/Γ(a) for a > 0, x ≥ 0. It is the building block of the
+// chi-square CDF used by the SRS early-termination test.
+//
+// The implementation follows the classic series/continued-fraction split: the
+// power series converges quickly for x < a+1, the Lentz continued fraction
+// for x ≥ a+1.
+func RegIncGammaP(a, x float64) float64 {
+	switch {
+	case a <= 0:
+		panic("vecmath: RegIncGammaP requires a > 0")
+	case x < 0:
+		panic("vecmath: RegIncGammaP requires x >= 0")
+	case x == 0:
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+// gammaSeries evaluates P(a,x) by its power series (valid for x < a+1).
+func gammaSeries(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-14
+	)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lnGamma(a))
+}
+
+// gammaContinuedFraction evaluates Q(a,x) = 1-P(a,x) by modified Lentz
+// continued fraction (valid for x ≥ a+1).
+func gammaContinuedFraction(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-14
+		fpmin   = 1e-300
+	)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lnGamma(a)) * h
+}
+
+// ChiSquareCDF returns P(X ≤ x) for a chi-square random variable X with k
+// degrees of freedom. SRS uses it (via the ψ_m function of Sun et al.) to
+// decide when the projected-space search can stop early.
+func ChiSquareCDF(x float64, k int) float64 {
+	if k <= 0 {
+		panic("vecmath: ChiSquareCDF requires k > 0")
+	}
+	if x <= 0 {
+		return 0
+	}
+	return RegIncGammaP(float64(k)/2, x/2)
+}
+
+// Stats accumulates streaming count/mean/min/max statistics without storing
+// the samples. The zero value is ready to use.
+type Stats struct {
+	n          int
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records one sample.
+func (s *Stats) Add(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+	s.sumSq += x * x
+}
+
+// N returns the number of samples recorded.
+func (s *Stats) N() int { return s.n }
+
+// Mean returns the sample mean, or 0 when empty.
+func (s *Stats) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Sum returns the running total of the samples.
+func (s *Stats) Sum() float64 { return s.sum }
+
+// Min returns the smallest sample, or 0 when empty.
+func (s *Stats) Min() float64 { return s.min }
+
+// Max returns the largest sample, or 0 when empty.
+func (s *Stats) Max() float64 { return s.max }
+
+// Variance returns the population variance, or 0 when fewer than two samples
+// were recorded.
+func (s *Stats) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.n) - m*m
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (s *Stats) StdDev() float64 { return math.Sqrt(s.Variance()) }

@@ -1,0 +1,237 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{-6, 9.865876450376946e-10},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); !almostEqual(got, c.want, 1e-10) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoidal integration of the PDF should reproduce the CDF.
+	const step = 1e-3
+	sum := 0.0
+	x := -8.0
+	for x < 2.0 {
+		sum += step * (NormalPDF(x) + NormalPDF(x+step)) / 2
+		x += step
+	}
+	if want := NormalCDF(2); !almostEqual(sum, want, 1e-5) {
+		t.Errorf("integral of PDF = %v, want CDF(2) = %v", sum, want)
+	}
+}
+
+func TestCollisionProbBoundaries(t *testing.T) {
+	if got := CollisionProb(4, 0); got != 1 {
+		t.Errorf("p_w(0) = %v, want 1", got)
+	}
+	if got := CollisionProb(0, 1); got != 0 {
+		t.Errorf("p_0(1) = %v, want 0", got)
+	}
+	if got := CollisionProb(4, 1e9); got > 1e-6 {
+		t.Errorf("p_w(inf) = %v, want ~0", got)
+	}
+}
+
+func TestCollisionProbMonotonicInDistance(t *testing.T) {
+	const w = 4.0
+	prev := 1.0
+	for s := 0.01; s < 50; s *= 1.3 {
+		p := CollisionProb(w, s)
+		if p > prev+1e-12 {
+			t.Fatalf("p_w(s) not monotone decreasing at s=%v: %v > %v", s, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("p_w(%v) = %v out of [0,1]", s, p)
+		}
+		prev = p
+	}
+}
+
+func TestCollisionProbMonotonicInWidth(t *testing.T) {
+	const s = 1.0
+	prev := 0.0
+	for w := 0.1; w < 100; w *= 1.5 {
+		p := CollisionProb(w, s)
+		if p < prev-1e-12 {
+			t.Fatalf("p_w(s) not monotone increasing in w at w=%v", w)
+		}
+		prev = p
+	}
+}
+
+func TestCollisionProbScaleInvariance(t *testing.T) {
+	// p depends only on the ratio w/s.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		w := 0.1 + 10*r.Float64()
+		s := 0.1 + 10*r.Float64()
+		k := 0.1 + 10*r.Float64()
+		if p1, p2 := CollisionProb(w, s), CollisionProb(k*w, k*s); !almostEqual(p1, p2, 1e-10) {
+			t.Fatalf("scale invariance violated: p(%v,%v)=%v p(%v,%v)=%v", w, s, p1, k*w, k*s, p2)
+		}
+	}
+}
+
+func TestCollisionProbMatchesMonteCarlo(t *testing.T) {
+	// Empirical check of the analytic formula against simulation.
+	r := rand.New(rand.NewSource(8))
+	const (
+		w      = 4.0
+		trials = 200000
+	)
+	for _, s := range []float64{0.5, 1, 2, 4, 8} {
+		hits := 0
+		for i := 0; i < trials; i++ {
+			// 1-D projection of two points at distance s: the projected gap is
+			// a·s where a ~ N(0,1); the offset b ~ U[0,w).
+			proj := r.NormFloat64() * s
+			b := r.Float64() * w
+			if math.Floor(b/w) == math.Floor((proj+b)/w) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		want := CollisionProb(w, s)
+		if math.Abs(got-want) > 0.006 {
+			t.Errorf("s=%v: Monte Carlo %v vs analytic %v", s, got, want)
+		}
+	}
+}
+
+func TestRegIncGammaPKnownValues(t *testing.T) {
+	cases := []struct {
+		a, x, want float64
+	}{
+		{1, 1, 1 - math.Exp(-1)}, // P(1,x) = 1-e^{-x}
+		{1, 5, 1 - math.Exp(-5)},
+		{0.5, 0.5, math.Erf(math.Sqrt(0.5))}, // P(1/2,x) = erf(√x)
+		{2, 2, 1 - math.Exp(-2)*(1+2)},       // P(2,x) = 1-e^{-x}(1+x)
+		{10, 10, 0.5420702855281478},
+	}
+	for _, c := range cases {
+		if got := RegIncGammaP(c.a, c.x); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("P(%v,%v) = %v, want %v", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegIncGammaPRange(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		a := 0.1 + 20*r.Float64()
+		x := 25 * r.Float64()
+		p := RegIncGammaP(a, x)
+		if p < 0 || p > 1 {
+			t.Fatalf("P(%v,%v) = %v out of [0,1]", a, x, p)
+		}
+	}
+}
+
+func TestRegIncGammaPMonotonic(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 3, 8} {
+		prev := 0.0
+		for x := 0.0; x < 30; x += 0.25 {
+			p := RegIncGammaP(a, x)
+			if p < prev-1e-12 {
+				t.Fatalf("P(%v,·) not monotone at x=%v", a, x)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		x    float64
+		k    int
+		want float64
+	}{
+		{0, 1, 0},
+		{1, 1, 0.6826894921370859},   // within 1 sigma
+		{3.841458820694124, 1, 0.95}, // 95% quantile, 1 dof
+		{2, 2, 1 - math.Exp(-1)},     // chi2(2) is Exp(1/2)
+		{15.507313055865453, 8, 0.95},
+	}
+	for _, c := range cases {
+		if got := ChiSquareCDF(c.x, c.k); !almostEqual(got, c.want, 1e-8) {
+			t.Errorf("ChiSquareCDF(%v,%d) = %v, want %v", c.x, c.k, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareCDFMatchesMonteCarlo(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	const trials = 100000
+	for _, k := range []int{1, 2, 8} {
+		for _, x := range []float64{0.5, 2, 8} {
+			hits := 0
+			for i := 0; i < trials; i++ {
+				var sum float64
+				for j := 0; j < k; j++ {
+					z := r.NormFloat64()
+					sum += z * z
+				}
+				if sum <= x {
+					hits++
+				}
+			}
+			got := float64(hits) / trials
+			want := ChiSquareCDF(x, k)
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("k=%d x=%v: Monte Carlo %v vs analytic %v", k, x, got, want)
+			}
+		}
+	}
+}
+
+func TestChiSquareCDFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ChiSquareCDF did not panic on k=0")
+		}
+	}()
+	ChiSquareCDF(1, 0)
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	if s.Mean() != 0 || s.N() != 0 || s.Variance() != 0 {
+		t.Fatal("zero-value Stats should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if !almostEqual(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	if !almostEqual(s.Variance(), 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", s.Variance())
+	}
+	if !almostEqual(s.StdDev(), 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if !almostEqual(s.Sum(), 40, 1e-12) {
+		t.Errorf("Sum = %v, want 40", s.Sum())
+	}
+}

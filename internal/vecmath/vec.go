@@ -1,0 +1,135 @@
+// Package vecmath provides the numeric kernels shared by every index in the
+// repository: float32 vector operations (dot product, squared Euclidean
+// distance) and the special functions needed by LSH parameter derivation and
+// the SRS early-termination test (normal CDF, incomplete gamma, chi-square
+// CDF).
+//
+// The paper accelerates these kernels with AVX-512; this package substitutes
+// manually unrolled pure-Go loops (see DESIGN.md, substitutions table). The
+// unrolling is worth roughly 2x over a naive loop and keeps the kernels free
+// of bounds checks in the hot path.
+package vecmath
+
+import "math"
+
+// Dot returns the dot product of a and b. The two vectors must have the same
+// length; Dot panics otherwise, since a length mismatch is always a caller
+// bug rather than a runtime condition.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: Dot length mismatch")
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		s0 += float64(x[0]) * float64(y[0])
+		s1 += float64(x[1]) * float64(y[1])
+		s2 += float64(x[2]) * float64(y[2])
+		s3 += float64(x[3]) * float64(y[3])
+	}
+	for ; i < len(a); i++ {
+		s0 += float64(a[i]) * float64(b[i])
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// SqDist returns the squared Euclidean distance between a and b. It panics on
+// length mismatch for the same reason as Dot.
+func SqDist(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: SqDist length mismatch")
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		d0 := float64(x[0]) - float64(y[0])
+		d1 := float64(x[1]) - float64(y[1])
+		d2 := float64(x[2]) - float64(y[2])
+		d3 := float64(x[3]) - float64(y[3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := float64(a[i]) - float64(b[i])
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float32) float64 {
+	return math.Sqrt(SqDist(a, b))
+}
+
+// SqDistBounded computes the squared Euclidean distance between a and b but
+// abandons the computation and returns (bound, false) as soon as the partial
+// sum exceeds bound. Exact search and candidate verification use it to skip
+// the tail of clearly-too-far points.
+func SqDistBounded(a, b []float32, bound float64) (float64, bool) {
+	if len(a) != len(b) {
+		panic("vecmath: SqDistBounded length mismatch")
+	}
+	var s float64
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		x := a[i : i+8 : i+8]
+		y := b[i : i+8 : i+8]
+		for j := 0; j < 8; j++ {
+			d := float64(x[j]) - float64(y[j])
+			s += d * d
+		}
+		if s > bound {
+			return s, false
+		}
+	}
+	for ; i < len(a); i++ {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s, s <= bound
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float32) float64 {
+	return math.Sqrt(Dot(a, a))
+}
+
+// Scale multiplies every element of a by s in place.
+func Scale(a []float32, s float32) {
+	for i := range a {
+		a[i] *= s
+	}
+}
+
+// AddScaled adds s*b to a element-wise in place. The vectors must have the
+// same length.
+func AddScaled(a, b []float32, s float32) {
+	if len(a) != len(b) {
+		panic("vecmath: AddScaled length mismatch")
+	}
+	for i := range a {
+		a[i] += s * b[i]
+	}
+}
+
+// MaxAbs returns the largest absolute coordinate value in the vector set,
+// i.e. the x_max of the paper's R_max = 2·x_max·√d bound. It returns 0 for an
+// empty set.
+func MaxAbs(vectors [][]float32) float64 {
+	var m float64
+	for _, v := range vectors {
+		for _, x := range v {
+			ax := math.Abs(float64(x))
+			if ax > m {
+				m = ax
+			}
+		}
+	}
+	return m
+}
