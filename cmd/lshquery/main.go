@@ -1,6 +1,7 @@
 // Command lshquery builds (or loads) an E2LSHoS index over a dataset file
-// and answers its query set, reporting per-query neighbors and the overall
-// ratio against exact ground truth.
+// and answers its query set, reporting per-query neighbors, the overall
+// ratio against exact ground truth, and the batch's I/O statistics.
+// Ctrl-C cancels an in-flight batch cleanly.
 //
 // Usage:
 //
@@ -9,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"e2lshos"
@@ -26,6 +29,7 @@ func main() {
 		fanout   = flag.Int("fanout", 16, "concurrent reads per query")
 		sigma    = flag.Float64("sigma", 8, "candidate budget multiplier (accuracy knob)")
 		maxQ     = flag.Int("queries", 10, "queries to answer (0 = all)")
+		workers  = flag.Int("workers", 0, "batch worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -33,6 +37,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lshquery: -data is required")
 		os.Exit(2)
 	}
+	if *k < 1 {
+		fmt.Fprintln(os.Stderr, "lshquery: -k must be at least 1")
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	ds, err := dataset.LoadFile(*dataPath)
 	if err != nil {
 		fail(err)
@@ -70,21 +81,28 @@ func main() {
 		nq = *maxQ
 	}
 	gt := e2lshos.GroundTruth(ds.Subset(ds.N()), *k)
-	var ratioSum float64
 	start := time.Now()
-	for qi := 0; qi < nq; qi++ {
-		res, err := ix.Search(ds.Queries[qi], *k, *fanout)
-		if err != nil {
-			fail(err)
-		}
+	results, stats, err := ix.BatchSearch(ctx, ds.Queries[:nq],
+		e2lshos.WithK(*k), e2lshos.WithFanout(*fanout), e2lshos.WithWorkers(*workers))
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+
+	var ratioSum float64
+	for qi, res := range results {
 		ratio := e2lshos.OverallRatio(res, gt[qi], *k)
 		ratioSum += ratio
 		fmt.Printf("query %d: ratio %.4f, nearest id %v\n", qi, ratio, res.IDs())
 	}
-	elapsed := time.Since(start)
 	fmt.Printf("answered %d queries in %v (%.2f ms/query), mean overall ratio %.4f\n",
 		nq, elapsed.Round(time.Millisecond),
 		float64(elapsed.Milliseconds())/float64(nq), ratioSum/float64(nq))
+	fmt.Printf("per query: %.1f radii, %.1f I/Os (%.1f table + %.1f bucket), %.1f candidates checked\n",
+		stats.MeanRadii(), stats.MeanIOs(),
+		float64(stats.TableIOs)/float64(stats.Queries),
+		float64(stats.BucketIOs)/float64(stats.Queries),
+		stats.MeanChecked())
 }
 
 func fail(err error) {

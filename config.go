@@ -1,0 +1,115 @@
+package e2lshos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"e2lshos/internal/ann"
+	"e2lshos/internal/lsh"
+)
+
+// Config selects the E2LSH algorithm parameters (§3.3). The zero value
+// selects paper-aligned defaults for every field.
+type Config struct {
+	// C is the per-radius approximation ratio (default 2; the overall
+	// guarantee is c²-ANNS).
+	C float64
+	// W is the bucket width at radius 1 (default 4).
+	W float64
+	// Rho is the index growth exponent: L = n^Rho compound hashes
+	// (default 0.22). Larger means a bigger index and better accuracy.
+	Rho float64
+	// Gamma scales the hash functions per compound hash (default 1).
+	Gamma float64
+	// Sigma scales the per-radius candidate budget S = Sigma·L (default 2).
+	// It is the main accuracy knob and needs no rebuild; override per query
+	// with the WithBudget search option.
+	Sigma float64
+	// RMin and RMax bound the search radius ladder. Zero means estimate
+	// RMin from sampled nearest-neighbor distances and RMax from the
+	// coordinate extent (R_max = 2·x_max·√d).
+	RMin, RMax float64
+	// Seed drives hash function generation (default 1).
+	Seed int64
+	// TableBits is E2LSHoS's u (hash bits consumed by the on-storage table);
+	// zero selects automatically.
+	TableBits uint
+}
+
+// derive resolves defaults and produces the internal parameter set.
+func (c Config) derive(data [][]float32) (lsh.Params, int64, uint, error) {
+	if len(data) == 0 {
+		return lsh.Params{}, 0, 0, fmt.Errorf("e2lshos: empty dataset")
+	}
+	cfg := lsh.DefaultConfig()
+	if c.C != 0 {
+		cfg.C = c.C
+	}
+	if c.W != 0 {
+		cfg.W = c.W
+	}
+	if c.Rho != 0 {
+		cfg.Rho = c.Rho
+	}
+	if c.Gamma != 0 {
+		cfg.Gamma = c.Gamma
+	}
+	if c.Sigma != 0 {
+		cfg.Sigma = c.Sigma
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rmin := c.RMin
+	if rmin == 0 {
+		rmin = estimateRMin(data, seed)
+	}
+	rmax := c.RMax
+	if rmax == 0 {
+		rmax = lsh.MaxRadius(maxAbs(data), len(data[0]))
+	}
+	p, err := lsh.Derive(cfg, len(data), len(data[0]), rmin, rmax)
+	return p, seed, c.TableBits, err
+}
+
+// estimateRMin samples nearest-neighbor distances within the dataset and
+// returns a low quantile, the starting radius of the ladder.
+func estimateRMin(data [][]float32, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	samples := 30
+	if samples > len(data) {
+		samples = len(data)
+	}
+	dists := make([]float64, 0, samples)
+	for i := 0; i < samples; i++ {
+		q := data[rng.Intn(len(data))]
+		res := ann.BruteForce(data, q, 2)
+		// Rank 0 is the point itself (distance 0); rank 1 is its NN.
+		if len(res.Neighbors) > 1 && res.Neighbors[1].Dist > 0 {
+			dists = append(dists, res.Neighbors[1].Dist)
+		}
+	}
+	if len(dists) == 0 {
+		return 1
+	}
+	sort.Float64s(dists)
+	return dists[len(dists)/20] // 5th percentile
+}
+
+func maxAbs(vecs [][]float32) float64 {
+	var m float64
+	for _, v := range vecs {
+		for _, x := range v {
+			ax := float64(x)
+			if ax < 0 {
+				ax = -ax
+			}
+			if ax > m {
+				m = ax
+			}
+		}
+	}
+	return m
+}

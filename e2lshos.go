@@ -3,7 +3,8 @@
 // approximate nearest neighbor search with its large hash index held in
 // external memory and queried with asynchronous reads.
 //
-// The package exposes four search engines over the same p-stable LSH core:
+// The package exposes four search engines over the same p-stable LSH core,
+// all satisfying the single Engine interface:
 //
 //   - InMemoryIndex: the original E2LSH algorithm, everything on DRAM.
 //   - StorageIndex: E2LSHoS — 512-byte bucket blocks, on-storage hash
@@ -13,30 +14,28 @@
 //   - SRSIndex and QALSHIndex: the small-index baselines the paper compares
 //     against.
 //
+// Every engine answers queries through
+//
+//	Search(ctx, q, opts...) (Result, Stats, error)
+//	BatchSearch(ctx, queries, opts...) ([]Result, Stats, error)
+//
+// where the functional options (WithK, WithBudget, WithFanout,
+// WithMultiProbe, WithWorkers) carry the per-query knobs that used to be
+// positional arguments, Stats surfaces the paper's N_IO / candidate /
+// radius-ladder counters, and ctx cancels in-flight work between radius
+// rounds.
+//
 // It also exposes the paper's full experiment harness (RunExperiment) and
 // synthetic clones of its eight evaluation datasets. See README.md for a
 // tour and DESIGN.md for the architecture.
 package e2lshos
 
 import (
-	"fmt"
 	"io"
-	"math/rand"
-	"sort"
 
 	"e2lshos/internal/ann"
-	"e2lshos/internal/blockstore"
-	"e2lshos/internal/costmodel"
 	"e2lshos/internal/dataset"
-	"e2lshos/internal/diskindex"
 	"e2lshos/internal/experiments"
-	"e2lshos/internal/iosim"
-	"e2lshos/internal/lsh"
-	"e2lshos/internal/memindex"
-	"e2lshos/internal/qalsh"
-	"e2lshos/internal/sched"
-	"e2lshos/internal/simclock"
-	"e2lshos/internal/srs"
 )
 
 // Neighbor is one returned neighbor: object ID and Euclidean distance.
@@ -86,418 +85,6 @@ func OverallRatio(got, exact Result, k int) float64 { return ann.OverallRatio(go
 
 // Recall returns |returned ∩ exact top-k| / k.
 func Recall(got, exact Result, k int) float64 { return ann.Recall(got, exact, k) }
-
-// Config selects the E2LSH algorithm parameters (§3.3). The zero value
-// selects paper-aligned defaults for every field.
-type Config struct {
-	// C is the per-radius approximation ratio (default 2; the overall
-	// guarantee is c²-ANNS).
-	C float64
-	// W is the bucket width at radius 1 (default 4).
-	W float64
-	// Rho is the index growth exponent: L = n^Rho compound hashes
-	// (default 0.22). Larger means a bigger index and better accuracy.
-	Rho float64
-	// Gamma scales the hash functions per compound hash (default 1).
-	Gamma float64
-	// Sigma scales the per-radius candidate budget S = Sigma·L (default 2).
-	// It is the main accuracy knob and needs no rebuild (see WithBudget).
-	Sigma float64
-	// RMin and RMax bound the search radius ladder. Zero means estimate
-	// RMin from sampled nearest-neighbor distances and RMax from the
-	// coordinate extent (R_max = 2·x_max·√d).
-	RMin, RMax float64
-	// Seed drives hash function generation (default 1).
-	Seed int64
-	// TableBits is E2LSHoS's u (hash bits consumed by the on-storage table);
-	// zero selects automatically.
-	TableBits uint
-}
-
-// derive resolves defaults and produces the internal parameter set.
-func (c Config) derive(data [][]float32) (lsh.Params, int64, uint, error) {
-	if len(data) == 0 {
-		return lsh.Params{}, 0, 0, fmt.Errorf("e2lshos: empty dataset")
-	}
-	cfg := lsh.DefaultConfig()
-	if c.C != 0 {
-		cfg.C = c.C
-	}
-	if c.W != 0 {
-		cfg.W = c.W
-	}
-	if c.Rho != 0 {
-		cfg.Rho = c.Rho
-	}
-	if c.Gamma != 0 {
-		cfg.Gamma = c.Gamma
-	}
-	if c.Sigma != 0 {
-		cfg.Sigma = c.Sigma
-	}
-	seed := c.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	rmin := c.RMin
-	if rmin == 0 {
-		rmin = estimateRMin(data, seed)
-	}
-	rmax := c.RMax
-	if rmax == 0 {
-		var vecs [][]float32 = data
-		rmax = lsh.MaxRadius(maxAbs(vecs), len(data[0]))
-	}
-	p, err := lsh.Derive(cfg, len(data), len(data[0]), rmin, rmax)
-	return p, seed, c.TableBits, err
-}
-
-// estimateRMin samples nearest-neighbor distances within the dataset and
-// returns a low quantile, the starting radius of the ladder.
-func estimateRMin(data [][]float32, seed int64) float64 {
-	rng := rand.New(rand.NewSource(seed))
-	samples := 30
-	if samples > len(data) {
-		samples = len(data)
-	}
-	dists := make([]float64, 0, samples)
-	for i := 0; i < samples; i++ {
-		q := data[rng.Intn(len(data))]
-		res := ann.BruteForce(data, q, 2)
-		// Rank 0 is the point itself (distance 0); rank 1 is its NN.
-		if len(res.Neighbors) > 1 && res.Neighbors[1].Dist > 0 {
-			dists = append(dists, res.Neighbors[1].Dist)
-		}
-	}
-	if len(dists) == 0 {
-		return 1
-	}
-	sort.Float64s(dists)
-	return dists[len(dists)/20] // 5th percentile
-}
-
-func maxAbs(vecs [][]float32) float64 {
-	var m float64
-	for _, v := range vecs {
-		for _, x := range v {
-			ax := float64(x)
-			if ax < 0 {
-				ax = -ax
-			}
-			if ax > m {
-				m = ax
-			}
-		}
-	}
-	return m
-}
-
-// InMemoryIndex is classic in-memory E2LSH.
-type InMemoryIndex struct {
-	ix *memindex.Index
-}
-
-// NewInMemoryIndex builds an in-memory E2LSH index over data.
-func NewInMemoryIndex(data [][]float32, cfg Config) (*InMemoryIndex, error) {
-	p, seed, _, err := cfg.derive(data)
-	if err != nil {
-		return nil, err
-	}
-	ix, err := memindex.Build(data, p, memindex.Options{ShareProjections: true, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	return &InMemoryIndex{ix: ix}, nil
-}
-
-// Search answers a top-k c²-ANNS query.
-func (m *InMemoryIndex) Search(q []float32, k int) Result {
-	res, _ := m.ix.NewSearcher().Search(q, k)
-	return res
-}
-
-// Searcher returns a reusable single-goroutine searcher (faster than Search
-// for query batches; create one per worker goroutine).
-func (m *InMemoryIndex) Searcher() *InMemorySearcher {
-	return &InMemorySearcher{s: m.ix.NewSearcher()}
-}
-
-// InMemorySearcher is a per-goroutine query context over an InMemoryIndex.
-type InMemorySearcher struct {
-	s *memindex.Searcher
-}
-
-// Search answers a top-k query.
-func (s *InMemorySearcher) Search(q []float32, k int) Result {
-	res, _ := s.s.Search(q, k)
-	return res
-}
-
-// IndexBytes reports the DRAM footprint of the hash index.
-func (m *InMemoryIndex) IndexBytes() int64 { return m.ix.IndexBytes() }
-
-// WithBudget returns a view with candidate budget s (accuracy knob, no
-// rebuild).
-func (m *InMemoryIndex) WithBudget(s int) *InMemoryIndex {
-	return &InMemoryIndex{ix: m.ix.WithBudget(s)}
-}
-
-// StorageIndex is E2LSHoS: the hash index on (real or simulated) storage.
-type StorageIndex struct {
-	ix *diskindex.Index
-}
-
-// NewStorageIndex builds an E2LSHoS index over data into an in-memory block
-// store (persist with SaveFile).
-func NewStorageIndex(data [][]float32, cfg Config) (*StorageIndex, error) {
-	p, seed, tableBits, err := cfg.derive(data)
-	if err != nil {
-		return nil, err
-	}
-	ix, err := diskindex.Build(data, p, diskindex.Options{
-		ShareProjections: true, Seed: seed, TableBits: tableBits,
-	}, blockstore.NewMem())
-	if err != nil {
-		return nil, err
-	}
-	return &StorageIndex{ix: ix}, nil
-}
-
-// SaveFile persists the index (metadata and blocks) to the named file.
-func (s *StorageIndex) SaveFile(path string) error { return s.ix.SaveFile(path) }
-
-// OpenStorageIndex loads an index persisted by SaveFile. data must be the
-// vectors the index was built over (the database itself stays on DRAM, as
-// in the paper).
-func OpenStorageIndex(path string, data [][]float32) (*StorageIndex, error) {
-	ix, err := diskindex.LoadFile(path, data)
-	if err != nil {
-		return nil, err
-	}
-	return &StorageIndex{ix: ix}, nil
-}
-
-// Search answers a top-k query with a concurrent fan-out of the given width
-// (≥1); width 8–32 approximates the paper's deep device queues.
-func (s *StorageIndex) Search(q []float32, k, fanout int) (Result, error) {
-	ps, err := s.ix.NewParallelSearcher(fanout)
-	if err != nil {
-		return Result{}, err
-	}
-	res, _, err := ps.Search(q, k)
-	return res, err
-}
-
-// StorageBytes reports the on-storage index size.
-func (s *StorageIndex) StorageBytes() int64 { return s.ix.StorageBytes() }
-
-// MemBytes reports the DRAM metadata footprint (bitmaps, table addresses,
-// hash functions).
-func (s *StorageIndex) MemBytes() int64 { return s.ix.MemBytes() }
-
-// WithBudget returns a view with candidate budget s (accuracy knob, no
-// rebuild).
-func (s *StorageIndex) WithBudget(budget int) *StorageIndex {
-	return &StorageIndex{ix: s.ix.WithBudget(budget)}
-}
-
-// Insert adds one vector online (one head-block write per bucket, no
-// rebuild) and returns its object ID. Fails once the index's ID space is
-// exhausted. Not safe concurrently with searches.
-func (s *StorageIndex) Insert(v []float32) (uint32, error) { return s.ix.Insert(v) }
-
-// Delete removes an object online, reporting whether any index entry was
-// removed. Vacated blocks are not reclaimed (lazy deletion); rebuild to
-// compact. Not safe concurrently with searches.
-func (s *StorageIndex) Delete(id uint32) (bool, error) { return s.ix.Delete(id) }
-
-// DeviceModel names a simulated storage device (Table 2).
-type DeviceModel int
-
-// The paper's device models.
-const (
-	ConsumerSSD DeviceModel = iota // 7.2 kIOPS QD1 / 273 kIOPS QD128
-	EnterpriseSSD
-	XLFlashDrive
-	HardDisk
-)
-
-func (d DeviceModel) spec() (iosim.DeviceSpec, error) {
-	switch d {
-	case ConsumerSSD:
-		return iosim.CSSD, nil
-	case EnterpriseSSD:
-		return iosim.ESSD, nil
-	case XLFlashDrive:
-		return iosim.XLFDD, nil
-	case HardDisk:
-		return iosim.HDD, nil
-	}
-	return iosim.DeviceSpec{}, fmt.Errorf("e2lshos: unknown device model %d", d)
-}
-
-// Interface names a simulated host I/O interface (Table 3).
-type Interface int
-
-// The paper's host interfaces.
-const (
-	IOUring        Interface = iota // 1 µs CPU per request
-	SPDK                            // 350 ns
-	XLFDDInterface                  // 50 ns
-)
-
-func (i Interface) spec() (iosim.InterfaceSpec, error) {
-	switch i {
-	case IOUring:
-		return iosim.IOUring, nil
-	case SPDK:
-		return iosim.SPDK, nil
-	case XLFDDInterface:
-		return iosim.XLFDDLink, nil
-	}
-	return iosim.InterfaceSpec{}, fmt.Errorf("e2lshos: unknown interface %d", i)
-}
-
-// SimulationConfig describes a virtual-time batch run (§4.1's model made
-// executable).
-type SimulationConfig struct {
-	Device  DeviceModel
-	Devices int // number of drives (Table 5); default 1
-	Iface   Interface
-	Threads int // virtual CPU cores; default 1
-	K       int // top-k; default 1
-}
-
-// SimulationReport summarizes a virtual-time batch.
-type SimulationReport struct {
-	// QueryTimeMS is the average per-query time in virtual milliseconds.
-	QueryTimeMS float64
-	// QueriesPerSecond is the virtual throughput.
-	QueriesPerSecond float64
-	// ObservedKIOPS is the device-side random read rate.
-	ObservedKIOPS float64
-	// IOCostMS and ComputeMS decompose the per-query CPU time (Fig 12).
-	IOCostMS, ComputeMS float64
-	// MeanIOsPerQuery is the paper's N_IO.
-	MeanIOsPerQuery float64
-	// Results are the per-query answers.
-	Results []Result
-}
-
-// Simulate runs the batch of queries against the simulated storage stack and
-// reports virtual-time performance: the tool behind the paper's §4 analysis
-// and §6 evaluation, usable for capacity planning before buying hardware.
-func (s *StorageIndex) Simulate(queries [][]float32, cfg SimulationConfig) (*SimulationReport, error) {
-	if len(queries) == 0 {
-		return nil, fmt.Errorf("e2lshos: no queries")
-	}
-	devSpec, err := cfg.Device.spec()
-	if err != nil {
-		return nil, err
-	}
-	ifSpec, err := cfg.Iface.spec()
-	if err != nil {
-		return nil, err
-	}
-	devices := cfg.Devices
-	if devices == 0 {
-		devices = 1
-	}
-	threads := cfg.Threads
-	if threads == 0 {
-		threads = 1
-	}
-	k := cfg.K
-	if k == 0 {
-		k = 1
-	}
-	pool, err := iosim.NewPool(devSpec, devices)
-	if err != nil {
-		return nil, err
-	}
-	eng, err := sched.New(sched.Config{CPUs: threads, Iface: ifSpec, Pool: pool, Store: s.ix.Store()})
-	if err != nil {
-		return nil, err
-	}
-	results := make([]diskindex.AsyncResult, len(queries))
-	rep, err := eng.RunBatch(len(queries), 32, s.ix.AsyncQueryFunc(costmodel.Default(), queries, k, results))
-	if err != nil {
-		return nil, err
-	}
-	out := &SimulationReport{
-		QueryTimeMS:      rep.TimePerQuery().Millis(),
-		QueriesPerSecond: rep.QueriesPerSecond(),
-		ObservedKIOPS:    rep.ObservedIOPS() / 1000,
-		IOCostMS:         simclock.Time(int64(rep.IOOverhead) / int64(rep.Queries)).Millis(),
-		ComputeMS:        simclock.Time(int64(rep.Compute) / int64(rep.Queries)).Millis(),
-		MeanIOsPerQuery:  float64(rep.IOs) / float64(rep.Queries),
-	}
-	for _, r := range results {
-		out.Results = append(out.Results, r.Result)
-	}
-	return out, nil
-}
-
-// SRSIndex is the SRS small-index baseline (in-memory).
-type SRSIndex struct {
-	ix *srs.Index
-}
-
-// NewSRSIndex builds an SRS index over data. seed 0 means 1.
-func NewSRSIndex(data [][]float32, seed int64) (*SRSIndex, error) {
-	cfg := srs.DefaultConfig()
-	if seed != 0 {
-		cfg.Seed = seed
-	}
-	ix, err := srs.Build(data, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &SRSIndex{ix: ix}, nil
-}
-
-// Search answers a top-k query verifying at most budget candidates (the
-// paper's T'); budget <= 0 scans until the early-termination test fires.
-func (s *SRSIndex) Search(q []float32, k, budget int) Result {
-	res, _ := s.ix.Search(q, k, budget)
-	return res
-}
-
-// IndexBytes reports the (small) index footprint.
-func (s *SRSIndex) IndexBytes() int64 { return s.ix.IndexBytes() }
-
-// QALSHIndex is the QALSH small-index baseline (in-memory).
-type QALSHIndex struct {
-	ix *qalsh.Index
-}
-
-// NewQALSHIndex builds a QALSH index over data with approximation ratio c
-// (its accuracy knob; 0 means 2). rmin/rmax follow Config semantics.
-func NewQALSHIndex(data [][]float32, c float64, seed int64) (*QALSHIndex, error) {
-	cfg := qalsh.DefaultConfig()
-	if c != 0 {
-		cfg.C = c
-	}
-	if seed != 0 {
-		cfg.Seed = seed
-	}
-	if len(data) == 0 {
-		return nil, fmt.Errorf("e2lshos: empty dataset")
-	}
-	rmin := estimateRMin(data, cfg.Seed)
-	rmax := lsh.MaxRadius(maxAbs(data), len(data[0]))
-	ix, err := qalsh.Build(data, cfg, rmin, rmax)
-	if err != nil {
-		return nil, err
-	}
-	return &QALSHIndex{ix: ix}, nil
-}
-
-// Search answers a top-k query.
-func (s *QALSHIndex) Search(q []float32, k int) Result {
-	res, _ := s.ix.NewSearcher().Search(q, k)
-	return res
-}
 
 // ExperimentOptions scale the paper reproduction harness.
 type ExperimentOptions struct {

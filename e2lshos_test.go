@@ -2,6 +2,7 @@ package e2lshos
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -20,6 +21,7 @@ func facadeDataset(t *testing.T) *Dataset {
 }
 
 func TestInMemoryIndexEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	d := facadeDataset(t)
 	ix, err := NewInMemoryIndex(d.Vectors, Config{})
 	if err != nil {
@@ -28,7 +30,13 @@ func TestInMemoryIndexEndToEnd(t *testing.T) {
 	gt := GroundTruth(d, 1)
 	var sum float64
 	for qi, q := range d.Queries {
-		res := ix.Search(q, 1)
+		res, st, err := ix.Search(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Queries != 1 || st.Radii == 0 {
+			t.Errorf("query %d: implausible stats %+v", qi, st)
+		}
 		sum += OverallRatio(res, gt[qi], 1)
 	}
 	if avg := sum / float64(d.NQ()); avg > 1.6 {
@@ -37,24 +45,31 @@ func TestInMemoryIndexEndToEnd(t *testing.T) {
 	if ix.IndexBytes() <= 0 {
 		t.Error("IndexBytes not positive")
 	}
-	s := ix.Searcher()
-	if res := s.Search(d.Queries[0], 3); len(res.Neighbors) == 0 {
-		t.Error("searcher found nothing")
+	res, _, err := ix.Search(ctx, d.Queries[0], WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) == 0 {
+		t.Error("top-3 search found nothing")
 	}
 }
 
 func TestStorageIndexEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	d := facadeDataset(t)
 	ix, err := NewStorageIndex(d.Vectors, Config{Sigma: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ix.Search(d.Queries[0], 3, 8)
+	res, st, err := ix.Search(ctx, d.Queries[0], WithK(3), WithFanout(8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Neighbors) == 0 {
 		t.Fatal("storage search found nothing")
+	}
+	if st.IOs() == 0 || st.TableIOs == 0 {
+		t.Errorf("storage search reported no I/O: %+v", st)
 	}
 	if ix.StorageBytes() <= 0 || ix.MemBytes() <= 0 {
 		t.Error("size accounting broken")
@@ -65,6 +80,7 @@ func TestStorageIndexEndToEnd(t *testing.T) {
 }
 
 func TestStorageIndexPersistence(t *testing.T) {
+	ctx := context.Background()
 	d := facadeDataset(t)
 	ix, err := NewStorageIndex(d.Vectors, Config{Sigma: 16})
 	if err != nil {
@@ -78,11 +94,12 @@ func TestStorageIndexPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ix.Search(d.Queries[1], 3, 4)
+	opts := []SearchOption{WithK(3), WithFanout(4)}
+	want, _, err := ix.Search(ctx, d.Queries[1], opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := loaded.Search(d.Queries[1], 3, 4)
+	got, _, err := loaded.Search(ctx, d.Queries[1], opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,6 +159,7 @@ func TestSimulateValidation(t *testing.T) {
 }
 
 func TestBaselines(t *testing.T) {
+	ctx := context.Background()
 	d := facadeDataset(t)
 	gt := GroundTruth(d, 1)
 
@@ -155,8 +173,16 @@ func TestBaselines(t *testing.T) {
 	}
 	var srsSum, qalshSum float64
 	for qi, q := range d.Queries {
-		srsSum += OverallRatio(srsIx.Search(q, 1, 200), gt[qi], 1)
-		qalshSum += OverallRatio(qalshIx.Search(q, 1), gt[qi], 1)
+		sres, _, err := srsIx.Search(ctx, q, WithBudget(200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srsSum += OverallRatio(sres, gt[qi], 1)
+		qres, _, err := qalshIx.Search(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qalshSum += OverallRatio(qres, gt[qi], 1)
 	}
 	nq := float64(d.NQ())
 	if srsSum/nq > 1.6 {
@@ -168,20 +194,63 @@ func TestBaselines(t *testing.T) {
 	if srsIx.IndexBytes() <= 0 {
 		t.Error("SRS IndexBytes not positive")
 	}
+	if qalshIx.IndexBytes() <= 0 {
+		t.Error("QALSH IndexBytes not positive")
+	}
 }
 
-func TestWithBudgetViews(t *testing.T) {
+// TestBudgetOption checks that WithBudget really moves the candidate knob:
+// a larger budget must verify at least as many candidates.
+func TestBudgetOption(t *testing.T) {
+	ctx := context.Background()
 	d := facadeDataset(t)
-	mem, err := NewInMemoryIndex(d.Vectors, Config{})
+	for _, build := range []struct {
+		name string
+		make func() (Engine, error)
+	}{
+		{"mem", func() (Engine, error) { return NewInMemoryIndex(d.Vectors, Config{}) }},
+		{"disk", func() (Engine, error) { return NewStorageIndex(d.Vectors, Config{}) }},
+	} {
+		eng, err := build.make()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, small, err := eng.BatchSearch(ctx, d.Queries, WithK(3), WithBudget(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, large, err := eng.BatchSearch(ctx, d.Queries, WithK(3), WithBudget(4000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if small.Checked >= large.Checked {
+			t.Errorf("%s: budget 4 checked %d, budget 4000 checked %d; knob inert",
+				build.name, small.Checked, large.Checked)
+		}
+	}
+}
+
+func TestSearchOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	d := facadeDataset(t)
+	ix, err := NewInMemoryIndex(d.Vectors, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	disk, err := NewStorageIndex(d.Vectors, Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if mem.WithBudget(1000) == nil || disk.WithBudget(1000) == nil {
-		t.Fatal("budget views nil")
+	for _, bad := range [][]SearchOption{
+		{WithK(0)},
+		{WithK(-3)},
+		{WithFanout(0)},
+		{WithBudget(-1)},
+		{WithMultiProbe(-1)},
+		{WithWorkers(-1)},
+	} {
+		if _, _, err := ix.Search(ctx, d.Queries[0], bad...); err == nil {
+			t.Errorf("options %v accepted", bad)
+		}
+		if _, _, err := ix.BatchSearch(ctx, d.Queries, bad...); err == nil {
+			t.Errorf("batch options %v accepted", bad)
+		}
 	}
 }
 

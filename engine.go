@@ -1,0 +1,351 @@
+package e2lshos
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"e2lshos/internal/memindex"
+)
+
+// Engine is the one query interface all four ANN engines satisfy:
+// InMemoryIndex, StorageIndex, SRSIndex and QALSHIndex. Engine-generic code
+// (benchmark harnesses, serving layers, shards) programs against it and
+// never needs to know which algorithm answers.
+//
+// Engines differ in which knobs they honor; options an engine has no use
+// for are ignored, so the same option list can drive heterogeneous engines:
+//
+//	knob            InMemory  Storage  SRS  QALSH
+//	WithK              ✓         ✓      ✓     ✓
+//	WithBudget         ✓         ✓      ✓     —
+//	WithFanout         —         ✓      —     —
+//	WithMultiProbe     ✓         ✓      —     —
+//	WithWorkers      (batch)  (batch) (batch) (batch)
+type Engine interface {
+	// Search answers one top-k query. ctx cancels the radius-ladder walk
+	// between rounds; on cancellation the neighbors found so far are
+	// returned together with ctx.Err().
+	Search(ctx context.Context, q []float32, opts ...SearchOption) (Result, Stats, error)
+	// BatchSearch answers a query batch on a pool of worker goroutines,
+	// each reusing one per-goroutine searcher across its share of the
+	// batch. Results are positionally aligned with queries; Stats is the
+	// batch aggregate. On cancellation or error the queries answered so
+	// far — not necessarily a contiguous prefix, since workers interleave
+	// — keep their results, unanswered slots are zero Results, and the
+	// first error is returned.
+	BatchSearch(ctx context.Context, queries [][]float32, opts ...SearchOption) ([]Result, Stats, error)
+}
+
+// Compile-time interface conformance for all four engines.
+var (
+	_ Engine = (*InMemoryIndex)(nil)
+	_ Engine = (*StorageIndex)(nil)
+	_ Engine = (*SRSIndex)(nil)
+	_ Engine = (*QALSHIndex)(nil)
+)
+
+// Stats aggregates what one query — or one batch — did, in the units the
+// paper's analysis needs (Table 4, Figs 3–8). Engines leave counters they
+// do not track at zero; Queries counts the queries folded in, so per-query
+// means are Mean* methods away.
+type Stats struct {
+	// Queries is the number of queries aggregated into this Stats.
+	Queries int
+	// Radii is the number of (R,c)-NN ladder rounds executed (r̄·Queries).
+	Radii int
+	// Probes counts bucket/table lookups attempted.
+	Probes int
+	// NonEmptyProbes counts lookups that hit a non-empty bucket; with the
+	// paper's DRAM occupancy bitmaps only these cost I/O.
+	NonEmptyProbes int
+	// EntriesScanned counts bucket or tree entries examined.
+	EntriesScanned int
+	// Checked counts full-dimensional distance computations.
+	Checked int
+	// Duplicates counts entries skipped because the object was already seen.
+	Duplicates int
+	// FPRejected counts entries dropped by the storage fingerprint check
+	// (§5.2): u-bit collisions that are not 32-bit collisions.
+	FPRejected int
+	// TableIOs counts on-storage hash-table block reads.
+	TableIOs int
+	// BucketIOs counts on-storage bucket block reads, including chains.
+	BucketIOs int
+	// IOsAtInf is the paper's N_IO,∞ for the in-memory reference: what the
+	// query would cost on storage with unlimited block size.
+	IOsAtInf int
+	// NodesVisited counts R-tree nodes expanded (SRS).
+	NodesVisited int
+	// EarlyStopped counts queries ended by SRS's chi-square test rather
+	// than the budget or tree exhaustion.
+	EarlyStopped int
+}
+
+// IOs returns the total storage I/O count (the paper's N_IO).
+func (s Stats) IOs() int { return s.TableIOs + s.BucketIOs }
+
+// Merge folds o into s.
+func (s *Stats) Merge(o Stats) {
+	s.Queries += o.Queries
+	s.Radii += o.Radii
+	s.Probes += o.Probes
+	s.NonEmptyProbes += o.NonEmptyProbes
+	s.EntriesScanned += o.EntriesScanned
+	s.Checked += o.Checked
+	s.Duplicates += o.Duplicates
+	s.FPRejected += o.FPRejected
+	s.TableIOs += o.TableIOs
+	s.BucketIOs += o.BucketIOs
+	s.IOsAtInf += o.IOsAtInf
+	s.NodesVisited += o.NodesVisited
+	s.EarlyStopped += o.EarlyStopped
+}
+
+// MeanRadii returns the paper's r̄, the average radii searched per query.
+func (s Stats) MeanRadii() float64 { return s.perQuery(s.Radii) }
+
+// MeanIOs returns the average N_IO per query.
+func (s Stats) MeanIOs() float64 { return s.perQuery(s.IOs()) }
+
+// MeanChecked returns the average distance computations per query.
+func (s Stats) MeanChecked() float64 { return s.perQuery(s.Checked) }
+
+func (s Stats) perQuery(total int) float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(total) / float64(s.Queries)
+}
+
+// DefaultFanout is the concurrent read fan-out StorageIndex uses when
+// WithFanout is not given; 8–32 approximates the paper's deep device queues.
+const DefaultFanout = 16
+
+// searchSettings is the resolved option set of one Search or BatchSearch.
+type searchSettings struct {
+	k          int
+	fanout     int
+	budget     int
+	multiProbe int
+	workers    int
+}
+
+// SearchOption tunes one Search or BatchSearch call. Options replace the
+// old positional (q, k, fanout|budget) signatures; see the Engine table for
+// which engines honor which.
+type SearchOption func(*searchSettings)
+
+// WithK sets the number of neighbors to return (default 1, the paper's
+// c²-ANNS setting).
+func WithK(k int) SearchOption { return func(s *searchSettings) { s.k = k } }
+
+// WithFanout sets StorageIndex's concurrent reads per query (default
+// DefaultFanout). Other engines ignore it.
+func WithFanout(n int) SearchOption { return func(s *searchSettings) { s.fanout = n } }
+
+// WithBudget caps verified candidates: per radius for the E2LSH engines
+// (the paper's S = σ·L accuracy knob, no rebuild needed) and per query for
+// SRS (the paper's T'). Zero keeps the engine's built-in budget. QALSH
+// ignores it — its budget is derived from the build-time β.
+func WithBudget(s int) SearchOption { return func(st *searchSettings) { st.budget = s } }
+
+// WithMultiProbe probes each hash table at its base bucket plus t perturbed
+// neighbors (§8 extension), buying recall without enlarging the index. Only
+// the E2LSH engines honor it; on StorageIndex it selects the sequential
+// prober, so WithFanout is ignored when t > 0.
+func WithMultiProbe(t int) SearchOption { return func(s *searchSettings) { s.multiProbe = t } }
+
+// WithWorkers sets BatchSearch's goroutine pool size (default GOMAXPROCS).
+// Search ignores it.
+func WithWorkers(n int) SearchOption { return func(s *searchSettings) { s.workers = n } }
+
+// resolveSettings applies opts over the defaults and validates the result.
+func resolveSettings(opts []SearchOption) (searchSettings, error) {
+	s := searchSettings{k: 1, fanout: DefaultFanout}
+	for _, o := range opts {
+		o(&s)
+	}
+	switch {
+	case s.k < 1:
+		return s, fmt.Errorf("e2lshos: k must be at least 1, got %d", s.k)
+	case s.fanout < 1:
+		return s, fmt.Errorf("e2lshos: fanout must be at least 1, got %d", s.fanout)
+	case s.budget < 0:
+		return s, fmt.Errorf("e2lshos: negative candidate budget %d", s.budget)
+	case s.multiProbe < 0:
+		return s, fmt.Errorf("e2lshos: negative multi-probe count %d", s.multiProbe)
+	case s.workers < 0:
+		return s, fmt.Errorf("e2lshos: negative worker count %d", s.workers)
+	}
+	return s, nil
+}
+
+// querier is one engine's per-goroutine query context: scratch buffers plus
+// the resolved knobs. Not safe for concurrent use; BatchSearch creates one
+// per worker.
+type querier interface {
+	query(ctx context.Context, q []float32, k int) (Result, Stats, error)
+}
+
+// engineCore is what each engine contributes to the shared Search /
+// BatchSearch machinery: a querier factory.
+type engineCore interface {
+	newQuerier(s searchSettings) (querier, error)
+}
+
+// engineSearch implements Engine.Search over an engineCore.
+func engineSearch(ctx context.Context, e engineCore, q []float32, opts []SearchOption) (Result, Stats, error) {
+	set, err := resolveSettings(opts)
+	if err != nil {
+		return Result{}, Stats{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, Stats{}, err
+	}
+	qr, err := e.newQuerier(set)
+	if err != nil {
+		return Result{}, Stats{}, err
+	}
+	return qr.query(ctx, q, set.k)
+}
+
+// engineBatchSearch implements Engine.BatchSearch over an engineCore: a
+// worker pool where each goroutine builds one querier and reuses it across
+// the queries it claims.
+func engineBatchSearch(ctx context.Context, e engineCore, queries [][]float32, opts []SearchOption) ([]Result, Stats, error) {
+	set, err := resolveSettings(opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	results := make([]Result, len(queries))
+	if len(queries) == 0 {
+		return results, Stats{}, ctx.Err()
+	}
+	workers := set.workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		agg      Stats
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if bctx.Err() != nil {
+				return
+			}
+			qr, err := e.newQuerier(set)
+			if err != nil {
+				fail(err)
+				return
+			}
+			var local Stats
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) || bctx.Err() != nil {
+					break
+				}
+				res, st, err := qr.query(bctx, queries[i], set.k)
+				if err != nil {
+					fail(err)
+					break
+				}
+				results[i] = res
+				local.Merge(st)
+			}
+			mu.Lock()
+			agg.Merge(local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return results, agg, firstErr
+}
+
+// InMemoryIndex is classic in-memory E2LSH: the algorithmic reference the
+// three other engines are measured against.
+type InMemoryIndex struct {
+	ix *memindex.Index
+}
+
+// NewInMemoryIndex builds an in-memory E2LSH index over data.
+func NewInMemoryIndex(data [][]float32, cfg Config) (*InMemoryIndex, error) {
+	p, seed, _, err := cfg.derive(data)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := memindex.Build(data, p, memindex.Options{ShareProjections: true, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &InMemoryIndex{ix: ix}, nil
+}
+
+// Search answers a top-k c²-ANNS query. It honors WithK, WithBudget and
+// WithMultiProbe.
+func (m *InMemoryIndex) Search(ctx context.Context, q []float32, opts ...SearchOption) (Result, Stats, error) {
+	return engineSearch(ctx, m, q, opts)
+}
+
+// BatchSearch answers queries on a worker pool; see Engine.
+func (m *InMemoryIndex) BatchSearch(ctx context.Context, queries [][]float32, opts ...SearchOption) ([]Result, Stats, error) {
+	return engineBatchSearch(ctx, m, queries, opts)
+}
+
+// IndexBytes reports the DRAM footprint of the hash index.
+func (m *InMemoryIndex) IndexBytes() int64 { return m.ix.IndexBytes() }
+
+func (m *InMemoryIndex) newQuerier(set searchSettings) (querier, error) {
+	ix := m.ix
+	if set.budget > 0 {
+		ix = ix.WithBudget(set.budget)
+	}
+	s := ix.NewSearcher()
+	if set.multiProbe > 0 {
+		s.SetMultiProbe(set.multiProbe)
+	}
+	return memQuerier{s: s}, nil
+}
+
+type memQuerier struct {
+	s *memindex.Searcher
+}
+
+func (m memQuerier) query(ctx context.Context, q []float32, k int) (Result, Stats, error) {
+	res, st, err := m.s.SearchContext(ctx, q, k)
+	return res, Stats{
+		Queries:        1,
+		Radii:          st.Radii,
+		Probes:         st.Probes,
+		NonEmptyProbes: st.NonEmptyProbes,
+		EntriesScanned: st.EntriesScanned,
+		Checked:        st.Checked,
+		Duplicates:     st.Duplicates,
+		IOsAtInf:       st.IOsAtInf,
+	}, err
+}

@@ -1,0 +1,232 @@
+package e2lshos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// parityDataset is shared by the engine-parity tests: clustered enough that
+// every engine should retrieve most exact neighbors.
+func parityDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := GenerateDataset(DatasetSpec{
+		Name: "parity", N: 4000, Queries: 20, Dim: 32,
+		Clusters: 8, Spread: 0.05, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// parityEngines builds all four engines over the dataset and pairs each
+// with the recall floor it must clear and the options that tune it there.
+func parityEngines(t *testing.T, d *Dataset) []struct {
+	name   string
+	engine Engine
+	floor  float64
+	opts   []SearchOption
+} {
+	t.Helper()
+	mem, err := NewInMemoryIndex(d.Vectors, Config{Sigma: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := NewStorageIndex(d.Vectors, Config{Sigma: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srsIx, err := NewSRSIndex(d.Vectors, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qalshIx, err := NewQALSHIndex(d.Vectors, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name   string
+		engine Engine
+		floor  float64
+		opts   []SearchOption
+	}{
+		{"inmemory", mem, 0.50, nil},
+		{"storage", disk, 0.50, []SearchOption{WithFanout(8)}},
+		{"srs", srsIx, 0.50, []SearchOption{WithBudget(400)}},
+		{"qalsh", qalshIx, 0.25, nil},
+	}
+}
+
+// TestEngineParity runs the same dataset and queries through all four
+// engines via the Engine interface alone and asserts each clears its
+// brute-force-sanity recall floor. This is the contract the interface
+// exists for: heterogeneous engines, one calling convention, comparable
+// answers.
+func TestEngineParity(t *testing.T) {
+	ctx := context.Background()
+	d := parityDataset(t)
+	const k = 5
+	gt := GroundTruth(d, k)
+
+	for _, tc := range parityEngines(t, d) {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := append([]SearchOption{WithK(k)}, tc.opts...)
+			results, stats, err := tc.engine.BatchSearch(ctx, d.Queries, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != d.NQ() {
+				t.Fatalf("got %d results for %d queries", len(results), d.NQ())
+			}
+			if stats.Queries != d.NQ() {
+				t.Errorf("stats aggregated %d queries, want %d", stats.Queries, d.NQ())
+			}
+			if stats.Checked == 0 {
+				t.Error("engine reported zero candidates checked")
+			}
+			var recall float64
+			for qi, res := range results {
+				recall += Recall(res, gt[qi], k)
+			}
+			recall /= float64(d.NQ())
+			t.Logf("recall %.3f (floor %.3f)", recall, tc.floor)
+			if recall < tc.floor {
+				t.Errorf("recall %.3f below floor %.3f", recall, tc.floor)
+			}
+		})
+	}
+}
+
+// TestBatchSearchMatchesSearch pins batch/single equivalence: BatchSearch
+// must return exactly what per-query Search returns, regardless of which
+// worker answered which query.
+func TestBatchSearchMatchesSearch(t *testing.T) {
+	ctx := context.Background()
+	d := parityDataset(t)
+	const k = 3
+	for _, tc := range parityEngines(t, d) {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := append([]SearchOption{WithK(k)}, tc.opts...)
+			batch, _, err := tc.engine.BatchSearch(ctx, d.Queries, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range d.Queries {
+				single, _, err := tc.engine.Search(ctx, q, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(single.Neighbors) != len(batch[qi].Neighbors) {
+					t.Fatalf("query %d: batch %d neighbors, single %d",
+						qi, len(batch[qi].Neighbors), len(single.Neighbors))
+				}
+				for i := range single.Neighbors {
+					if single.Neighbors[i] != batch[qi].Neighbors[i] {
+						t.Fatalf("query %d neighbor %d: batch %+v, single %+v",
+							qi, i, batch[qi].Neighbors[i], single.Neighbors[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchSearchCancellation proves an in-flight BatchSearch honors
+// context cancellation: a canceled context surfaces as the returned error
+// and stops the batch before all queries are answered.
+func TestBatchSearchCancellation(t *testing.T) {
+	d := parityDataset(t)
+	ix, err := NewInMemoryIndex(d.Vectors, Config{Sigma: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A context canceled before the call: no query may be answered.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, _, err := ix.BatchSearch(pre, d.Queries, WithK(3))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled batch returned %v, want context.Canceled", err)
+	}
+	for qi, res := range results {
+		if len(res.Neighbors) != 0 {
+			t.Fatalf("query %d answered despite pre-canceled context", qi)
+		}
+	}
+
+	// A context canceled mid-flight: the batch must stop early. One worker
+	// over a large replicated batch guarantees the cancel lands while
+	// queries remain.
+	big := make([][]float32, 0, 200*len(d.Queries))
+	for len(big) < cap(big) {
+		big = append(big, d.Queries...)
+	}
+	mid, cancelMid := context.WithCancel(context.Background())
+	timer := time.AfterFunc(2*time.Millisecond, cancelMid)
+	defer timer.Stop()
+	results, _, err = ix.BatchSearch(mid, big, WithK(3), WithWorkers(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight cancel returned %v, want context.Canceled", err)
+	}
+	answered := 0
+	for _, res := range results {
+		if len(res.Neighbors) > 0 {
+			answered++
+		}
+	}
+	if answered == len(big) {
+		t.Fatal("batch ran to completion despite cancellation")
+	}
+	t.Logf("canceled after %d/%d queries", answered, len(big))
+}
+
+// TestSearchCancellation: a pre-canceled context also stops single queries
+// across every engine.
+func TestSearchCancellation(t *testing.T) {
+	d := parityDataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range parityEngines(t, d) {
+		if _, _, err := tc.engine.Search(ctx, d.Queries[0]); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: pre-canceled Search returned %v, want context.Canceled", tc.name, err)
+		}
+	}
+}
+
+// TestMultiProbeOption: extra probes must visit at least as many buckets on
+// both E2LSH engines, and results must stay valid.
+func TestMultiProbeOption(t *testing.T) {
+	ctx := context.Background()
+	d := parityDataset(t)
+	for _, build := range []struct {
+		name string
+		make func() (Engine, error)
+	}{
+		{"mem", func() (Engine, error) { return NewInMemoryIndex(d.Vectors, Config{}) }},
+		{"disk", func() (Engine, error) { return NewStorageIndex(d.Vectors, Config{}) }},
+	} {
+		eng, err := build.make()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, base, err := eng.BatchSearch(ctx, d.Queries, WithK(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, probed, err := eng.BatchSearch(ctx, d.Queries, WithK(3), WithMultiProbe(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probed.Probes <= base.Probes {
+			t.Errorf("%s: multi-probe probed %d buckets, base %d; option inert",
+				build.name, probed.Probes, base.Probes)
+		}
+		for qi, r := range res {
+			if len(r.Neighbors) == 0 {
+				t.Errorf("%s: multi-probe query %d found nothing", build.name, qi)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// One BIGANN-like clone, then nested subsets of it.
 	const maxN = 64000
 	spec, err := dataset.PaperSpec(dataset.BIGANN, 0, maxN, 40)
@@ -43,18 +46,25 @@ func main() {
 		}
 
 		// SRS at a comparable accuracy: T' = 2% of n, timed with the same
-		// virtual cost model the simulator charges.
-		srsCfg := srs.DefaultConfig()
-		srsCfg.UseEarlyStop = false
-		srsIx, err := srs.Build(sub.Vectors, srsCfg)
+		// virtual cost model the simulator charges. Per-query stats from the
+		// unified Search API feed the model.
+		srsIx, err := e2lshos.NewSRSIndex(sub.Vectors, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
 		model := costmodel.Default()
+		projDim := srs.DefaultConfig().ProjDim
 		var srsNS float64
 		for _, q := range sub.Queries {
-			_, st := srsIx.Search(q, 1, n/50)
-			srsNS += experiments.SRSQueryNS(model, sub.Dim, srsCfg.ProjDim, st)
+			_, st, err := srsIx.Search(ctx, q, e2lshos.WithBudget(n/50))
+			if err != nil {
+				log.Fatal(err)
+			}
+			srsNS += experiments.SRSQueryNS(model, sub.Dim, projDim, srs.Stats{
+				NodesVisited:   st.NodesVisited,
+				EntriesScanned: st.EntriesScanned,
+				Checked:        st.Checked,
+			})
 		}
 		srsMS := srsNS / float64(sub.NQ()) / 1e6
 

@@ -1,9 +1,10 @@
 // Quickstart: build an in-memory E2LSH index and an on-storage E2LSHoS index
-// over the same synthetic data, query both, and check accuracy against exact
-// ground truth.
+// over the same synthetic data, query both through the shared Engine
+// interface, and check accuracy against exact ground truth.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +12,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Generate a clustered synthetic dataset: 10k points in 64 dims, with
 	//    100 held-out queries drawn from the same distribution.
 	ds, err := e2lshos.GenerateDataset(e2lshos.DatasetSpec{
@@ -36,31 +39,36 @@ func main() {
 	fmt.Printf("E2LSHoS index:   %.1f MiB on storage, %.2f MiB DRAM metadata\n",
 		float64(disk.StorageBytes())/(1<<20), float64(disk.MemBytes())/(1<<20))
 
-	// 3. Query both and compare against exact answers.
+	// 3. Both indexes satisfy the same Engine interface, so one loop queries
+	//    them both: a batch per engine, answered on a worker pool.
 	const k = 5
 	gt := e2lshos.GroundTruth(ds, k)
-	searcher := mem.Searcher()
-	var memRatio, diskRatio float64
-	for qi, q := range ds.Queries {
-		memRes := searcher.Search(q, k)
-		memRatio += e2lshos.OverallRatio(memRes, gt[qi], k)
-
-		diskRes, err := disk.Search(q, k, 16)
+	for _, eng := range []struct {
+		name   string
+		engine e2lshos.Engine
+	}{
+		{"in-memory", mem},
+		{"E2LSHoS", disk},
+	} {
+		results, stats, err := eng.engine.BatchSearch(ctx, ds.Queries,
+			e2lshos.WithK(k), e2lshos.WithFanout(16))
 		if err != nil {
 			log.Fatal(err)
 		}
-		diskRatio += e2lshos.OverallRatio(diskRes, gt[qi], k)
+		var ratio float64
+		for qi, res := range results {
+			ratio += e2lshos.OverallRatio(res, gt[qi], k)
+		}
+		fmt.Printf("%-10s mean overall ratio %.4f (1.0 = exact), %.1f radii and %.0f candidates per query\n",
+			eng.name, ratio/float64(ds.NQ()), stats.MeanRadii(), stats.MeanChecked())
 	}
-	nq := float64(ds.NQ())
-	fmt.Printf("mean overall ratio (1.0 = exact): in-memory %.4f, E2LSHoS %.4f\n",
-		memRatio/nq, diskRatio/nq)
 
-	// 4. Inspect one answer.
-	res, err := disk.Search(ds.Queries[0], k, 16)
+	// 4. Inspect one answer, with its per-query I/O statistics.
+	res, stats, err := disk.Search(ctx, ds.Queries[0], e2lshos.WithK(k))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("query 0 neighbors:")
+	fmt.Printf("query 0 cost %d I/Os; neighbors:\n", stats.IOs())
 	for rank, nb := range res.Neighbors {
 		fmt.Printf("  #%d  id=%d  dist=%.3f\n", rank+1, nb.ID, nb.Dist)
 	}

@@ -1,11 +1,12 @@
 // Text search: a GloVe-like embedding workload with top-10 retrieval,
 // exercising the persistence path a production deployment would use: build
-// once, save the index file, reopen it and serve queries with a concurrent
-// goroutine fan-out (the real-I/O counterpart of the paper's asynchronous
-// reads).
+// once, save the index file, reopen it and serve the query batch on a
+// worker pool with a concurrent goroutine fan-out per query (the real-I/O
+// counterpart of the paper's asynchronous reads).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -16,6 +17,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	ds, err := e2lshos.GeneratePaperDataset(e2lshos.GLOVE, 0, 15000, 50)
 	if err != nil {
 		log.Fatal(err)
@@ -50,18 +53,22 @@ func main() {
 
 	const k = 10
 	gt := e2lshos.GroundTruth(ds, k)
-	var ratio, recall float64
 	start = time.Now()
-	for qi, q := range ds.Queries {
-		res, err := reopened.Search(q, k, 16)
-		if err != nil {
-			log.Fatal(err)
-		}
+	results, stats, err := reopened.BatchSearch(ctx, ds.Queries,
+		e2lshos.WithK(k), e2lshos.WithFanout(16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	var ratio, recall float64
+	for qi, res := range results {
 		ratio += e2lshos.OverallRatio(res, gt[qi], k)
 		recall += e2lshos.Recall(res, gt[qi], k)
 	}
-	elapsed := time.Since(start)
 	nq := float64(ds.NQ())
 	fmt.Printf("top-%d over %d queries: %.2f ms/query, overall ratio %.4f, recall %.2f\n",
 		k, ds.NQ(), float64(elapsed.Microseconds())/nq/1000, ratio/nq, recall/nq)
+	fmt.Printf("served with %.1f I/Os and %.1f radii per query\n",
+		stats.MeanIOs(), stats.MeanRadii())
 }

@@ -1,0 +1,3 @@
+module e2lshos
+
+go 1.24

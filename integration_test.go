@@ -1,6 +1,7 @@
 package e2lshos
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -12,6 +13,7 @@ import (
 // accuracies agree: the execution substrate must never change the answers'
 // quality.
 func TestCrossEngineConsistency(t *testing.T) {
+	ctx := context.Background()
 	ds, err := GenerateDataset(DatasetSpec{
 		Name: "xengine", N: 3000, Queries: 20, Dim: 24,
 		Clusters: 8, Spread: 0.05, Seed: 9,
@@ -30,14 +32,19 @@ func TestCrossEngineConsistency(t *testing.T) {
 	}
 	gt := GroundTruth(ds, 3)
 
+	opts := []SearchOption{WithK(3), WithFanout(8)}
+	memRes, _, err := mem.BatchSearch(ctx, ds.Queries, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, _, err := disk.BatchSearch(ctx, ds.Queries, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var memRatio, parRatio float64
-	for qi, q := range ds.Queries {
-		memRatio += OverallRatio(mem.Search(q, 3), gt[qi], 3)
-		res, err := disk.Search(q, 3, 8)
-		if err != nil {
-			t.Fatal(err)
-		}
-		parRatio += OverallRatio(res, gt[qi], 3)
+	for qi := range ds.Queries {
+		memRatio += OverallRatio(memRes[qi], gt[qi], 3)
+		parRatio += OverallRatio(parRes[qi], gt[qi], 3)
 	}
 	rep, err := disk.Simulate(ds.Queries, SimulationConfig{Device: EnterpriseSSD, Devices: 2, Iface: SPDK, K: 3})
 	if err != nil {
@@ -59,6 +66,7 @@ func TestCrossEngineConsistency(t *testing.T) {
 
 // TestOnlineUpdatesThroughFacade exercises the §7 extension end to end.
 func TestOnlineUpdatesThroughFacade(t *testing.T) {
+	ctx := context.Background()
 	ds, err := GenerateDataset(DatasetSpec{
 		Name: "upd", N: 2000, Queries: 5, Dim: 16,
 		Clusters: 4, Spread: 0.05, Seed: 4,
@@ -75,7 +83,7 @@ func TestOnlineUpdatesThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ix.Search(ds.Vectors[1600], 1, 4)
+	res, _, err := ix.Search(ctx, ds.Vectors[1600], WithFanout(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +97,7 @@ func TestOnlineUpdatesThroughFacade(t *testing.T) {
 	if !removed {
 		t.Fatal("delete removed nothing")
 	}
-	res, err = ix.Search(ds.Vectors[1600], 1, 4)
+	res, _, err = ix.Search(ctx, ds.Vectors[1600], WithFanout(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,6 +109,7 @@ func TestOnlineUpdatesThroughFacade(t *testing.T) {
 // TestSearchInvariantsProperty uses testing/quick to fuzz query vectors:
 // results must always be sorted, unique and within the database.
 func TestSearchInvariantsProperty(t *testing.T) {
+	ctx := context.Background()
 	ds, err := GenerateDataset(DatasetSpec{
 		Name: "prop", N: 1000, Queries: 1, Dim: 8,
 		Clusters: 4, Spread: 0.1, Seed: 6,
@@ -112,7 +121,6 @@ func TestSearchInvariantsProperty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := mem.Searcher()
 	f := func(raw [8]float32) bool {
 		q := make([]float32, 8)
 		for i, x := range raw {
@@ -122,7 +130,10 @@ func TestSearchInvariantsProperty(t *testing.T) {
 			// Clamp into the data's general range.
 			q[i] = float32(math.Mod(float64(x), 2))
 		}
-		res := s.Search(q, 5)
+		res, _, err := mem.Search(ctx, q, WithK(5))
+		if err != nil {
+			return false
+		}
 		seen := map[uint32]bool{}
 		prev := -1.0
 		for _, nb := range res.Neighbors {

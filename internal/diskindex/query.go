@@ -1,6 +1,7 @@
 package diskindex
 
 import (
+	"context"
 	"encoding/binary"
 
 	"e2lshos/internal/ann"
@@ -86,6 +87,13 @@ func (s *Searcher) SetMultiProbe(t int) {
 // the in-memory reference algorithm table by table (§5.4 steps 1–3, executed
 // sequentially). It returns the neighbors and the per-query statistics.
 func (s *Searcher) Search(q []float32, k int) (ann.Result, Stats, error) {
+	return s.SearchContext(context.Background(), q, k)
+}
+
+// SearchContext is Search with cancellation: ctx is checked between radius
+// rounds, so a long ladder walk aborts cleanly. On cancellation it returns
+// the neighbors accumulated so far together with ctx.Err().
+func (s *Searcher) SearchContext(ctx context.Context, q []float32, k int) (ann.Result, Stats, error) {
 	ix := s.ix
 	ix.checkDim(q)
 	p := ix.params
@@ -100,6 +108,9 @@ func (s *Searcher) Search(q []float32, k int) (ann.Result, Stats, error) {
 		ix.families[0].Project(q, s.proj)
 	}
 	for rIdx, radius := range p.Radii {
+		if err := ctx.Err(); err != nil {
+			return topk.Result(), st, err
+		}
 		st.Radii++
 		fam := ix.FamilyFor(rIdx)
 		if !ix.opts.ShareProjections {

@@ -1,6 +1,7 @@
 package diskindex
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -55,6 +56,13 @@ type probe struct {
 
 // Search answers a top-k query.
 func (ps *ParallelSearcher) Search(q []float32, k int) (ann.Result, Stats, error) {
+	return ps.SearchContext(context.Background(), q, k)
+}
+
+// SearchContext is Search with cancellation: ctx is checked between radius
+// rounds, before each fan-out, so a long ladder walk aborts cleanly. On
+// cancellation it returns the neighbors accumulated so far with ctx.Err().
+func (ps *ParallelSearcher) SearchContext(ctx context.Context, q []float32, k int) (ann.Result, Stats, error) {
 	ix := ps.ix
 	ix.checkDim(q)
 	p := ix.params
@@ -69,6 +77,9 @@ func (ps *ParallelSearcher) Search(q []float32, k int) (ann.Result, Stats, error
 		ix.families[0].Project(q, ps.proj)
 	}
 	for rIdx, radius := range p.Radii {
+		if err := ctx.Err(); err != nil {
+			return topk.Result(), st, err
+		}
 		st.Radii++
 		fam := ix.FamilyFor(rIdx)
 		if !ix.opts.ShareProjections {

@@ -6,6 +6,7 @@
 package memindex
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -329,6 +330,14 @@ func (s *Searcher) SetMultiProbe(t int) {
 // radius schedule (§2.3). With SetMultiProbe, each table additionally probes
 // its most promising neighboring buckets.
 func (s *Searcher) Search(q []float32, k int) (ann.Result, QueryStats) {
+	res, st, _ := s.SearchContext(context.Background(), q, k)
+	return res, st
+}
+
+// SearchContext is Search with cancellation: ctx is checked between radius
+// rounds, so a long ladder walk aborts cleanly. On cancellation it returns
+// the neighbors accumulated so far together with ctx.Err().
+func (s *Searcher) SearchContext(ctx context.Context, q []float32, k int) (ann.Result, QueryStats, error) {
 	p := s.ix.params
 	var st QueryStats
 	s.epoch++
@@ -341,6 +350,9 @@ func (s *Searcher) Search(q []float32, k int) (ann.Result, QueryStats) {
 		s.ix.families[0].Project(q, s.proj)
 	}
 	for rIdx, radius := range p.Radii {
+		if err := ctx.Err(); err != nil {
+			return topk.Result(), st, err
+		}
 		st.Radii++
 		fam := s.ix.FamilyFor(rIdx)
 		if !s.ix.opts.ShareProjections {
@@ -382,7 +394,7 @@ func (s *Searcher) Search(q []float32, k int) (ann.Result, QueryStats) {
 			break
 		}
 	}
-	return topk.Result(), st
+	return topk.Result(), st, nil
 }
 
 // scanBucket probes one bucket and verifies its candidates, reporting

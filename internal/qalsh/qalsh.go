@@ -13,6 +13,7 @@
 package qalsh
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -226,6 +227,14 @@ func (ix *Index) NewSearcher() *Searcher {
 
 // Search answers a top-k query with QALSH's collision counting procedure.
 func (s *Searcher) Search(q []float32, k int) (ann.Result, Stats) {
+	res, st, _ := s.SearchContext(context.Background(), q, k)
+	return res, st
+}
+
+// SearchContext is Search with cancellation: ctx is checked between virtual
+// rehashing rounds, so a long ladder walk aborts cleanly. On cancellation it
+// returns the neighbors accumulated so far together with ctx.Err().
+func (s *Searcher) SearchContext(ctx context.Context, q []float32, k int) (ann.Result, Stats, error) {
 	ix := s.ix
 	if len(q) != ix.dim {
 		panic(fmt.Sprintf("qalsh: query dim %d, index dim %d", len(q), ix.dim))
@@ -259,6 +268,9 @@ func (s *Searcher) Search(q []float32, k int) (ann.Result, Stats) {
 	threshold := int32(ix.params.L)
 
 	for _, radius := range ix.radii {
+		if err := ctx.Err(); err != nil {
+			return topk.Result(), st, err
+		}
 		st.Radii++
 		half := ix.cfg.W * radius / 2
 		for j := 0; j < ix.params.M; j++ {
@@ -294,7 +306,7 @@ func (s *Searcher) Search(q []float32, k int) (ann.Result, Stats) {
 			break
 		}
 	}
-	return topk.Result(), st
+	return topk.Result(), st, nil
 }
 
 // bump increments the collision count of id and reports whether it just

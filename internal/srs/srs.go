@@ -10,6 +10,7 @@
 package srs
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -147,6 +148,17 @@ type Stats struct {
 // (the paper's T'). maxCheck <= 0 means no budget, scanning until the early
 // termination test fires or the tree is exhausted.
 func (ix *Index) Search(q []float32, k, maxCheck int) (ann.Result, Stats) {
+	res, st, _ := ix.SearchContext(context.Background(), q, k, maxCheck, ix.cfg.UseEarlyStop)
+	return res, st
+}
+
+// SearchContext is Search with cancellation and an explicit early-stop
+// switch: the paper's §3.3 methodology drives accuracy purely through the
+// T' budget with the chi-square test off, so callers owning the budget pass
+// earlyStop=false. SRS has no radius ladder, so ctx is polled every few
+// dozen verifications during the projected scan. On cancellation it returns
+// the neighbors accumulated so far with ctx.Err().
+func (ix *Index) SearchContext(ctx context.Context, q []float32, k, maxCheck int, earlyStop bool) (ann.Result, Stats, error) {
 	if len(q) != ix.dim {
 		panic(fmt.Sprintf("srs: query dim %d, index dim %d", len(q), ix.dim))
 	}
@@ -156,6 +168,14 @@ func (ix *Index) Search(q []float32, k, maxCheck int) (ann.Result, Stats) {
 	it := ix.tree.NewIterator(qProj)
 	topk := ann.NewTopK(k)
 	for {
+		if st.Checked&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				ts := it.Stats()
+				st.NodesVisited = ts.NodesVisited
+				st.EntriesScanned = ts.EntriesScanned
+				return topk.Result(), st, err
+			}
+		}
 		if maxCheck > 0 && st.Checked >= maxCheck {
 			break
 		}
@@ -166,7 +186,7 @@ func (ix *Index) Search(q []float32, k, maxCheck int) (ann.Result, Stats) {
 		d := vecmath.Dist(ix.data[id], q)
 		topk.Push(uint32(id), d)
 		st.Checked++
-		if ix.cfg.UseEarlyStop && topk.Full() && ix.earlyStop(projDist, topk.KthDist()) {
+		if earlyStop && topk.Full() && ix.earlyStop(projDist, topk.KthDist()) {
 			st.EarlyStopped = true
 			break
 		}
@@ -174,7 +194,7 @@ func (ix *Index) Search(q []float32, k, maxCheck int) (ann.Result, Stats) {
 	ts := it.Stats()
 	st.NodesVisited = ts.NodesVisited
 	st.EntriesScanned = ts.EntriesScanned
-	return topk.Result(), st
+	return topk.Result(), st, nil
 }
 
 // earlyStop implements the SRS stopping test: with the projected frontier at

@@ -1,0 +1,125 @@
+package e2lshos
+
+import (
+	"context"
+
+	"e2lshos/internal/blockstore"
+	"e2lshos/internal/diskindex"
+)
+
+// StorageIndex is E2LSHoS: the hash index on (real or simulated) storage.
+type StorageIndex struct {
+	ix *diskindex.Index
+}
+
+// NewStorageIndex builds an E2LSHoS index over data into an in-memory block
+// store (persist with SaveFile).
+func NewStorageIndex(data [][]float32, cfg Config) (*StorageIndex, error) {
+	p, seed, tableBits, err := cfg.derive(data)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := diskindex.Build(data, p, diskindex.Options{
+		ShareProjections: true, Seed: seed, TableBits: tableBits,
+	}, blockstore.NewMem())
+	if err != nil {
+		return nil, err
+	}
+	return &StorageIndex{ix: ix}, nil
+}
+
+// SaveFile persists the index (metadata and blocks) to the named file.
+func (s *StorageIndex) SaveFile(path string) error { return s.ix.SaveFile(path) }
+
+// OpenStorageIndex loads an index persisted by SaveFile. data must be the
+// vectors the index was built over (the database itself stays on DRAM, as
+// in the paper).
+func OpenStorageIndex(path string, data [][]float32) (*StorageIndex, error) {
+	ix, err := diskindex.LoadFile(path, data)
+	if err != nil {
+		return nil, err
+	}
+	return &StorageIndex{ix: ix}, nil
+}
+
+// Search answers a top-k query with a concurrent fan-out of the WithFanout
+// width (default DefaultFanout) — the paper's "many parallel read requests"
+// realized with blocking reads on concurrent goroutines. It honors WithK,
+// WithFanout, WithBudget and WithMultiProbe.
+func (s *StorageIndex) Search(ctx context.Context, q []float32, opts ...SearchOption) (Result, Stats, error) {
+	return engineSearch(ctx, s, q, opts)
+}
+
+// BatchSearch answers queries on a worker pool; see Engine.
+func (s *StorageIndex) BatchSearch(ctx context.Context, queries [][]float32, opts ...SearchOption) ([]Result, Stats, error) {
+	return engineBatchSearch(ctx, s, queries, opts)
+}
+
+// StorageBytes reports the on-storage index size.
+func (s *StorageIndex) StorageBytes() int64 { return s.ix.StorageBytes() }
+
+// MemBytes reports the DRAM metadata footprint (bitmaps, table addresses,
+// hash functions).
+func (s *StorageIndex) MemBytes() int64 { return s.ix.MemBytes() }
+
+// Insert adds one vector online (one head-block write per bucket, no
+// rebuild) and returns its object ID. Fails once the index's ID space is
+// exhausted. Not safe concurrently with searches.
+func (s *StorageIndex) Insert(v []float32) (uint32, error) { return s.ix.Insert(v) }
+
+// Delete removes an object online, reporting whether any index entry was
+// removed. Vacated blocks are not reclaimed (lazy deletion); rebuild to
+// compact. Not safe concurrently with searches.
+func (s *StorageIndex) Delete(id uint32) (bool, error) { return s.ix.Delete(id) }
+
+func (s *StorageIndex) newQuerier(set searchSettings) (querier, error) {
+	ix := s.ix
+	if set.budget > 0 {
+		ix = ix.WithBudget(set.budget)
+	}
+	// Multi-probe exists only on the sequential prober; fan-out only on the
+	// parallel one. Multi-probe wins when both are requested.
+	if set.multiProbe > 0 {
+		sr := ix.NewSearcher()
+		sr.SetMultiProbe(set.multiProbe)
+		return diskSyncQuerier{s: sr}, nil
+	}
+	ps, err := ix.NewParallelSearcher(set.fanout)
+	if err != nil {
+		return nil, err
+	}
+	return diskParQuerier{ps: ps}, nil
+}
+
+type diskParQuerier struct {
+	ps *diskindex.ParallelSearcher
+}
+
+func (d diskParQuerier) query(ctx context.Context, q []float32, k int) (Result, Stats, error) {
+	res, st, err := d.ps.SearchContext(ctx, q, k)
+	return res, diskStats(st), err
+}
+
+type diskSyncQuerier struct {
+	s *diskindex.Searcher
+}
+
+func (d diskSyncQuerier) query(ctx context.Context, q []float32, k int) (Result, Stats, error) {
+	res, st, err := d.s.SearchContext(ctx, q, k)
+	return res, diskStats(st), err
+}
+
+func diskStats(st diskindex.Stats) Stats {
+	return Stats{
+		Queries:        1,
+		Radii:          st.Radii,
+		Probes:         st.Probes,
+		NonEmptyProbes: st.NonEmptyProbes,
+		EntriesScanned: st.EntriesScanned,
+		Checked:        st.Checked,
+		Duplicates:     st.Duplicates,
+		FPRejected:     st.FPRejected,
+		TableIOs:       st.TableIOs,
+		BucketIOs:      st.BucketIOs,
+	}
+}
