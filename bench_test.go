@@ -295,6 +295,21 @@ func BenchmarkFig16Threads(b *testing.B) {
 	}
 }
 
+func BenchmarkShardsServing(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Shards(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := res.Rows[len(res.Rows)-1]
+			b.ReportMetric(last.QueriesPerSec, "qps@max-shards")
+			b.ReportMetric(last.Speedup, "speedup@max-shards")
+		}
+	}
+}
+
 func BenchmarkSyncVsAsync(b *testing.B) {
 	env := benchEnv()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,136 @@
+// Command lshserve serves approximate nearest neighbor queries over HTTP
+// from a sharded index: N sub-engines behind the shard router, fronted by
+// the query coalescer, exposed as a JSON API.
+//
+// Usage:
+//
+//	lshserve -addr :8080 -paper SIFT -n 20000 -shards 4 -engine storage
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/search -d '{"query":[...128 floats...],"k":5}'
+//	curl -s localhost:8080/stats          # cumulative Stats incl. N_IO
+//
+// SIGINT/SIGTERM drain in-flight requests and shut the server down cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"e2lshos"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "lshserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the index and serves until ctx is canceled. ready, if non-nil,
+// receives the bound listen address once the server accepts connections
+// (tests use it with -addr 127.0.0.1:0).
+func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.Addr)) error {
+	fs := flag.NewFlagSet("lshserve", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		paper     = fs.String("paper", "SIFT", "paper dataset to clone (Table 1 name)")
+		n         = fs.Int("n", 20000, "database size")
+		queries   = fs.Int("queries", 100, "held-out queries kept for shadow scoring")
+		shards    = fs.Int("shards", 4, "number of shards")
+		placement = fs.String("placement", "hash", "shard placement: range or hash")
+		engine    = fs.String("engine", "storage", "shard engine: mem, storage, or mixed (one hot mem shard, cold storage shards)")
+		k         = fs.Int("k", 10, "top-k searched per query")
+		sigma     = fs.Float64("sigma", 8, "per-radius candidate budget multiplier (accuracy knob)")
+		maxBatch  = fs.Int("maxbatch", 32, "coalescer: max queries per batch")
+		maxDelay  = fs.Duration("maxdelay", 500*time.Microsecond, "coalescer: max wait for a batch to fill")
+		maxQueue  = fs.Int("maxqueue", 0, "coalescer: admission bound (0 = 4x maxbatch)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	place, err := e2lshos.ParseShardPlacement(*placement)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "generating %s clone: n=%d, %d held-out queries\n", *paper, *n, *queries)
+	ds, err := e2lshos.GeneratePaperDataset(e2lshos.PaperDataset(*paper), 0, *n, *queries)
+	if err != nil {
+		return err
+	}
+	// ShardConfig keeps per-shard table counts and the radius ladder at the
+	// unsharded level, so accuracy does not degrade as -shards grows.
+	cfg := e2lshos.ShardConfig(e2lshos.Config{Sigma: *sigma}, ds.Vectors, *shards)
+	var build e2lshos.ShardBuilder
+	switch *engine {
+	case "mem":
+		build = e2lshos.InMemoryShardBuilder(cfg)
+	case "storage":
+		build = e2lshos.StorageShardBuilder(cfg)
+	case "mixed":
+		build = func(shardNum int, vectors [][]float32) (e2lshos.Engine, error) {
+			if shardNum == 0 {
+				return e2lshos.NewInMemoryIndex(vectors, cfg)
+			}
+			return e2lshos.NewStorageIndex(vectors, cfg)
+		}
+	default:
+		return fmt.Errorf("unknown -engine %q (want mem, storage, or mixed)", *engine)
+	}
+
+	fmt.Fprintf(out, "building %d %s shards (%s placement)\n", *shards, *engine, place)
+	ix, err := e2lshos.NewShardedIndex(ds.Vectors, *shards, place, build)
+	if err != nil {
+		return err
+	}
+	srv, err := e2lshos.NewServer(ix, e2lshos.ServerConfig{
+		Dim:      ds.Dim,
+		K:        *k,
+		MaxBatch: *maxBatch,
+		MaxDelay: *maxDelay,
+		MaxQueue: *maxQueue,
+		Exact:    e2lshos.GroundTruth(ds, *k),
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(out, "listening on %s (POST /search, GET /stats, GET /healthz)\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(out, "served %d queries, %d I/Os total (%.1f per query)\n",
+		st.Queries, st.IOs(), st.MeanIOs())
+	return nil
+}

@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"e2lshos"
+)
+
+// serveDataset is small enough to build in a test but clustered enough that
+// every query finds neighbors.
+func serveDataset(t *testing.T) *e2lshos.Dataset {
+	t.Helper()
+	d, err := e2lshos.GenerateDataset(e2lshos.DatasetSpec{
+		Name: "serve", N: 3000, Queries: 30, Dim: 16,
+		Clusters: 6, Spread: 0.05, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestServeConcurrentTraffic drives concurrent /search requests through the
+// coalescer against an httptest server over a sharded index, and checks
+// every caller gets its own query's answer plus live /stats and /healthz.
+func TestServeConcurrentTraffic(t *testing.T) {
+	d := serveDataset(t)
+	const k = 3
+	ix, err := e2lshos.NewShardedIndex(d.Vectors, 3, e2lshos.PlaceHash,
+		e2lshos.StorageShardBuilder(e2lshos.ShardConfig(e2lshos.Config{Sigma: 32}, d.Vectors, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := e2lshos.NewServer(ix, e2lshos.ServerConfig{
+		Dim: d.Dim, K: k, MaxBatch: 8, MaxQueue: 1 << 20,
+		Exact: e2lshos.GroundTruth(d, k),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Each query's exact answer, to verify callers get their own result.
+	want, _, err := ix.BatchSearch(context.Background(), d.Queries, e2lshos.WithK(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*d.NQ())
+	for round := 0; round < 4; round++ {
+		for qi := range d.Queries {
+			wg.Add(1)
+			go func(qi int) {
+				defer wg.Done()
+				body, _ := json.Marshal(map[string]any{"query": d.Queries[qi], "qid": qi})
+				resp, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("query %d: status %d", qi, resp.StatusCode)
+					return
+				}
+				var out struct {
+					Neighbors []struct {
+						ID   uint32  `json:"id"`
+						Dist float64 `json:"dist"`
+					} `json:"neighbors"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+					errs <- err
+					return
+				}
+				if len(out.Neighbors) == 0 {
+					errs <- fmt.Errorf("query %d: no neighbors", qi)
+					return
+				}
+				if out.Neighbors[0].ID != want[qi].Neighbors[0].ID {
+					errs <- fmt.Errorf("query %d: got top-1 %d, want %d — not my query's answer",
+						qi, out.Neighbors[0].ID, want[qi].Neighbors[0].ID)
+				}
+			}(qi)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Queries    int     `json:"queries"`
+		NIO        int     `json:"n_io"`
+		Served     uint64  `json:"served"`
+		Scored     int     `json:"scored"`
+		MeanRecall float64 `json:"mean_recall"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 4*d.NQ() || st.Served != uint64(4*d.NQ()) {
+		t.Errorf("stats report %d queries / %d served, want %d", st.Queries, st.Served, 4*d.NQ())
+	}
+	if st.NIO == 0 {
+		t.Error("storage shards served traffic but /stats reports zero N_IO")
+	}
+	if st.Scored != 4*d.NQ() || st.MeanRecall <= 0 {
+		t.Errorf("shadow scoring: scored %d (want %d), mean recall %v", st.Scored, 4*d.NQ(), st.MeanRecall)
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("/healthz returned %d", hz.StatusCode)
+	}
+}
+
+// TestServeBadRequests: malformed bodies and wrong dimensionality are 400s,
+// not engine errors.
+func TestServeBadRequests(t *testing.T) {
+	d := serveDataset(t)
+	ix, err := e2lshos.NewShardedIndex(d.Vectors, 2, e2lshos.PlaceRange,
+		e2lshos.InMemoryShardBuilder(e2lshos.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := e2lshos.NewServer(ix, e2lshos.ServerConfig{Dim: d.Dim, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name string
+		body string
+		want int
+	}{
+		{"not json", "{", http.StatusBadRequest},
+		{"wrong dim", `{"query":[1,2,3]}`, http.StatusBadRequest},
+		{"k too large", fmt.Sprintf(`{"query":%s,"k":99}`, floats(d.Dim)), http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+"/search", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/search"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /search: status %d, want 405", resp.StatusCode)
+		}
+	}
+}
+
+func floats(dim int) string {
+	parts := make([]string, dim)
+	for i := range parts {
+		parts[i] = "0.5"
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// TestRunGracefulShutdown boots the real lshserve run loop on an ephemeral
+// port, serves one request, then cancels the context (what SIGINT does via
+// signal.NotifyContext) and requires a clean, prompt exit.
+func TestRunGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrc := make(chan net.Addr, 1)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-n", "2000", "-queries", "10",
+			"-shards", "2", "-engine", "mixed", "-k", "2",
+		}, &out, func(a net.Addr) { addrc <- a })
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v\noutput:\n%s", err, out.String())
+	case <-time.After(2 * time.Minute):
+		t.Fatal("server never came up")
+	}
+
+	base := "http://" + addr.String()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	q := make([]float32, 128)
+	body, _ := json.Marshal(map[string]any{"query": q})
+	sresp, err := http.Post(base+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("/search returned %d", sresp.StatusCode)
+	}
+
+	cancel() // stand-in for SIGINT: main wires the same ctx through signal.NotifyContext
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down after cancellation")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("shutdown not logged:\n%s", out.String())
+	}
+}

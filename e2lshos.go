@@ -25,6 +25,12 @@
 // radius-ladder counters, and ctx cancels in-flight work between radius
 // rounds.
 //
+// On top of the engines sits a serving subsystem: ShardedIndex partitions a
+// dataset across N sub-engines (hash or range placement) and is itself an
+// Engine with globally-correct IDs and folded Stats, while Server exposes
+// any Engine over HTTP behind a micro-batching query coalescer (/search,
+// /stats, /healthz — see cmd/lshserve).
+//
 // It also exposes the paper's full experiment harness (RunExperiment) and
 // synthetic clones of its eight evaluation datasets. See README.md for a
 // tour and DESIGN.md for the architecture.
@@ -85,6 +91,16 @@ func OverallRatio(got, exact Result, k int) float64 { return ann.OverallRatio(go
 
 // Recall returns |returned ∩ exact top-k| / k.
 func Recall(got, exact Result, k int) float64 { return ann.Recall(got, exact, k) }
+
+// MeanRatio returns the mean OverallRatio over positionally-aligned result
+// sets — the batch-level accuracy every harness, example and the serving
+// /stats endpoint report. Only the first min(len(got), len(exact)) pairs are
+// scored.
+func MeanRatio(got, exact []Result, k int) float64 { return ann.MeanRatio(got, exact, k) }
+
+// MeanRecall returns the mean Recall@k over positionally-aligned result
+// sets.
+func MeanRecall(got, exact []Result, k int) float64 { return ann.MeanRecall(got, exact, k) }
 
 // ExperimentOptions scale the paper reproduction harness.
 type ExperimentOptions struct {

@@ -46,6 +46,18 @@ func parityEngines(t *testing.T, d *Dataset) []struct {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Heterogeneous sharded engine: a hot in-memory shard in front of cold
+	// storage shards, exactly the serving layout the router exists for.
+	sharded, err := NewShardedIndex(d.Vectors, 3, PlaceHash,
+		func(shardNum int, vectors [][]float32) (Engine, error) {
+			if shardNum == 0 {
+				return NewInMemoryIndex(vectors, Config{Sigma: 64})
+			}
+			return NewStorageIndex(vectors, Config{Sigma: 64})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return []struct {
 		name   string
 		engine Engine
@@ -56,6 +68,7 @@ func parityEngines(t *testing.T, d *Dataset) []struct {
 		{"storage", disk, 0.50, []SearchOption{WithFanout(8)}},
 		{"srs", srsIx, 0.50, []SearchOption{WithBudget(400)}},
 		{"qalsh", qalshIx, 0.25, nil},
+		{"sharded", sharded, 0.50, nil},
 	}
 }
 

@@ -21,6 +21,7 @@ func main() {
 	}
 
 	const targetQPS = 2000.0
+	gt := e2lshos.GroundTruth(ds, 1)
 	fmt.Printf("workload: %d-dim SIFT-like, n=%d; target: %.0f queries/s on one core\n\n",
 		ds.Dim, ds.N(), targetQPS)
 
@@ -38,7 +39,7 @@ func main() {
 		{"eSSD x8 + SPDK", e2lshos.SimulationConfig{Device: e2lshos.EnterpriseSSD, Devices: 8, Iface: e2lshos.SPDK}, 7200},
 	}
 
-	fmt.Printf("%-22s %12s %12s %10s %8s\n", "configuration", "queries/s", "kIOPS", "cost $", "meets?")
+	fmt.Printf("%-22s %12s %12s %10s %8s %8s\n", "configuration", "queries/s", "kIOPS", "ratio", "cost $", "meets?")
 	var best *option
 	for i := range options {
 		rep, err := ix.Simulate(ds.Queries, options[i].cfg)
@@ -53,8 +54,9 @@ func main() {
 				best = &options[i]
 			}
 		}
-		fmt.Printf("%-22s %12.0f %12.0f %10d %8s\n",
-			options[i].name, rep.QueriesPerSecond, rep.ObservedKIOPS, options[i].costUSD, mark)
+		fmt.Printf("%-22s %12.0f %12.0f %10.4f %8d %8s\n",
+			options[i].name, rep.QueriesPerSecond, rep.ObservedKIOPS,
+			e2lshos.MeanRatio(rep.Results, gt, 1), options[i].costUSD, mark)
 	}
 	fmt.Println()
 	if best != nil {

@@ -43,11 +43,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		var ratio float64
-		for qi, res := range rep.Results {
-			ratio += e2lshos.OverallRatio(res, gt[qi], 1)
-		}
-		ratio /= float64(len(rep.Results))
+		ratio := e2lshos.MeanRatio(rep.Results, gt, 1)
 		fmt.Printf("%-22s %12.3f %12.0f %12.0f %10.4f\n",
 			c.name, rep.QueryTimeMS, rep.QueriesPerSecond, rep.ObservedKIOPS, ratio)
 	}

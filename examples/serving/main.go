@@ -1,0 +1,123 @@
+// Serving: the full serving subsystem in one process. A dataset is
+// partitioned across heterogeneous shards (a hot in-memory shard in front of
+// cold storage shards), served through lshserve's HTTP handler with the
+// query coalescer batching concurrent callers, and hammered by a concurrent
+// client load; throughput comes from the wall clock and recall from the
+// server's own shadow scoring.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"e2lshos"
+)
+
+func main() {
+	ds, err := e2lshos.GenerateDataset(e2lshos.DatasetSpec{
+		Name: "serving", N: 20000, Queries: 200, Dim: 64,
+		Clusters: 25, Spread: 0.05, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		shards = 4
+		k      = 5
+	)
+
+	// One hot in-memory shard, three cold storage shards — the router folds
+	// their different Stats (the storage shards contribute N_IO) into one
+	// stream. ShardConfig keeps per-shard accuracy at the unsharded level.
+	cfg := e2lshos.ShardConfig(e2lshos.Config{Sigma: 64}, ds.Vectors, shards)
+	ix, err := e2lshos.NewShardedIndex(ds.Vectors, shards, e2lshos.PlaceHash,
+		func(shardNum int, vectors [][]float32) (e2lshos.Engine, error) {
+			if shardNum == 0 {
+				return e2lshos.NewInMemoryIndex(vectors, cfg)
+			}
+			return e2lshos.NewStorageIndex(vectors, cfg)
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sharded index: %d shards (1 hot in-memory + %d cold storage), n=%d\n",
+		shards, shards-1, ds.N())
+
+	srv, err := e2lshos.NewServer(ix, e2lshos.ServerConfig{
+		Dim: ds.Dim, K: k,
+		MaxBatch: 32, MaxDelay: 500 * time.Microsecond, MaxQueue: 1 << 14,
+		Exact: e2lshos.GroundTruth(ds, k),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("lshserve handler up at %s\n\n", ts.URL)
+
+	// Concurrent client load: every worker fires single-query requests; the
+	// coalescer regroups them into batches for the engines.
+	const (
+		workers  = 16
+		requests = 2000
+	)
+	var wg sync.WaitGroup
+	var failed sync.Map
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := w; r < requests; r += workers {
+				qi := r % ds.NQ()
+				body, _ := json.Marshal(map[string]any{"query": ds.Queries[qi], "qid": qi})
+				resp, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failed.Store(r, err)
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Store(r, fmt.Errorf("status %d", resp.StatusCode))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	nFailed := 0
+	failed.Range(func(_, _ any) bool { nFailed++; return true })
+
+	var stats struct {
+		Queries    int     `json:"queries"`
+		NIO        int     `json:"n_io"`
+		MeanIOs    float64 `json:"mean_ios"`
+		MeanRadii  float64 `json:"mean_radii"`
+		Shed       uint64  `json:"shed"`
+		MeanRecall float64 `json:"mean_recall"`
+		MeanRatio  float64 `json:"mean_ratio"`
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+
+	fmt.Printf("%d requests on %d client workers in %v (%d failed, %d shed)\n",
+		requests, workers, elapsed.Round(time.Millisecond), nFailed, stats.Shed)
+	fmt.Printf("throughput: %.0f queries/s end to end\n", float64(requests)/elapsed.Seconds())
+	fmt.Printf("per query:  %.1f I/Os, %.1f radius rounds (cold shards only pay I/O)\n",
+		stats.MeanIOs, stats.MeanRadii)
+	fmt.Printf("accuracy:   recall@%d %.3f, overall ratio %.4f (server shadow scoring)\n",
+		k, stats.MeanRecall, stats.MeanRatio)
+}

@@ -189,6 +189,34 @@ func OverallRatio(got Result, exact Result, k int) float64 {
 	return sum / float64(k)
 }
 
+// MeanRatio returns the mean OverallRatio over positionally-aligned result
+// sets, the batch-level form of the paper's accuracy metric. Only the first
+// min(len(got), len(exact)) pairs are scored; an empty input scores 0.
+func MeanRatio(got, exact []Result, k int) float64 {
+	return meanPairwise(got, exact, k, OverallRatio)
+}
+
+// MeanRecall returns the mean Recall@k over positionally-aligned result
+// sets.
+func MeanRecall(got, exact []Result, k int) float64 {
+	return meanPairwise(got, exact, k, Recall)
+}
+
+func meanPairwise(got, exact []Result, k int, metric func(Result, Result, int) float64) float64 {
+	n := len(got)
+	if len(exact) < n {
+		n = len(exact)
+	}
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += metric(got[i], exact[i], k)
+	}
+	return sum / float64(n)
+}
+
 // Recall returns |got ∩ exact-top-k| / k.
 func Recall(got Result, exact Result, k int) float64 {
 	if k <= 0 {

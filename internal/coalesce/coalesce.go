@@ -1,0 +1,196 @@
+// Package coalesce turns request-at-a-time traffic into batch-at-a-time
+// work: a micro-batching admission queue that groups concurrent single-query
+// callers into one batch execution per tick. A batch is cut when it reaches
+// MaxBatch queries or when the oldest queued query has waited MaxDelay,
+// whichever comes first; once the number of admitted-but-unanswered queries
+// reaches MaxQueue, further callers are shed immediately with ErrOverloaded
+// instead of queuing without bound.
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded is returned by Do when the admission queue is full; callers
+// (or the HTTP layer above them) should treat it as backpressure.
+var ErrOverloaded = errors.New("coalesce: admission queue full")
+
+// ErrClosed is returned by Do after Close.
+var ErrClosed = errors.New("coalesce: batcher closed")
+
+// Config tunes the batcher. The zero value selects the defaults.
+type Config struct {
+	// MaxBatch is the largest batch cut from the queue (default 32).
+	MaxBatch int
+	// MaxDelay bounds how long the first query of a forming batch waits
+	// before the batch is cut anyway (default 500µs).
+	MaxDelay time.Duration
+	// MaxQueue bounds admitted-but-unanswered queries; beyond it Do sheds
+	// load with ErrOverloaded (default 4×MaxBatch).
+	MaxQueue int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 500 * time.Microsecond
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// Func executes one coalesced batch. The returned slice must align
+// positionally with queries; it runs on the batcher's own context, not any
+// single caller's, since the batch outlives individual callers.
+type Func[R any] func(ctx context.Context, queries [][]float32) ([]R, error)
+
+// request is one caller's slot in a forming batch. done is buffered so the
+// batch goroutine never blocks on a caller that gave up waiting.
+type request[R any] struct {
+	q    []float32
+	done chan response[R]
+}
+
+type response[R any] struct {
+	val R
+	err error
+}
+
+// Batcher coalesces concurrent Do calls into batched Func executions.
+type Batcher[R any] struct {
+	run    Func[R]
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	pending  []request[R]
+	gen      uint64 // generation of the forming batch, to pair timers with it
+	inflight int    // admitted but not yet answered
+	shed     uint64
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New builds a batcher that executes run for every cut batch.
+func New[R any](run Func[R], cfg Config) *Batcher[R] {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Batcher[R]{run: run, cfg: cfg.withDefaults(), ctx: ctx, cancel: cancel}
+}
+
+// Do admits one query, waits for the batch it lands in to execute, and
+// returns this query's own slot of the batch result. If the admission queue
+// is full it returns ErrOverloaded without queuing. If ctx is done before
+// the batch delivers, Do returns ctx.Err(); the batch still computes the
+// abandoned slot, and its queue slot is released when the batch completes.
+func (b *Batcher[R]) Do(ctx context.Context, q []float32) (R, error) {
+	var zero R
+	// A dead caller must not occupy a queue slot or burn batch work: under
+	// overload, timed-out clients retrying are exactly the traffic to drop.
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return zero, ErrClosed
+	}
+	if b.inflight >= b.cfg.MaxQueue {
+		b.shed++
+		b.mu.Unlock()
+		return zero, ErrOverloaded
+	}
+	b.inflight++
+	done := make(chan response[R], 1)
+	b.pending = append(b.pending, request[R]{q: q, done: done})
+	if len(b.pending) >= b.cfg.MaxBatch {
+		b.cutLocked()
+	} else if len(b.pending) == 1 {
+		gen := b.gen
+		time.AfterFunc(b.cfg.MaxDelay, func() { b.cutGen(gen) })
+	}
+	b.mu.Unlock()
+
+	select {
+	case r := <-done:
+		return r.val, r.err
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
+}
+
+// Shed returns how many calls have been refused with ErrOverloaded.
+func (b *Batcher[R]) Shed() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.shed
+}
+
+// cutGen cuts the forming batch if it is still generation gen: a timer whose
+// batch was already cut by the MaxBatch path finds gen advanced and does
+// nothing.
+func (b *Batcher[R]) cutGen(gen uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.gen == gen && len(b.pending) > 0 {
+		b.cutLocked()
+	}
+}
+
+// cutLocked starts executing the forming batch. Caller holds b.mu.
+func (b *Batcher[R]) cutLocked() {
+	batch := b.pending
+	b.pending = nil
+	b.gen++
+	b.wg.Add(1)
+	go b.runBatch(batch)
+}
+
+// runBatch executes one batch and fans its slots back out to the callers.
+func (b *Batcher[R]) runBatch(batch []request[R]) {
+	defer b.wg.Done()
+	queries := make([][]float32, len(batch))
+	for i, req := range batch {
+		queries[i] = req.q
+	}
+	results, err := b.run(b.ctx, queries)
+	for i, req := range batch {
+		resp := response[R]{err: err}
+		if i < len(results) {
+			resp.val = results[i]
+		} else if err == nil {
+			resp.err = fmt.Errorf("coalesce: batch func returned %d results for %d queries", len(results), len(batch))
+		}
+		req.done <- resp
+	}
+	b.mu.Lock()
+	b.inflight -= len(batch)
+	b.mu.Unlock()
+}
+
+// Close stops admission, flushes the forming batch, and waits for in-flight
+// batches to deliver before canceling the batch context. Do calls racing
+// with Close either complete normally or return ErrClosed.
+func (b *Batcher[R]) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.closed = true
+	if len(b.pending) > 0 {
+		b.cutLocked()
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+	b.cancel()
+}

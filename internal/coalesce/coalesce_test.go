@@ -1,0 +1,234 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echo answers each query with its own first coordinate, so every caller can
+// verify it got its own slot back.
+func echo(batches *atomic.Int64, maxSeen *atomic.Int64) Func[float32] {
+	return func(ctx context.Context, queries [][]float32) ([]float32, error) {
+		if batches != nil {
+			batches.Add(1)
+		}
+		if maxSeen != nil {
+			for {
+				cur := maxSeen.Load()
+				if int64(len(queries)) <= cur || maxSeen.CompareAndSwap(cur, int64(len(queries))) {
+					break
+				}
+			}
+		}
+		out := make([]float32, len(queries))
+		for i, q := range queries {
+			out[i] = q[0]
+		}
+		return out, nil
+	}
+}
+
+// TestCoalesceOwnResults is the core correctness property under the race
+// detector: many concurrent callers, each must receive its own query's
+// answer, never a batch-mate's.
+func TestCoalesceOwnResults(t *testing.T) {
+	var batches atomic.Int64
+	b := New(echo(&batches, nil), Config{MaxBatch: 8, MaxDelay: 200 * time.Microsecond, MaxQueue: 1 << 20})
+	defer b.Close()
+
+	const callers = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			got, err := b.Do(context.Background(), []float32{float32(c)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got != float32(c) {
+				errs <- fmt.Errorf("caller %d got %v", c, got)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := batches.Load(); n >= callers {
+		t.Errorf("%d batches for %d callers: nothing coalesced", n, callers)
+	} else {
+		t.Logf("%d callers coalesced into %d batches", callers, n)
+	}
+}
+
+// TestCoalesceMaxBatch: the batch size never exceeds MaxBatch.
+func TestCoalesceMaxBatch(t *testing.T) {
+	var maxSeen atomic.Int64
+	b := New(echo(nil, &maxSeen), Config{MaxBatch: 4, MaxDelay: time.Hour, MaxQueue: 1 << 20})
+	defer b.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 64; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if _, err := b.Do(context.Background(), []float32{float32(c)}); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if maxSeen.Load() > 4 {
+		t.Errorf("a batch held %d queries, MaxBatch is 4", maxSeen.Load())
+	}
+}
+
+// TestCoalesceMaxDelay: a lone query must not wait for a full batch — the
+// delay timer cuts it.
+func TestCoalesceMaxDelay(t *testing.T) {
+	b := New(echo(nil, nil), Config{MaxBatch: 1000, MaxDelay: time.Millisecond})
+	defer b.Close()
+	start := time.Now()
+	got, err := b.Do(context.Background(), []float32{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %v, want 42", got)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("lone query waited %v for a batch that can never fill", waited)
+	}
+}
+
+// TestCoalesceLoadShedding: a stalled batch function fills the admission
+// queue, and the caller after the bound is shed with ErrOverloaded instead
+// of queuing.
+func TestCoalesceLoadShedding(t *testing.T) {
+	release := make(chan struct{})
+	stall := func(ctx context.Context, queries [][]float32) ([]float32, error) {
+		<-release
+		return make([]float32, len(queries)), nil
+	}
+	const maxQueue = 8
+	b := New(stall, Config{MaxBatch: 1, MaxDelay: time.Hour, MaxQueue: maxQueue})
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for c := 0; c < maxQueue; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Do(context.Background(), []float32{0}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Wait until all admitted requests occupy the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.mu.Lock()
+		inflight := b.inflight
+		b.mu.Unlock()
+		if inflight == maxQueue {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admitted requests never filled the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := b.Do(context.Background(), []float32{0}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-admission returned %v, want ErrOverloaded", err)
+	}
+	if b.Shed() != 1 {
+		t.Errorf("shed counter = %d, want 1", b.Shed())
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestCoalesceCallerCancel: a caller whose context dies stops waiting with
+// ctx.Err() and its queue slot is eventually released.
+func TestCoalesceCallerCancel(t *testing.T) {
+	release := make(chan struct{})
+	stall := func(ctx context.Context, queries [][]float32) ([]float32, error) {
+		<-release
+		return make([]float32, len(queries)), nil
+	}
+	b := New(stall, Config{MaxBatch: 1, MaxDelay: time.Hour, MaxQueue: 4})
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	if _, err := b.Do(ctx, []float32{0}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled caller got %v, want context.Canceled", err)
+	}
+	// A pre-canceled caller is refused before admission: no queue slot, no
+	// batch work.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, err := b.Do(pre, []float32{0}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled caller got %v, want context.Canceled", err)
+	}
+	b.mu.Lock()
+	inflight := b.inflight
+	b.mu.Unlock()
+	if inflight != 1 {
+		t.Errorf("pre-canceled caller took a queue slot: inflight = %d, want 1", inflight)
+	}
+	close(release)
+}
+
+// TestCoalesceBatchError: a failing batch delivers its error to every caller
+// in the batch.
+func TestCoalesceBatchError(t *testing.T) {
+	boom := errors.New("engine down")
+	fail := func(ctx context.Context, queries [][]float32) ([]float32, error) {
+		return nil, boom
+	}
+	b := New(fail, Config{MaxBatch: 4, MaxDelay: time.Millisecond})
+	defer b.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Do(context.Background(), []float32{0}); !errors.Is(err, boom) {
+				t.Errorf("got %v, want the batch error", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCoalesceClose: Close flushes pending queries, then refuses new ones.
+func TestCoalesceClose(t *testing.T) {
+	b := New(echo(nil, nil), Config{MaxBatch: 1000, MaxDelay: time.Hour})
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Do(context.Background(), []float32{1})
+		done <- err
+	}()
+	// Let the query enqueue, then close: the pending batch must flush.
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("pending query failed on Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending query never delivered after Close")
+	}
+	if _, err := b.Do(context.Background(), []float32{2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close Do returned %v, want ErrClosed", err)
+	}
+}

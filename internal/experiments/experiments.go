@@ -196,6 +196,7 @@ var Registry = map[string]Runner{
 	"fig14":    func(env *Env) (Renderable, error) { return Fig14(env) },
 	"fig15":    func(env *Env) (Renderable, error) { return Fig15(env) },
 	"fig16":    func(env *Env) (Renderable, error) { return Fig16(env) },
+	"shards":   func(env *Env) (Renderable, error) { return Shards(env) },
 	"sync":     func(env *Env) (Renderable, error) { return SyncComparison(env) },
 	"ablation": func(env *Env) (Renderable, error) { return Ablation(env) },
 }

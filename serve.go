@@ -1,0 +1,263 @@
+package e2lshos
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"e2lshos/internal/coalesce"
+)
+
+// ServerConfig tunes the HTTP serving front-end.
+type ServerConfig struct {
+	// Dim is the query dimensionality; requests with another length are
+	// rejected with 400. Required.
+	Dim int
+	// K is the top-k every coalesced batch searches for (default 1).
+	// Requests may ask for fewer neighbors; they get a prefix.
+	K int
+	// MaxBatch, MaxDelay and MaxQueue are the query coalescer knobs; see
+	// the coalesce package. Shed load surfaces as 503.
+	MaxBatch int
+	MaxDelay time.Duration
+	MaxQueue int
+	// Opts are applied to every coalesced BatchSearch (WithK(K) is implied).
+	Opts []SearchOption
+	// Exact optionally holds ground-truth results for a held-out query set.
+	// A request carrying "qid": i is scored against Exact[i] with the
+	// facade's Recall / OverallRatio metrics and /stats reports the running
+	// means — shadow scoring for serving experiments.
+	Exact []Result
+}
+
+// Server is the serving front-end: an Engine behind a query coalescer with
+// JSON endpoints /search, /stats and /healthz. Concurrent single-query
+// requests are grouped into one BatchSearch per tick, so request-at-a-time
+// traffic exercises the batch pool's per-goroutine searcher reuse.
+type Server struct {
+	eng     Engine
+	cfg     ServerConfig
+	batcher *coalesce.Batcher[Result]
+	start   time.Time
+
+	mu        sync.Mutex
+	agg       Stats
+	served    uint64
+	failed    uint64
+	canceled  uint64
+	scored    int
+	recallSum float64
+	ratioSum  float64
+}
+
+// NewServer wraps eng for serving. Close releases the coalescer.
+func NewServer(eng Engine, cfg ServerConfig) (*Server, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("e2lshos: NewServer needs an engine")
+	}
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("e2lshos: ServerConfig.Dim must be positive, got %d", cfg.Dim)
+	}
+	if cfg.K <= 0 {
+		cfg.K = 1
+	}
+	s := &Server{eng: eng, cfg: cfg, start: time.Now()}
+	opts := append([]SearchOption{WithK(cfg.K)}, cfg.Opts...)
+	s.batcher = coalesce.New(func(ctx context.Context, queries [][]float32) ([]Result, error) {
+		results, st, err := eng.BatchSearch(ctx, queries, opts...)
+		s.mu.Lock()
+		s.agg.Merge(st)
+		s.mu.Unlock()
+		return results, err
+	}, coalesce.Config{MaxBatch: cfg.MaxBatch, MaxDelay: cfg.MaxDelay, MaxQueue: cfg.MaxQueue})
+	return s, nil
+}
+
+// Close flushes and stops the coalescer; pending requests complete first.
+func (s *Server) Close() { s.batcher.Close() }
+
+// Stats returns the cumulative Stats of everything served so far.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agg
+}
+
+// searchRequest is the /search body.
+type searchRequest struct {
+	Query []float32 `json:"query"`
+	// K asks for the first K neighbors of the server's top-K (optional).
+	K int `json:"k,omitempty"`
+	// QID marks the query as held-out query i for shadow scoring (optional).
+	QID *int `json:"qid,omitempty"`
+}
+
+// searchNeighbor is one neighbor in a /search response.
+type searchNeighbor struct {
+	ID   uint32  `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// searchResponse is the /search reply.
+type searchResponse struct {
+	Neighbors []searchNeighbor `json:"neighbors"`
+	K         int              `json:"k"`
+}
+
+// statsResponse is the /stats reply: the cumulative Stats counters (the
+// paper's analysis units, N_IO above all) plus serving-level counters and,
+// when shadow scoring is on, the running accuracy means.
+type statsResponse struct {
+	Queries        int     `json:"queries"`
+	Radii          int     `json:"radii"`
+	Probes         int     `json:"probes"`
+	NonEmptyProbes int     `json:"non_empty_probes"`
+	EntriesScanned int     `json:"entries_scanned"`
+	Checked        int     `json:"checked"`
+	TableIOs       int     `json:"table_ios"`
+	BucketIOs      int     `json:"bucket_ios"`
+	NIO            int     `json:"n_io"`
+	MeanIOs        float64 `json:"mean_ios"`
+	MeanRadii      float64 `json:"mean_radii"`
+	MeanChecked    float64 `json:"mean_checked"`
+	Served         uint64  `json:"served"`
+	Failed         uint64  `json:"failed"`
+	Canceled       uint64  `json:"canceled"`
+	Shed           uint64  `json:"shed"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Scored         int     `json:"scored,omitempty"`
+	MeanRecall     float64 `json:"mean_recall,omitempty"`
+	MeanRatio      float64 `json:"mean_ratio,omitempty"`
+}
+
+// Handler returns the HTTP API: POST /search, GET /stats, GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Query) != s.cfg.Dim {
+		http.Error(w, fmt.Sprintf("query has %d dimensions, index has %d", len(req.Query), s.cfg.Dim), http.StatusBadRequest)
+		return
+	}
+	if req.K < 0 || req.K > s.cfg.K {
+		http.Error(w, fmt.Sprintf("k must be omitted (server default %d) or in [1,%d]", s.cfg.K, s.cfg.K), http.StatusBadRequest)
+		return
+	}
+	res, err := s.batcher.Do(r.Context(), req.Query)
+	if err != nil {
+		var status int
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The client gave up, not the engine: count separately and use
+			// nginx's 499 so /stats and logs keep disconnects apart from
+			// real failures.
+			s.mu.Lock()
+			s.canceled++
+			s.mu.Unlock()
+			status = 499
+		case errors.Is(err, coalesce.ErrOverloaded), errors.Is(err, coalesce.ErrClosed):
+			s.mu.Lock()
+			s.failed++
+			s.mu.Unlock()
+			status = http.StatusServiceUnavailable
+		default:
+			s.mu.Lock()
+			s.failed++
+			s.mu.Unlock()
+			status = http.StatusInternalServerError
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	s.score(req.QID, res)
+	k := req.K
+	if k == 0 {
+		k = s.cfg.K
+	}
+	resp := searchResponse{K: k, Neighbors: make([]searchNeighbor, 0, k)}
+	for i, nb := range res.Neighbors {
+		if i >= k {
+			break
+		}
+		resp.Neighbors = append(resp.Neighbors, searchNeighbor{ID: nb.ID, Dist: nb.Dist})
+	}
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// score folds one shadow-scored answer into the running accuracy means.
+func (s *Server) score(qid *int, res Result) {
+	if qid == nil || *qid < 0 || *qid >= len(s.cfg.Exact) {
+		return
+	}
+	exact := s.cfg.Exact[*qid]
+	if len(exact.Neighbors) < s.cfg.K {
+		return
+	}
+	recall := Recall(res, exact, s.cfg.K)
+	ratio := OverallRatio(res, exact, s.cfg.K)
+	s.mu.Lock()
+	s.scored++
+	s.recallSum += recall
+	s.ratioSum += ratio
+	s.mu.Unlock()
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := s.agg
+	resp := statsResponse{
+		Queries:        st.Queries,
+		Radii:          st.Radii,
+		Probes:         st.Probes,
+		NonEmptyProbes: st.NonEmptyProbes,
+		EntriesScanned: st.EntriesScanned,
+		Checked:        st.Checked,
+		TableIOs:       st.TableIOs,
+		BucketIOs:      st.BucketIOs,
+		NIO:            st.IOs(),
+		MeanIOs:        st.MeanIOs(),
+		MeanRadii:      st.MeanRadii(),
+		MeanChecked:    st.MeanChecked(),
+		Served:         s.served,
+		Failed:         s.failed,
+		Canceled:       s.canceled,
+		Shed:           s.batcher.Shed(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Scored:         s.scored,
+	}
+	if s.scored > 0 {
+		resp.MeanRecall = s.recallSum / float64(s.scored)
+		resp.MeanRatio = s.ratioSum / float64(s.scored)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

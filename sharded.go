@@ -1,0 +1,224 @@
+package e2lshos
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"e2lshos/internal/lsh"
+	"e2lshos/internal/shard"
+)
+
+// ShardPlacement selects how NewShardedIndex distributes vectors over
+// shards.
+type ShardPlacement int
+
+const (
+	// PlaceRange gives each shard a contiguous slice of the dataset.
+	PlaceRange ShardPlacement = iota
+	// PlaceHash spreads vectors over shards by hashing their global IDs.
+	PlaceHash
+)
+
+// String names the placement (the same names cmd/lshserve's -placement flag
+// accepts).
+func (p ShardPlacement) String() string { return p.internal().String() }
+
+func (p ShardPlacement) internal() shard.Placement {
+	if p == PlaceHash {
+		return shard.Hash
+	}
+	return shard.Range
+}
+
+// ParseShardPlacement reads "range" or "hash".
+func ParseShardPlacement(s string) (ShardPlacement, error) {
+	p, err := shard.ParsePlacement(s)
+	if err != nil {
+		return 0, err
+	}
+	if p == shard.Hash {
+		return PlaceHash, nil
+	}
+	return PlaceRange, nil
+}
+
+// ShardBuilder builds one shard's engine over its partition of the dataset.
+// It is called once per shard with the shard number and the vectors placed
+// there (local ID order), so heterogeneous layouts — say, a hot InMemoryIndex
+// shard in front of cold StorageIndex shards — are one switch away.
+type ShardBuilder func(shardNum int, vectors [][]float32) (Engine, error)
+
+// InMemoryShardBuilder builds every shard as an InMemoryIndex with cfg.
+func InMemoryShardBuilder(cfg Config) ShardBuilder {
+	return func(_ int, vectors [][]float32) (Engine, error) {
+		return NewInMemoryIndex(vectors, cfg)
+	}
+}
+
+// StorageShardBuilder builds every shard as a StorageIndex with cfg.
+func StorageShardBuilder(cfg Config) ShardBuilder {
+	return func(_ int, vectors [][]float32) (Engine, error) {
+		return NewStorageIndex(vectors, cfg)
+	}
+}
+
+// ShardConfig adapts cfg for the shards of an s-way split of data, so the
+// sharded build answers like the unsharded one. Three per-shard derivations
+// drift when a shard sees only n/s points, and ShardConfig pins them back
+// to their global values:
+//
+//   - L = n^ρ hash tables: a shard built with the same ρ gets fewer tables
+//     and lower per-shard recall, so ρ is rescaled to keep each shard at the
+//     unsharded table count.
+//   - m = γ·log n hash functions per table: fewer functions mean looser
+//     tables, which end the radius ladder earlier on coarser candidates, so
+//     γ is rescaled the same way.
+//   - The radius ladder itself: R_min estimated inside one shard is inflated
+//     by the lower point density, giving a coarser ladder, so R_min/R_max
+//     are estimated once over the full dataset and fixed in the config
+//     (unless the caller already pinned them).
+//
+// With s same-strength indexes probed per query, scatter-gather accuracy
+// then meets or exceeds the unsharded engine's.
+func ShardConfig(cfg Config, data [][]float32, shards int) Config {
+	n := len(data)
+	if n == 0 {
+		return cfg
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if cfg.RMin == 0 {
+		cfg.RMin = estimateRMin(data, seed)
+	}
+	if cfg.RMax == 0 {
+		cfg.RMax = lsh.MaxRadius(maxAbs(data), len(data[0]))
+	}
+	if shards <= 1 {
+		return cfg
+	}
+	def := lsh.DefaultConfig()
+	rho := cfg.Rho
+	if rho == 0 {
+		rho = def.Rho
+	}
+	gamma := cfg.Gamma
+	if gamma == 0 {
+		gamma = def.Gamma
+	}
+	nShard := float64(n) / float64(shards)
+	if nShard <= 1 {
+		return cfg
+	}
+	// Both L = n^ρ and m = γ·log n shrink with the shard size; scaling the
+	// exponents by log n / log(n/s) restores the unsharded values.
+	logScale := math.Log(float64(n)) / math.Log(nShard)
+	scaled := rho * logScale
+	if scaled > 0.99 {
+		scaled = 0.99 // keep L sublinear in the shard size
+	}
+	cfg.Rho = scaled
+	cfg.Gamma = gamma * logScale
+	return cfg
+}
+
+// ShardedIndex partitions one dataset across N sub-engines and serves it as
+// a single Engine: Search and BatchSearch scatter to every shard, gather
+// under per-shard contexts, merge the per-shard top-k heaps into one global
+// Result (IDs are positions in the original dataset, exactly as with an
+// unsharded engine), and fold the per-shard Stats. Options pass through to
+// every shard; as everywhere, each engine honors the knobs it has.
+type ShardedIndex struct {
+	router  *shard.Router[Stats]
+	engines []Engine
+}
+
+var _ Engine = (*ShardedIndex)(nil)
+
+// NewShardedIndex places data on shards and builds one engine per shard.
+func NewShardedIndex(data [][]float32, shards int, placement ShardPlacement, build ShardBuilder) (*ShardedIndex, error) {
+	if build == nil {
+		return nil, fmt.Errorf("e2lshos: nil ShardBuilder")
+	}
+	globals, err := shard.Partition(len(data), shards, placement.internal())
+	if err != nil {
+		return nil, err
+	}
+	router, err := shard.NewRouter[Stats](globals)
+	if err != nil {
+		return nil, err
+	}
+	engines := make([]Engine, shards)
+	for i, part := range globals {
+		vectors := make([][]float32, len(part))
+		for l, g := range part {
+			vectors[l] = data[g]
+		}
+		eng, err := build(i, vectors)
+		if err != nil {
+			return nil, fmt.Errorf("e2lshos: building shard %d/%d: %w", i, shards, err)
+		}
+		engines[i] = eng
+	}
+	return &ShardedIndex{router: router, engines: engines}, nil
+}
+
+// Shards returns the number of shards.
+func (x *ShardedIndex) Shards() int { return x.router.Shards() }
+
+// Shard returns shard i's engine, for engine-specific surface (SaveFile,
+// Insert, byte accounting). Searches should go through the ShardedIndex.
+func (x *ShardedIndex) Shard(i int) Engine { return x.engines[i] }
+
+// Search scatters the query to every shard and merges their top-k answers;
+// see Engine. On cancellation the neighbors gathered so far are merged and
+// returned with ctx.Err().
+func (x *ShardedIndex) Search(ctx context.Context, q []float32, opts ...SearchOption) (Result, Stats, error) {
+	set, err := resolveSettings(opts)
+	if err != nil {
+		return Result{}, Stats{}, err
+	}
+	res, per, err := x.router.Search(ctx, q, set.k,
+		func(sctx context.Context, i int, q []float32) (Result, Stats, error) {
+			return x.engines[i].Search(sctx, q, opts...)
+		})
+	return res, foldShardStats(per), err
+}
+
+// BatchSearch scatters the whole batch to every shard's BatchSearch — so
+// each shard runs its own worker pool with per-goroutine searcher reuse —
+// and merges per query; see Engine.
+func (x *ShardedIndex) BatchSearch(ctx context.Context, queries [][]float32, opts ...SearchOption) ([]Result, Stats, error) {
+	set, err := resolveSettings(opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	results, per, err := x.router.BatchSearch(ctx, queries, set.k,
+		func(sctx context.Context, i int, queries [][]float32) ([]Result, Stats, error) {
+			return x.engines[i].BatchSearch(sctx, queries, opts...)
+		})
+	if results == nil {
+		results = make([]Result, len(queries))
+	}
+	return results, foldShardStats(per), err
+}
+
+// foldShardStats folds per-shard Stats into the aggregate for the logical
+// query stream: work counters (probes, I/Os, candidates) sum across shards
+// because every shard really did that work, but Queries must count logical
+// queries, not logical queries × shards — so it is the maximum any single
+// shard answered, which on a clean run is exactly the batch size.
+func foldShardStats(per []Stats) Stats {
+	var agg Stats
+	logical := 0
+	for _, s := range per {
+		if s.Queries > logical {
+			logical = s.Queries
+		}
+		agg.Merge(s)
+	}
+	agg.Queries = logical
+	return agg
+}
