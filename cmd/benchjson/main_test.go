@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: e2lshos
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRepeatedQueriesUncached 	       3	    560275 ns/op	        17.55 backend-reads/query	        17.55 logical-NIO/query
+BenchmarkRepeatedQueriesCached   	       3	   1043176 ns/op	         2.700 backend-reads/query	        17.55 logical-NIO/query
+PASS
+ok  	e2lshos	0.732s
+pkg: e2lshos/internal/lsh
+BenchmarkHashesAt-8   	 1000000	      1021 ns/op	     0 B/op	       0 allocs/op
+garbage line that should be ignored
+Benchmark   malformed
+PASS
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	// Sorted by (pkg, name): the root package precedes internal/lsh, and
+	// Cached precedes Uncached.
+	b0 := f.Benchmarks[0]
+	if b0.Pkg != "e2lshos" || b0.Name != "BenchmarkRepeatedQueriesCached" {
+		t.Errorf("first entry = %s %s", b0.Pkg, b0.Name)
+	}
+	if b0.Iterations != 3 {
+		t.Errorf("iterations = %d, want 3", b0.Iterations)
+	}
+	if got := b0.Metrics["backend-reads/query"]; got != 2.7 {
+		t.Errorf("backend-reads/query = %v, want 2.7", got)
+	}
+	if got := b0.Metrics["ns/op"]; got != 1043176 {
+		t.Errorf("ns/op = %v", got)
+	}
+	// The cache's headline claim is visible in the JSON: >=2x fewer backend
+	// reads cached vs uncached.
+	var cached, uncached float64
+	for _, b := range f.Benchmarks {
+		switch b.Name {
+		case "BenchmarkRepeatedQueriesCached":
+			cached = b.Metrics["backend-reads/query"]
+		case "BenchmarkRepeatedQueriesUncached":
+			uncached = b.Metrics["backend-reads/query"]
+		}
+	}
+	if cached*2 > uncached {
+		t.Errorf("sample trajectory lost the 2x property: %v vs %v", cached, uncached)
+	}
+	// GOMAXPROCS suffix stripped, allocation metrics preserved.
+	lsh := f.Benchmarks[2]
+	if lsh.Name != "BenchmarkHashesAt" || lsh.Pkg != "e2lshos/internal/lsh" {
+		t.Errorf("lsh entry = %s %s", lsh.Pkg, lsh.Name)
+	}
+	if _, ok := lsh.Metrics["allocs/op"]; !ok {
+		t.Error("allocs/op metric dropped")
+	}
+}

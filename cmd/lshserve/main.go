@@ -54,9 +54,20 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 		maxBatch  = fs.Int("maxbatch", 32, "coalescer: max queries per batch")
 		maxDelay  = fs.Duration("maxdelay", 500*time.Microsecond, "coalescer: max wait for a batch to fill")
 		maxQueue  = fs.Int("maxqueue", 0, "coalescer: admission bound (0 = 4x maxbatch)")
+		cacheMB   = fs.Int("cache", 0, "per-shard block cache for storage shards, in MiB (0 = uncached)")
+		readahead = fs.Int("readahead", 0, "bucket blocks prefetched per chain between radius rounds (needs -cache)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var storageOpts []e2lshos.StorageOption
+	if *cacheMB > 0 {
+		storageOpts = append(storageOpts, e2lshos.WithBlockCache(int64(*cacheMB)<<20))
+		if *readahead > 0 {
+			storageOpts = append(storageOpts, e2lshos.WithReadahead(*readahead))
+		}
+	} else if *readahead > 0 {
+		return fmt.Errorf("-readahead needs -cache (prefetched blocks land in the cache)")
 	}
 
 	place, err := e2lshos.ParseShardPlacement(*placement)
@@ -76,13 +87,13 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 	case "mem":
 		build = e2lshos.InMemoryShardBuilder(cfg)
 	case "storage":
-		build = e2lshos.StorageShardBuilder(cfg)
+		build = e2lshos.StorageShardBuilder(cfg, storageOpts...)
 	case "mixed":
 		build = func(shardNum int, vectors [][]float32) (e2lshos.Engine, error) {
 			if shardNum == 0 {
 				return e2lshos.NewInMemoryIndex(vectors, cfg)
 			}
-			return e2lshos.NewStorageIndex(vectors, cfg)
+			return e2lshos.NewStorageIndex(vectors, cfg, storageOpts...)
 		}
 	default:
 		return fmt.Errorf("unknown -engine %q (want mem, storage, or mixed)", *engine)

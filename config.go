@@ -74,6 +74,52 @@ func (c Config) derive(data [][]float32) (lsh.Params, int64, uint, error) {
 	return p, seed, c.TableBits, err
 }
 
+// StorageOption tunes the storage tier of NewStorageIndex and
+// OpenStorageIndex beyond the algorithmic Config: the block cache and
+// readahead that sit between the query paths and the block store. Unlike
+// SearchOptions these are build/open-time choices; the accuracy knobs stay
+// in Config and the per-query options.
+type StorageOption func(*storageSettings)
+
+// storageSettings is the resolved storage option set.
+type storageSettings struct {
+	cacheBytes int64
+	readahead  int
+}
+
+// WithBlockCache interposes a concurrency-safe, scan-resistant block cache
+// of the given byte capacity between the searchers and the block store.
+// Cache hits never reach the backend, so on repeated or skewed workloads
+// the effective N_IO drops to the miss count (Stats.CacheMisses).
+func WithBlockCache(bytes int64) StorageOption {
+	return func(s *storageSettings) { s.cacheBytes = bytes }
+}
+
+// WithReadahead enables asynchronous readahead between radius-ladder
+// rounds: while one round's candidates are being verified, a bounded worker
+// pool prefetches the next round's occupied table blocks and up to depth
+// bucket blocks per chain into the block cache. Requires WithBlockCache.
+func WithReadahead(depth int) StorageOption {
+	return func(s *storageSettings) { s.readahead = depth }
+}
+
+// resolveStorageSettings applies opts and validates the combination.
+func resolveStorageSettings(opts []StorageOption) (storageSettings, error) {
+	var s storageSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	switch {
+	case s.cacheBytes < 0:
+		return s, fmt.Errorf("e2lshos: negative block cache size %d", s.cacheBytes)
+	case s.readahead < 0:
+		return s, fmt.Errorf("e2lshos: negative readahead depth %d", s.readahead)
+	case s.readahead > 0 && s.cacheBytes == 0:
+		return s, fmt.Errorf("e2lshos: WithReadahead requires WithBlockCache (prefetch lands in the cache)")
+	}
+	return s, nil
+}
+
 // estimateRMin samples nearest-neighbor distances within the dataset and
 // returns a low quantile, the starting radius of the ladder.
 func estimateRMin(data [][]float32, seed int64) float64 {

@@ -74,6 +74,16 @@ type Stats struct {
 	TableIOs int
 	// BucketIOs counts on-storage bucket block reads, including chains.
 	BucketIOs int
+	// CacheHits and CacheMisses count block-cache outcomes on StorageIndex
+	// reads when the index was built WithBlockCache (zero otherwise). Hits
+	// never reach the backend, so CacheMisses is the effective N_IO of a
+	// cached engine; IOs() keeps reporting the logical count for
+	// comparability with uncached runs.
+	CacheHits   int
+	CacheMisses int
+	// PrefetchedBlocks counts blocks the WithReadahead pool pulled into the
+	// cache between radius rounds on behalf of these queries.
+	PrefetchedBlocks int
 	// IOsAtInf is the paper's N_IO,∞ for the in-memory reference: what the
 	// query would cost on storage with unlimited block size.
 	IOsAtInf int
@@ -99,6 +109,9 @@ func (s *Stats) Merge(o Stats) {
 	s.FPRejected += o.FPRejected
 	s.TableIOs += o.TableIOs
 	s.BucketIOs += o.BucketIOs
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.PrefetchedBlocks += o.PrefetchedBlocks
 	s.IOsAtInf += o.IOsAtInf
 	s.NodesVisited += o.NodesVisited
 	s.EarlyStopped += o.EarlyStopped

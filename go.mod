@@ -1,3 +1,3 @@
 module e2lshos
 
-go 1.24
+go 1.23

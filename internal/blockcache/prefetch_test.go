@@ -1,0 +1,180 @@
+package blockcache
+
+import (
+	"context"
+	"encoding/binary"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"e2lshos/internal/blockstore"
+)
+
+// chainSource is a Reader whose blocks form linked chains: the first 8 bytes
+// of block a hold the next address (a+1 until a multiple of chainLen), so
+// prefetch walks have real pointers to chase.
+type chainSource struct {
+	reads atomic.Int64
+	// gate, when non-nil, blocks every read until released — for the
+	// cancellation test.
+	gate chan struct{}
+}
+
+const chainLen = 8
+
+func (s *chainSource) ReadBlock(a blockstore.Addr, buf []byte) error {
+	if s.gate != nil {
+		<-s.gate
+	}
+	s.reads.Add(1)
+	clear(buf[:blockstore.BlockSize])
+	next := a + 1
+	if uint64(next)%chainLen == 0 {
+		next = blockstore.Nil
+	}
+	binary.LittleEndian.PutUint64(buf[:8], uint64(next))
+	return nil
+}
+
+// chainWalk builds a Walk following the embedded next pointers.
+func chainWalk(start blockstore.Addr, steps int) Walk {
+	return Walk{
+		Start: start,
+		Steps: steps,
+		Next: func(_ int, block []byte) blockstore.Addr {
+			return blockstore.Addr(binary.LittleEndian.Uint64(block[:8]))
+		},
+	}
+}
+
+// TestPrefetchWarmsCache: after a prefetch completes, the demand reads of
+// the same chains are pure hits and the backend saw each block exactly once.
+func TestPrefetchWarmsCache(t *testing.T) {
+	c, err := New(1<<20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &chainSource{}
+	p := NewPrefetcher(c, src, 4)
+	walks := []Walk{chainWalk(1, chainLen), chainWalk(16, chainLen), chainWalk(32, chainLen)}
+	fetched := p.Prefetch(context.Background(), walks).Wait()
+	if want := int64(7 + chainLen + chainLen); fetched != want {
+		// Chain at 1 runs 1..7 (block 8 would be next but 8%8==0 ends it).
+		t.Errorf("prefetched %d blocks, want %d", fetched, want)
+	}
+	if c.Prefetched() != fetched {
+		t.Errorf("cache prefetch counter %d != handle %d", c.Prefetched(), fetched)
+	}
+	before := src.reads.Load()
+	buf := make([]byte, blockstore.BlockSize)
+	for a := blockstore.Addr(1); a < 8; a++ {
+		hit, err := c.ReadThrough(src, a, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit {
+			t.Errorf("block %d missed after prefetch", a)
+		}
+	}
+	if src.reads.Load() != before {
+		t.Error("demand reads reached the backend after prefetch")
+	}
+}
+
+// TestPrefetchStepBound: a walk never fetches more than Steps blocks even
+// when the chain keeps going.
+func TestPrefetchStepBound(t *testing.T) {
+	c, err := New(1<<20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &chainSource{}
+	p := NewPrefetcher(c, src, 2)
+	if got := p.Prefetch(context.Background(), []Walk{chainWalk(1, 3)}).Wait(); got != 3 {
+		t.Errorf("fetched %d blocks, want the 3-step bound", got)
+	}
+}
+
+// TestPrefetchEmpty: an empty walk set completes immediately.
+func TestPrefetchEmpty(t *testing.T) {
+	c, err := New(1<<20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewPrefetcher(c, &chainSource{}, 4).Prefetch(context.Background(), nil)
+	if h.Wait() != 0 || !h.Done() {
+		t.Error("empty prefetch did not complete immediately")
+	}
+}
+
+// TestPrefetchCancelNoLeak: cancel a prefetch whose backend is stalled, then
+// release the backend; every worker goroutine must exit without fetching the
+// remaining walks, and the goroutine count must return to baseline.
+func TestPrefetchCancelNoLeak(t *testing.T) {
+	c, err := New(1<<20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &chainSource{gate: make(chan struct{})}
+	p := NewPrefetcher(c, src, 4)
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	walks := make([]Walk, 64)
+	for i := range walks {
+		walks[i] = chainWalk(blockstore.Addr(1+i*chainLen), chainLen)
+	}
+	h := p.Prefetch(ctx, walks)
+	cancel()
+	close(src.gate) // unblock the at-most-4 in-flight reads
+	done := make(chan int64, 1)
+	go func() { done <- h.Wait() }()
+	select {
+	case fetched := <-done:
+		// The 4 workers were each at most one read deep when canceled.
+		if fetched > 4 {
+			t.Errorf("canceled prefetch still fetched %d blocks", fetched)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("prefetch never drained after cancel")
+	}
+	// Workers and the completion goroutine must all be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancel: %d > baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPrefetchConcurrentWithDemandReads: prefetch racing demand reads over
+// the same chains must never corrupt served contents (race-mode property).
+func TestPrefetchConcurrentWithDemandReads(t *testing.T) {
+	c, err := New(64*blockstore.BlockSize, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &chainSource{}
+	p := NewPrefetcher(c, src, 4)
+	var walks []Walk
+	for i := 0; i < 32; i++ {
+		walks = append(walks, chainWalk(blockstore.Addr(1+i*chainLen), chainLen))
+	}
+	h := p.Prefetch(context.Background(), walks)
+	buf := make([]byte, blockstore.BlockSize)
+	for i := 0; i < 32; i++ {
+		for a := blockstore.Addr(1 + i*chainLen); a != blockstore.Nil; {
+			if _, err := c.ReadThrough(src, a, buf); err != nil {
+				t.Fatal(err)
+			}
+			next := blockstore.Addr(binary.LittleEndian.Uint64(buf[:8]))
+			if next != blockstore.Nil && next != a+1 {
+				t.Fatalf("block %d served wrong next pointer %d", a, next)
+			}
+			a = next
+		}
+	}
+	h.Wait()
+}

@@ -1,0 +1,115 @@
+package diskindex
+
+import (
+	"context"
+	"encoding/binary"
+
+	"e2lshos/internal/blockcache"
+	"e2lshos/internal/blockstore"
+	"e2lshos/internal/lsh"
+)
+
+// This file wires the blockcache tier between the searchers and the block
+// store. With a cache attached every read on the wall-clock query paths
+// (Searcher, ParallelSearcher, online updates) goes through
+// blockcache.ReadThrough, and the readahead component prefetches the next
+// radius round's bucket chains while the current round is being verified.
+// The virtual-time engine path (async.go) is deliberately not cached: it
+// models the paper's raw-device experiments, where §6.5's page cache is a
+// simulation of its own.
+
+// readaheadWorkers bounds the prefetch pool's concurrent backend reads per
+// query: deep enough to overlap a round's table blocks, shallow enough that
+// readahead never starves demand reads.
+const readaheadWorkers = 8
+
+// AttachCache routes the index's read path through c and, when depth > 0,
+// enables readahead: between radius-ladder rounds the searchers prefetch the
+// next round's occupied table blocks and up to depth bucket blocks per
+// chain. Attach before issuing queries; the write path (Insert/Delete)
+// keeps the cache coherent by invalidating every block it rewrites.
+func (ix *Index) AttachCache(c *blockcache.Cache, depth int) {
+	ix.cache = c
+	ix.readahead = 0
+	ix.prefetcher = nil
+	if c != nil && depth > 0 {
+		ix.readahead = depth
+		ix.prefetcher = blockcache.NewPrefetcher(c, ix.store, readaheadWorkers)
+	}
+}
+
+// Cache returns the attached block cache (nil when uncached).
+func (ix *Index) Cache() *blockcache.Cache { return ix.cache }
+
+// ReadaheadDepth returns the configured chain prefetch depth (0 = off).
+func (ix *Index) ReadaheadDepth() int { return ix.readahead }
+
+// readaheadActive reports whether the searchers should issue prefetches.
+func (ix *Index) readaheadActive() bool { return ix.prefetcher != nil }
+
+// readBlock reads one physical block, through the cache when attached,
+// folding the hit/miss into st (which may be nil on untracked paths).
+func (ix *Index) readBlock(a blockstore.Addr, buf []byte, st *Stats) error {
+	if ix.cache == nil {
+		return ix.store.ReadBlock(a, buf)
+	}
+	hit, err := ix.cache.ReadThrough(ix.store, a, buf)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		if hit {
+			st.CacheHits++
+		} else {
+			st.CacheMisses++
+		}
+	}
+	return nil
+}
+
+// cacheInvalidate drops a rewritten block from the cache.
+func (ix *Index) cacheInvalidate(a blockstore.Addr) {
+	if ix.cache != nil {
+		ix.cache.Invalidate(a)
+	}
+}
+
+// roundHashes computes the compound hashes of radius round rIdx for q into
+// dst. proj must hold q's shared projections; with per-radius families the
+// round's family projects into projScratch instead.
+func (ix *Index) roundHashes(q []float32, rIdx int, proj, projScratch []float64, dst []uint32) {
+	fam := ix.FamilyFor(rIdx)
+	if !ix.opts.ShareProjections {
+		fam.Project(q, projScratch)
+		proj = projScratch
+	}
+	fam.HashesAt(proj, ix.params.Radii[rIdx], dst)
+}
+
+// prefetchRound starts readahead for round rIdx given its compound hashes:
+// one walk per occupied bucket, chasing the table block, the head pointer it
+// contains, and up to the configured depth of chain blocks. It returns
+// immediately; the searcher folds the handle in when it reaches the round.
+func (ix *Index) prefetchRound(ctx context.Context, rIdx int, hashes []uint32) *blockcache.Handle {
+	walks := make([]blockcache.Walk, 0, len(hashes))
+	for l, h := range hashes {
+		idx, _ := lsh.SplitHash(h, ix.u)
+		if !ix.isOccupied(rIdx, l, idx) {
+			continue
+		}
+		blk, off := ix.tableEntryBlock(rIdx, l, idx)
+		walks = append(walks, blockcache.Walk{
+			Start: blk,
+			Steps: 1 + ix.readahead,
+			Next: func(step int, block []byte) blockstore.Addr {
+				if step == 0 {
+					// The table block: decode this bucket's head address.
+					return blockstore.Addr(binary.LittleEndian.Uint64(block[off : off+8]))
+				}
+				// A bucket block: follow the chain link in its header.
+				return blockstore.Addr(binary.LittleEndian.Uint64(block[0:8]))
+			},
+		})
+	}
+	return ix.prefetcher.Prefetch(ctx, walks)
+}

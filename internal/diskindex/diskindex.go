@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"e2lshos/internal/blockcache"
 	"e2lshos/internal/blockstore"
 	"e2lshos/internal/lsh"
 	"e2lshos/internal/memindex"
@@ -94,6 +95,13 @@ type Index struct {
 	tableBase [][]blockstore.Addr
 	// occupied[r][l] is the 2^u-bit occupancy bitmap kept on DRAM.
 	occupied [][][]uint64
+
+	// cache, when attached, interposes the blockcache tier on the wall-clock
+	// read paths; readahead > 0 additionally prefetches the next radius
+	// round's chains through prefetcher. See cache.go.
+	cache      *blockcache.Cache
+	readahead  int
+	prefetcher *blockcache.Prefetcher
 }
 
 // Params returns the algorithmic parameters.
@@ -352,7 +360,7 @@ func (ix *Index) writeChain(hashes []uint32, objs []uint32, buf []byte) (blockst
 }
 
 // writeLogicalBlock writes one logical bucket block (possibly spanning
-// several physical blocks).
+// several physical blocks), invalidating any cached copies.
 func (ix *Index) writeLogicalBlock(addr blockstore.Addr, buf []byte) error {
 	for i := 0; i < ix.physPerBucket; i++ {
 		lo := i * blockstore.BlockSize
@@ -366,6 +374,7 @@ func (ix *Index) writeLogicalBlock(addr blockstore.Addr, buf []byte) error {
 		if err := ix.store.WriteBlock(addr+blockstore.Addr(i), buf[lo:hi]); err != nil {
 			return err
 		}
+		ix.cacheInvalidate(addr + blockstore.Addr(i))
 	}
 	return nil
 }
@@ -377,11 +386,13 @@ func (ix *Index) bucketBufBytes() int {
 }
 
 // readLogicalBlock reads one logical bucket block into buf, which must be
-// bucketBufBytes long. Only the first BucketBytes are meaningful.
-func (ix *Index) readLogicalBlock(addr blockstore.Addr, buf []byte) error {
+// bucketBufBytes long. Only the first BucketBytes are meaningful. Reads go
+// through the cache when one is attached, folding outcomes into st (nil on
+// untracked paths).
+func (ix *Index) readLogicalBlock(addr blockstore.Addr, buf []byte, st *Stats) error {
 	for i := 0; i < ix.physPerBucket; i++ {
 		lo := i * blockstore.BlockSize
-		if err := ix.store.ReadBlock(addr+blockstore.Addr(i), buf[lo:lo+blockstore.BlockSize]); err != nil {
+		if err := ix.readBlock(addr+blockstore.Addr(i), buf[lo:lo+blockstore.BlockSize], st); err != nil {
 			return err
 		}
 	}

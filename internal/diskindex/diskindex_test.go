@@ -494,7 +494,7 @@ func TestStoreBlocksConsistent(t *testing.T) {
 				}
 				total := 0
 				for addr != blockstore.Nil {
-					if err := ix.readLogicalBlock(addr, buf); err != nil {
+					if err := ix.readLogicalBlock(addr, buf, nil); err != nil {
 						t.Fatal(err)
 					}
 					next, count := bucketHeader(buf)

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 
 	"e2lshos/internal/ann"
+	"e2lshos/internal/blockcache"
 	"e2lshos/internal/blockstore"
 	"e2lshos/internal/lsh"
 	"e2lshos/internal/vecmath"
@@ -33,6 +34,14 @@ type Stats struct {
 	Duplicates int
 	// Checked counts distance computations.
 	Checked int
+	// CacheHits and CacheMisses count block-cache outcomes on the read path
+	// (zero when no cache is attached). Misses are the reads that reached
+	// the backend, so with a cache the effective N_IO is CacheMisses.
+	CacheHits   int
+	CacheMisses int
+	// Prefetched counts blocks the readahead pool pulled into the cache for
+	// this query's radius rounds.
+	Prefetched int
 }
 
 // IOs returns the total I/O count of the query (the paper's N_IO).
@@ -56,17 +65,29 @@ type Searcher struct {
 	floors     []int64
 	fracs      []float64
 	pfloors    []int64
+	// Readahead scratch (cache.go): next-round hashes, a projection buffer
+	// for per-radius families, and the in-flight prefetch handle.
+	nextHashes []uint32
+	raProj     []float64
+	pending    *blockcache.Handle
 }
 
 // NewSearcher returns a fresh synchronous searcher.
 func (ix *Index) NewSearcher() *Searcher {
-	return &Searcher{
+	s := &Searcher{
 		ix:     ix,
 		proj:   make([]float64, ix.params.L*ix.params.M),
 		hashes: make([]uint32, ix.params.L),
 		seen:   make([]uint32, len(ix.data)),
 		buf:    make([]byte, ix.bucketBufBytes()),
 	}
+	if ix.readaheadActive() {
+		s.nextHashes = make([]uint32, ix.params.L)
+		if !ix.opts.ShareProjections {
+			s.raProj = make([]float64, ix.params.L*ix.params.M)
+		}
+	}
+	return s
 }
 
 // SetMultiProbe enables Multi-Probe querying with t extra probes per table
@@ -94,6 +115,18 @@ func (s *Searcher) Search(q []float32, k int) (ann.Result, Stats, error) {
 // rounds, so a long ladder walk aborts cleanly. On cancellation it returns
 // the neighbors accumulated so far together with ctx.Err().
 func (s *Searcher) SearchContext(ctx context.Context, q []float32, k int) (ann.Result, Stats, error) {
+	res, st, err := s.searchContext(ctx, q, k)
+	if s.pending != nil {
+		// Settle readahead issued for a round the ladder never entered, so
+		// no prefetch work outlives the query and the stats stay exact. On
+		// cancellation the pool drains without issuing further reads.
+		st.Prefetched += int(s.pending.Wait())
+		s.pending = nil
+	}
+	return res, st, err
+}
+
+func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (ann.Result, Stats, error) {
 	ix := s.ix
 	ix.checkDim(q)
 	p := ix.params
@@ -111,6 +144,12 @@ func (s *Searcher) SearchContext(ctx context.Context, q []float32, k int) (ann.R
 		if err := ctx.Err(); err != nil {
 			return topk.Result(), st, err
 		}
+		if s.pending != nil {
+			// The readahead issued while the previous round was verifying;
+			// by now it has usually drained, so this settles the count.
+			st.Prefetched += int(s.pending.Wait())
+			s.pending = nil
+		}
 		st.Radii++
 		fam := ix.FamilyFor(rIdx)
 		if !ix.opts.ShareProjections {
@@ -123,6 +162,10 @@ func (s *Searcher) SearchContext(ctx context.Context, q []float32, k int) (ann.R
 			}
 		} else {
 			fam.HashesAt(s.proj, radius, s.hashes)
+		}
+		if ix.readaheadActive() && rIdx+1 < p.R() {
+			ix.roundHashes(q, rIdx+1, s.proj, s.raProj, s.nextHashes)
+			s.pending = ix.prefetchRound(ctx, rIdx+1, s.nextHashes)
 		}
 		checked := 0
 	tables:
@@ -177,7 +220,7 @@ func (s *Searcher) probeBucket(rIdx, l int, h uint32, q []float32, topk *ann.Top
 	}
 	addr := head
 	for addr != blockstore.Nil {
-		if err := ix.readLogicalBlock(addr, s.buf); err != nil {
+		if err := ix.readLogicalBlock(addr, s.buf, st); err != nil {
 			return false, err
 		}
 		st.BucketIOs++
@@ -211,7 +254,7 @@ func (s *Searcher) probeBucket(rIdx, l int, h uint32, q []float32, topk *ann.Top
 // readTableEntry fetches the bucket head address for table (r,l) entry idx.
 func (s *Searcher) readTableEntry(r, l int, idx uint32, st *Stats) (blockstore.Addr, error) {
 	blk, off := s.ix.tableEntryBlock(r, l, idx)
-	if err := s.ix.store.ReadBlock(blk, s.buf[:blockstore.BlockSize]); err != nil {
+	if err := s.ix.readBlock(blk, s.buf[:blockstore.BlockSize], st); err != nil {
 		return 0, err
 	}
 	st.TableIOs++

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"e2lshos/internal/ann"
+	"e2lshos/internal/blockcache"
 	"e2lshos/internal/blockstore"
 	"e2lshos/internal/lsh"
 	"e2lshos/internal/vecmath"
@@ -28,6 +29,10 @@ type ParallelSearcher struct {
 	hashes  []uint32
 	seen    []uint32
 	epoch   uint32
+	// Readahead scratch (cache.go), mirroring Searcher's.
+	nextHashes []uint32
+	raProj     []float64
+	pending    *blockcache.Handle
 }
 
 // NewParallelSearcher creates a searcher with the given fan-out (≥1).
@@ -35,13 +40,20 @@ func (ix *Index) NewParallelSearcher(workers int) (*ParallelSearcher, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("diskindex: parallel searcher needs at least 1 worker, got %d", workers)
 	}
-	return &ParallelSearcher{
+	ps := &ParallelSearcher{
 		ix:      ix,
 		workers: workers,
 		proj:    make([]float64, ix.params.L*ix.params.M),
 		hashes:  make([]uint32, ix.params.L),
 		seen:    make([]uint32, len(ix.data)),
-	}, nil
+	}
+	if ix.readaheadActive() {
+		ps.nextHashes = make([]uint32, ix.params.L)
+		if !ix.opts.ShareProjections {
+			ps.raProj = make([]float64, ix.params.L*ix.params.M)
+		}
+	}
+	return ps, nil
 }
 
 // probe is one occupied bucket to fetch during a radius round.
@@ -51,6 +63,7 @@ type probe struct {
 	fp  uint32
 	ids []uint32 // fingerprint-matched object ids, filled by the fetch phase
 	ios int      // I/Os consumed fetching this probe
+	cst Stats    // cache hit/miss outcomes of this probe's reads
 	err error
 }
 
@@ -63,6 +76,16 @@ func (ps *ParallelSearcher) Search(q []float32, k int) (ann.Result, Stats, error
 // rounds, before each fan-out, so a long ladder walk aborts cleanly. On
 // cancellation it returns the neighbors accumulated so far with ctx.Err().
 func (ps *ParallelSearcher) SearchContext(ctx context.Context, q []float32, k int) (ann.Result, Stats, error) {
+	res, st, err := ps.searchContext(ctx, q, k)
+	if ps.pending != nil {
+		// See Searcher.SearchContext: settle readahead for unentered rounds.
+		st.Prefetched += int(ps.pending.Wait())
+		ps.pending = nil
+	}
+	return res, st, err
+}
+
+func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k int) (ann.Result, Stats, error) {
 	ix := ps.ix
 	ix.checkDim(q)
 	p := ix.params
@@ -80,12 +103,20 @@ func (ps *ParallelSearcher) SearchContext(ctx context.Context, q []float32, k in
 		if err := ctx.Err(); err != nil {
 			return topk.Result(), st, err
 		}
+		if ps.pending != nil {
+			st.Prefetched += int(ps.pending.Wait())
+			ps.pending = nil
+		}
 		st.Radii++
 		fam := ix.FamilyFor(rIdx)
 		if !ix.opts.ShareProjections {
 			fam.Project(q, ps.proj)
 		}
 		fam.HashesAt(ps.proj, radius, ps.hashes)
+		if ix.readaheadActive() && rIdx+1 < p.R() {
+			ix.roundHashes(q, rIdx+1, ps.proj, ps.raProj, ps.nextHashes)
+			ps.pending = ix.prefetchRound(ctx, rIdx+1, ps.nextHashes)
+		}
 
 		// Collect occupied buckets for this radius.
 		probes := make([]*probe, 0, p.L)
@@ -106,6 +137,8 @@ func (ps *ParallelSearcher) SearchContext(ctx context.Context, q []float32, k in
 			}
 			st.TableIOs++
 			st.BucketIOs += pr.ios - 1
+			st.CacheHits += pr.cst.CacheHits
+			st.CacheMisses += pr.cst.CacheMisses
 		}
 		// Verify phase: deterministic, in table order, under the budget.
 		checked := 0
@@ -167,14 +200,14 @@ func (ps *ParallelSearcher) fetchAll(rIdx int, probes []*probe) {
 func (ps *ParallelSearcher) fetchOne(rIdx int, pr *probe, buf []byte) {
 	ix := ps.ix
 	blk, off := ix.tableEntryBlock(rIdx, pr.l, pr.idx)
-	if err := ix.store.ReadBlock(blk, buf[:blockstore.BlockSize]); err != nil {
+	if err := ix.readBlock(blk, buf[:blockstore.BlockSize], &pr.cst); err != nil {
 		pr.err = err
 		return
 	}
 	pr.ios++
 	addr := blockstore.Addr(binary.LittleEndian.Uint64(buf[off : off+8]))
 	for addr != blockstore.Nil {
-		if err := ix.readLogicalBlock(addr, buf); err != nil {
+		if err := ix.readLogicalBlock(addr, buf, &pr.cst); err != nil {
 			pr.err = err
 			return
 		}

@@ -64,7 +64,7 @@ func (ix *Index) insertEntry(r, l int, idx, id, fp uint32) error {
 	}
 	if head != blockstore.Nil {
 		// Try to append into the head block.
-		if err := ix.readLogicalBlock(head, buf); err != nil {
+		if err := ix.readLogicalBlock(head, buf, nil); err != nil {
 			return err
 		}
 		next, count := bucketHeader(buf)
@@ -141,7 +141,7 @@ func (ix *Index) deleteEntry(r, l int, idx, id, fp uint32) (bool, error) {
 	// Locate the entry.
 	addr := head
 	for addr != blockstore.Nil {
-		if err := ix.readLogicalBlock(addr, buf); err != nil {
+		if err := ix.readLogicalBlock(addr, buf, nil); err != nil {
 			return false, err
 		}
 		next, count := bucketHeader(buf)
@@ -152,7 +152,7 @@ func (ix *Index) deleteEntry(r, l int, idx, id, fp uint32) (bool, error) {
 				continue
 			}
 			// Found: replace with the last entry of the head block.
-			if err := ix.readLogicalBlock(head, headBuf); err != nil {
+			if err := ix.readLogicalBlock(head, headBuf, nil); err != nil {
 				return false, err
 			}
 			headNext, headCount := bucketHeader(headBuf)
@@ -198,7 +198,7 @@ func (ix *Index) finishHeadShrink(r, l int, idx uint32, head blockstore.Addr, bu
 // at least one block long.
 func (ix *Index) loadTableEntry(r, l int, idx uint32, buf []byte) (blockstore.Addr, error) {
 	blk, off := ix.tableEntryBlock(r, l, idx)
-	if err := ix.store.ReadBlock(blk, buf[:blockstore.BlockSize]); err != nil {
+	if err := ix.readBlock(blk, buf[:blockstore.BlockSize], nil); err != nil {
 		return 0, err
 	}
 	return blockstore.Addr(binary.LittleEndian.Uint64(buf[off : off+8])), nil
@@ -208,11 +208,15 @@ func (ix *Index) loadTableEntry(r, l int, idx uint32, buf []byte) (blockstore.Ad
 func (ix *Index) storeTableEntry(r, l int, idx uint32, head blockstore.Addr) error {
 	blk, off := ix.tableEntryBlock(r, l, idx)
 	var buf [blockstore.BlockSize]byte
-	if err := ix.store.ReadBlock(blk, buf[:]); err != nil {
+	if err := ix.readBlock(blk, buf[:], nil); err != nil {
 		return err
 	}
 	binary.LittleEndian.PutUint64(buf[off:off+8], uint64(head))
-	return ix.store.WriteBlock(blk, buf[:])
+	if err := ix.store.WriteBlock(blk, buf[:]); err != nil {
+		return err
+	}
+	ix.cacheInvalidate(blk)
+	return nil
 }
 
 func (ix *Index) clearOccupied(r, l int, idx uint32) {

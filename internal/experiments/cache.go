@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"e2lshos/internal/blockcache"
+	"e2lshos/internal/blockstore"
+	"e2lshos/internal/dataset"
+	"e2lshos/internal/diskindex"
+	"e2lshos/internal/report"
+)
+
+// CacheSweepResult reproduces the §6.5 cache analysis as a sweep over the
+// blockcache tier: instead of one fixed mmap page cache (93% miss rate in
+// the paper), the repeated-query workload runs against block caches from a
+// sliver of the index up to the full index, measuring the miss rate and the
+// effective N_IO — reads that actually reach the backend — per engine
+// (sequential Searcher and concurrent ParallelSearcher).
+//
+// The sweep uses plain LRU on a single stripe: LRU's inclusion property
+// guarantees a monotonically non-increasing miss count as capacity grows on
+// the deterministic sequential stream, which the test suite asserts.
+type CacheSweepResult struct {
+	Dataset string
+	// Passes is how many times the query set was repeated (the workload
+	// skew a cache exploits).
+	Passes int
+	// LogicalNIO is the uncached mean N_IO per query — what every read
+	// costs when it must reach the backend.
+	LogicalNIO float64
+	Rows       []CacheSweepRow
+}
+
+// CacheSweepRow is one cache size's measurements.
+type CacheSweepRow struct {
+	// CacheBytes is the cache capacity; CacheFrac is its share of the
+	// on-storage index size.
+	CacheBytes int64
+	CacheFrac  float64
+	// SeqMissRate / SeqNIO are the sequential engine's miss rate and
+	// effective backend reads per query; Par* are the parallel engine's.
+	SeqMissRate float64
+	SeqNIO      float64
+	ParMissRate float64
+	ParNIO      float64
+}
+
+// cacheSweepFracs are the swept cache sizes as fractions of the index.
+var cacheSweepFracs = []float64{1.0 / 256, 1.0 / 64, 1.0 / 16, 1.0 / 4, 1}
+
+// cacheSweepPasses repeats the query set so the working set is re-touched.
+const cacheSweepPasses = 3
+
+// CacheSweep runs the sweep on the SIFT clone at the target accuracy.
+func CacheSweep(env *Env) (*CacheSweepResult, error) {
+	ws, err := env.Workload(dataset.SIFT)
+	if err != nil {
+		return nil, err
+	}
+	disk, err := ws.Disk(env)
+	if err != nil {
+		return nil, err
+	}
+	sigma, err := sigmaForRatio(env, ws, 1, env.TargetRatio)
+	if err != nil {
+		return nil, err
+	}
+	budget := int(math.Ceil(sigma * float64(ws.Params.L)))
+	if budget < 1 {
+		budget = 1
+	}
+	nq := ws.DS.NQ()
+	res := &CacheSweepResult{Dataset: ws.DS.Name, Passes: cacheSweepPasses}
+
+	// Uncached baseline: the logical N_IO every configuration pays on the
+	// backend when no cache absorbs repeats.
+	base := disk.WithBudget(budget)
+	st, err := runSweepSequential(base, ws, nq)
+	if err != nil {
+		return nil, err
+	}
+	res.LogicalNIO = float64(st.TableIOs+st.BucketIOs) / float64(cacheSweepPasses*nq)
+
+	for _, frac := range cacheSweepFracs {
+		bytes := int64(float64(disk.StorageBytes()) * frac)
+		if bytes < blockstore.BlockSize {
+			bytes = blockstore.BlockSize
+		}
+		row := CacheSweepRow{CacheBytes: bytes, CacheFrac: frac}
+
+		// Sequential engine: deterministic stream, LRU inclusion applies.
+		seq, err := blockcache.New(bytes, blockcache.Options{Shards: 1, Policy: blockcache.LRU})
+		if err != nil {
+			return nil, err
+		}
+		ix := disk.WithBudget(budget)
+		ix.AttachCache(seq, 0)
+		if _, err := runSweepSequential(ix, ws, nq); err != nil {
+			return nil, err
+		}
+		row.SeqMissRate = seq.MissRate()
+		row.SeqNIO = float64(seq.Misses()) / float64(cacheSweepPasses*nq)
+
+		// Parallel engine: same workload through the fan-out prober.
+		par, err := blockcache.New(bytes, blockcache.Options{Shards: 1, Policy: blockcache.LRU})
+		if err != nil {
+			return nil, err
+		}
+		ix = disk.WithBudget(budget)
+		ix.AttachCache(par, 0)
+		ps, err := ix.NewParallelSearcher(8)
+		if err != nil {
+			return nil, err
+		}
+		for pass := 0; pass < cacheSweepPasses; pass++ {
+			for qi := 0; qi < nq; qi++ {
+				if _, _, err := ps.Search(ws.DS.Queries[qi], 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+		row.ParMissRate = par.MissRate()
+		row.ParNIO = float64(par.Misses()) / float64(cacheSweepPasses*nq)
+
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runSweepSequential answers the repeated workload on a fresh sequential
+// searcher over ix and returns the aggregate per-query stats.
+func runSweepSequential(ix *diskindex.Index, ws *Workload, nq int) (diskindex.Stats, error) {
+	s := ix.NewSearcher()
+	var agg diskindex.Stats
+	for pass := 0; pass < cacheSweepPasses; pass++ {
+		for qi := 0; qi < nq; qi++ {
+			_, st, err := s.Search(ws.DS.Queries[qi], 1)
+			if err != nil {
+				return agg, err
+			}
+			agg.TableIOs += st.TableIOs
+			agg.BucketIOs += st.BucketIOs
+			agg.CacheHits += st.CacheHits
+			agg.CacheMisses += st.CacheMisses
+		}
+	}
+	return agg, nil
+}
+
+// Render implements Renderable.
+func (r *CacheSweepResult) Render() []*report.Table {
+	t := report.New(fmt.Sprintf("cachesweep: miss rate and effective N_IO vs cache size (%s, %d passes, uncached N_IO %.1f)",
+		r.Dataset, r.Passes, r.LogicalNIO),
+		"Cache bytes", "% of index", "Seq miss rate", "Seq N_IO", "Par miss rate", "Par N_IO")
+	for _, row := range r.Rows {
+		t.AddRow(report.Int(int(row.CacheBytes)), fmt.Sprintf("%.1f%%", row.CacheFrac*100),
+			fmt.Sprintf("%.0f%%", row.SeqMissRate*100), report.Num(row.SeqNIO),
+			fmt.Sprintf("%.0f%%", row.ParMissRate*100), report.Num(row.ParNIO))
+	}
+	return []*report.Table{t}
+}

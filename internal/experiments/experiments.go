@@ -177,28 +177,29 @@ type Runner func(env *Env) (Renderable, error)
 // Registry maps experiment ids (DESIGN.md's per-experiment index) to
 // runners.
 var Registry = map[string]Runner{
-	"table1":   func(env *Env) (Renderable, error) { return Table1(env) },
-	"table2":   func(env *Env) (Renderable, error) { return Table2(env) },
-	"table3":   func(env *Env) (Renderable, error) { return Table3(env) },
-	"table4":   func(env *Env) (Renderable, error) { return Table4(env) },
-	"table5":   func(env *Env) (Renderable, error) { return Table5(env) },
-	"table6":   func(env *Env) (Renderable, error) { return Table6(env) },
-	"fig2":     func(env *Env) (Renderable, error) { return Fig2(env) },
-	"fig3":     func(env *Env) (Renderable, error) { return Fig3(env) },
-	"fig4":     func(env *Env) (Renderable, error) { return Fig4(env) },
-	"fig5":     func(env *Env) (Renderable, error) { return Fig5(env) },
-	"fig6":     func(env *Env) (Renderable, error) { return Fig6(env) },
-	"fig7":     func(env *Env) (Renderable, error) { return Fig7(env) },
-	"fig8":     func(env *Env) (Renderable, error) { return Fig8(env) },
-	"fig11":    func(env *Env) (Renderable, error) { return Fig11(env) },
-	"fig12":    func(env *Env) (Renderable, error) { return Fig12(env) },
-	"fig13":    func(env *Env) (Renderable, error) { return Fig13(env) },
-	"fig14":    func(env *Env) (Renderable, error) { return Fig14(env) },
-	"fig15":    func(env *Env) (Renderable, error) { return Fig15(env) },
-	"fig16":    func(env *Env) (Renderable, error) { return Fig16(env) },
-	"shards":   func(env *Env) (Renderable, error) { return Shards(env) },
-	"sync":     func(env *Env) (Renderable, error) { return SyncComparison(env) },
-	"ablation": func(env *Env) (Renderable, error) { return Ablation(env) },
+	"table1":     func(env *Env) (Renderable, error) { return Table1(env) },
+	"table2":     func(env *Env) (Renderable, error) { return Table2(env) },
+	"table3":     func(env *Env) (Renderable, error) { return Table3(env) },
+	"table4":     func(env *Env) (Renderable, error) { return Table4(env) },
+	"table5":     func(env *Env) (Renderable, error) { return Table5(env) },
+	"table6":     func(env *Env) (Renderable, error) { return Table6(env) },
+	"fig2":       func(env *Env) (Renderable, error) { return Fig2(env) },
+	"fig3":       func(env *Env) (Renderable, error) { return Fig3(env) },
+	"fig4":       func(env *Env) (Renderable, error) { return Fig4(env) },
+	"fig5":       func(env *Env) (Renderable, error) { return Fig5(env) },
+	"fig6":       func(env *Env) (Renderable, error) { return Fig6(env) },
+	"fig7":       func(env *Env) (Renderable, error) { return Fig7(env) },
+	"fig8":       func(env *Env) (Renderable, error) { return Fig8(env) },
+	"fig11":      func(env *Env) (Renderable, error) { return Fig11(env) },
+	"fig12":      func(env *Env) (Renderable, error) { return Fig12(env) },
+	"fig13":      func(env *Env) (Renderable, error) { return Fig13(env) },
+	"fig14":      func(env *Env) (Renderable, error) { return Fig14(env) },
+	"fig15":      func(env *Env) (Renderable, error) { return Fig15(env) },
+	"fig16":      func(env *Env) (Renderable, error) { return Fig16(env) },
+	"shards":     func(env *Env) (Renderable, error) { return Shards(env) },
+	"sync":       func(env *Env) (Renderable, error) { return SyncComparison(env) },
+	"cachesweep": func(env *Env) (Renderable, error) { return CacheSweep(env) },
+	"ablation":   func(env *Env) (Renderable, error) { return Ablation(env) },
 }
 
 // IDs returns the experiment ids in stable order.

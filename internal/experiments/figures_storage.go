@@ -563,7 +563,7 @@ func SyncComparison(env *Env) (*SyncResult, error) {
 	if pages < 16 {
 		pages = 16
 	}
-	cache, err := pagecache.New(pages)
+	cache, err := pagecache.NewShared(pages)
 	if err != nil {
 		return nil, err
 	}

@@ -8,13 +8,21 @@ package pagecache
 import (
 	"container/list"
 	"fmt"
+	"sync"
 )
 
 // PageSize is the cached unit in bytes (a Linux page).
 const PageSize = 4096
 
-// Cache is an LRU page cache. Not safe for concurrent use; the simulator is
-// single-threaded.
+// Cache is an LRU page cache.
+//
+// NOT SAFE FOR CONCURRENT USE: Access mutates the LRU list and the counters
+// without synchronization, so two goroutines touching one Cache race (list
+// corruption, lost counts). A single simulator run is single-threaded and
+// may own a bare Cache; anything that shares one cache across goroutines —
+// e.g. several sched engines modeling one machine-wide page cache — must go
+// through Shared, which sched.Config now requires. The contract is enforced
+// by type, not comment, and pagecache's -race test exercises it.
 type Cache struct {
 	capacity int
 	lru      *list.List               // front = most recent; values are page ids
@@ -80,4 +88,72 @@ func (c *Cache) MissRate() float64 {
 // ResetStats clears counters but keeps resident pages.
 func (c *Cache) ResetStats() {
 	c.hits, c.misses = 0, 0
+}
+
+// Shared is the concurrency guard for a Cache: every operation serializes on
+// one mutex, so a page cache shared across goroutines (or across sched
+// engines standing in for one host) stays consistent under the race
+// detector. The guarded Cache must not be touched directly while a Shared
+// wraps it.
+type Shared struct {
+	mu sync.Mutex
+	c  *Cache
+}
+
+// NewShared creates a guarded cache holding up to capacityPages pages.
+func NewShared(capacityPages int) (*Shared, error) {
+	c, err := New(capacityPages)
+	if err != nil {
+		return nil, err
+	}
+	return &Shared{c: c}, nil
+}
+
+// Access is Cache.Access under the guard.
+func (s *Shared) Access(page uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Access(page)
+}
+
+// Len returns the number of resident pages.
+func (s *Shared) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Len()
+}
+
+// CapacityPages returns the configured capacity.
+func (s *Shared) CapacityPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.CapacityPages()
+}
+
+// Hits returns the number of hits observed.
+func (s *Shared) Hits() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Hits()
+}
+
+// Misses returns the number of misses observed.
+func (s *Shared) Misses() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Misses()
+}
+
+// MissRate returns misses/(hits+misses), the paper's page-fault rate.
+func (s *Shared) MissRate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.MissRate()
+}
+
+// ResetStats clears counters but keeps resident pages.
+func (s *Shared) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c.ResetStats()
 }

@@ -2,6 +2,7 @@ package pagecache
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -116,5 +117,43 @@ func TestNeverExceedsCapacity(t *testing.T) {
 		if c.Len() > 7 {
 			t.Fatalf("cache grew to %d pages, capacity 7", c.Len())
 		}
+	}
+}
+
+// TestSharedConcurrentAccess asserts the concurrency contract under -race:
+// a bare Cache is not safe for concurrent use (its doc comment and the
+// sched.Config type both say so), and Shared is the guard that makes the
+// same workload race-clean. Many goroutines hammer one Shared; the race
+// detector proves serialization and the counters must account for every
+// access.
+func TestSharedConcurrentAccess(t *testing.T) {
+	s, err := NewShared(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const accesses = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < accesses; i++ {
+				// Skewed page stream: some pages shared by all goroutines
+				// (real hit contention), some private (evictions).
+				s.Access(uint64((g*i + i) % 256))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if total := s.Hits() + s.Misses(); total != goroutines*accesses {
+		t.Errorf("hits+misses = %d, want %d: accesses lost without the guard", total, goroutines*accesses)
+	}
+	if s.Len() > s.CapacityPages() {
+		t.Errorf("resident %d pages exceed capacity %d", s.Len(), s.CapacityPages())
+	}
+	s.ResetStats()
+	if s.Hits() != 0 || s.Misses() != 0 || s.MissRate() != 0 {
+		t.Error("ResetStats did not clear counters")
 	}
 }

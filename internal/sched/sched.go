@@ -39,7 +39,13 @@ type Config struct {
 	// PageCache, if non-nil in Sync mode, interposes an LRU page cache
 	// (§6.5's mmap baseline). Reads that hit cost CacheHitCost of CPU time;
 	// misses cost PageFaultOverhead plus the blocking device read.
-	PageCache         *pagecache.Cache
+	//
+	// The field is the mutex-guarded pagecache.Shared, not the bare Cache:
+	// a bare Cache is not safe for concurrent use, and one page cache is
+	// routinely shared across engines (several simulated hosts faulting into
+	// one OS cache), so sched guards the shared cache by type instead of
+	// relying on the comment in pagecache.
+	PageCache         *pagecache.Shared
 	PageFaultOverhead simclock.Time
 	CacheHitCost      simclock.Time
 }

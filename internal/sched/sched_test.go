@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"e2lshos/internal/blockstore"
@@ -54,7 +55,7 @@ func TestConfigValidation(t *testing.T) {
 			t.Errorf("config %d accepted", i)
 		}
 	}
-	cache, _ := pagecache.New(10)
+	cache, _ := pagecache.NewShared(10)
 	if _, err := New(Config{CPUs: 1, Iface: iosim.IOUring, Pool: pool, Store: store, PageCache: cache}); err == nil {
 		t.Error("page cache without Sync accepted")
 	}
@@ -249,7 +250,7 @@ func TestInterleavingRaisesThroughput(t *testing.T) {
 
 func TestPageCacheMode(t *testing.T) {
 	store := testStore(t, 16)
-	cache, _ := pagecache.New(1000) // all blocks fit: 16 blocks = 1 page
+	cache, _ := pagecache.NewShared(1000) // all blocks fit: 16 blocks = 1 page
 	e := newEngine(t, Config{
 		CPUs: 1, Iface: iosim.IOUring, Pool: mustPool(t, iosim.CSSD, 1), Store: store,
 		Sync: true, PageCache: cache, PageFaultOverhead: 2000, CacheHitCost: 200,
@@ -360,5 +361,63 @@ func TestReportDerivedMetrics(t *testing.T) {
 	empty := Report{}
 	if empty.TimePerQuery() != 0 || empty.QueriesPerSecond() != 0 || empty.ObservedIOPS() != 0 {
 		t.Error("empty report should report zeros")
+	}
+}
+
+// TestSharedPageCacheAcrossEngines: one guarded page cache shared by two
+// engines running concurrently — several simulated hosts faulting into one
+// OS cache — must stay race-clean (Config requires pagecache.Shared, not
+// the unsynchronized Cache) and lose no accesses.
+func TestSharedPageCacheAcrossEngines(t *testing.T) {
+	cache, err := pagecache.NewShared(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const engines = 4
+	const queries = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, engines)
+	for i := 0; i < engines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Everything engine-local is built in the goroutine; only the
+			// guarded cache is shared.
+			pool, err := iosim.NewPool(iosim.CSSD, 1)
+			if err != nil {
+				errs <- err
+				return
+			}
+			store := blockstore.NewMem()
+			for b := 0; b < 64; b++ {
+				a := store.Allocate()
+				if err := store.WriteBlock(a, []byte{byte(b)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			e, err := New(Config{
+				CPUs: 1, Iface: iosim.IOUring, Pool: pool, Store: store,
+				Sync: true, PageCache: cache,
+				PageFaultOverhead: 2000, CacheHitCost: 200,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := e.RunBatch(queries, 1, func(q int, tc *Ctx, done func()) {
+				tc.Read(blockstore.Addr(q%64+1), func(b []byte) { done() })
+			}); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if total := cache.Hits() + cache.Misses(); total != engines*queries {
+		t.Errorf("cache saw %d accesses, want %d", total, engines*queries)
 	}
 }

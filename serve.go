@@ -112,26 +112,32 @@ type searchResponse struct {
 // paper's analysis units, N_IO above all) plus serving-level counters and,
 // when shadow scoring is on, the running accuracy means.
 type statsResponse struct {
-	Queries        int     `json:"queries"`
-	Radii          int     `json:"radii"`
-	Probes         int     `json:"probes"`
-	NonEmptyProbes int     `json:"non_empty_probes"`
-	EntriesScanned int     `json:"entries_scanned"`
-	Checked        int     `json:"checked"`
-	TableIOs       int     `json:"table_ios"`
-	BucketIOs      int     `json:"bucket_ios"`
-	NIO            int     `json:"n_io"`
-	MeanIOs        float64 `json:"mean_ios"`
-	MeanRadii      float64 `json:"mean_radii"`
-	MeanChecked    float64 `json:"mean_checked"`
-	Served         uint64  `json:"served"`
-	Failed         uint64  `json:"failed"`
-	Canceled       uint64  `json:"canceled"`
-	Shed           uint64  `json:"shed"`
-	UptimeSeconds  float64 `json:"uptime_seconds"`
-	Scored         int     `json:"scored,omitempty"`
-	MeanRecall     float64 `json:"mean_recall,omitempty"`
-	MeanRatio      float64 `json:"mean_ratio,omitempty"`
+	Queries        int `json:"queries"`
+	Radii          int `json:"radii"`
+	Probes         int `json:"probes"`
+	NonEmptyProbes int `json:"non_empty_probes"`
+	EntriesScanned int `json:"entries_scanned"`
+	Checked        int `json:"checked"`
+	TableIOs       int `json:"table_ios"`
+	BucketIOs      int `json:"bucket_ios"`
+	NIO            int `json:"n_io"`
+	// Block-cache counters (zero unless the engine was built with
+	// WithBlockCache): with a cache, cache_misses is the effective N_IO that
+	// reached the backend, n_io stays the logical count.
+	CacheHits        int     `json:"cache_hits"`
+	CacheMisses      int     `json:"cache_misses"`
+	PrefetchedBlocks int     `json:"prefetched_blocks"`
+	MeanIOs          float64 `json:"mean_ios"`
+	MeanRadii        float64 `json:"mean_radii"`
+	MeanChecked      float64 `json:"mean_checked"`
+	Served           uint64  `json:"served"`
+	Failed           uint64  `json:"failed"`
+	Canceled         uint64  `json:"canceled"`
+	Shed             uint64  `json:"shed"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Scored           int     `json:"scored,omitempty"`
+	MeanRecall       float64 `json:"mean_recall,omitempty"`
+	MeanRatio        float64 `json:"mean_ratio,omitempty"`
 }
 
 // Handler returns the HTTP API: POST /search, GET /stats, GET /healthz.
@@ -229,24 +235,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	st := s.agg
 	resp := statsResponse{
-		Queries:        st.Queries,
-		Radii:          st.Radii,
-		Probes:         st.Probes,
-		NonEmptyProbes: st.NonEmptyProbes,
-		EntriesScanned: st.EntriesScanned,
-		Checked:        st.Checked,
-		TableIOs:       st.TableIOs,
-		BucketIOs:      st.BucketIOs,
-		NIO:            st.IOs(),
-		MeanIOs:        st.MeanIOs(),
-		MeanRadii:      st.MeanRadii(),
-		MeanChecked:    st.MeanChecked(),
-		Served:         s.served,
-		Failed:         s.failed,
-		Canceled:       s.canceled,
-		Shed:           s.batcher.Shed(),
-		UptimeSeconds:  time.Since(s.start).Seconds(),
-		Scored:         s.scored,
+		Queries:          st.Queries,
+		Radii:            st.Radii,
+		Probes:           st.Probes,
+		NonEmptyProbes:   st.NonEmptyProbes,
+		EntriesScanned:   st.EntriesScanned,
+		Checked:          st.Checked,
+		TableIOs:         st.TableIOs,
+		BucketIOs:        st.BucketIOs,
+		NIO:              st.IOs(),
+		CacheHits:        st.CacheHits,
+		CacheMisses:      st.CacheMisses,
+		PrefetchedBlocks: st.PrefetchedBlocks,
+		MeanIOs:          st.MeanIOs(),
+		MeanRadii:        st.MeanRadii(),
+		MeanChecked:      st.MeanChecked(),
+		Served:           s.served,
+		Failed:           s.failed,
+		Canceled:         s.canceled,
+		Shed:             s.batcher.Shed(),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Scored:           s.scored,
 	}
 	if s.scored > 0 {
 		resp.MeanRecall = s.recallSum / float64(s.scored)

@@ -57,9 +57,13 @@ func InMemoryShardBuilder(cfg Config) ShardBuilder {
 }
 
 // StorageShardBuilder builds every shard as a StorageIndex with cfg.
-func StorageShardBuilder(cfg Config) ShardBuilder {
+// Storage options apply per shard — WithBlockCache(bytes) gives each shard
+// its own cache of that size, so a router over s shards holds s·bytes of
+// cache in total. Per-shard Stats (cache counters included) fold through
+// ShardedIndex like every other work counter.
+func StorageShardBuilder(cfg Config, opts ...StorageOption) ShardBuilder {
 	return func(_ int, vectors [][]float32) (Engine, error) {
-		return NewStorageIndex(vectors, cfg)
+		return NewStorageIndex(vectors, cfg, opts...)
 	}
 }
 

@@ -3,6 +3,7 @@ package e2lshos
 import (
 	"context"
 
+	"e2lshos/internal/blockcache"
 	"e2lshos/internal/blockstore"
 	"e2lshos/internal/diskindex"
 )
@@ -13,8 +14,14 @@ type StorageIndex struct {
 }
 
 // NewStorageIndex builds an E2LSHoS index over data into an in-memory block
-// store (persist with SaveFile).
-func NewStorageIndex(data [][]float32, cfg Config) (*StorageIndex, error) {
+// store (persist with SaveFile). Storage options attach the caching tier:
+// WithBlockCache interposes the shared block cache and WithReadahead
+// prefetches the next radius round's chains between rounds.
+func NewStorageIndex(data [][]float32, cfg Config, opts ...StorageOption) (*StorageIndex, error) {
+	set, err := resolveStorageSettings(opts)
+	if err != nil {
+		return nil, err
+	}
 	p, seed, tableBits, err := cfg.derive(data)
 	if err != nil {
 		return nil, err
@@ -25,6 +32,9 @@ func NewStorageIndex(data [][]float32, cfg Config) (*StorageIndex, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := attachCache(ix, set); err != nil {
+		return nil, err
+	}
 	return &StorageIndex{ix: ix}, nil
 }
 
@@ -33,13 +43,45 @@ func (s *StorageIndex) SaveFile(path string) error { return s.ix.SaveFile(path) 
 
 // OpenStorageIndex loads an index persisted by SaveFile. data must be the
 // vectors the index was built over (the database itself stays on DRAM, as
-// in the paper).
-func OpenStorageIndex(path string, data [][]float32) (*StorageIndex, error) {
+// in the paper). Storage options apply as in NewStorageIndex; the cache is
+// runtime state and is never persisted.
+func OpenStorageIndex(path string, data [][]float32, opts ...StorageOption) (*StorageIndex, error) {
+	set, err := resolveStorageSettings(opts)
+	if err != nil {
+		return nil, err
+	}
 	ix, err := diskindex.LoadFile(path, data)
 	if err != nil {
 		return nil, err
 	}
+	if err := attachCache(ix, set); err != nil {
+		return nil, err
+	}
 	return &StorageIndex{ix: ix}, nil
+}
+
+// attachCache realizes the resolved storage settings on the index.
+func attachCache(ix *diskindex.Index, set storageSettings) error {
+	if set.cacheBytes == 0 {
+		return nil
+	}
+	cache, err := blockcache.New(set.cacheBytes, blockcache.Options{})
+	if err != nil {
+		return err
+	}
+	ix.AttachCache(cache, set.readahead)
+	return nil
+}
+
+// CacheStats reports the cumulative block-cache counters across all queries
+// (all zero when the index was built without WithBlockCache). Misses are
+// the reads that reached the backend — the effective N_IO.
+func (s *StorageIndex) CacheStats() (hits, misses, prefetched int64) {
+	c := s.ix.Cache()
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.Hits(), c.Misses(), c.Prefetched()
 }
 
 // Search answers a top-k query with a concurrent fan-out of the WithFanout
@@ -111,15 +153,18 @@ func (d diskSyncQuerier) query(ctx context.Context, q []float32, k int) (Result,
 
 func diskStats(st diskindex.Stats) Stats {
 	return Stats{
-		Queries:        1,
-		Radii:          st.Radii,
-		Probes:         st.Probes,
-		NonEmptyProbes: st.NonEmptyProbes,
-		EntriesScanned: st.EntriesScanned,
-		Checked:        st.Checked,
-		Duplicates:     st.Duplicates,
-		FPRejected:     st.FPRejected,
-		TableIOs:       st.TableIOs,
-		BucketIOs:      st.BucketIOs,
+		Queries:          1,
+		Radii:            st.Radii,
+		Probes:           st.Probes,
+		NonEmptyProbes:   st.NonEmptyProbes,
+		EntriesScanned:   st.EntriesScanned,
+		Checked:          st.Checked,
+		Duplicates:       st.Duplicates,
+		FPRejected:       st.FPRejected,
+		TableIOs:         st.TableIOs,
+		BucketIOs:        st.BucketIOs,
+		CacheHits:        st.CacheHits,
+		CacheMisses:      st.CacheMisses,
+		PrefetchedBlocks: st.Prefetched,
 	}
 }
