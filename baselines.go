@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"e2lshos/internal/ann"
 	"e2lshos/internal/lsh"
 	"e2lshos/internal/qalsh"
 	"e2lshos/internal/srs"
@@ -43,18 +44,18 @@ func (s *SRSIndex) BatchSearch(ctx context.Context, queries [][]float32, opts ..
 func (s *SRSIndex) IndexBytes() int64 { return s.ix.IndexBytes() }
 
 func (s *SRSIndex) newQuerier(set searchSettings) (querier, error) {
-	return srsQuerier{ix: s.ix, budget: set.budget}, nil
+	return srsQuerier{s: s.ix.NewSearcher(), budget: set.budget}, nil
 }
 
 type srsQuerier struct {
-	ix     *srs.Index
+	s      *srs.Searcher
 	budget int
 }
 
-func (s srsQuerier) query(ctx context.Context, q []float32, k int) (Result, Stats, error) {
+func (s srsQuerier) query(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (Result, Stats, error) {
 	// A caller-supplied budget owns the accuracy knob (§3.3), so the
 	// chi-square early stop only runs unbudgeted.
-	res, st, err := s.ix.SearchContext(ctx, q, k, s.budget, s.budget <= 0)
+	res, st, err := s.s.SearchInto(ctx, q, k, s.budget, s.budget <= 0, dst)
 	out := Stats{
 		Queries:        1,
 		EntriesScanned: st.EntriesScanned,
@@ -116,8 +117,8 @@ type qalshQuerier struct {
 	s *qalsh.Searcher
 }
 
-func (q qalshQuerier) query(ctx context.Context, v []float32, k int) (Result, Stats, error) {
-	res, st, err := q.s.SearchContext(ctx, v, k)
+func (q qalshQuerier) query(ctx context.Context, v []float32, k int, dst []ann.Neighbor) (Result, Stats, error) {
+	res, st, err := q.s.SearchInto(ctx, v, k, dst)
 	return res, Stats{
 		Queries:        1,
 		Radii:          st.Radii,

@@ -5,10 +5,19 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchtime=3x -run='^$' ./... | benchjson -out BENCH_PR3.json
+//	go test -bench=. -benchtime=3x -run='^$' ./... | benchjson -out BENCH_PR4.json
 //
 // The output is deterministic (sorted, no timestamps) so re-running on an
 // unchanged tree yields a byte-identical file and the commit step can skip.
+//
+// Delta mode compares two trajectory files and renders a per-benchmark
+// ns/op table (markdown, suitable for a CI job summary):
+//
+//	benchjson -delta BENCH_PR3.json BENCH_PR4.json
+//	benchjson -delta -gate 'Search|MatVec' -threshold 20 old.json new.json
+//
+// With -gate, benchmarks whose name matches the regexp fail the command
+// (exit 1) when their ns/op regressed by more than -threshold percent.
 package main
 
 import (
@@ -17,7 +26,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -38,7 +49,25 @@ type File struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	delta := flag.Bool("delta", false, "compare two BENCH_*.json files: benchjson -delta old.json new.json")
+	gate := flag.String("gate", "", "with -delta: regexp of benchmark names to gate on regression")
+	threshold := flag.Float64("threshold", 20, "with -gate: maximum tolerated ns/op regression, percent")
 	flag.Parse()
+	if *delta {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -delta needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		ok, err := runDelta(os.Stdout, flag.Arg(0), flag.Arg(1), *gate, *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	f, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -127,4 +156,127 @@ func parseBenchLine(pkg, line string) (Benchmark, bool) {
 		metrics[fields[i+1]] = v
 	}
 	return Benchmark{Pkg: pkg, Name: name, Iterations: iters, Metrics: metrics}, true
+}
+
+// loadFile reads one BENCH_*.json trajectory.
+func loadFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// DeltaRow is one benchmark's old-vs-new comparison.
+type DeltaRow struct {
+	Pkg, Name        string
+	OldNS, NewNS     float64
+	DeltaPct         float64 // positive = slower
+	Gated, Regressed bool
+}
+
+// Delta joins two trajectories on (pkg, benchmark) and computes the ns/op
+// movement of every benchmark present in both. gate selects the benchmarks
+// whose regression beyond threshold percent constitutes a failure; a nil
+// gate gates nothing.
+func Delta(oldF, newF *File, gate *regexp.Regexp, threshold float64) []DeltaRow {
+	type key struct{ pkg, name string }
+	olds := make(map[key]Benchmark, len(oldF.Benchmarks))
+	for _, b := range oldF.Benchmarks {
+		olds[key{b.Pkg, b.Name}] = b
+	}
+	var rows []DeltaRow
+	for _, nb := range newF.Benchmarks {
+		ob, ok := olds[key{nb.Pkg, nb.Name}]
+		if !ok {
+			continue
+		}
+		oldNS, okOld := ob.Metrics["ns/op"]
+		newNS, okNew := nb.Metrics["ns/op"]
+		if !okOld || !okNew || oldNS <= 0 {
+			continue
+		}
+		row := DeltaRow{
+			Pkg: nb.Pkg, Name: nb.Name,
+			OldNS: oldNS, NewNS: newNS,
+			DeltaPct: (newNS - oldNS) / oldNS * 100,
+		}
+		if gate != nil && gate.MatchString(nb.Name) {
+			row.Gated = true
+			row.Regressed = row.DeltaPct > threshold
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Pkg != rows[j].Pkg {
+			return rows[i].Pkg < rows[j].Pkg
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// runDelta loads, compares and renders; it reports false when a gated
+// benchmark regressed beyond the threshold.
+func runDelta(w io.Writer, oldPath, newPath, gatePat string, threshold float64) (bool, error) {
+	oldF, err := loadFile(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newF, err := loadFile(newPath)
+	if err != nil {
+		return false, err
+	}
+	var gate *regexp.Regexp
+	if gatePat != "" {
+		gate, err = regexp.Compile(gatePat)
+		if err != nil {
+			return false, fmt.Errorf("-gate: %w", err)
+		}
+	}
+	rows := Delta(oldF, newF, gate, threshold)
+	fmt.Fprintf(w, "### Benchmark delta: %s vs %s\n\n", oldPath, newPath)
+	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | delta |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|")
+	ok := true
+	var worst []string
+	for _, r := range rows {
+		mark := ""
+		if r.Gated {
+			mark = " ⚙"
+			if r.Regressed {
+				mark = " ❌"
+				ok = false
+				worst = append(worst, fmt.Sprintf("%s (%s): %+.1f%%", r.Name, r.Pkg, r.DeltaPct))
+			}
+		}
+		fmt.Fprintf(w, "| %s%s | %s | %s | %+.1f%% |\n", r.Name, mark, fmtNS(r.OldNS), fmtNS(r.NewNS), r.DeltaPct)
+	}
+	if gate != nil {
+		if ok {
+			fmt.Fprintf(w, "\nGate `%s`: no ns/op regression above %.0f%%.\n", gatePat, threshold)
+		} else {
+			fmt.Fprintf(w, "\nGate `%s` FAILED (> %.0f%% slower): %s\n", gatePat, threshold, strings.Join(worst, "; "))
+		}
+	}
+	return ok, nil
+}
+
+// fmtNS renders a nanosecond value compactly.
+func fmtNS(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.4gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.4gµs", ns/1e3)
+	case math.Abs(ns) < 1e-9:
+		return "0"
+	}
+	return fmt.Sprintf("%.4gns", ns)
 }

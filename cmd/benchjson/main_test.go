@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -64,5 +68,77 @@ func TestParse(t *testing.T) {
 	}
 	if _, ok := lsh.Metrics["allocs/op"]; !ok {
 		t.Error("allocs/op metric dropped")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{
+		{Pkg: "p", Name: "BenchmarkSearchTop1", Metrics: map[string]float64{"ns/op": 1000}},
+		{Pkg: "p", Name: "BenchmarkSearchTop100", Metrics: map[string]float64{"ns/op": 2000}},
+		{Pkg: "p", Name: "BenchmarkBuild", Metrics: map[string]float64{"ns/op": 500}},
+		{Pkg: "p", Name: "BenchmarkGone", Metrics: map[string]float64{"ns/op": 1}},
+	}}
+	newF := &File{Benchmarks: []Benchmark{
+		{Pkg: "p", Name: "BenchmarkSearchTop1", Metrics: map[string]float64{"ns/op": 700}},    // improved
+		{Pkg: "p", Name: "BenchmarkSearchTop100", Metrics: map[string]float64{"ns/op": 2600}}, // +30%: regression
+		{Pkg: "p", Name: "BenchmarkBuild", Metrics: map[string]float64{"ns/op": 5000}},        // ungated
+		{Pkg: "p", Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 1}},             // no baseline
+	}}
+	rows := Delta(oldF, newF, regexp.MustCompile(`Search`), 20)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (joined on both files)", len(rows))
+	}
+	byName := map[string]DeltaRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["BenchmarkSearchTop1"]; !r.Gated || r.Regressed || r.DeltaPct >= 0 {
+		t.Errorf("SearchTop1 = %+v, want gated improvement", r)
+	}
+	if r := byName["BenchmarkSearchTop100"]; !r.Gated || !r.Regressed {
+		t.Errorf("SearchTop100 = %+v, want gated regression", r)
+	}
+	if r := byName["BenchmarkBuild"]; r.Gated || r.Regressed {
+		t.Errorf("Build = %+v, want ungated despite 10x slowdown", r)
+	}
+}
+
+func TestRunDeltaGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, f *File) string {
+		p := filepath.Join(dir, name)
+		b, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldP := write("old.json", &File{Benchmarks: []Benchmark{
+		{Pkg: "p", Name: "BenchmarkSearch", Metrics: map[string]float64{"ns/op": 1000}},
+	}})
+	newP := write("new.json", &File{Benchmarks: []Benchmark{
+		{Pkg: "p", Name: "BenchmarkSearch", Metrics: map[string]float64{"ns/op": 1100}},
+	}})
+	var out strings.Builder
+	ok, err := runDelta(&out, oldP, newP, "Search", 20)
+	if err != nil || !ok {
+		t.Fatalf("10%% slowdown under a 20%% gate should pass, got ok=%v err=%v\n%s", ok, err, out.String())
+	}
+	if !strings.Contains(out.String(), "| BenchmarkSearch") {
+		t.Errorf("summary table missing benchmark row:\n%s", out.String())
+	}
+	out.Reset()
+	ok, err = runDelta(&out, oldP, newP, "Search", 5)
+	if err != nil || ok {
+		t.Fatalf("10%% slowdown under a 5%% gate should fail, got ok=%v err=%v", ok, err)
+	}
+	if !strings.Contains(out.String(), "FAILED") {
+		t.Errorf("summary missing FAILED marker:\n%s", out.String())
+	}
+	if _, err := runDelta(&out, filepath.Join(dir, "missing.json"), newP, "", 20); err == nil {
+		t.Error("missing old file should error")
 	}
 }

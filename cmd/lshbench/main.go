@@ -8,12 +8,19 @@
 //
 // Each experiment prints the same rows/series the paper reports; DESIGN.md
 // maps experiment ids to paper artifacts.
+//
+// Profiling (the Fig 12-style CPU decomposition measured for real):
+//
+//	lshbench -exp fig12 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	go tool pprof cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -21,13 +28,21 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole command so deferred profile writers always flush —
+// os.Exit in main would skip them and truncate -cpuprofile output.
+func run() int {
 	var (
-		exp     = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
-		scale   = flag.Float64("scale", 0.02, "fraction of the paper's dataset sizes")
-		maxN    = flag.Int("maxn", 64000, "cap on per-dataset object count")
-		queries = flag.Int("queries", 40, "queries per dataset")
-		seed    = flag.Int64("seed", 1, "random seed")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exp        = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		scale      = flag.Float64("scale", 0.02, "fraction of the paper's dataset sizes")
+		maxN       = flag.Int("maxn", 64000, "cap on per-dataset object count")
+		queries    = flag.Int("queries", 40, "queries per dataset")
+		seed       = flag.Int64("seed", 1, "random seed")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
 
@@ -35,11 +50,40 @@ func main() {
 		for _, id := range e2lshos.ExperimentIDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "lshbench: -exp is required (use -list to see ids)")
-		os.Exit(2)
+		return 2
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lshbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lshbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Deferred so the heap profile covers whatever ran, even when an
+		// experiment fails partway through an -exp list.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lshbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "lshbench: -memprofile: %v\n", err)
+			}
+		}()
 	}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
@@ -56,8 +100,9 @@ func main() {
 		start := time.Now()
 		if err := e2lshos.RunExperiment(id, opts, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "lshbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"e2lshos/internal/ann"
 	"e2lshos/internal/memindex"
 )
 
@@ -197,10 +198,13 @@ func resolveSettings(opts []SearchOption) (searchSettings, error) {
 }
 
 // querier is one engine's per-goroutine query context: scratch buffers plus
-// the resolved knobs. Not safe for concurrent use; BatchSearch creates one
-// per worker.
+// the resolved knobs. dst, when non-nil, provides the backing array for the
+// returned Result's neighbors (its contents are overwritten); BatchSearch
+// hands each query a distinct slab segment so the per-query steady state
+// allocates nothing. A nil dst asks the querier to allocate fresh backing.
+// Not safe for concurrent use; BatchSearch creates one per worker.
 type querier interface {
-	query(ctx context.Context, q []float32, k int) (Result, Stats, error)
+	query(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (Result, Stats, error)
 }
 
 // engineCore is what each engine contributes to the shared Search /
@@ -222,7 +226,7 @@ func engineSearch(ctx context.Context, e engineCore, q []float32, opts []SearchO
 	if err != nil {
 		return Result{}, Stats{}, err
 	}
-	return qr.query(ctx, q, set.k)
+	return qr.query(ctx, q, set.k, nil)
 }
 
 // engineBatchSearch implements Engine.BatchSearch over an engineCore: a
@@ -246,6 +250,11 @@ func engineBatchSearch(ctx context.Context, e engineCore, queries [][]float32, o
 	}
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	// One neighbor slab backs every result in the batch: queries write into
+	// disjoint k-sized segments, so the workers' steady state runs at zero
+	// allocations per query (the searchers reuse their own scratch).
+	slab := make([]ann.Neighbor, len(queries)*set.k)
 
 	var (
 		next     atomic.Int64
@@ -280,7 +289,8 @@ func engineBatchSearch(ctx context.Context, e engineCore, queries [][]float32, o
 				if i >= len(queries) || bctx.Err() != nil {
 					break
 				}
-				res, st, err := qr.query(bctx, queries[i], set.k)
+				seg := slab[i*set.k : i*set.k : (i+1)*set.k]
+				res, st, err := qr.query(bctx, queries[i], set.k, seg)
 				if err != nil {
 					fail(err)
 					break
@@ -349,8 +359,10 @@ type memQuerier struct {
 	s *memindex.Searcher
 }
 
-func (m memQuerier) query(ctx context.Context, q []float32, k int) (Result, Stats, error) {
-	res, st, err := m.s.SearchContext(ctx, q, k)
+func (m memQuerier) query(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (Result, Stats, error) {
+	// SearchInto with a nil dst allocates exact-capacity backing, so the
+	// single-query path needs no separate branch.
+	res, st, err := m.s.SearchInto(ctx, q, k, dst)
 	return res, Stats{
 		Queries:        1,
 		Radii:          st.Radii,

@@ -7,7 +7,7 @@ package ann
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"e2lshos/internal/vecmath"
 )
@@ -34,11 +34,16 @@ func (r Result) IDs() []uint32 {
 }
 
 // TopK accumulates the k nearest candidates seen so far using a bounded
-// max-heap keyed by distance. The zero value is not usable; construct with
-// NewTopK.
+// max-heap keyed by a monotone distance key: callers push either true
+// Euclidean distances (extract with Result/AppendResult) or squared
+// distances (extract with ResultSq/AppendResultSq, which take the square
+// root on the way out). The squared form is what the pruned verification
+// hot path uses: comparisons against Worst stay in squared space and sqrt
+// is paid only for the final top-k. The zero value is not usable; construct
+// with NewTopK or recycle a searcher-owned accumulator with Reset.
 type TopK struct {
 	k    int
-	heap []Neighbor // max-heap on Dist
+	heap []Neighbor // max-heap on the key stored in Dist
 }
 
 // NewTopK returns an accumulator for the k nearest neighbors. k must be
@@ -48,6 +53,20 @@ func NewTopK(k int) *TopK {
 		panic("ann: NewTopK requires k > 0")
 	}
 	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
+}
+
+// Reset empties the accumulator for a new query of capacity k, reusing the
+// heap backing array whenever it is large enough. k must be positive.
+func (t *TopK) Reset(k int) {
+	if k <= 0 {
+		panic("ann: TopK.Reset requires k > 0")
+	}
+	t.k = k
+	if cap(t.heap) < k {
+		t.heap = make([]Neighbor, 0, k)
+	} else {
+		t.heap = t.heap[:0]
+	}
 }
 
 // Push offers a candidate. It returns true if the candidate entered the
@@ -99,15 +118,60 @@ func (t *TopK) CountWithin(d float64) int {
 // Result extracts the accumulated neighbors sorted by ascending distance.
 // The accumulator remains valid and unchanged.
 func (t *TopK) Result() Result {
-	out := make([]Neighbor, len(t.heap))
-	copy(out, t.heap)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
+	return Result{Neighbors: t.AppendResult(make([]Neighbor, 0, len(t.heap)))}
+}
+
+// AppendResult appends the accumulated neighbors to dst sorted by ascending
+// distance then ID and returns the extended slice. It allocates nothing when
+// dst has capacity (a nil dst gets exact-capacity backing); the accumulator
+// remains valid and unchanged.
+func (t *TopK) AppendResult(dst []Neighbor) []Neighbor {
+	if dst == nil {
+		dst = make([]Neighbor, 0, len(t.heap))
+	}
+	start := len(dst)
+	dst = append(dst, t.heap...)
+	sortNeighbors(dst[start:])
+	return dst
+}
+
+// ResultSq extracts the neighbors of a squared-distance-keyed accumulator,
+// converting each key to a true distance.
+func (t *TopK) ResultSq() Result {
+	return Result{Neighbors: t.AppendResultSq(make([]Neighbor, 0, len(t.heap)))}
+}
+
+// AppendResultSq is AppendResult for accumulators keyed by squared
+// distances: the one place the pruned verification path pays a square root.
+// Sorting happens on the rounded true distances (then ID), matching what
+// pushing true distances would have produced.
+func (t *TopK) AppendResultSq(dst []Neighbor) []Neighbor {
+	if dst == nil {
+		dst = make([]Neighbor, 0, len(t.heap))
+	}
+	start := len(dst)
+	for _, nb := range t.heap {
+		dst = append(dst, Neighbor{ID: nb.ID, Dist: math.Sqrt(nb.Dist)})
+	}
+	sortNeighbors(dst[start:])
+	return dst
+}
+
+// sortNeighbors orders by ascending distance, breaking ties by ID.
+func sortNeighbors(out []Neighbor) {
+	slices.SortFunc(out, func(a, b Neighbor) int {
+		switch {
+		case a.Dist < b.Dist:
+			return -1
+		case a.Dist > b.Dist:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
 		}
-		return out[i].ID < out[j].ID
+		return 0
 	})
-	return Result{Neighbors: out}
 }
 
 func (t *TopK) siftUp(i int) {

@@ -260,6 +260,14 @@ type Cursor struct {
 // SeekAscend positions a cursor at the first entry with key >= key, moving
 // rightward on Next.
 func (t *Tree) SeekAscend(key float64) *Cursor {
+	c := new(Cursor)
+	t.SeekAscendInto(c, key)
+	return c
+}
+
+// SeekAscendInto is SeekAscend into a caller-owned cursor, so searchers can
+// reseed their cursor arenas without allocating per query.
+func (t *Tree) SeekAscendInto(c *Cursor, key float64) {
 	n := t.root
 	for !n.leaf {
 		ci := sort.SearchFloat64s(n.keys, key)
@@ -267,23 +275,28 @@ func (t *Tree) SeekAscend(key float64) *Cursor {
 		n = n.children[ci]
 	}
 	i := sort.SearchFloat64s(n.keys, key)
-	c := &Cursor{n: n, i: i, forward: true}
+	*c = Cursor{n: n, i: i, forward: true}
 	c.normalizeForward()
-	return c
 }
 
 // SeekDescend positions a cursor at the last entry with key < key, moving
 // leftward on Next.
 func (t *Tree) SeekDescend(key float64) *Cursor {
+	c := new(Cursor)
+	t.SeekDescendInto(c, key)
+	return c
+}
+
+// SeekDescendInto is SeekDescend into a caller-owned cursor.
+func (t *Tree) SeekDescendInto(c *Cursor, key float64) {
 	n := t.root
 	for !n.leaf {
 		ci := sort.SearchFloat64s(n.keys, key)
 		n = n.children[ci]
 	}
 	i := sort.SearchFloat64s(n.keys, key) - 1
-	c := &Cursor{n: n, i: i}
+	*c = Cursor{n: n, i: i}
 	c.normalizeBackward()
-	return c
 }
 
 func (c *Cursor) normalizeForward() {

@@ -17,14 +17,31 @@ type AsyncResult struct {
 	Stats  Stats
 }
 
+// asyncPool recycles per-query state machines. The scheduler runs its whole
+// batch on one goroutine, so a plain stack free list suffices; the number of
+// live states is bounded by the engine's admission depth (CPUs × contexts),
+// and each carries an epoch-stamped visited array sized to the database —
+// the same dedup structure the wall-clock searchers use, replacing the
+// per-query map the hot loop used to allocate and hash into.
+//
+// Memory bound: peak footprint is admission_depth × 4·len(data) bytes
+// (e.g. Fig 16's worst case, 32 CPUs × 32 contexts over the 64k-object
+// default cap, is ~256 MiB), reached only while that many queries are
+// actually in flight and reused across the rest of the batch. Workloads
+// driving the simulator at much larger n should scale contextsPerCPU down
+// accordingly.
+type asyncPool struct {
+	free []*asyncRun
+}
+
 // AsyncQueryFunc adapts the index to the scheduling engine: the returned
 // sched.QueryFunc evaluates queries[i] for top-k and stores its outcome in
 // results[i]. It implements §5.4: per radius, the query computes its L
 // compound hashes, issues the hash-table reads for all occupied buckets
 // without blocking (step 1), follows each completed table entry with a
 // bucket block read (step 2), scans arriving bucket blocks — checking
-// fingerprints and distances — and chases chain links (step 3). The radius
-// round ends when every chain has drained; termination mirrors the
+// fingerprints and pruned distances — and chases chain links (step 3). The
+// radius round ends when every chain has drained; termination mirrors the
 // synchronous reference.
 //
 // CPU work is charged to the virtual clock through the shared cost model, so
@@ -35,23 +52,41 @@ func (ix *Index) AsyncQueryFunc(model costmodel.CPUModel, queries [][]float32, k
 	if ix.physPerBucket != 1 {
 		panic("diskindex: the engine path requires 512-byte bucket blocks")
 	}
+	pool := &asyncPool{}
 	return func(qi int, tc *sched.Ctx, done func()) {
-		run := &asyncRun{
-			ix:     ix,
-			model:  model,
-			q:      queries[qi],
-			k:      k,
-			out:    &results[qi],
-			topk:   ann.NewTopK(k),
-			seen:   make(map[uint32]struct{}),
-			proj:   make([]float64, ix.params.L*ix.params.M),
-			hashes: make([]uint32, ix.params.L),
+		var run *asyncRun
+		if n := len(pool.free); n > 0 {
+			run = pool.free[n-1]
+			pool.free = pool.free[:n-1]
+			run.epoch++
+			if run.epoch == 0 {
+				clear(run.seen)
+				run.epoch = 1
+			}
+			run.topk.Reset(k)
+		} else {
+			run = &asyncRun{
+				ix:     ix,
+				pool:   pool,
+				topk:   ann.NewTopK(k),
+				seen:   make([]uint32, len(ix.data)),
+				epoch:  1,
+				proj:   make([]float64, ix.params.L*ix.params.M),
+				hashes: make([]uint32, ix.params.L),
+			}
 		}
+		run.model = model
+		run.q = queries[qi]
+		run.k = k
+		run.out = &results[qi]
+		run.rIdx = 0
+		run.checked = 0
+		run.outstanding = 0
 		ix.checkDim(run.q)
 		tc.Charge(costmodel.ToTime(model.QueryFixed))
 		if ix.opts.ShareProjections {
-			tc.Charge(costmodel.ToTime(model.Projections(ix.params.Dim, ix.params.L*ix.params.M)))
-			ix.families[0].Project(run.q, run.proj)
+			tc.Charge(costmodel.ToTime(model.ProjectionsGEMV(ix.params.Dim, ix.params.L*ix.params.M)))
+			ix.families[0].ProjectInto(run.proj, run.q)
 		}
 		run.startRadius(tc, done)
 	}
@@ -60,13 +95,15 @@ func (ix *Index) AsyncQueryFunc(model costmodel.CPUModel, queries [][]float32, k
 // asyncRun is the per-query state machine.
 type asyncRun struct {
 	ix    *Index
+	pool  *asyncPool
 	model costmodel.CPUModel
 	q     []float32
 	k     int
 	out   *AsyncResult
 
 	topk   *ann.TopK
-	seen   map[uint32]struct{}
+	seen   []uint32
+	epoch  uint32
 	proj   []float64
 	hashes []uint32
 
@@ -90,8 +127,8 @@ func (run *asyncRun) startRadius(tc *sched.Ctx, done func()) {
 	run.out.Stats.Radii++
 	fam := ix.FamilyFor(run.rIdx)
 	if !ix.opts.ShareProjections {
-		tc.Charge(costmodel.ToTime(run.model.Projections(p.Dim, p.L*p.M)))
-		fam.Project(run.q, run.proj)
+		tc.Charge(costmodel.ToTime(run.model.ProjectionsGEMV(p.Dim, p.L*p.M)))
+		fam.ProjectInto(run.proj, run.q)
 	}
 	tc.Charge(costmodel.ToTime(run.model.Combines(p.L * p.M)))
 	fam.HashesAt(run.proj, p.Radii[run.rIdx], run.hashes)
@@ -129,7 +166,9 @@ func (run *asyncRun) onTableBlock(tc *sched.Ctx, done func(), block []byte, off 
 	tc.Read(head, func(b []byte) { run.onBucketBlock(tc, done, b, fp) })
 }
 
-// onBucketBlock scans one arrived bucket block (step 3) and chases the chain.
+// onBucketBlock scans one arrived bucket block (step 3) and chases the
+// chain. Distance checks run through the pruned kernel against the current
+// k-th squared distance, exactly as on the wall-clock paths.
 func (run *asyncRun) onBucketBlock(tc *sched.Ctx, done func(), block []byte, fp uint32) {
 	ix := run.ix
 	run.out.Stats.BucketIOs++
@@ -150,13 +189,15 @@ func (run *asyncRun) onBucketBlock(tc *sched.Ctx, done func(), block []byte, fp 
 			break
 		}
 		tc.Charge(costmodel.ToTime(run.model.Dedup(1)))
-		if _, dup := run.seen[id]; dup {
+		if run.seen[id] == run.epoch {
 			run.out.Stats.Duplicates++
 			continue
 		}
-		run.seen[id] = struct{}{}
+		run.seen[id] = run.epoch
 		tc.Charge(costmodel.ToTime(run.model.Distance(ix.params.Dim)))
-		run.topk.Push(id, vecmath.Dist(ix.data[id], run.q))
+		if sq, ok := vecmath.SqDistBounded(ix.data[id], run.q, run.topk.Worst()); ok {
+			run.topk.Push(id, sq)
+		}
 		run.out.Stats.Checked++
 		run.checked++
 	}
@@ -182,13 +223,18 @@ func (run *asyncRun) chainDone(tc *sched.Ctx, done func()) {
 }
 
 // radiusSatisfied applies the (R,c)-NN termination test at the end of the
-// current radius round.
+// current radius round, in squared-distance space.
 func (run *asyncRun) radiusSatisfied() bool {
 	p := run.ix.params
-	return run.topk.Full() && run.topk.CountWithin(p.C*p.Radii[run.rIdx]) >= run.k
+	if !run.topk.Full() {
+		return false
+	}
+	cr := p.C * p.Radii[run.rIdx]
+	return run.topk.CountWithin(cr*cr) >= run.k
 }
 
 func (run *asyncRun) finish(done func()) {
-	run.out.Result = run.topk.Result()
+	run.out.Result = run.topk.ResultSq()
+	run.pool.free = append(run.pool.free, run)
 	done()
 }

@@ -1,8 +1,11 @@
 package diskindex
 
 import (
+	"context"
 	"testing"
 
+	"e2lshos/internal/ann"
+	"e2lshos/internal/blockcache"
 	"e2lshos/internal/blockstore"
 	"e2lshos/internal/dataset"
 	"e2lshos/internal/lsh"
@@ -79,6 +82,54 @@ func BenchmarkInsert(b *testing.B) {
 			// ID space exhausted: rebuild a fresh index and continue.
 			_, _, ix = benchSetup(b)
 			b.StartTimer()
+		}
+	}
+}
+
+// cachedBenchIndex attaches a cache large enough to hold the whole index and
+// warms it, so the benchmark measures the CPU-bound cached hot path (the
+// regime the PR-3 block cache creates and PR 4's kernels target).
+func cachedBenchIndex(b *testing.B) (*dataset.Dataset, *Index) {
+	b.Helper()
+	d, _, ix := benchSetup(b)
+	cache, err := blockcache.New(ix.StorageBytes()*2, blockcache.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix.AttachCache(cache, 0)
+	s := ix.NewSearcher()
+	for _, q := range d.Queries {
+		if _, _, err := s.Search(q, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return d, ix
+}
+
+func BenchmarkCachedSyncSearch(b *testing.B) {
+	d, ix := cachedBenchIndex(b)
+	s := ix.NewSearcher()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Search(d.Queries[i%d.NQ()], 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachedSearchInto is the fully arena-backed variant: zero
+// steady-state allocations per query.
+func BenchmarkCachedSearchInto(b *testing.B) {
+	d, ix := cachedBenchIndex(b)
+	s := ix.NewSearcher()
+	ctx := context.Background()
+	dst := make([]ann.Neighbor, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.SearchInto(ctx, d.Queries[i%d.NQ()], 1, dst); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,86 @@
+package diskindex
+
+import (
+	"context"
+	"testing"
+
+	"e2lshos/internal/ann"
+	"e2lshos/internal/blockcache"
+)
+
+// TestCachedSearchIntoZeroAllocs is the PR-4 steady-state contract for the
+// storage path: once the working set is cache-resident, the sequential
+// searcher answers queries with zero allocations per query.
+func TestCachedSearchIntoZeroAllocs(t *testing.T) {
+	d, ix, _ := testSetup(t, 4000, 8, DefaultOptions())
+	cache, err := blockcache.New(ix.StorageBytes()*2, blockcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.AttachCache(cache, 0)
+	s := ix.NewSearcher()
+	const k = 10
+	ctx := context.Background()
+	dst := make([]ann.Neighbor, 0, k)
+	for _, q := range d.Queries { // warmup: fill the cache and size scratch
+		if _, _, err := s.SearchInto(ctx, q, k, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qi := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		q := d.Queries[qi%d.NQ()]
+		qi++
+		if _, _, err := s.SearchInto(ctx, q, k, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state cached SearchInto allocates %v allocs/query, want 0", allocs)
+	}
+}
+
+// TestSearchIntoMatchesSearchContext pins the two extraction paths of both
+// probers to each other.
+func TestSearchIntoMatchesSearchContext(t *testing.T) {
+	d, ix, _ := testSetup(t, 4000, 8, DefaultOptions())
+	const k = 5
+	ctx := context.Background()
+	seq := ix.NewSearcher()
+	par, err := ix.NewParallelSearcher(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]ann.Neighbor, 0, k)
+	for qi, q := range d.Queries {
+		want, wantSt, err := seq.SearchContext(ctx, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotSt, err := seq.SearchInto(ctx, q, k, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotSt != wantSt {
+			t.Fatalf("q%d: sequential stats diverged: %+v vs %+v", qi, gotSt, wantSt)
+		}
+		assertSameNeighbors(t, qi, got, want)
+		pgot, _, err := par.SearchInto(ctx, q, k, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameNeighbors(t, qi, pgot, want)
+	}
+}
+
+func assertSameNeighbors(t *testing.T, qi int, got, want ann.Result) {
+	t.Helper()
+	if len(got.Neighbors) != len(want.Neighbors) {
+		t.Fatalf("q%d: %d vs %d neighbors", qi, len(got.Neighbors), len(want.Neighbors))
+	}
+	for i := range got.Neighbors {
+		if got.Neighbors[i] != want.Neighbors[i] {
+			t.Fatalf("q%d rank %d: %+v vs %+v", qi, i, got.Neighbors[i], want.Neighbors[i])
+		}
+	}
+}

@@ -50,13 +50,17 @@ func (st Stats) IOs() int { return st.TableIOs + st.BucketIOs }
 // Searcher executes queries synchronously against the store's data plane:
 // no virtual time, just block reads. It is the reference implementation the
 // asynchronous engine path is tested against, and the I/O-count oracle for
-// the Fig 3–8 analyses. Not safe for concurrent use; create one per worker.
+// the Fig 3–8 analyses. All per-query scratch (projection buffer, hash
+// buffer, epoch-stamped visited array, block buffer, top-k accumulator) is
+// searcher-owned, so the SearchInto path allocates nothing per query after
+// warmup. Not safe for concurrent use; create one per worker.
 type Searcher struct {
 	ix     *Index
 	proj   []float64
 	hashes []uint32
 	seen   []uint32
 	epoch  uint32
+	topk   *ann.TopK
 	buf    []byte
 	// multiProbe > 0 probes each table's base bucket plus this many
 	// perturbed neighbors (§8 extension; see lsh.PerturbationSets). On
@@ -115,7 +119,22 @@ func (s *Searcher) Search(q []float32, k int) (ann.Result, Stats, error) {
 // rounds, so a long ladder walk aborts cleanly. On cancellation it returns
 // the neighbors accumulated so far together with ctx.Err().
 func (s *Searcher) SearchContext(ctx context.Context, q []float32, k int) (ann.Result, Stats, error) {
-	res, st, err := s.searchContext(ctx, q, k)
+	st, err := s.search(ctx, q, k)
+	return s.topk.ResultSq(), st, err
+}
+
+// SearchInto is SearchContext with caller-owned result backing: the
+// returned neighbors are appended into dst[:0], so a worker looping over
+// queries with a reused dst allocates nothing per query after warmup.
+func (s *Searcher) SearchInto(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (ann.Result, Stats, error) {
+	st, err := s.search(ctx, q, k)
+	return ann.Result{Neighbors: s.topk.AppendResultSq(dst[:0])}, st, err
+}
+
+// search runs the ladder, leaving the winners (keyed by squared distance)
+// in s.topk; on an I/O error the accumulator is emptied.
+func (s *Searcher) search(ctx context.Context, q []float32, k int) (Stats, error) {
+	st, err := s.searchContext(ctx, q, k)
 	if s.pending != nil {
 		// Settle readahead issued for a round the ladder never entered, so
 		// no prefetch work outlives the query and the stats stay exact. On
@@ -123,10 +142,10 @@ func (s *Searcher) SearchContext(ctx context.Context, q []float32, k int) (ann.R
 		st.Prefetched += int(s.pending.Wait())
 		s.pending = nil
 	}
-	return res, st, err
+	return st, err
 }
 
-func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (ann.Result, Stats, error) {
+func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (Stats, error) {
 	ix := s.ix
 	ix.checkDim(q)
 	p := ix.params
@@ -136,13 +155,18 @@ func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (ann.R
 		clear(s.seen)
 		s.epoch = 1
 	}
-	topk := ann.NewTopK(k)
+	if s.topk == nil {
+		s.topk = ann.NewTopK(k)
+	} else {
+		s.topk.Reset(k)
+	}
+	topk := s.topk
 	if ix.opts.ShareProjections {
-		ix.families[0].Project(q, s.proj)
+		ix.families[0].ProjectInto(s.proj, q)
 	}
 	for rIdx, radius := range p.Radii {
 		if err := ctx.Err(); err != nil {
-			return topk.Result(), st, err
+			return st, err
 		}
 		if s.pending != nil {
 			// The readahead issued while the previous round was verifying;
@@ -153,7 +177,7 @@ func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (ann.R
 		st.Radii++
 		fam := ix.FamilyFor(rIdx)
 		if !ix.opts.ShareProjections {
-			fam.Project(q, s.proj)
+			fam.ProjectInto(s.proj, q)
 		}
 		if s.multiProbe > 0 {
 			fam.FloorsAt(s.proj, radius, s.floors, s.fracs)
@@ -172,7 +196,8 @@ func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (ann.R
 		for l := 0; l < p.L; l++ {
 			full, err := s.probeBucket(rIdx, l, s.hashes[l], q, topk, &st, &checked)
 			if err != nil {
-				return ann.Result{}, st, err
+				topk.Reset(k)
+				return st, err
 			}
 			if full {
 				break tables
@@ -189,22 +214,28 @@ func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (ann.R
 				}
 				full, err := s.probeBucket(rIdx, l, ix.FamilyFor(rIdx).CombineFloors(l, s.pfloors), q, topk, &st, &checked)
 				if err != nil {
-					return ann.Result{}, st, err
+					topk.Reset(k)
+					return st, err
 				}
 				if full {
 					break tables
 				}
 			}
 		}
-		if topk.Full() && topk.CountWithin(p.C*radius) >= k {
-			break
+		if topk.Full() {
+			cr := p.C * radius
+			if topk.CountWithin(cr*cr) >= k {
+				break
+			}
 		}
 	}
-	return topk.Result(), st, nil
+	return st, nil
 }
 
 // probeBucket walks one bucket's chain, verifying fingerprint-matched
-// candidates, and reports whether the per-radius budget was exhausted.
+// candidates with partial-distance pruning against the current k-th squared
+// distance (exact; see vecmath.SqDistBounded), and reports whether the
+// per-radius budget was exhausted.
 func (s *Searcher) probeBucket(rIdx, l int, h uint32, q []float32, topk *ann.TopK, st *Stats, checked *int) (bool, error) {
 	ix := s.ix
 	p := ix.params
@@ -239,7 +270,9 @@ func (s *Searcher) probeBucket(rIdx, l int, h uint32, q []float32, topk *ann.Top
 				continue
 			}
 			s.seen[id] = s.epoch
-			topk.Push(id, vecmath.Dist(ix.data[id], q))
+			if sq, ok := vecmath.SqDistBounded(ix.data[id], q, topk.Worst()); ok {
+				topk.Push(id, sq)
+			}
 			st.Checked++
 			*checked++
 			if *checked >= p.S {

@@ -29,6 +29,13 @@ type ParallelSearcher struct {
 	hashes  []uint32
 	seen    []uint32
 	epoch   uint32
+	topk    *ann.TopK
+	// probeBuf and workerBufs are the per-round arenas: probe structs (and
+	// their ids backing) and the fetch goroutines' block buffers are reused
+	// across a searcher's queries instead of reallocated per radius round.
+	probeBuf   []probe
+	probePtrs  []*probe
+	workerBufs [][]byte
 	// Readahead scratch (cache.go), mirroring Searcher's.
 	nextHashes []uint32
 	raProj     []float64
@@ -41,11 +48,17 @@ func (ix *Index) NewParallelSearcher(workers int) (*ParallelSearcher, error) {
 		return nil, fmt.Errorf("diskindex: parallel searcher needs at least 1 worker, got %d", workers)
 	}
 	ps := &ParallelSearcher{
-		ix:      ix,
-		workers: workers,
-		proj:    make([]float64, ix.params.L*ix.params.M),
-		hashes:  make([]uint32, ix.params.L),
-		seen:    make([]uint32, len(ix.data)),
+		ix:         ix,
+		workers:    workers,
+		proj:       make([]float64, ix.params.L*ix.params.M),
+		hashes:     make([]uint32, ix.params.L),
+		seen:       make([]uint32, len(ix.data)),
+		probeBuf:   make([]probe, ix.params.L),
+		probePtrs:  make([]*probe, 0, ix.params.L),
+		workerBufs: make([][]byte, workers),
+	}
+	for w := range ps.workerBufs {
+		ps.workerBufs[w] = make([]byte, ix.bucketBufBytes())
 	}
 	if ix.readaheadActive() {
 		ps.nextHashes = make([]uint32, ix.params.L)
@@ -76,16 +89,30 @@ func (ps *ParallelSearcher) Search(q []float32, k int) (ann.Result, Stats, error
 // rounds, before each fan-out, so a long ladder walk aborts cleanly. On
 // cancellation it returns the neighbors accumulated so far with ctx.Err().
 func (ps *ParallelSearcher) SearchContext(ctx context.Context, q []float32, k int) (ann.Result, Stats, error) {
-	res, st, err := ps.searchContext(ctx, q, k)
+	st, err := ps.search(ctx, q, k)
+	return ps.topk.ResultSq(), st, err
+}
+
+// SearchInto is SearchContext with caller-owned result backing: the
+// returned neighbors are appended into dst[:0].
+func (ps *ParallelSearcher) SearchInto(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (ann.Result, Stats, error) {
+	st, err := ps.search(ctx, q, k)
+	return ann.Result{Neighbors: ps.topk.AppendResultSq(dst[:0])}, st, err
+}
+
+// search runs the ladder, leaving the winners (keyed by squared distance)
+// in ps.topk; on an I/O error the accumulator is emptied.
+func (ps *ParallelSearcher) search(ctx context.Context, q []float32, k int) (Stats, error) {
+	st, err := ps.searchContext(ctx, q, k)
 	if ps.pending != nil {
 		// See Searcher.SearchContext: settle readahead for unentered rounds.
 		st.Prefetched += int(ps.pending.Wait())
 		ps.pending = nil
 	}
-	return res, st, err
+	return st, err
 }
 
-func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k int) (ann.Result, Stats, error) {
+func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k int) (Stats, error) {
 	ix := ps.ix
 	ix.checkDim(q)
 	p := ix.params
@@ -95,13 +122,18 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 		clear(ps.seen)
 		ps.epoch = 1
 	}
-	topk := ann.NewTopK(k)
+	if ps.topk == nil {
+		ps.topk = ann.NewTopK(k)
+	} else {
+		ps.topk.Reset(k)
+	}
+	topk := ps.topk
 	if ix.opts.ShareProjections {
-		ix.families[0].Project(q, ps.proj)
+		ix.families[0].ProjectInto(ps.proj, q)
 	}
 	for rIdx, radius := range p.Radii {
 		if err := ctx.Err(); err != nil {
-			return topk.Result(), st, err
+			return st, err
 		}
 		if ps.pending != nil {
 			st.Prefetched += int(ps.pending.Wait())
@@ -110,7 +142,7 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 		st.Radii++
 		fam := ix.FamilyFor(rIdx)
 		if !ix.opts.ShareProjections {
-			fam.Project(q, ps.proj)
+			fam.ProjectInto(ps.proj, q)
 		}
 		fam.HashesAt(ps.proj, radius, ps.hashes)
 		if ix.readaheadActive() && rIdx+1 < p.R() {
@@ -118,8 +150,8 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 			ps.pending = ix.prefetchRound(ctx, rIdx+1, ps.nextHashes)
 		}
 
-		// Collect occupied buckets for this radius.
-		probes := make([]*probe, 0, p.L)
+		// Collect occupied buckets for this radius into the probe arena.
+		probes := ps.probePtrs[:0]
 		for l := 0; l < p.L; l++ {
 			st.Probes++
 			idx, fp := lsh.SplitHash(ps.hashes[l], ix.u)
@@ -127,13 +159,16 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 				continue
 			}
 			st.NonEmptyProbes++
-			probes = append(probes, &probe{l: l, idx: idx, fp: fp})
+			pr := &ps.probeBuf[len(probes)]
+			*pr = probe{l: l, idx: idx, fp: fp, ids: pr.ids[:0]}
+			probes = append(probes, pr)
 		}
 		// Fetch phase: table entries + bucket chains, concurrently.
 		ps.fetchAll(rIdx, probes)
 		for _, pr := range probes {
 			if pr.err != nil {
-				return ann.Result{}, st, pr.err
+				topk.Reset(k)
+				return st, pr.err
 			}
 			st.TableIOs++
 			st.BucketIOs += pr.ios - 1
@@ -151,7 +186,9 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 					continue
 				}
 				ps.seen[id] = ps.epoch
-				topk.Push(id, vecmath.Dist(ix.data[id], q))
+				if sq, ok := vecmath.SqDistBounded(ix.data[id], q, topk.Worst()); ok {
+					topk.Push(id, sq)
+				}
 				st.Checked++
 				checked++
 				if checked >= p.S {
@@ -159,11 +196,14 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 				}
 			}
 		}
-		if topk.Full() && topk.CountWithin(p.C*radius) >= k {
-			break
+		if topk.Full() {
+			cr := p.C * radius
+			if topk.CountWithin(cr*cr) >= k {
+				break
+			}
 		}
 	}
-	return topk.Result(), st, nil
+	return st, nil
 }
 
 // fetchAll walks every probe's table entry and bucket chain using the
@@ -180,13 +220,12 @@ func (ps *ParallelSearcher) fetchAll(rIdx int, probes []*probe) {
 	next := make(chan *probe)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(buf []byte) {
 			defer wg.Done()
-			buf := make([]byte, ps.ix.bucketBufBytes())
 			for pr := range next {
 				ps.fetchOne(rIdx, pr, buf)
 			}
-		}()
+		}(ps.workerBufs[w])
 	}
 	for _, pr := range probes {
 		next <- pr

@@ -12,21 +12,34 @@ import (
 	"e2lshos/internal/srs"
 )
 
+// e2lshHashNS is the hash-side CPU charge of one E2LSH query: the batched
+// GEMV projection (per radius when projections are not shared) plus the
+// quantize-and-mix combines. All engines project through the same MatVec
+// kernel since PR 4, so the charge uses the GEMV op class.
+func e2lshHashNS(m costmodel.CPUModel, p lsh.Params, st memindex.QueryStats, share bool) float64 {
+	proj := m.ProjectionsGEMV(p.Dim, p.L*p.M)
+	if !share {
+		proj *= float64(st.Radii)
+	}
+	return proj + m.Combines(p.L*p.M*st.Radii)
+}
+
+// e2lshVerifyNS is the verify-side CPU charge of one E2LSH query: bucket
+// scanning, dedup stamps and the (pruned) distance computations.
+func e2lshVerifyNS(m costmodel.CPUModel, p lsh.Params, st memindex.QueryStats) float64 {
+	return m.Scan(st.EntriesScanned) +
+		m.Dedup(st.Checked+st.Duplicates) +
+		m.Distance(p.Dim)*float64(st.Checked)
+}
+
 // e2lshQueryNS charges the cost model for one in-memory E2LSH query's work.
 // stall applies the footprint penalty the paper measured for the large
 // in-memory index (§4.5); E2LSHoS's T_compute omits it.
 func e2lshQueryNS(m costmodel.CPUModel, p lsh.Params, st memindex.QueryStats, share, stall bool) float64 {
 	t := m.QueryFixed
-	if share {
-		t += m.Projections(p.Dim, p.L*p.M)
-	} else {
-		t += float64(st.Radii) * m.Projections(p.Dim, p.L*p.M)
-	}
-	t += m.Combines(p.L * p.M * st.Radii)
+	t += e2lshHashNS(m, p, st, share)
 	t += m.MemPerLine * float64(st.Probes) // hash table lookups
-	t += m.Scan(st.EntriesScanned)
-	t += m.Dedup(st.Checked + st.Duplicates)
-	t += m.Distance(p.Dim) * float64(st.Checked)
+	t += e2lshVerifyNS(m, p, st)
 	if stall {
 		t *= m.FootprintStall
 	}
@@ -43,7 +56,7 @@ func SRSQueryNS(m costmodel.CPUModel, dim, projDim int, st srs.Stats) float64 {
 // projected space plus full-dimensional verifications.
 func srsQueryNS(m costmodel.CPUModel, dim, projDim int, st srs.Stats) float64 {
 	t := m.QueryFixed
-	t += m.Projections(dim, projDim)
+	t += m.ProjectionsGEMV(dim, projDim)
 	t += m.NodeVisit() * float64(st.NodesVisited)
 	t += (m.DistPerDim*float64(projDim) + m.ScanPerEntry + m.SeenOp) * float64(st.EntriesScanned)
 	t += m.Distance(dim) * float64(st.Checked)
@@ -54,7 +67,7 @@ func srsQueryNS(m costmodel.CPUModel, dim, projDim int, st srs.Stats) float64 {
 // collision counting plus verifications.
 func qalshQueryNS(m costmodel.CPUModel, dim, hashes int, st qalsh.Stats) float64 {
 	t := m.QueryFixed
-	t += m.Projections(dim, hashes)
+	t += m.ProjectionsGEMV(dim, hashes)
 	t += m.NodeVisit() * float64(2*hashes) // tree descents (two cursors per tree)
 	t += (m.ScanPerEntry + m.SeenOp) * float64(st.EntriesScanned)
 	t += m.Distance(dim) * float64(st.Checked)

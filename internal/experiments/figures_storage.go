@@ -160,10 +160,15 @@ type Fig12Result struct {
 }
 
 // Fig12Row is one interface's decomposition, in milliseconds per query.
+// HashMS and VerifyMS split the computation bar by kernel class — batched
+// GEMV projections + combines versus scanning/dedup/pruned distance checks —
+// measured from the per-query work counters the run actually performed.
 type Fig12Row struct {
 	Setup     string
 	IOCostMS  float64
 	ComputeMS float64
+	HashMS    float64
+	VerifyMS  float64
 }
 
 // Fig12 measures the decomposition at the target accuracy.
@@ -178,12 +183,17 @@ func Fig12(env *Env) (*Fig12Result, error) {
 	}
 	res := &Fig12Result{Dataset: ws.DS.Name}
 
-	// In-memory: all computation (with footprint stall), no I/O cost.
+	// In-memory: all computation (with footprint stall), no I/O cost. The
+	// hash/verify split re-runs the searcher at the chosen budget and folds
+	// the measured work counters through the kernel op classes.
 	memPts := e2lshSweep(env, ws, 1, nil)
 	memCurve := sweepTimeCurve(memPts, true)
+	memHash, memVerify := memHashVerifyMS(env, ws, sigma)
 	res.Rows = append(res.Rows, Fig12Row{
 		Setup:     "In-memory",
 		ComputeMS: memCurve.at(env.TargetRatio) / 1e6,
+		HashMS:    memHash,
+		VerifyMS:  memVerify,
 	})
 	for _, iface := range []iosim.InterfaceSpec{iosim.IOUring, iosim.SPDK, iosim.XLFDDLink} {
 		run, err := runDisk(env, ws, sigma, 1, iosim.ESSD, 8, iface, 1)
@@ -191,13 +201,52 @@ func Fig12(env *Env) (*Fig12Result, error) {
 			return nil, err
 		}
 		n := float64(run.Report.Queries)
+		hashMS, verifyMS := diskHashVerifyMS(env, ws, run.Results)
 		res.Rows = append(res.Rows, Fig12Row{
 			Setup:     iface.Name,
 			IOCostMS:  float64(run.Report.IOOverhead) / n / 1e6,
 			ComputeMS: float64(run.Report.Compute) / n / 1e6,
+			HashMS:    hashMS,
+			VerifyMS:  verifyMS,
 		})
 	}
 	return res, nil
+}
+
+// memHashVerifyMS measures the in-memory reference's mean hash-side and
+// verify-side CPU per query at budget sigma, in milliseconds.
+func memHashVerifyMS(env *Env, ws *Workload, sigma float64) (hashMS, verifyMS float64) {
+	budget := int(math.Ceil(sigma * float64(ws.Params.L)))
+	if budget < 1 {
+		budget = 1
+	}
+	ix := ws.Mem.WithBudget(budget)
+	s := ix.NewSearcher()
+	var hash, verify float64
+	for _, q := range ws.DS.Queries {
+		_, st := s.Search(q, 1)
+		hash += e2lshHashNS(env.Model, ix.Params(), st, true)
+		verify += e2lshVerifyNS(env.Model, ix.Params(), st)
+	}
+	nq := float64(ws.DS.NQ())
+	return hash / nq / 1e6, verify / nq / 1e6
+}
+
+// diskHashVerifyMS folds an engine run's per-query stats into the mean
+// hash-side and verify-side CPU per query, in milliseconds.
+func diskHashVerifyMS(env *Env, ws *Workload, results []diskindex.AsyncResult) (hashMS, verifyMS float64) {
+	m := env.Model
+	p := ws.Params
+	var hash, verify float64
+	for i := range results {
+		st := &results[i].Stats
+		hash += m.ProjectionsGEMV(p.Dim, p.L*p.M) + m.Combines(p.L*p.M*st.Radii)
+		verify += m.Scan(st.EntriesScanned) +
+			m.Dedup(st.Checked+st.Duplicates) +
+			m.Distance(p.Dim)*float64(st.Checked)
+	}
+	n := float64(len(results))
+	return hash / n / 1e6, verify / n / 1e6
 }
 
 // sigmaForRatio picks the sweep sigma whose measured ratio lands closest to
@@ -218,9 +267,10 @@ func sigmaForRatio(env *Env, ws *Workload, k int, target float64) (float64, erro
 // Render implements Renderable.
 func (r *Fig12Result) Render() []*report.Table {
 	t := report.New(fmt.Sprintf("Fig 12: I/O cost vs computation per query (%s, ms)", r.Dataset),
-		"Setup", "I/O cost (ms)", "Computation (ms)", "Total (ms)")
+		"Setup", "I/O cost (ms)", "Computation (ms)", "Hash (ms)", "Verify (ms)", "Total (ms)")
 	for _, row := range r.Rows {
 		t.AddRow(row.Setup, report.Num(row.IOCostMS), report.Num(row.ComputeMS),
+			report.Num(row.HashMS), report.Num(row.VerifyMS),
 			report.Num(row.IOCostMS+row.ComputeMS))
 	}
 	return []*report.Table{t}

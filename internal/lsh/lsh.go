@@ -24,8 +24,12 @@ import (
 type Family struct {
 	Dim, M, L int
 	W         float64
-	// a holds (L*M) projection vectors of length Dim, flattened row-major.
-	a []float32
+	// a holds the (L*M)×Dim projection matrix packed into vecmath's
+	// row-panel GEMV layout, so one MatVec computes all L·M projections of
+	// a vector (DESIGN.md, "Compute kernels"). Rows keep the row-major
+	// draw order of the original flat layout, so families are seed-stable
+	// across the re-layout.
+	a *vecmath.Panels
 	// b holds L*M offsets, uniform in [0, W).
 	b []float64
 	// seeds holds one mixing seed per compound hash (table).
@@ -46,13 +50,14 @@ func NewFamily(dim, m, l int, w float64, rng *rand.Rand) (*Family, error) {
 		M:     m,
 		L:     l,
 		W:     w,
-		a:     make([]float32, l*m*dim),
 		b:     make([]float64, l*m),
 		seeds: make([]uint64, l),
 	}
-	for i := range f.a {
-		f.a[i] = float32(rng.NormFloat64())
+	rows := make([]float32, l*m*dim)
+	for i := range rows {
+		rows[i] = float32(rng.NormFloat64())
 	}
+	f.a = vecmath.PackPanels(rows, l*m, dim)
 	for i := range f.b {
 		f.b[i] = rng.Float64() * w
 	}
@@ -65,18 +70,24 @@ func NewFamily(dim, m, l int, w float64, rng *rand.Rand) (*Family, error) {
 // NumProjections returns L*M, the size of a projection buffer.
 func (f *Family) NumProjections() int { return f.L * f.M }
 
-// Project fills out (length L*M) with the raw dot products a_ij·v. The same
+// ProjectInto fills dst (length L*M) with the raw dot products a_ij·q in a
+// single blocked GEMV over the panel-packed projection matrix — the batched
+// replacement for L·M independent Dot calls on the query hot path. The same
 // buffer quantizes into hash values for any radius via HashesAt.
+func (f *Family) ProjectInto(dst []float64, q []float32) {
+	if len(q) != f.Dim {
+		panic(fmt.Sprintf("lsh: ProjectInto dimension mismatch: vector %d, family %d", len(q), f.Dim))
+	}
+	if len(dst) != f.NumProjections() {
+		panic(fmt.Sprintf("lsh: ProjectInto buffer length %d, want %d", len(dst), f.NumProjections()))
+	}
+	f.a.MatVec(dst, q)
+}
+
+// Project is ProjectInto with the pre-PR-4 argument order, kept for the
+// builders and tests that grew around it.
 func (f *Family) Project(v []float32, out []float64) {
-	if len(v) != f.Dim {
-		panic(fmt.Sprintf("lsh: Project dimension mismatch: vector %d, family %d", len(v), f.Dim))
-	}
-	if len(out) != f.NumProjections() {
-		panic(fmt.Sprintf("lsh: Project buffer length %d, want %d", len(out), f.NumProjections()))
-	}
-	for i := 0; i < f.L*f.M; i++ {
-		out[i] = vecmath.Dot(f.a[i*f.Dim:(i+1)*f.Dim], v)
-	}
+	f.ProjectInto(out, v)
 }
 
 // HashesAt quantizes a projection buffer at search radius r and mixes each
@@ -112,7 +123,7 @@ func (f *Family) Hash32(v []float32, l int, r float64) uint32 {
 	base := l * f.M
 	inv := 1 / r
 	for j := 0; j < f.M; j++ {
-		p := vecmath.Dot(f.a[(base+j)*f.Dim:(base+j+1)*f.Dim], v)
+		p := f.a.RowDot(base+j, v)
 		floor := int64(math.Floor((p*inv + f.b[base+j]) / f.W))
 		h = mix64(h, uint64(floor))
 	}

@@ -1,8 +1,10 @@
 package memindex
 
 import (
+	"context"
 	"testing"
 
+	"e2lshos/internal/ann"
 	"e2lshos/internal/dataset"
 	"e2lshos/internal/lsh"
 )
@@ -59,7 +61,7 @@ func BenchmarkBuildIndependentProjections(b *testing.B) {
 	}
 }
 
-func lshParamsFor(b *testing.B, d *dataset.Dataset) lsh.Params {
+func lshParamsFor(b testing.TB, d *dataset.Dataset) lsh.Params {
 	b.Helper()
 	cfg := lsh.DefaultConfig()
 	cfg.Rho = 0.25
@@ -88,5 +90,35 @@ func BenchmarkSearchTop100(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Search(d.Queries[i%d.NQ()], 100)
+	}
+}
+
+// BenchmarkSearchIntoTop1/Top100 time the zero-allocation steady state: the
+// searcher-owned arenas plus a caller-owned result buffer (what BatchSearch
+// workers run).
+func BenchmarkSearchIntoTop1(b *testing.B) {
+	benchSearchInto(b, 1)
+}
+
+func BenchmarkSearchIntoTop100(b *testing.B) {
+	benchSearchInto(b, 100)
+}
+
+func benchSearchInto(b *testing.B, k int) {
+	d, ix := benchIndex(b, true)
+	s := ix.NewSearcher()
+	ctx := context.Background()
+	dst := make([]ann.Neighbor, 0, k)
+	for _, q := range d.Queries {
+		if _, _, err := s.SearchInto(ctx, q, k, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.SearchInto(ctx, d.Queries[i%d.NQ()], k, dst); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,153 @@
+package memindex
+
+import (
+	"context"
+	"testing"
+
+	"e2lshos/internal/ann"
+	"e2lshos/internal/dataset"
+	"e2lshos/internal/vecmath"
+)
+
+// referenceSearch replicates the searcher's radius ladder with full,
+// unpruned verification (every candidate's distance computed to the end,
+// true-distance top-k, true-distance termination): the pre-PR-4 behavior the
+// pruned hot path must agree with exactly.
+func referenceSearch(ix *Index, q []float32, k int) ann.Result {
+	p := ix.params
+	proj := make([]float64, p.L*p.M)
+	hashes := make([]uint32, p.L)
+	seen := make(map[uint32]bool)
+	topk := ann.NewTopK(k)
+	if ix.opts.ShareProjections {
+		ix.families[0].Project(q, proj)
+	}
+	for rIdx, radius := range p.Radii {
+		fam := ix.FamilyFor(rIdx)
+		if !ix.opts.ShareProjections {
+			fam.Project(q, proj)
+		}
+		fam.HashesAt(proj, radius, hashes)
+		checked := 0
+	tables:
+		for l := 0; l < p.L; l++ {
+			for _, id := range ix.tables[rIdx][l].bucket(hashes[l]) {
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				topk.Push(id, vecmath.Dist(ix.data[id], q))
+				checked++
+				if checked >= p.S {
+					break tables
+				}
+			}
+		}
+		if topk.Full() && topk.CountWithin(p.C*radius) >= k {
+			break
+		}
+	}
+	return topk.Result()
+}
+
+// TestPrunedVerificationMatchesFull is the exactness contract of the pruned
+// hot path: on a deterministic seed, pruned + squared-distance search must
+// return exactly the neighbors (IDs and bitwise distances) of the full
+// verification reference.
+func TestPrunedVerificationMatchesFull(t *testing.T) {
+	d, ix := testIndexForHotPath(t)
+	s := ix.NewSearcher()
+	for _, k := range []int{1, 10} {
+		for qi, q := range d.Queries {
+			got, _ := s.Search(q, k)
+			want := referenceSearch(ix, q, k)
+			if len(got.Neighbors) != len(want.Neighbors) {
+				t.Fatalf("k=%d q%d: pruned returned %d neighbors, full %d",
+					k, qi, len(got.Neighbors), len(want.Neighbors))
+			}
+			for i := range got.Neighbors {
+				g, w := got.Neighbors[i], want.Neighbors[i]
+				if g.ID != w.ID || g.Dist != w.Dist {
+					t.Fatalf("k=%d q%d rank %d: pruned (%d, %v) != full (%d, %v)",
+						k, qi, i, g.ID, g.Dist, w.ID, w.Dist)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchIntoMatchesSearchContext pins the two extraction paths to each
+// other and verifies the dst contract (results live in the caller's buffer).
+func TestSearchIntoMatchesSearchContext(t *testing.T) {
+	d, ix := testIndexForHotPath(t)
+	s := ix.NewSearcher()
+	const k = 5
+	dst := make([]ann.Neighbor, 0, k)
+	for qi, q := range d.Queries {
+		want, wantSt, err := s.SearchContext(context.Background(), q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotSt, err := s.SearchInto(context.Background(), q, k, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotSt != wantSt {
+			t.Fatalf("q%d: stats diverged: %+v vs %+v", qi, gotSt, wantSt)
+		}
+		if len(got.Neighbors) != len(want.Neighbors) {
+			t.Fatalf("q%d: %d vs %d neighbors", qi, len(got.Neighbors), len(want.Neighbors))
+		}
+		for i := range got.Neighbors {
+			if got.Neighbors[i] != want.Neighbors[i] {
+				t.Fatalf("q%d rank %d: %+v vs %+v", qi, i, got.Neighbors[i], want.Neighbors[i])
+			}
+		}
+		if len(got.Neighbors) > 0 && &got.Neighbors[0] != &dst[:1][0] {
+			t.Fatalf("q%d: SearchInto did not use the caller's buffer", qi)
+		}
+	}
+}
+
+// TestSearchIntoZeroAllocs is the PR-4 steady-state contract: after warmup a
+// searcher answers queries with zero allocations per query.
+func TestSearchIntoZeroAllocs(t *testing.T) {
+	d, ix := testIndexForHotPath(t)
+	s := ix.NewSearcher()
+	const k = 10
+	ctx := context.Background()
+	dst := make([]ann.Neighbor, 0, k)
+	for _, q := range d.Queries { // warmup: size the heap and visited epochs
+		if _, _, err := s.SearchInto(ctx, q, k, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qi := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		q := d.Queries[qi%d.NQ()]
+		qi++
+		if _, _, err := s.SearchInto(ctx, q, k, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SearchInto allocates %v allocs/query, want 0", allocs)
+	}
+}
+
+func testIndexForHotPath(t *testing.T) (*dataset.Dataset, *Index) {
+	t.Helper()
+	d, err := dataset.Generate(dataset.Spec{
+		Name: "hotpath", N: 4000, Queries: 25, Dim: 24,
+		Clusters: 8, Spread: 0.08, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lshParamsFor(t, d)
+	ix, err := Build(d.Vectors, p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, ix
+}

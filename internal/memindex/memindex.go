@@ -278,14 +278,18 @@ type QueryStats struct {
 // are built on this hook.
 type BucketVisitFn func(size, read int)
 
-// Searcher holds the per-goroutine scratch state for querying an Index.
-// A Searcher is not safe for concurrent use; create one per worker.
+// Searcher holds the per-goroutine scratch state for querying an Index:
+// projection buffer, hash buffer, the epoch-stamped visited array, and the
+// reused top-k accumulator. After its first query a Searcher's steady state
+// allocates nothing per query on the SearchInto path. A Searcher is not
+// safe for concurrent use; create one per worker.
 type Searcher struct {
 	ix      *Index
 	proj    []float64
 	hashes  []uint32
 	seen    []uint32
 	epoch   uint32
+	topk    *ann.TopK
 	onVisit BucketVisitFn
 	// multiProbe > 0 enables Multi-Probe LSH (§8 extension): each table is
 	// probed at its base bucket plus this many perturbed buckets.
@@ -338,6 +342,22 @@ func (s *Searcher) Search(q []float32, k int) (ann.Result, QueryStats) {
 // rounds, so a long ladder walk aborts cleanly. On cancellation it returns
 // the neighbors accumulated so far together with ctx.Err().
 func (s *Searcher) SearchContext(ctx context.Context, q []float32, k int) (ann.Result, QueryStats, error) {
+	st, err := s.search(ctx, q, k)
+	return s.topk.ResultSq(), st, err
+}
+
+// SearchInto is SearchContext with caller-owned result backing: the
+// returned neighbors are appended into dst[:0] (growing it only if its
+// capacity is below the neighbors found), so a worker looping over queries
+// with a reused dst allocates nothing per query after warmup.
+func (s *Searcher) SearchInto(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (ann.Result, QueryStats, error) {
+	st, err := s.search(ctx, q, k)
+	return ann.Result{Neighbors: s.topk.AppendResultSq(dst[:0])}, st, err
+}
+
+// search runs the radius ladder, leaving the winners (keyed by squared
+// distance) in s.topk.
+func (s *Searcher) search(ctx context.Context, q []float32, k int) (QueryStats, error) {
 	p := s.ix.params
 	var st QueryStats
 	s.epoch++
@@ -345,18 +365,23 @@ func (s *Searcher) SearchContext(ctx context.Context, q []float32, k int) (ann.R
 		clear(s.seen)
 		s.epoch = 1
 	}
-	topk := ann.NewTopK(k)
+	if s.topk == nil {
+		s.topk = ann.NewTopK(k)
+	} else {
+		s.topk.Reset(k)
+	}
+	topk := s.topk
 	if s.ix.opts.ShareProjections {
-		s.ix.families[0].Project(q, s.proj)
+		s.ix.families[0].ProjectInto(s.proj, q)
 	}
 	for rIdx, radius := range p.Radii {
 		if err := ctx.Err(); err != nil {
-			return topk.Result(), st, err
+			return st, err
 		}
 		st.Radii++
 		fam := s.ix.FamilyFor(rIdx)
 		if !s.ix.opts.ShareProjections {
-			fam.Project(q, s.proj)
+			fam.ProjectInto(s.proj, q)
 		}
 		if s.multiProbe > 0 {
 			// Derive base hashes from explicit floors so perturbed probes
@@ -390,15 +415,21 @@ func (s *Searcher) SearchContext(ctx context.Context, q []float32, k int) (ann.R
 				}
 			}
 		}
-		if topk.Full() && topk.CountWithin(p.C*radius) >= k {
-			break
+		if topk.Full() {
+			cr := p.C * radius
+			if topk.CountWithin(cr*cr) >= k {
+				break
+			}
 		}
 	}
-	return topk.Result(), st, nil
+	return st, nil
 }
 
 // scanBucket probes one bucket and verifies its candidates, reporting
-// whether the per-radius budget was exhausted.
+// whether the per-radius budget was exhausted. Verification is pruned: the
+// partial squared distance abandons as soon as it exceeds the current k-th
+// squared distance, which is exact — an abandoned candidate can never enter
+// the top-k (see vecmath.SqDistBounded).
 func (s *Searcher) scanBucket(rIdx, l int, h uint32, q []float32, topk *ann.TopK, st *QueryStats, checked *int) bool {
 	p := s.ix.params
 	st.Probes++
@@ -417,8 +448,9 @@ func (s *Searcher) scanBucket(rIdx, l int, h uint32, q []float32, topk *ann.TopK
 			continue
 		}
 		s.seen[id] = s.epoch
-		d := vecmath.Dist(s.ix.data[id], q)
-		topk.Push(id, d)
+		if sq, ok := vecmath.SqDistBounded(s.ix.data[id], q, topk.Worst()); ok {
+			topk.Push(id, sq)
+		}
 		st.Checked++
 		*checked++
 		if *checked >= p.S {

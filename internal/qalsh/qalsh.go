@@ -125,8 +125,9 @@ type Index struct {
 	dim    int
 	data   [][]float32
 	radii  []float64
-	// a holds the m projection vectors, flattened.
-	a     []float32
+	// a holds the m×dim projection matrix in vecmath's row-panel GEMV
+	// layout; one MatVec computes a vector's m line projections.
+	a     *vecmath.Panels
 	trees []*bptree.Tree
 }
 
@@ -155,26 +156,46 @@ func Build(data [][]float32, cfg Config, rmin, rmax float64) (*Index, error) {
 		radii:  lsh.RadiusSchedule(cfg.C, rmin, rmax, cfg.MaxRadii),
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	ix.a = make([]float32, params.M*dim)
-	for i := range ix.a {
-		ix.a[i] = float32(rng.NormFloat64())
+	rows := make([]float32, params.M*dim)
+	for i := range rows {
+		rows[i] = float32(rng.NormFloat64())
 	}
-	keys := make([]float64, len(data))
+	ix.a = vecmath.PackPanels(rows, params.M, dim)
+	for i, v := range data {
+		if len(v) != dim {
+			return nil, fmt.Errorf("qalsh: object %d has dim %d, want %d", i, len(v), dim)
+		}
+	}
+	// Project panel-wise: one MatVec per object over PanelRows lines at a
+	// time, bulk-loading those trees before moving on. Batching keeps the
+	// GEMV benefit while bounding peak key memory to PanelRows columns
+	// instead of all m at once.
+	const panel = vecmath.PanelRows
+	keys := make([][]float64, 0, panel)
 	vals := make([]uint32, len(data))
-	for j := 0; j < params.M; j++ {
-		proj := ix.a[j*dim : (j+1)*dim]
+	for i := range vals {
+		vals[i] = uint32(i)
+	}
+	proj := make([]float64, panel)
+	for j0 := 0; j0 < params.M; j0 += panel {
+		j1 := min(j0+panel, params.M)
+		sub := vecmath.PackPanels(rows[j0*dim:j1*dim], j1-j0, dim)
+		for len(keys) < j1-j0 {
+			keys = append(keys, make([]float64, len(data)))
+		}
 		for i, v := range data {
-			if len(v) != dim {
-				return nil, fmt.Errorf("qalsh: object %d has dim %d, want %d", i, len(v), dim)
+			sub.MatVec(proj[:j1-j0], v)
+			for j := 0; j < j1-j0; j++ {
+				keys[j][i] = proj[j]
 			}
-			keys[i] = vecmath.Dot(proj, v)
-			vals[i] = uint32(i)
 		}
-		tree, err := bptree.BulkLoad(keys, vals, bptree.Options{Order: cfg.Order})
-		if err != nil {
-			return nil, err
+		for j := j0; j < j1; j++ {
+			tree, err := bptree.BulkLoad(keys[j-j0], vals, bptree.Options{Order: cfg.Order})
+			if err != nil {
+				return nil, err
+			}
+			ix.trees = append(ix.trees, tree)
 		}
-		ix.trees = append(ix.trees, tree)
 	}
 	return ix, nil
 }
@@ -205,14 +226,22 @@ type Stats struct {
 	Checked int
 }
 
-// Searcher holds per-goroutine scratch state for querying. Not safe for
-// concurrent use; create one per worker.
+// Searcher holds per-goroutine scratch state for querying: collision
+// counters, epoch stamps, the projection buffer, the per-line B+-tree
+// cursor arenas and the reused top-k accumulator, so the SearchInto path
+// allocates nothing per query after warmup. Not safe for concurrent use;
+// create one per worker.
 type Searcher struct {
 	ix     *Index
 	counts []int32
 	epochs []uint32
 	epoch  uint32
 	qProj  []float64
+	topk   *ann.TopK
+	asc    []bptree.Cursor
+	desc   []bptree.Cursor
+	ascOK  []bool
+	descOK []bool
 }
 
 // NewSearcher returns a fresh searcher over the index.
@@ -222,6 +251,10 @@ func (ix *Index) NewSearcher() *Searcher {
 		counts: make([]int32, len(ix.data)),
 		epochs: make([]uint32, len(ix.data)),
 		qProj:  make([]float64, ix.params.M),
+		asc:    make([]bptree.Cursor, ix.params.M),
+		desc:   make([]bptree.Cursor, ix.params.M),
+		ascOK:  make([]bool, ix.params.M),
+		descOK: make([]bool, ix.params.M),
 	}
 }
 
@@ -235,6 +268,20 @@ func (s *Searcher) Search(q []float32, k int) (ann.Result, Stats) {
 // rehashing rounds, so a long ladder walk aborts cleanly. On cancellation it
 // returns the neighbors accumulated so far together with ctx.Err().
 func (s *Searcher) SearchContext(ctx context.Context, q []float32, k int) (ann.Result, Stats, error) {
+	st, err := s.search(ctx, q, k)
+	return s.topk.ResultSq(), st, err
+}
+
+// SearchInto is SearchContext with caller-owned result backing: the
+// returned neighbors are appended into dst[:0].
+func (s *Searcher) SearchInto(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (ann.Result, Stats, error) {
+	st, err := s.search(ctx, q, k)
+	return ann.Result{Neighbors: s.topk.AppendResultSq(dst[:0])}, st, err
+}
+
+// search runs the virtual rehashing ladder, leaving the winners (keyed by
+// squared distance) in s.topk.
+func (s *Searcher) search(ctx context.Context, q []float32, k int) (Stats, error) {
 	ix := s.ix
 	if len(q) != ix.dim {
 		panic(fmt.Sprintf("qalsh: query dim %d, index dim %d", len(q), ix.dim))
@@ -245,22 +292,24 @@ func (s *Searcher) SearchContext(ctx context.Context, q []float32, k int) (ann.R
 		clear(s.epochs)
 		s.epoch = 1
 	}
-	for j := 0; j < ix.params.M; j++ {
-		s.qProj[j] = vecmath.Dot(ix.a[j*ix.dim:(j+1)*ix.dim], q)
-	}
+	ix.a.MatVec(s.qProj, q)
 	// One ascending and one descending cursor per hash line, primed once and
-	// consumed monotonically as windows widen: virtual rehashing.
-	asc := make([]*bptree.Cursor, ix.params.M)
-	desc := make([]*bptree.Cursor, ix.params.M)
-	ascOK := make([]bool, ix.params.M)
-	descOK := make([]bool, ix.params.M)
+	// consumed monotonically as windows widen: virtual rehashing. The
+	// cursors live in searcher-owned arenas and are reseeded in place.
+	asc, desc := s.asc, s.desc
+	ascOK, descOK := s.ascOK, s.descOK
 	for j := range asc {
-		asc[j] = ix.trees[j].SeekAscend(s.qProj[j])
-		desc[j] = ix.trees[j].SeekDescend(s.qProj[j])
+		ix.trees[j].SeekAscendInto(&asc[j], s.qProj[j])
+		ix.trees[j].SeekDescendInto(&desc[j], s.qProj[j])
 		ascOK[j] = asc[j].Next()
 		descOK[j] = desc[j].Next()
 	}
-	topk := ann.NewTopK(k)
+	if s.topk == nil {
+		s.topk = ann.NewTopK(k)
+	} else {
+		s.topk.Reset(k)
+	}
+	topk := s.topk
 	budget := ix.params.Beta
 	if budget < k {
 		budget = k
@@ -269,7 +318,7 @@ func (s *Searcher) SearchContext(ctx context.Context, q []float32, k int) (ann.R
 
 	for _, radius := range ix.radii {
 		if err := ctx.Err(); err != nil {
-			return topk.Result(), st, err
+			return st, err
 		}
 		st.Radii++
 		half := ix.cfg.W * radius / 2
@@ -302,11 +351,14 @@ func (s *Searcher) SearchContext(ctx context.Context, q []float32, k int) (ann.R
 		if st.Checked >= budget {
 			break
 		}
-		if topk.Full() && topk.CountWithin(ix.cfg.C*radius) >= k {
-			break
+		if topk.Full() {
+			cr := ix.cfg.C * radius
+			if topk.CountWithin(cr*cr) >= k {
+				break
+			}
 		}
 	}
-	return topk.Result(), st, nil
+	return st, nil
 }
 
 // bump increments the collision count of id and reports whether it just
@@ -320,8 +372,12 @@ func (s *Searcher) bump(id uint32, threshold int32) bool {
 	return s.counts[id] == threshold
 }
 
+// verify checks one candidate's true distance with partial-distance pruning
+// against the current k-th squared distance (exact; see
+// vecmath.SqDistBounded).
 func (s *Searcher) verify(q []float32, id uint32, topk *ann.TopK, st *Stats) {
-	d := vecmath.Dist(s.ix.data[id], q)
-	topk.Push(id, d)
+	if sq, ok := vecmath.SqDistBounded(s.ix.data[id], q, topk.Worst()); ok {
+		topk.Push(id, sq)
+	}
 	st.Checked++
 }

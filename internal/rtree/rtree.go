@@ -9,7 +9,6 @@
 package rtree
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -215,19 +214,30 @@ type Iterator struct {
 
 // NewIterator starts an incremental NN scan from q.
 func (t *Tree) NewIterator(q []float32) *Iterator {
+	it := &Iterator{}
+	t.ResetIterator(it, q)
+	return it
+}
+
+// ResetIterator re-seeds it for a fresh scan from q, reusing the frontier
+// backing array: NewIterator without the per-query allocation, for searchers
+// that own their iterator.
+func (t *Tree) ResetIterator(it *Iterator, q []float32) {
 	if len(q) != t.dim {
 		panic(fmt.Sprintf("rtree: query dim %d, tree dim %d", len(q), t.dim))
 	}
-	it := &Iterator{t: t, q: q}
-	heap.Push(&it.pq, frontierItem{distSq: minDistSq(q, t.nodes[t.root].box, t.dim), id: t.root, isNode: true})
-	return it
+	it.t = t
+	it.q = q
+	it.pq = it.pq[:0]
+	it.stats = Stats{}
+	it.pq.push(frontierItem{distSq: minDistSq(q, t.nodes[t.root].box, t.dim), id: t.root, isNode: true})
 }
 
 // Next returns the next nearest point ID and its (true, non-squared) distance
 // in the tree's space. ok is false when the scan is exhausted.
 func (it *Iterator) Next() (id int32, dist float64, ok bool) {
 	for it.pq.Len() > 0 {
-		item := heap.Pop(&it.pq).(frontierItem)
+		item := it.pq.pop()
 		if !item.isNode {
 			return item.id, math.Sqrt(item.distSq), true
 		}
@@ -237,13 +247,13 @@ func (it *Iterator) Next() (id int32, dist float64, ok bool) {
 			for _, pid := range n.children {
 				it.stats.EntriesScanned++
 				d := sqDist32(it.q, it.t.points[pid])
-				heap.Push(&it.pq, frontierItem{distSq: d, id: pid})
+				it.pq.push(frontierItem{distSq: d, id: pid})
 			}
 		} else {
 			for _, cid := range n.children {
 				it.stats.EntriesScanned++
 				d := minDistSq(it.q, it.t.nodes[cid].box, it.t.dim)
-				heap.Push(&it.pq, frontierItem{distSq: d, id: cid, isNode: true})
+				it.pq.push(frontierItem{distSq: d, id: cid, isNode: true})
 			}
 		}
 	}
@@ -269,11 +279,13 @@ type frontierItem struct {
 	isNode bool
 }
 
-// frontier is a min-heap on distSq with deterministic tie-breaking.
+// frontier is a min-heap on distSq with deterministic tie-breaking. It is
+// typed (no container/heap interface boxing), so pushing a frontier item on
+// the scan hot path allocates nothing beyond the backing array's growth.
 type frontier []frontierItem
 
 func (f frontier) Len() int { return len(f) }
-func (f frontier) Less(i, j int) bool {
+func (f frontier) less(i, j int) bool {
 	if f[i].distSq != f[j].distSq {
 		return f[i].distSq < f[j].distSq
 	}
@@ -282,14 +294,45 @@ func (f frontier) Less(i, j int) bool {
 	}
 	return f[i].id < f[j].id
 }
-func (f frontier) Swap(i, j int) { f[i], f[j] = f[j], f[i] }
-func (f *frontier) Push(x any)   { *f = append(*f, x.(frontierItem)) }
-func (f *frontier) Pop() any {
-	old := *f
-	n := len(old)
-	item := old[n-1]
-	*f = old[:n-1]
-	return item
+
+func (f *frontier) push(item frontierItem) {
+	*f = append(*f, item)
+	h := *f
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (f *frontier) pop() frontierItem {
+	h := *f
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	*f = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
 }
 
 // Validate checks the structural invariants: every child box is contained in

@@ -69,8 +69,10 @@ type Index struct {
 	// proj holds the projected points, one slab row per object.
 	proj     [][]float32
 	projSlab []float32
-	// a holds the ProjDim projection vectors, flattened.
-	a    []float32
+	// a holds the ProjDim×dim projection matrix in vecmath's row-panel
+	// GEMV layout; one MatVec projects a vector into all ProjDim
+	// coordinates (the SRS scan kernel's batched form).
+	a    *vecmath.Panels
 	tree *rtree.Tree
 }
 
@@ -88,18 +90,20 @@ func Build(data [][]float32, cfg Config) (*Index, error) {
 	}
 	ix := &Index{cfg: cfg, dim: dim, data: data}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	ix.a = make([]float32, cfg.ProjDim*dim)
-	for i := range ix.a {
-		ix.a[i] = float32(rng.NormFloat64())
+	rows := make([]float32, cfg.ProjDim*dim)
+	for i := range rows {
+		rows[i] = float32(rng.NormFloat64())
 	}
+	ix.a = vecmath.PackPanels(rows, cfg.ProjDim, dim)
 	ix.projSlab = make([]float32, len(data)*cfg.ProjDim)
 	ix.proj = make([][]float32, len(data))
+	scratch := make([]float64, cfg.ProjDim)
 	for i, v := range data {
 		if len(v) != dim {
 			return nil, fmt.Errorf("srs: object %d has dim %d, want %d", i, len(v), dim)
 		}
 		row := ix.projSlab[i*cfg.ProjDim : (i+1)*cfg.ProjDim]
-		ix.project(v, row)
+		ix.project(v, scratch, row)
 		ix.proj[i] = row
 	}
 	tree, err := rtree.Build(ix.proj, rtree.Options{Fanout: cfg.Fanout})
@@ -110,10 +114,12 @@ func Build(data [][]float32, cfg Config) (*Index, error) {
 	return ix, nil
 }
 
-// project fills out with the ProjDim Gaussian projections of v.
-func (ix *Index) project(v []float32, out []float32) {
-	for j := 0; j < ix.cfg.ProjDim; j++ {
-		out[j] = float32(vecmath.Dot(ix.a[j*ix.dim:(j+1)*ix.dim], v))
+// project fills out with the ProjDim Gaussian projections of v, computed as
+// one MatVec through scratch (length ProjDim).
+func (ix *Index) project(v []float32, scratch []float64, out []float32) {
+	ix.a.MatVec(scratch, v)
+	for j, p := range scratch {
+		out[j] = float32(p)
 	}
 }
 
@@ -153,27 +159,77 @@ func (ix *Index) Search(q []float32, k, maxCheck int) (ann.Result, Stats) {
 }
 
 // SearchContext is Search with cancellation and an explicit early-stop
-// switch: the paper's §3.3 methodology drives accuracy purely through the
+// switch; it builds a throwaway Searcher, so callers issuing many queries
+// should hold one Searcher per worker instead.
+func (ix *Index) SearchContext(ctx context.Context, q []float32, k, maxCheck int, earlyStop bool) (ann.Result, Stats, error) {
+	return ix.NewSearcher().SearchContext(ctx, q, k, maxCheck, earlyStop)
+}
+
+// Searcher holds per-goroutine scratch state for querying: the projection
+// buffers, the R-tree iterator (typed frontier heap included) and the
+// reused top-k accumulator, so the SearchInto path's steady state allocates
+// nothing per query. Not safe for concurrent use; create one per worker.
+type Searcher struct {
+	ix      *Index
+	qProj   []float32
+	scratch []float64
+	it      rtree.Iterator
+	topk    *ann.TopK
+}
+
+// NewSearcher returns a fresh searcher over the index.
+func (ix *Index) NewSearcher() *Searcher {
+	return &Searcher{
+		ix:      ix,
+		qProj:   make([]float32, ix.cfg.ProjDim),
+		scratch: make([]float64, ix.cfg.ProjDim),
+	}
+}
+
+// SearchContext answers one query; see Index.SearchContext for the
+// methodology switches. The paper's §3.3 drives accuracy purely through the
 // T' budget with the chi-square test off, so callers owning the budget pass
 // earlyStop=false. SRS has no radius ladder, so ctx is polled every few
 // dozen verifications during the projected scan. On cancellation it returns
 // the neighbors accumulated so far with ctx.Err().
-func (ix *Index) SearchContext(ctx context.Context, q []float32, k, maxCheck int, earlyStop bool) (ann.Result, Stats, error) {
+func (s *Searcher) SearchContext(ctx context.Context, q []float32, k, maxCheck int, earlyStop bool) (ann.Result, Stats, error) {
+	st, err := s.search(ctx, q, k, maxCheck, earlyStop)
+	return s.topk.ResultSq(), st, err
+}
+
+// SearchInto is SearchContext with caller-owned result backing: the
+// returned neighbors are appended into dst[:0].
+func (s *Searcher) SearchInto(ctx context.Context, q []float32, k, maxCheck int, earlyStop bool, dst []ann.Neighbor) (ann.Result, Stats, error) {
+	st, err := s.search(ctx, q, k, maxCheck, earlyStop)
+	return ann.Result{Neighbors: s.topk.AppendResultSq(dst[:0])}, st, err
+}
+
+// search runs the projected scan, leaving the winners (keyed by squared
+// distance) in s.topk. Verification is pruned against the current k-th
+// squared distance (exact; see vecmath.SqDistBounded); the early-stop test
+// recovers the true k-th distance with one square root per check.
+func (s *Searcher) search(ctx context.Context, q []float32, k, maxCheck int, earlyStop bool) (Stats, error) {
+	ix := s.ix
 	if len(q) != ix.dim {
 		panic(fmt.Sprintf("srs: query dim %d, index dim %d", len(q), ix.dim))
 	}
 	var st Stats
-	qProj := make([]float32, ix.cfg.ProjDim)
-	ix.project(q, qProj)
-	it := ix.tree.NewIterator(qProj)
-	topk := ann.NewTopK(k)
+	ix.project(q, s.scratch, s.qProj)
+	ix.tree.ResetIterator(&s.it, s.qProj)
+	it := &s.it
+	if s.topk == nil {
+		s.topk = ann.NewTopK(k)
+	} else {
+		s.topk.Reset(k)
+	}
+	topk := s.topk
 	for {
 		if st.Checked&63 == 0 {
 			if err := ctx.Err(); err != nil {
 				ts := it.Stats()
 				st.NodesVisited = ts.NodesVisited
 				st.EntriesScanned = ts.EntriesScanned
-				return topk.Result(), st, err
+				return st, err
 			}
 		}
 		if maxCheck > 0 && st.Checked >= maxCheck {
@@ -183,10 +239,11 @@ func (ix *Index) SearchContext(ctx context.Context, q []float32, k, maxCheck int
 		if !ok {
 			break
 		}
-		d := vecmath.Dist(ix.data[id], q)
-		topk.Push(uint32(id), d)
+		if sq, ok := vecmath.SqDistBounded(ix.data[id], q, topk.Worst()); ok {
+			topk.Push(uint32(id), sq)
+		}
 		st.Checked++
-		if earlyStop && topk.Full() && ix.earlyStop(projDist, topk.KthDist()) {
+		if earlyStop && topk.Full() && ix.earlyStop(projDist, math.Sqrt(topk.KthDist())) {
 			st.EarlyStopped = true
 			break
 		}
@@ -194,7 +251,7 @@ func (ix *Index) SearchContext(ctx context.Context, q []float32, k, maxCheck int
 	ts := it.Stats()
 	st.NodesVisited = ts.NodesVisited
 	st.EntriesScanned = ts.EntriesScanned
-	return topk.Result(), st, nil
+	return st, nil
 }
 
 // earlyStop implements the SRS stopping test: with the projected frontier at

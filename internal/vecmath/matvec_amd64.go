@@ -1,0 +1,19 @@
+//go:build amd64 && !purego
+
+package vecmath
+
+// matvecPanel accumulates one panel's full 4-column blocks into acc, laid
+// out acc[lane*PanelRows+row]. cols is a positive multiple of 4 and a holds
+// the panel's PanelRows·dim packed entries.
+//
+// The SSE2 kernel keeps the panel's sixteen scalar accumulators in eight
+// xmm registers (two rows per register, one register pair per lane), so the
+// packed MULPD/ADDPD perform exactly the per-lane IEEE operations of the
+// scalar kernel in the same order — results are bitwise identical. SSE2 is
+// the amd64 baseline, so no feature detection is needed.
+func matvecPanel(a []float64, v []float32, cols int, acc *[4 * PanelRows]float64) {
+	matvecKernelSSE2(&a[0], &v[0], cols, acc)
+}
+
+//go:noescape
+func matvecKernelSSE2(a *float64, v *float32, cols int, acc *[16]float64)

@@ -1,0 +1,99 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func matvecKernelSSE2(a *float64, v *float32, cols int, acc *[16]float64)
+//
+// Row-panel GEMV inner loop over full 4-column blocks. a points at one
+// panel (stride-4 float64 layout: column c's four row entries at a[4c..4c+3]),
+// v at the float32 query vector, cols is a multiple of 4.
+//
+// Accumulator register map (acc[lane*4+row]):
+//
+//	X0 = lane0 rows {0,1}   X1 = lane0 rows {2,3}
+//	X2 = lane1 rows {0,1}   X3 = lane1 rows {2,3}
+//	X4 = lane2 rows {0,1}   X5 = lane2 rows {2,3}
+//	X6 = lane3 rows {0,1}   X7 = lane3 rows {2,3}
+//
+// Every MULPD/ADDPD lane is one scalar accumulator chain, so the kernel's
+// IEEE operation sequence per accumulator equals the scalar fallback's.
+TEXT ·matvecKernelSSE2(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), DI
+	MOVQ v+8(FP), SI
+	MOVQ cols+16(FP), CX
+	MOVQ acc+24(FP), DX
+
+	MOVUPD 0(DX), X0
+	MOVUPD 16(DX), X1
+	MOVUPD 32(DX), X2
+	MOVUPD 48(DX), X3
+	MOVUPD 64(DX), X4
+	MOVUPD 80(DX), X5
+	MOVUPD 96(DX), X6
+	MOVUPD 112(DX), X7
+
+loop:
+	CMPQ CX, $4
+	JL   done
+
+	// Column 0 of the block -> lane 0. The XORPS zero idiom before each
+	// convert breaks CVTSS2SD's merge dependency on X8's previous value,
+	// which would otherwise serialize the whole loop on convert latency.
+	XORPS    X8, X8
+	CVTSS2SD (SI), X8
+	UNPCKLPD X8, X8
+	MOVUPD   0(DI), X9
+	MOVUPD   16(DI), X10
+	MULPD    X8, X9
+	MULPD    X8, X10
+	ADDPD    X9, X0
+	ADDPD    X10, X1
+
+	// Column 1 -> lane 1.
+	XORPS    X8, X8
+	CVTSS2SD 4(SI), X8
+	UNPCKLPD X8, X8
+	MOVUPD   32(DI), X9
+	MOVUPD   48(DI), X10
+	MULPD    X8, X9
+	MULPD    X8, X10
+	ADDPD    X9, X2
+	ADDPD    X10, X3
+
+	// Column 2 -> lane 2.
+	XORPS    X8, X8
+	CVTSS2SD 8(SI), X8
+	UNPCKLPD X8, X8
+	MOVUPD   64(DI), X9
+	MOVUPD   80(DI), X10
+	MULPD    X8, X9
+	MULPD    X8, X10
+	ADDPD    X9, X4
+	ADDPD    X10, X5
+
+	// Column 3 -> lane 3.
+	XORPS    X8, X8
+	CVTSS2SD 12(SI), X8
+	UNPCKLPD X8, X8
+	MOVUPD   96(DI), X9
+	MOVUPD   112(DI), X10
+	MULPD    X8, X9
+	MULPD    X8, X10
+	ADDPD    X9, X6
+	ADDPD    X10, X7
+
+	ADDQ $128, DI
+	ADDQ $16, SI
+	SUBQ $4, CX
+	JMP  loop
+
+done:
+	MOVUPD X0, 0(DX)
+	MOVUPD X1, 16(DX)
+	MOVUPD X2, 32(DX)
+	MOVUPD X3, 48(DX)
+	MOVUPD X4, 64(DX)
+	MOVUPD X5, 80(DX)
+	MOVUPD X6, 96(DX)
+	MOVUPD X7, 112(DX)
+	RET

@@ -1,13 +1,16 @@
 // Package vecmath provides the numeric kernels shared by every index in the
 // repository: float32 vector operations (dot product, squared Euclidean
-// distance) and the special functions needed by LSH parameter derivation and
-// the SRS early-termination test (normal CDF, incomplete gamma, chi-square
-// CDF).
+// distance, bounded squared distance for pruned verification), the
+// panel-packed batched matrix-vector kernel behind every engine's query
+// projections (MatVec), and the special functions needed by LSH parameter
+// derivation and the SRS early-termination test (normal CDF, incomplete
+// gamma, chi-square CDF).
 //
-// The paper accelerates these kernels with AVX-512; this package substitutes
-// manually unrolled pure-Go loops (see DESIGN.md, substitutions table). The
-// unrolling is worth roughly 2x over a naive loop and keeps the kernels free
-// of bounds checks in the hot path.
+// The paper accelerates these kernels with AVX-512; this package
+// substitutes manually unrolled, bounds-check-free loops, and on amd64 a
+// packed SSE2 GEMV for the projection hot path (matvec_amd64.s; build with
+// the purego tag to force the portable kernel). Every kernel preserves
+// Dot's exact IEEE accumulation order — see DESIGN.md, "Compute kernels".
 package vecmath
 
 import "math"
@@ -68,30 +71,62 @@ func Dist(a, b []float32) float64 {
 }
 
 // SqDistBounded computes the squared Euclidean distance between a and b but
-// abandons the computation and returns (bound, false) as soon as the partial
-// sum exceeds bound. Exact search and candidate verification use it to skip
-// the tail of clearly-too-far points.
+// abandons the computation and returns (partial, false) as soon as the
+// partial sum exceeds bound. Candidate verification uses it with the current
+// k-th squared distance as the bound, skipping the tail of clearly-too-far
+// points; since the per-lane partial sums only grow, abandoning is exact —
+// an abandoned candidate could never have entered the top-k.
+//
+// The accumulation uses exactly SqDist's four-lane order, so a full
+// (non-abandoned) run returns a result bitwise identical to SqDist: pruning
+// never changes a reported distance.
 func SqDistBounded(a, b []float32, bound float64) (float64, bool) {
 	if len(a) != len(b) {
 		panic("vecmath: SqDistBounded length mismatch")
 	}
-	var s float64
+	var s0, s1, s2, s3 float64
 	i := 0
 	for ; i+8 <= len(a); i += 8 {
 		x := a[i : i+8 : i+8]
 		y := b[i : i+8 : i+8]
-		for j := 0; j < 8; j++ {
-			d := float64(x[j]) - float64(y[j])
-			s += d * d
-		}
-		if s > bound {
+		d0 := float64(x[0]) - float64(y[0])
+		d1 := float64(x[1]) - float64(y[1])
+		d2 := float64(x[2]) - float64(y[2])
+		d3 := float64(x[3]) - float64(y[3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+		d4 := float64(x[4]) - float64(y[4])
+		d5 := float64(x[5]) - float64(y[5])
+		d6 := float64(x[6]) - float64(y[6])
+		d7 := float64(x[7]) - float64(y[7])
+		s0 += d4 * d4
+		s1 += d5 * d5
+		s2 += d6 * d6
+		s3 += d7 * d7
+		if s := s0 + s1 + s2 + s3; s > bound {
 			return s, false
 		}
 	}
+	if i+4 <= len(a) {
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		d0 := float64(x[0]) - float64(y[0])
+		d1 := float64(x[1]) - float64(y[1])
+		d2 := float64(x[2]) - float64(y[2])
+		d3 := float64(x[3]) - float64(y[3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+		i += 4
+	}
 	for ; i < len(a); i++ {
 		d := float64(a[i]) - float64(b[i])
-		s += d * d
+		s0 += d * d
 	}
+	s := s0 + s1 + s2 + s3
 	return s, s <= bound
 }
 

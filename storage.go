@@ -3,6 +3,7 @@ package e2lshos
 import (
 	"context"
 
+	"e2lshos/internal/ann"
 	"e2lshos/internal/blockcache"
 	"e2lshos/internal/blockstore"
 	"e2lshos/internal/diskindex"
@@ -137,8 +138,8 @@ type diskParQuerier struct {
 	ps *diskindex.ParallelSearcher
 }
 
-func (d diskParQuerier) query(ctx context.Context, q []float32, k int) (Result, Stats, error) {
-	res, st, err := d.ps.SearchContext(ctx, q, k)
+func (d diskParQuerier) query(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (Result, Stats, error) {
+	res, st, err := d.ps.SearchInto(ctx, q, k, dst)
 	return res, diskStats(st), err
 }
 
@@ -146,8 +147,8 @@ type diskSyncQuerier struct {
 	s *diskindex.Searcher
 }
 
-func (d diskSyncQuerier) query(ctx context.Context, q []float32, k int) (Result, Stats, error) {
-	res, st, err := d.s.SearchContext(ctx, q, k)
+func (d diskSyncQuerier) query(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (Result, Stats, error) {
+	res, st, err := d.s.SearchInto(ctx, q, k, dst)
 	return res, diskStats(st), err
 }
 
