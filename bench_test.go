@@ -342,6 +342,22 @@ func BenchmarkCacheSweep(b *testing.B) {
 	}
 }
 
+func BenchmarkQDSweep(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.QDSweep(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+			b.ReportMetric(first.DeviceIOPS/1000, "kIOPS@QD1")
+			b.ReportMetric(last.DeviceIOPS/1000, "kIOPS@QDmax")
+			b.ReportMetric(last.QPS/first.QPS, "QPS-gain@QDmax")
+		}
+	}
+}
+
 // benchRepeatedQueries measures the serving-shaped repeated workload: each
 // iteration is one full BatchSearch pass over the held-out queries. The
 // backend-reads/query metric is the effective N_IO: with the cache it

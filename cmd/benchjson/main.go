@@ -23,6 +23,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -221,9 +222,17 @@ func Delta(oldF, newF *File, gate *regexp.Regexp, threshold float64) []DeltaRow 
 }
 
 // runDelta loads, compares and renders; it reports false when a gated
-// benchmark regressed beyond the threshold.
+// benchmark regressed beyond the threshold. A missing baseline file is not a
+// failure: the first run on a fresh trajectory (or a branch predating the
+// baseline commit) has nothing to compare against, so it prints a clear note
+// and succeeds.
 func runDelta(w io.Writer, oldPath, newPath, gatePat string, threshold float64) (bool, error) {
 	oldF, err := loadFile(oldPath)
+	if errors.Is(err, os.ErrNotExist) {
+		fmt.Fprintf(w, "### Benchmark delta\n\nNo baseline: %s does not exist yet, nothing to compare %s against.\n",
+			oldPath, newPath)
+		return true, nil
+	}
 	if err != nil {
 		return false, err
 	}

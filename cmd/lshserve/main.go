@@ -56,6 +56,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 		maxQueue  = fs.Int("maxqueue", 0, "coalescer: admission bound (0 = 4x maxbatch)")
 		cacheMB   = fs.Int("cache", 0, "per-shard block cache for storage shards, in MiB (0 = uncached)")
 		readahead = fs.Int("readahead", 0, "bucket blocks prefetched per chain between radius rounds (needs -cache)")
+		ioDepth   = fs.Int("iodepth", 0, "vectored I/O engine queue depth per storage shard: batched round submission, adjacent-block coalescing, cross-query dedup (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +69,9 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 		}
 	} else if *readahead > 0 {
 		return fmt.Errorf("-readahead needs -cache (prefetched blocks land in the cache)")
+	}
+	if *ioDepth > 0 {
+		storageOpts = append(storageOpts, e2lshos.WithIOEngine(*ioDepth))
 	}
 
 	place, err := e2lshos.ParseShardPlacement(*placement)

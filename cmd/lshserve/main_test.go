@@ -202,6 +202,7 @@ func TestRunGracefulShutdown(t *testing.T) {
 		done <- run(ctx, []string{
 			"-addr", "127.0.0.1:0", "-n", "2000", "-queries", "10",
 			"-shards", "2", "-engine", "mixed", "-k", "2",
+			"-cache", "8", "-iodepth", "16",
 		}, &out, func(a net.Addr) { addrc <- a })
 	}()
 

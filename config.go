@@ -85,6 +85,7 @@ type StorageOption func(*storageSettings)
 type storageSettings struct {
 	cacheBytes int64
 	readahead  int
+	ioDepth    int
 }
 
 // WithBlockCache interposes a concurrency-safe, scan-resistant block cache
@@ -103,6 +104,20 @@ func WithReadahead(depth int) StorageOption {
 	return func(s *storageSettings) { s.readahead = depth }
 }
 
+// WithIOEngine routes every read of the index through a shared vectored
+// asynchronous I/O engine driving the backend at the given queue depth:
+// each radius round's table entries and bucket-chain waves are submitted as
+// vectored batches, runs of adjacent blocks coalesce into single physical
+// reads, and concurrent requests for the same block across queries share
+// one backend read (singleflight dedup). Combine with WithBlockCache to put
+// the engine's dedup table in front of the cache tier; alone, the engine
+// still batches, coalesces and dedups against the raw store. Stats then
+// report CoalescedReads and DedupedReads alongside the unchanged logical
+// N_IO.
+func WithIOEngine(depth int) StorageOption {
+	return func(s *storageSettings) { s.ioDepth = depth }
+}
+
 // resolveStorageSettings applies opts and validates the combination.
 func resolveStorageSettings(opts []StorageOption) (storageSettings, error) {
 	var s storageSettings
@@ -116,6 +131,8 @@ func resolveStorageSettings(opts []StorageOption) (storageSettings, error) {
 		return s, fmt.Errorf("e2lshos: negative readahead depth %d", s.readahead)
 	case s.readahead > 0 && s.cacheBytes == 0:
 		return s, fmt.Errorf("e2lshos: WithReadahead requires WithBlockCache (prefetch lands in the cache)")
+	case s.ioDepth < 0:
+		return s, fmt.Errorf("e2lshos: negative I/O engine queue depth %d", s.ioDepth)
 	}
 	return s, nil
 }

@@ -85,6 +85,17 @@ type Stats struct {
 	// PrefetchedBlocks counts blocks the WithReadahead pool pulled into the
 	// cache between radius rounds on behalf of these queries.
 	PrefetchedBlocks int
+	// CoalescedReads counts backend reads the WithIOEngine submission layer
+	// saved by merging runs of adjacent block addresses into single
+	// vectored operations (zero without an engine). IOs() keeps reporting
+	// the logical count; physical backend reads are
+	// IOs() − CacheHits − CoalescedReads with a cache attached (a dedup
+	// join is counted inside CacheHits), and
+	// IOs() − DedupedReads − CoalescedReads without one.
+	CoalescedReads int
+	// DedupedReads counts reads satisfied by joining another query's
+	// in-flight backend read, singleflight style (zero without an engine).
+	DedupedReads int
 	// IOsAtInf is the paper's N_IO,∞ for the in-memory reference: what the
 	// query would cost on storage with unlimited block size.
 	IOsAtInf int
@@ -113,6 +124,8 @@ func (s *Stats) Merge(o Stats) {
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 	s.PrefetchedBlocks += o.PrefetchedBlocks
+	s.CoalescedReads += o.CoalescedReads
+	s.DedupedReads += o.DedupedReads
 	s.IOsAtInf += o.IOsAtInf
 	s.NodesVisited += o.NodesVisited
 	s.EarlyStopped += o.EarlyStopped

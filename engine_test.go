@@ -171,8 +171,10 @@ func TestBatchSearchCancellation(t *testing.T) {
 
 	// A context canceled mid-flight: the batch must stop early. One worker
 	// over a large replicated batch guarantees the cancel lands while
-	// queries remain.
-	big := make([][]float32, 0, 200*len(d.Queries))
+	// queries remain. (The batch must comfortably outlast the timer even on
+	// a fast, idle machine — PR 4's kernels pushed 200 replications under
+	// 2ms, which made this flaky.)
+	big := make([][]float32, 0, 2000*len(d.Queries))
 	for len(big) < cap(big) {
 		big = append(big, d.Queries...)
 	}

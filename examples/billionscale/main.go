@@ -34,7 +34,11 @@ func main() {
 	fmt.Printf("%-10s %18s %18s %10s\n", "n", "E2LSHoS ms/query", "SRS ms/query", "gap")
 	for n := maxN / 8; n <= maxN; n *= 2 {
 		sub := full.Subset(n)
-		ix, err := e2lshos.NewStorageIndex(sub.Vectors, e2lshos.Config{Sigma: 16})
+		// WithIOEngine fixes the queue depth the submission path sustains;
+		// the simulated capacity math below interleaves that many query
+		// contexts, so the trajectory reflects a device actually driven at
+		// depth rather than one blocking read at a time.
+		ix, err := e2lshos.NewStorageIndex(sub.Vectors, e2lshos.Config{Sigma: 16}, e2lshos.WithIOEngine(32))
 		if err != nil {
 			log.Fatal(err)
 		}

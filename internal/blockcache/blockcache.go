@@ -204,6 +204,19 @@ func (c *Cache) get(a blockstore.Addr, buf []byte) bool {
 	return ok
 }
 
+// PeekQuiet is Get without counter updates: readahead implementations probe
+// through it so Hits/Misses stay pure demand-traffic counters.
+func (c *Cache) PeekQuiet(a blockstore.Addr, buf []byte) bool {
+	return c.get(a, buf)
+}
+
+// PutPrefetched inserts block a and counts it as prefetched, the insert path
+// of readahead implementations living outside this package (ioengine).
+func (c *Cache) PutPrefetched(a blockstore.Addr, data []byte) {
+	c.Put(a, data)
+	c.prefetched.Add(1)
+}
+
 // Put inserts (or refreshes) block a with data, evicting per policy.
 func (c *Cache) Put(a blockstore.Addr, data []byte) {
 	s := c.shardFor(a)

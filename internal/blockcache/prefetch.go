@@ -45,11 +45,31 @@ func NewPrefetcher(cache *Cache, src Reader, workers int) *Prefetcher {
 	return &Prefetcher{cache: cache, src: src, workers: workers}
 }
 
-// Handle tracks one Prefetch call's completion.
+// Handle tracks one prefetch's completion. The pointer-chase pool below
+// returns them, and external readahead implementations (ioengine's vectored
+// waves) create their own through NewHandle so searchers settle either
+// uniformly.
 type Handle struct {
 	done    chan struct{}
 	fetched atomic.Int64
 }
+
+// NewHandle returns an in-progress handle for an external readahead
+// implementation: call Add per block brought into the cache and Finish
+// exactly once when the walk set drains.
+func NewHandle() *Handle {
+	return &Handle{done: make(chan struct{})}
+}
+
+// Add records n blocks brought into the cache.
+func (h *Handle) Add(n int64) { h.fetched.Add(n) }
+
+// Finish marks the prefetch complete, releasing Wait callers.
+func (h *Handle) Finish() { close(h.done) }
+
+// CompletedHandle returns the shared already-finished empty handle, for
+// readahead calls with nothing to do.
+func CompletedHandle() *Handle { return noopHandle }
 
 // Wait blocks until every walk finished or gave up (context canceled) and
 // returns the number of blocks actually brought into the cache (misses the

@@ -6,6 +6,11 @@
 // Virtual-time accounting for reads lives in internal/sched + internal/iosim;
 // real-file deployments read blocks through the same interface with wall
 // clocks. Address 0 is the nil address, so allocation starts at block 1.
+//
+// Backends expose two read shapes: ReadBlock for one block, and the vectored
+// ReadBlocks, which both backends serve by coalescing runs of adjacent
+// addresses into single physical operations (one pread on the file backend).
+// The ioengine package builds its batched submission path on ReadBlocks.
 package blockstore
 
 import (
@@ -14,10 +19,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 )
 
 // BlockSize is the fixed block size in bytes.
 const BlockSize = 512
+
+// MaxCoalesce bounds how many adjacent blocks one physical operation may
+// merge (32 KiB per pread at 512-byte blocks), so a single huge run cannot
+// monopolize a device die. Every backend counts physical operations with the
+// same bound, keeping CoalescedReads comparable across backends.
+const MaxCoalesce = 64
 
 // Addr addresses one block. 0 is Nil.
 type Addr uint64
@@ -25,15 +38,55 @@ type Addr uint64
 // Nil is the null block address.
 const Nil Addr = 0
 
-// Backend stores raw blocks.
+// Backend stores raw blocks. Backends must support concurrent readers and
+// support ReadBlocks racing WriteBlock on disjoint addresses (the query
+// paths read while background fills run).
 type Backend interface {
 	// ReadBlock copies block a into buf (len >= BlockSize).
 	ReadBlock(a Addr, buf []byte) error
+	// ReadBlocks copies block addrs[i] into bufs[i] for every i, coalescing
+	// runs of adjacent addresses (addrs[i+1] == addrs[i]+1) into single
+	// physical operations up to MaxCoalesce blocks each. It returns the
+	// number of physical operations performed; len(addrs) minus that count
+	// is the reads saved by coalescing.
+	ReadBlocks(addrs []Addr, bufs [][]byte) (int, error)
 	// WriteBlock stores data (len <= BlockSize; shorter data is zero-padded).
 	WriteBlock(a Addr, data []byte) error
 	// NumBlocks returns the number of blocks ever written plus one (the
 	// exclusive upper bound of valid addresses).
 	NumBlocks() uint64
+}
+
+// ReadBlocksSerial implements Backend.ReadBlocks for backends without a
+// vectored fast path: one ReadBlock call per address, with adjacent runs
+// counted as single physical operations so the coalescing statistics stay
+// comparable with backends that really do merge the reads.
+func ReadBlocksSerial(b Backend, addrs []Addr, bufs [][]byte) (int, error) {
+	if len(addrs) != len(bufs) {
+		return 0, fmt.Errorf("blockstore: %d addresses but %d buffers", len(addrs), len(bufs))
+	}
+	ops := 0
+	for i := 0; i < len(addrs); i = NextRun(addrs, i) {
+		ops++
+	}
+	for i, a := range addrs {
+		if err := b.ReadBlock(a, bufs[i]); err != nil {
+			return ops, err
+		}
+	}
+	return ops, nil
+}
+
+// NextRun returns the exclusive end of the adjacent-address run starting at
+// i, bounded by MaxCoalesce. It is THE coalescing rule: the backends, the
+// I/O engine's run splitter and the simulator's request-charging all call
+// it, so "one physical operation" means the same thing everywhere.
+func NextRun(addrs []Addr, i int) int {
+	j := i + 1
+	for j < len(addrs) && addrs[j] == addrs[j-1]+1 && j-i < MaxCoalesce {
+		j++
+	}
+	return j
 }
 
 // Store couples a backend with a bump allocator.
@@ -46,6 +99,11 @@ type Store struct {
 func NewMem() *Store {
 	return &Store{backend: &memBackend{}, next: 1}
 }
+
+// NewMemBackend returns a fresh in-memory backend without a store, for
+// callers that wrap the data plane (e.g. a latency-simulating backend)
+// before handing it to NewWithBackend.
+func NewMemBackend() Backend { return &memBackend{} }
 
 // NewWithBackend wraps an existing backend, resuming allocation after its
 // last block.
@@ -87,6 +145,20 @@ func (s *Store) ReadBlock(a Addr, buf []byte) error {
 	return s.backend.ReadBlock(a, buf)
 }
 
+// ReadBlocks reads block addrs[i] into bufs[i], delegating coalescing to the
+// backend, and returns the number of physical operations performed.
+func (s *Store) ReadBlocks(addrs []Addr, bufs [][]byte) (int, error) {
+	if len(addrs) != len(bufs) {
+		return 0, fmt.Errorf("blockstore: %d addresses but %d buffers", len(addrs), len(bufs))
+	}
+	for _, a := range addrs {
+		if a == Nil || a >= s.next {
+			return 0, fmt.Errorf("blockstore: vectored read of invalid address %d (allocated %d)", a, s.NumBlocks())
+		}
+	}
+	return s.backend.ReadBlocks(addrs, bufs)
+}
+
 // WriteBlock writes data to block a, which must be allocated.
 func (s *Store) WriteBlock(a Addr, data []byte) error {
 	if a == Nil || a >= s.next {
@@ -99,8 +171,12 @@ func (s *Store) WriteBlock(a Addr, data []byte) error {
 }
 
 // memBackend stores blocks in fixed-size chunks to avoid one giant
-// allocation and to grow smoothly.
+// allocation and to grow smoothly. The chunk table is guarded by an RWMutex
+// so vectored reads may race writes to other blocks (writes to the same
+// block as a concurrent read remain the caller's responsibility, as on a
+// real device).
 type memBackend struct {
+	mu     sync.RWMutex
 	chunks [][]byte
 	blocks uint64
 }
@@ -123,6 +199,14 @@ func (m *memBackend) ReadBlock(a Addr, buf []byte) error {
 	if len(buf) < BlockSize {
 		return fmt.Errorf("blockstore: read buffer of %d bytes too small", len(buf))
 	}
+	m.mu.RLock()
+	err := m.readLocked(a, buf)
+	m.mu.RUnlock()
+	return err
+}
+
+// readLocked copies one block under a held read lock.
+func (m *memBackend) readLocked(a Addr, buf []byte) error {
 	c, off := m.locate(a)
 	if c >= uint64(len(m.chunks)) {
 		// Allocated but never written: zero block.
@@ -133,8 +217,38 @@ func (m *memBackend) ReadBlock(a Addr, buf []byte) error {
 	return nil
 }
 
+// ReadBlocks serves the vectored read op. The copies are per block, but runs
+// of adjacent addresses are counted as one physical operation for parity
+// with the file backend's pread coalescing.
+func (m *memBackend) ReadBlocks(addrs []Addr, bufs [][]byte) (int, error) {
+	if len(addrs) != len(bufs) {
+		return 0, fmt.Errorf("blockstore: %d addresses but %d buffers", len(addrs), len(bufs))
+	}
+	for _, buf := range bufs {
+		if len(buf) < BlockSize {
+			return 0, fmt.Errorf("blockstore: read buffer of %d bytes too small", len(buf))
+		}
+	}
+	ops := 0
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for i := 0; i < len(addrs); {
+		j := NextRun(addrs, i)
+		for k := i; k < j; k++ {
+			if err := m.readLocked(addrs[k], bufs[k]); err != nil {
+				return ops, err
+			}
+		}
+		ops++
+		i = j
+	}
+	return ops, nil
+}
+
 func (m *memBackend) WriteBlock(a Addr, data []byte) error {
 	c, off := m.locate(a)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.ensure(c)
 	dst := m.chunks[c][off : off+BlockSize]
 	n := copy(dst, data)
@@ -145,12 +259,25 @@ func (m *memBackend) WriteBlock(a Addr, data []byte) error {
 	return nil
 }
 
-func (m *memBackend) NumBlocks() uint64 { return m.blocks }
+func (m *memBackend) NumBlocks() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.blocks
+}
+
+// readWriterAt is the slice of *os.File the file backend needs; tests swap
+// in fault-injecting implementations.
+type readWriterAt interface {
+	io.ReaderAt
+	io.WriterAt
+}
 
 // fileBackend stores blocks in a flat file at offset (addr-1)*BlockSize.
+// ReadAt/WriteAt are positional syscalls, safe for concurrent use; the block
+// high-water mark is atomic.
 type fileBackend struct {
-	f      *os.File
-	blocks uint64
+	f      readWriterAt
+	blocks atomic.Uint64
 }
 
 // OpenFile returns a store backed by the named file, creating it if needed.
@@ -165,39 +292,97 @@ func OpenFile(path string) (*Store, *os.File, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("blockstore: stat %s: %w", path, err)
 	}
-	fb := &fileBackend{f: f, blocks: uint64(st.Size())/BlockSize + 1}
+	fb := &fileBackend{f: f}
+	fb.blocks.Store(uint64(st.Size())/BlockSize + 1)
 	return NewWithBackend(fb), f, nil
+}
+
+// readRange reads n adjacent blocks starting at a into buf (n*BlockSize
+// bytes) with one positional read. Reads past the end of the file yield zero
+// blocks (allocated but never written); any other failure is reported with
+// the offending address range and byte counts, so a partial pread never
+// surfaces as a bare byte-count mismatch.
+func (fb *fileBackend) readRange(a Addr, n int, buf []byte) error {
+	want := n * BlockSize
+	off := int64(a-1) * BlockSize
+	got, err := fb.f.ReadAt(buf[:want], off)
+	if err == io.EOF {
+		clear(buf[got:want])
+		return nil
+	}
+	if err != nil || got < want {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		if n == 1 {
+			return fmt.Errorf("blockstore: short read of block %d (offset %d): %d of %d bytes: %w",
+				a, off, got, want, err)
+		}
+		return fmt.Errorf("blockstore: short read of blocks %d..%d (offset %d): %d of %d bytes: %w",
+			a, a+Addr(n)-1, off, got, want, err)
+	}
+	return nil
 }
 
 func (fb *fileBackend) ReadBlock(a Addr, buf []byte) error {
 	if len(buf) < BlockSize {
 		return fmt.Errorf("blockstore: read buffer of %d bytes too small", len(buf))
 	}
-	n, err := fb.f.ReadAt(buf[:BlockSize], int64(a-1)*BlockSize)
-	if err == io.EOF && n > 0 {
-		clear(buf[n:BlockSize])
-		return nil
+	return fb.readRange(a, 1, buf)
+}
+
+// ReadBlocks coalesces runs of adjacent addresses into single preads,
+// scattering the data back into the per-block buffers.
+func (fb *fileBackend) ReadBlocks(addrs []Addr, bufs [][]byte) (int, error) {
+	if len(addrs) != len(bufs) {
+		return 0, fmt.Errorf("blockstore: %d addresses but %d buffers", len(addrs), len(bufs))
 	}
-	if err == io.EOF {
-		clear(buf[:BlockSize])
-		return nil
+	ops := 0
+	var scratch []byte
+	for i := 0; i < len(addrs); {
+		j := NextRun(addrs, i)
+		n := j - i
+		if n == 1 {
+			if err := fb.ReadBlock(addrs[i], bufs[i]); err != nil {
+				return ops, err
+			}
+		} else {
+			if cap(scratch) < n*BlockSize {
+				scratch = make([]byte, n*BlockSize)
+			}
+			if err := fb.readRange(addrs[i], n, scratch[:n*BlockSize]); err != nil {
+				return ops, err
+			}
+			for k := 0; k < n; k++ {
+				if len(bufs[i+k]) < BlockSize {
+					return ops, fmt.Errorf("blockstore: read buffer of %d bytes too small", len(bufs[i+k]))
+				}
+				copy(bufs[i+k][:BlockSize], scratch[k*BlockSize:(k+1)*BlockSize])
+			}
+		}
+		ops++
+		i = j
 	}
-	return err
+	return ops, nil
 }
 
 func (fb *fileBackend) WriteBlock(a Addr, data []byte) error {
 	var block [BlockSize]byte
 	copy(block[:], data)
-	if _, err := fb.f.WriteAt(block[:], int64(a-1)*BlockSize); err != nil {
-		return fmt.Errorf("blockstore: write block %d: %w", a, err)
+	off := int64(a-1) * BlockSize
+	if n, err := fb.f.WriteAt(block[:], off); err != nil {
+		return fmt.Errorf("blockstore: short write of block %d (offset %d): %d of %d bytes: %w",
+			a, off, n, BlockSize, err)
 	}
-	if uint64(a) >= fb.blocks {
-		fb.blocks = uint64(a) + 1
+	for {
+		cur := fb.blocks.Load()
+		if uint64(a) < cur || fb.blocks.CompareAndSwap(cur, uint64(a)+1) {
+			return nil
+		}
 	}
-	return nil
 }
 
-func (fb *fileBackend) NumBlocks() uint64 { return fb.blocks }
+func (fb *fileBackend) NumBlocks() uint64 { return fb.blocks.Load() }
 
 // WriteTo serializes the allocated blocks: an 8-byte block count followed by
 // raw block contents. It lets a memory-built index be persisted and later

@@ -2,9 +2,12 @@ package blockstore
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -221,6 +224,281 @@ func TestFileBackend(t *testing.T) {
 	b := s2.Allocate()
 	if b <= a {
 		t.Errorf("allocation did not resume: %d <= %d", b, a)
+	}
+}
+
+// fillStore writes n blocks whose first two bytes encode the address.
+func fillStore(t *testing.T, s *Store, n int) {
+	t.Helper()
+	data := make([]byte, BlockSize)
+	for i := 0; i < n; i++ {
+		a := s.Allocate()
+		data[0], data[1] = byte(a), byte(a>>8)
+		if err := s.WriteBlock(a, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func checkPayload(t *testing.T, a Addr, buf []byte) {
+	t.Helper()
+	if buf[0] != byte(a) || buf[1] != byte(a>>8) {
+		t.Fatalf("block %d: payload %d,%d", a, buf[0], buf[1])
+	}
+}
+
+// vectoredStores builds a mem store and a file store with identical
+// contents, for backend-parity tests of ReadBlocks.
+func vectoredStores(t *testing.T, n int) (*Store, *Store) {
+	t.Helper()
+	mem := NewMem()
+	fillStore(t, mem, n)
+	file, f, err := OpenFile(filepath.Join(t.TempDir(), "vec.blk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	fillStore(t, file, n)
+	return mem, file
+}
+
+func TestReadBlocksCoalescingParity(t *testing.T) {
+	mem, file := vectoredStores(t, 300)
+	cases := []struct {
+		name  string
+		addrs []Addr
+		ops   int
+	}{
+		{"empty", nil, 0},
+		{"singleton", []Addr{17}, 1},
+		{"one run", []Addr{10, 11, 12, 13}, 1},
+		{"two runs and stragglers", []Addr{5, 6, 7, 100, 200, 201, 9}, 4},
+		{"descending never coalesces", []Addr{30, 29, 28}, 3},
+		{"run capped at MaxCoalesce", func() []Addr {
+			addrs := make([]Addr, MaxCoalesce+10)
+			for i := range addrs {
+				addrs[i] = Addr(20 + i)
+			}
+			return addrs
+		}(), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, st := range []struct {
+				name string
+				s    *Store
+			}{{"mem", mem}, {"file", file}} {
+				bufs := make([][]byte, len(tc.addrs))
+				for i := range bufs {
+					bufs[i] = bytes.Repeat([]byte{0xEE}, BlockSize)
+				}
+				ops, err := st.s.ReadBlocks(tc.addrs, bufs)
+				if err != nil {
+					t.Fatalf("%s: %v", st.name, err)
+				}
+				if ops != tc.ops {
+					t.Errorf("%s: %d physical ops, want %d", st.name, ops, tc.ops)
+				}
+				for i, a := range tc.addrs {
+					checkPayload(t, a, bufs[i])
+				}
+			}
+		})
+	}
+}
+
+func TestReadBlocksValidation(t *testing.T) {
+	s := NewMem()
+	fillStore(t, s, 4)
+	bufs := [][]byte{make([]byte, BlockSize)}
+	if _, err := s.ReadBlocks([]Addr{9}, bufs); err == nil {
+		t.Error("unallocated address accepted")
+	}
+	if _, err := s.ReadBlocks([]Addr{Nil}, bufs); err == nil {
+		t.Error("nil address accepted")
+	}
+	if _, err := s.ReadBlocks([]Addr{1, 2}, bufs); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := s.ReadBlocks([]Addr{1}, [][]byte{make([]byte, 10)}); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestReadBlocksSerialHelper(t *testing.T) {
+	s := NewMem()
+	fillStore(t, s, 20)
+	addrs := []Addr{3, 4, 5, 9}
+	bufs := make([][]byte, len(addrs))
+	for i := range bufs {
+		bufs[i] = make([]byte, BlockSize)
+	}
+	ops, err := ReadBlocksSerial(s, addrs, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != 2 {
+		t.Errorf("serial helper counted %d ops, want 2", ops)
+	}
+	for i, a := range addrs {
+		checkPayload(t, a, bufs[i])
+	}
+	if _, err := ReadBlocksSerial(s, addrs, bufs[:1]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// faultyReaderAt injects short reads/writes at the io layer, below the file
+// backend.
+type faultyReaderAt struct {
+	data    []byte
+	failAt  int64 // byte offset from which reads fail
+	written int
+}
+
+func (f *faultyReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= f.failAt {
+		return 0, errors.New("injected media error")
+	}
+	n := int64(len(p))
+	if off+n > f.failAt {
+		n = f.failAt - off
+		copy(p[:n], f.data[off:off+n])
+		return int(n), errors.New("injected media error")
+	}
+	copy(p, f.data[off:off+n])
+	return int(n), nil
+}
+
+func (f *faultyReaderAt) WriteAt(p []byte, off int64) (int, error) {
+	if off >= f.failAt {
+		return 0, errors.New("injected media error")
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+// TestShortReadReportsAddr is the satellite regression test: a partial pread
+// must surface the offending block address and byte counts, not a bare
+// byte-count mismatch.
+func TestShortReadReportsAddr(t *testing.T) {
+	// 10 good blocks, then the media fails mid-block 11.
+	fb := &fileBackend{f: &faultyReaderAt{
+		data:   bytes.Repeat([]byte{0xAB}, 20*BlockSize),
+		failAt: 10*BlockSize + 100,
+	}}
+	fb.blocks.Store(21)
+
+	buf := make([]byte, BlockSize)
+	if err := fb.ReadBlock(5, buf); err != nil {
+		t.Fatalf("healthy block read failed: %v", err)
+	}
+	err := fb.ReadBlock(11, buf)
+	if err == nil {
+		t.Fatal("short read produced no error")
+	}
+	for _, want := range []string{"block 11", "100 of 512", "injected media error"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("short-read error %q does not mention %q", err, want)
+		}
+	}
+
+	// Vectored short read names the run.
+	addrs := []Addr{9, 10, 11, 12}
+	bufs := make([][]byte, len(addrs))
+	for i := range bufs {
+		bufs[i] = make([]byte, BlockSize)
+	}
+	_, err = fb.ReadBlocks(addrs, bufs)
+	if err == nil {
+		t.Fatal("vectored short read produced no error")
+	}
+	if !strings.Contains(err.Error(), "blocks 9..12") {
+		t.Errorf("vectored short-read error %q does not name the run 9..12", err)
+	}
+
+	// Short writes name the block too.
+	err = fb.WriteBlock(15, buf)
+	if err == nil {
+		t.Fatal("short write produced no error")
+	}
+	for _, want := range []string{"block 15", "injected media error"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("short-write error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestConcurrentReadBlocksVsWriteBlock is the satellite race test: vectored
+// reads racing writes to other blocks must be safe on both backends.
+func TestConcurrentReadBlocksVsWriteBlock(t *testing.T) {
+	file, f, err := OpenFile(filepath.Join(t.TempDir(), "race.blk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, tc := range []struct {
+		name string
+		s    *Store
+	}{{"mem", NewMem()}, {"file", file}} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 128
+			fillStore(t, tc.s, 2*n)
+			var wg sync.WaitGroup
+			// Readers sweep the first half vectored; writers rewrite the
+			// second half (disjoint addresses, racing slice/chunk growth).
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					addrs := make([]Addr, 16)
+					bufs := make([][]byte, 16)
+					for i := range bufs {
+						bufs[i] = make([]byte, BlockSize)
+					}
+					for it := 0; it < 30; it++ {
+						for i := range addrs {
+							addrs[i] = Addr(1 + (w*31+it*16+i)%n)
+						}
+						if _, err := tc.s.ReadBlocks(addrs, bufs); err != nil {
+							t.Error(err)
+							return
+						}
+						for i, a := range addrs {
+							checkPayload(t, a, bufs[i])
+						}
+					}
+				}(w)
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					data := make([]byte, BlockSize)
+					for it := 0; it < 30; it++ {
+						a := Addr(n + 1 + (w*47+it)%n)
+						data[0], data[1] = byte(a), byte(a>>8)
+						if err := tc.s.WriteBlock(a, data); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestNewMemBackend(t *testing.T) {
+	b := NewMemBackend()
+	s := NewWithBackend(b)
+	fillStore(t, s, 3)
+	buf := make([]byte, BlockSize)
+	if err := b.ReadBlock(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	checkPayload(t, 2, buf)
+	if b.NumBlocks() != 4 {
+		t.Errorf("NumBlocks = %d, want 4", b.NumBlocks())
 	}
 }
 

@@ -41,6 +41,13 @@ type CPUModel struct {
 	SeenOp float64
 	// QueryFixed is the fixed per-query cost.
 	QueryFixed float64
+	// BatchPerReq is the CPU cost per request of assembling one vectored
+	// I/O submission: gathering the round's addresses, sorting them and
+	// detecting adjacent runs before the interface is invoked. It is what
+	// the asynchronous engine pays per block for batched round submission,
+	// on top of the per-run interface overhead (sched charges T_request
+	// once per coalesced run instead of once per block).
+	BatchPerReq float64
 	// FootprintStall multiplies in-memory E2LSH compute time: the paper
 	// measured ~10% extra memory-stall time when the large hash index shares
 	// DRAM with the database (§4.5), so E2LSHoS's T_compute ≈ 0.9·T_E2LSH.
@@ -58,8 +65,15 @@ func Default() CPUModel {
 		ScanPerEntry:   1,
 		SeenOp:         15,
 		QueryFixed:     500,
+		BatchPerReq:    5,
 		FootprintStall: 1.10,
 	}
+}
+
+// BatchSubmit returns the CPU cost of assembling one vectored submission of
+// count requests (see BatchPerReq).
+func (m CPUModel) BatchSubmit(count int) float64 {
+	return m.BatchPerReq * float64(count)
 }
 
 // LinesPerVector returns the number of 64-byte cache lines one float32

@@ -48,6 +48,14 @@ func TestCostsScale(t *testing.T) {
 	if m.NodeVisit() <= 0 {
 		t.Error("NodeVisit not positive")
 	}
+	if m.BatchSubmit(8) != 8*m.BatchPerReq {
+		t.Error("BatchSubmit not linear in request count")
+	}
+	// Assembling a vectored batch must cost far less per request than the
+	// T_request it replaces (io_uring: 1000ns), or batching would be moot.
+	if m.BatchPerReq <= 0 || m.BatchPerReq >= 1000 {
+		t.Errorf("BatchPerReq = %v, want in (0, T_request)", m.BatchPerReq)
+	}
 }
 
 func TestToTime(t *testing.T) {

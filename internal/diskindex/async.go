@@ -36,18 +36,21 @@ type asyncPool struct {
 
 // AsyncQueryFunc adapts the index to the scheduling engine: the returned
 // sched.QueryFunc evaluates queries[i] for top-k and stores its outcome in
-// results[i]. It implements §5.4: per radius, the query computes its L
-// compound hashes, issues the hash-table reads for all occupied buckets
-// without blocking (step 1), follows each completed table entry with a
-// bucket block read (step 2), scans arriving bucket blocks — checking
-// fingerprints and pruned distances — and chases chain links (step 3). The
-// radius round ends when every chain has drained; termination mirrors the
-// synchronous reference.
+// results[i]. It implements §5.4 with vectored round submission: per radius,
+// the query computes its L compound hashes and submits the hash-table reads
+// of all occupied buckets as ONE vectored batch (step 1) — the CPU pays the
+// interface overhead per coalesced run, not per block, and the device sees
+// the whole round as its queue depth. The bucket heads those table entries
+// name go out as the next vectored wave (step 2), and each chain depth level
+// after that as another (step 3), until every chain has drained; blocks are
+// scanned — fingerprints, dedup, pruned distances — as they arrive, in
+// device completion order. Termination mirrors the synchronous reference.
 //
-// CPU work is charged to the virtual clock through the shared cost model, so
-// the same function serves both asynchronous (Fig 1B) and synchronous/mmap
-// (Fig 1A, §6.5) engines. The engine path requires the default 512-byte
-// bucket blocks.
+// CPU work is charged to the virtual clock through the shared cost model
+// (batch assembly included), so the same function serves both asynchronous
+// (Fig 1B) and synchronous/mmap (Fig 1A, §6.5) engines; in synchronous mode
+// the vectored waves degrade to blocking per-block reads, exactly the mmap
+// baseline. The engine path requires the default 512-byte bucket blocks.
 func (ix *Index) AsyncQueryFunc(model costmodel.CPUModel, queries [][]float32, k int, results []AsyncResult) sched.QueryFunc {
 	if ix.physPerBucket != 1 {
 		panic("diskindex: the engine path requires 512-byte bucket blocks")
@@ -73,6 +76,10 @@ func (ix *Index) AsyncQueryFunc(model costmodel.CPUModel, queries [][]float32, k
 				epoch:  1,
 				proj:   make([]float64, ix.params.L*ix.params.M),
 				hashes: make([]uint32, ix.params.L),
+				wave:   make([]blockstore.Addr, 0, ix.params.L),
+				waveFP: make([]uint32, 0, ix.params.L),
+				next:   make([]blockstore.Addr, 0, ix.params.L),
+				nextFP: make([]uint32, 0, ix.params.L),
 			}
 		}
 		run.model = model
@@ -107,16 +114,30 @@ type asyncRun struct {
 	proj   []float64
 	hashes []uint32
 
+	// wave/waveFP hold the current vectored submission (addresses and the
+	// fingerprint each block's entries are checked against; table blocks
+	// reuse the slot for the full compound-hash fingerprint). next/nextFP
+	// assemble the following wave while the current one drains. All four
+	// are arenas reused across the run's queries.
+	wave   []blockstore.Addr
+	waveFP []uint32
+	next   []blockstore.Addr
+	nextFP []uint32
+	// waveOff holds, for the table wave only, each block's byte offset of
+	// the bucket-head address.
+	waveOff []int
+
 	rIdx        int
 	checked     int // per-radius candidate budget consumption
-	outstanding int // bucket chains still draining this radius
+	outstanding int // blocks of the current wave still in flight
 }
 
-// startRadius begins one (R,c)-NN round. The round's completion — and with
-// it the advance to the next radius or query termination — funnels through
-// chainDone, which holds a sentinel reference while reads are being issued
-// so that inline (synchronous-mode) completions cannot close the round
-// early.
+// startRadius begins one (R,c)-NN round: hash, then submit every occupied
+// bucket's table block as one vectored batch. The round's completion — and
+// with it the advance to the next radius or query termination — funnels
+// through waveDone, which holds a sentinel reference while a wave is being
+// issued so that inline (synchronous-mode) completions cannot close the
+// round early.
 func (run *asyncRun) startRadius(tc *sched.Ctx, done func()) {
 	ix := run.ix
 	p := ix.params
@@ -133,8 +154,11 @@ func (run *asyncRun) startRadius(tc *sched.Ctx, done func()) {
 	tc.Charge(costmodel.ToTime(run.model.Combines(p.L * p.M)))
 	fam.HashesAt(run.proj, p.Radii[run.rIdx], run.hashes)
 	run.checked = 0
-	run.outstanding = 1 // sentinel: held until all reads are issued
-	// Step 1: issue table reads for every occupied bucket, unblocked.
+
+	// Step 1: assemble the round's table reads as one vectored batch.
+	run.wave = run.wave[:0]
+	run.waveFP = run.waveFP[:0]
+	run.waveOff = run.waveOff[:0]
 	for l := 0; l < p.L; l++ {
 		run.out.Stats.Probes++
 		idx, fp := lsh.SplitHash(run.hashes[l], ix.u)
@@ -142,40 +166,51 @@ func (run *asyncRun) startRadius(tc *sched.Ctx, done func()) {
 			continue
 		}
 		run.out.Stats.NonEmptyProbes++
-		run.outstanding++
 		blk, off := ix.tableEntryBlock(run.rIdx, l, idx)
-		tc.Read(blk, func(block []byte) {
-			run.onTableBlock(tc, done, block, off, fp)
-		})
+		run.wave = append(run.wave, blk)
+		run.waveFP = append(run.waveFP, fp)
+		run.waveOff = append(run.waveOff, off)
 	}
-	run.chainDone(tc, done) // release the sentinel
-}
-
-// onTableBlock handles a completed hash-table read (end of step 1).
-func (run *asyncRun) onTableBlock(tc *sched.Ctx, done func(), block []byte, off int, fp uint32) {
-	run.out.Stats.TableIOs++
-	tc.Charge(costmodel.ToTime(run.model.Scan(1)))
-	head := blockstore.Addr(binary.LittleEndian.Uint64(block[off : off+8]))
-	if head == blockstore.Nil || run.checked >= run.ix.params.S {
-		// Stale occupancy cannot happen on a frozen index, but budget
-		// exhaustion makes the remaining chains moot.
-		run.chainDone(tc, done)
+	if len(run.wave) == 0 {
+		run.endRadius(tc, done)
 		return
 	}
-	// Step 2: fetch the bucket's first block.
-	tc.Read(head, func(b []byte) { run.onBucketBlock(tc, done, b, fp) })
+	tc.Charge(costmodel.ToTime(run.model.BatchSubmit(len(run.wave))))
+	run.outstanding = len(run.wave) + 1 // +1: sentinel until ReadVec returns
+	runs := tc.ReadVec(run.wave, func(i int, block []byte) {
+		run.onTableBlock(tc, done, i, block)
+	})
+	run.out.Stats.CoalescedReads += len(run.wave) - runs
+	run.waveDone(tc, done) // release the sentinel
 }
 
-// onBucketBlock scans one arrived bucket block (step 3) and chases the
-// chain. Distance checks run through the pruned kernel against the current
-// k-th squared distance, exactly as on the wall-clock paths.
-func (run *asyncRun) onBucketBlock(tc *sched.Ctx, done func(), block []byte, fp uint32) {
+// onTableBlock handles one completed hash-table read of the current wave
+// (end of step 1): decode the bucket head and queue it for the next wave.
+func (run *asyncRun) onTableBlock(tc *sched.Ctx, done func(), i int, block []byte) {
+	run.out.Stats.TableIOs++
+	tc.Charge(costmodel.ToTime(run.model.Scan(1)))
+	head := blockstore.Addr(binary.LittleEndian.Uint64(block[run.waveOff[i] : run.waveOff[i]+8]))
+	if head != blockstore.Nil && run.checked < run.ix.params.S {
+		// Budget exhaustion makes the remaining chains moot; stale occupancy
+		// cannot happen on a frozen index.
+		run.next = append(run.next, head)
+		run.nextFP = append(run.nextFP, run.waveFP[i])
+	}
+	run.waveDone(tc, done)
+}
+
+// onBucketBlock scans one arrived bucket block (step 3) and queues its chain
+// link for the next wave. Distance checks run through the pruned kernel
+// against the current k-th squared distance, exactly as on the wall-clock
+// paths.
+func (run *asyncRun) onBucketBlock(tc *sched.Ctx, done func(), i int, block []byte) {
 	ix := run.ix
 	run.out.Stats.BucketIOs++
+	fp := run.waveFP[i]
 	next, count := bucketHeader(block)
 	off := HeaderBytes
 	truncated := false
-	for i := 0; i < count; i++ {
+	for e := 0; e < count; e++ {
 		run.out.Stats.EntriesScanned++
 		tc.Charge(costmodel.ToTime(run.model.Scan(1)))
 		id, efp := ix.unpackEntry(getUint40(block[off:]))
@@ -202,18 +237,38 @@ func (run *asyncRun) onBucketBlock(tc *sched.Ctx, done func(), block []byte, fp 
 		run.checked++
 	}
 	if next != blockstore.Nil && !truncated && run.checked < ix.params.S {
-		tc.Read(next, func(b []byte) { run.onBucketBlock(tc, done, b, fp) })
-		return
+		run.next = append(run.next, next)
+		run.nextFP = append(run.nextFP, fp)
 	}
-	run.chainDone(tc, done)
+	run.waveDone(tc, done)
 }
 
-// chainDone marks one bucket chain finished; the last one closes the radius.
-func (run *asyncRun) chainDone(tc *sched.Ctx, done func()) {
+// waveDone marks one block of the current wave complete; the last one either
+// submits the assembled next wave (step 2/3) or closes the radius.
+func (run *asyncRun) waveDone(tc *sched.Ctx, done func()) {
 	run.outstanding--
 	if run.outstanding > 0 {
 		return
 	}
+	if len(run.next) == 0 {
+		run.endRadius(tc, done)
+		return
+	}
+	// Swap the assembled wave in and submit it vectored.
+	run.wave, run.next = run.next, run.wave[:0]
+	run.waveFP, run.nextFP = run.nextFP, run.waveFP[:0]
+	tc.Charge(costmodel.ToTime(run.model.BatchSubmit(len(run.wave))))
+	run.outstanding = len(run.wave) + 1
+	runs := tc.ReadVec(run.wave, func(i int, block []byte) {
+		run.onBucketBlock(tc, done, i, block)
+	})
+	run.out.Stats.CoalescedReads += len(run.wave) - runs
+	run.waveDone(tc, done)
+}
+
+// endRadius applies the (R,c)-NN termination test and either finishes the
+// query or starts the next round.
+func (run *asyncRun) endRadius(tc *sched.Ctx, done func()) {
 	if run.radiusSatisfied() {
 		run.finish(done)
 		return

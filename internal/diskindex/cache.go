@@ -6,6 +6,7 @@ import (
 
 	"e2lshos/internal/blockcache"
 	"e2lshos/internal/blockstore"
+	"e2lshos/internal/ioengine"
 	"e2lshos/internal/lsh"
 )
 
@@ -41,15 +42,41 @@ func (ix *Index) AttachCache(c *blockcache.Cache, depth int) {
 // Cache returns the attached block cache (nil when uncached).
 func (ix *Index) Cache() *blockcache.Cache { return ix.cache }
 
+// AttachIOEngine routes the index's wall-clock read paths through the
+// shared vectored I/O engine: the sequential searcher's demand reads gain
+// the engine's dedup+cache front, the parallel searcher's fetch phase
+// submits each radius round as vectored waves (real.go), and readahead
+// walks go out as vectored waves too. The engine must wrap this index's
+// store; when a cache is attached it must be the engine's cache, so the
+// dedup table sits in front of one coherent cache tier. Attach before
+// issuing queries.
+func (ix *Index) AttachIOEngine(eng *ioengine.Engine) {
+	ix.ioeng = eng
+}
+
+// IOEngine returns the attached I/O engine (nil when unattached).
+func (ix *Index) IOEngine() *ioengine.Engine { return ix.ioeng }
+
 // ReadaheadDepth returns the configured chain prefetch depth (0 = off).
 func (ix *Index) ReadaheadDepth() int { return ix.readahead }
 
 // readaheadActive reports whether the searchers should issue prefetches.
 func (ix *Index) readaheadActive() bool { return ix.prefetcher != nil }
 
-// readBlock reads one physical block, through the cache when attached,
-// folding the hit/miss into st (which may be nil on untracked paths).
+// readBlock reads one physical block, through the I/O engine or cache when
+// attached, folding the outcome into st (which may be nil on untracked
+// paths). The engine path passes a background context: demand reads always
+// run to completion, and query cancellation stays at its documented
+// radius-round granularity.
 func (ix *Index) readBlock(a blockstore.Addr, buf []byte, st *Stats) error {
+	if ix.ioeng != nil {
+		var bs ioengine.BatchStats
+		if err := ix.ioeng.Read(context.Background(), a, buf, &bs); err != nil {
+			return err
+		}
+		foldBatchStats(st, bs)
+		return nil
+	}
 	if ix.cache == nil {
 		return ix.store.ReadBlock(a, buf)
 	}
@@ -65,6 +92,17 @@ func (ix *Index) readBlock(a blockstore.Addr, buf []byte, st *Stats) error {
 		}
 	}
 	return nil
+}
+
+// foldBatchStats merges one engine call's outcome counters into st.
+func foldBatchStats(st *Stats, bs ioengine.BatchStats) {
+	if st == nil {
+		return
+	}
+	st.CacheHits += bs.CacheHits
+	st.CacheMisses += bs.CacheMisses
+	st.DedupedReads += bs.DedupedReads
+	st.CoalescedReads += bs.CoalescedReads
 }
 
 // cacheInvalidate drops a rewritten block from the cache.
@@ -90,6 +128,9 @@ func (ix *Index) roundHashes(q []float32, rIdx int, proj, projScratch []float64,
 // one walk per occupied bucket, chasing the table block, the head pointer it
 // contains, and up to the configured depth of chain blocks. It returns
 // immediately; the searcher folds the handle in when it reaches the round.
+// With an I/O engine attached the walks go out as vectored waves (all table
+// blocks in one batch, then each chain depth level in one batch) instead of
+// per-chain pointer chasing.
 func (ix *Index) prefetchRound(ctx context.Context, rIdx int, hashes []uint32) *blockcache.Handle {
 	walks := make([]blockcache.Walk, 0, len(hashes))
 	for l, h := range hashes {
@@ -110,6 +151,9 @@ func (ix *Index) prefetchRound(ctx context.Context, rIdx int, hashes []uint32) *
 				return blockstore.Addr(binary.LittleEndian.Uint64(block[0:8]))
 			},
 		})
+	}
+	if ix.ioeng != nil {
+		return ix.ioeng.Prefetch(ctx, walks)
 	}
 	return ix.prefetcher.Prefetch(ctx, walks)
 }

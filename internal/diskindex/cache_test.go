@@ -36,6 +36,10 @@ func (b *countingBackend) ReadBlock(a blockstore.Addr, buf []byte) error {
 	return nil
 }
 
+func (b *countingBackend) ReadBlocks(addrs []blockstore.Addr, bufs [][]byte) (int, error) {
+	return blockstore.ReadBlocksSerial(b, addrs, bufs)
+}
+
 func (b *countingBackend) WriteBlock(a blockstore.Addr, data []byte) error {
 	var blk [blockstore.BlockSize]byte
 	copy(blk[:], data)

@@ -22,6 +22,7 @@ import (
 
 	"e2lshos/internal/blockcache"
 	"e2lshos/internal/blockstore"
+	"e2lshos/internal/ioengine"
 	"e2lshos/internal/lsh"
 	"e2lshos/internal/memindex"
 )
@@ -102,6 +103,10 @@ type Index struct {
 	cache      *blockcache.Cache
 	readahead  int
 	prefetcher *blockcache.Prefetcher
+	// ioeng, when attached, routes every wall-clock read through the shared
+	// vectored I/O engine: bounded queue depth, adjacent-block coalescing
+	// and cross-query dedup. See cache.go and real.go.
+	ioeng *ioengine.Engine
 }
 
 // Params returns the algorithmic parameters.

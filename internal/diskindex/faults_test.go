@@ -23,6 +23,10 @@ func (f *faultBackend) ReadBlock(a blockstore.Addr, buf []byte) error {
 	return f.inner.ReadBlock(a, buf)
 }
 
+func (f *faultBackend) ReadBlocks(addrs []blockstore.Addr, bufs [][]byte) (int, error) {
+	return blockstore.ReadBlocksSerial(f, addrs, bufs)
+}
+
 func (f *faultBackend) WriteBlock(a blockstore.Addr, data []byte) error {
 	return f.inner.WriteBlock(a, data)
 }
@@ -60,6 +64,10 @@ type storeBackend struct{ s *blockstore.Store }
 func (sb storeBackend) ReadBlock(a blockstore.Addr, buf []byte) error { return sb.s.ReadBlock(a, buf) }
 func (sb storeBackend) WriteBlock(a blockstore.Addr, d []byte) error  { return sb.s.WriteBlock(a, d) }
 func (sb storeBackend) NumBlocks() uint64                             { return sb.s.NumBlocks() + 1 }
+
+func (sb storeBackend) ReadBlocks(addrs []blockstore.Addr, bufs [][]byte) (int, error) {
+	return sb.s.ReadBlocks(addrs, bufs)
+}
 
 func TestSyncSearchPropagatesStorageErrors(t *testing.T) {
 	d, ix, _ := testSetup(t, 800, 8, DefaultOptions())

@@ -42,6 +42,14 @@ type Stats struct {
 	// Prefetched counts blocks the readahead pool pulled into the cache for
 	// this query's radius rounds.
 	Prefetched int
+	// CoalescedReads counts backend reads the I/O engine saved by merging
+	// runs of adjacent block addresses into single vectored operations
+	// (zero when no engine is attached). The logical N_IO is unchanged;
+	// these reads simply never became separate physical requests.
+	CoalescedReads int
+	// DedupedReads counts reads satisfied by joining another query's
+	// in-flight backend read, singleflight style (zero without an engine).
+	DedupedReads int
 }
 
 // IOs returns the total I/O count of the query (the paper's N_IO).

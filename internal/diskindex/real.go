@@ -9,6 +9,7 @@ import (
 	"e2lshos/internal/ann"
 	"e2lshos/internal/blockcache"
 	"e2lshos/internal/blockstore"
+	"e2lshos/internal/ioengine"
 	"e2lshos/internal/lsh"
 	"e2lshos/internal/vecmath"
 )
@@ -36,6 +37,14 @@ type ParallelSearcher struct {
 	probeBuf   []probe
 	probePtrs  []*probe
 	workerBufs [][]byte
+	// Vectored-fetch arenas (I/O engine path): one logical-block buffer per
+	// probe plus the flattened addr/buf slices of the current wave.
+	vecBufs  [][]byte
+	vecAddrs []blockstore.Addr
+	vecDsts  [][]byte
+	vecLive  []*probe
+	vecHeads []blockstore.Addr
+	vecOffs  []int
 	// Readahead scratch (cache.go), mirroring Searcher's.
 	nextHashes []uint32
 	raProj     []float64
@@ -60,6 +69,9 @@ func (ix *Index) NewParallelSearcher(workers int) (*ParallelSearcher, error) {
 	for w := range ps.workerBufs {
 		ps.workerBufs[w] = make([]byte, ix.bucketBufBytes())
 	}
+	if ix.ioeng != nil {
+		ps.ensureVecArenas()
+	}
 	if ix.readaheadActive() {
 		ps.nextHashes = make([]uint32, ix.params.L)
 		if !ix.opts.ShareProjections {
@@ -67,6 +79,24 @@ func (ix *Index) NewParallelSearcher(workers int) (*ParallelSearcher, error) {
 		}
 	}
 	return ps, nil
+}
+
+// ensureVecArenas allocates the vectored-fetch arenas once, whether the I/O
+// engine was attached before or after this searcher was built.
+func (ps *ParallelSearcher) ensureVecArenas() {
+	if ps.vecBufs != nil {
+		return
+	}
+	ix := ps.ix
+	ps.vecBufs = make([][]byte, ix.params.L)
+	for i := range ps.vecBufs {
+		ps.vecBufs[i] = make([]byte, ix.bucketBufBytes())
+	}
+	ps.vecAddrs = make([]blockstore.Addr, 0, ix.params.L*ix.physPerBucket)
+	ps.vecDsts = make([][]byte, 0, ix.params.L*ix.physPerBucket)
+	ps.vecLive = make([]*probe, 0, ix.params.L)
+	ps.vecHeads = make([]blockstore.Addr, 0, ix.params.L)
+	ps.vecOffs = make([]int, 0, ix.params.L)
 }
 
 // probe is one occupied bucket to fetch during a radius round.
@@ -163,8 +193,17 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 			*pr = probe{l: l, idx: idx, fp: fp, ids: pr.ids[:0]}
 			probes = append(probes, pr)
 		}
-		// Fetch phase: table entries + bucket chains, concurrently.
-		ps.fetchAll(rIdx, probes)
+		// Fetch phase: table entries + bucket chains. With an I/O engine the
+		// round goes out as vectored waves; otherwise the goroutine pool
+		// walks each probe's chain with blocking reads.
+		if ix.ioeng != nil {
+			if err := ps.fetchAllVec(rIdx, probes, &st); err != nil {
+				topk.Reset(k)
+				return st, err
+			}
+		} else {
+			ps.fetchAll(rIdx, probes)
+		}
 		for _, pr := range probes {
 			if pr.err != nil {
 				topk.Reset(k)
@@ -232,6 +271,104 @@ func (ps *ParallelSearcher) fetchAll(rIdx int, probes []*probe) {
 	}
 	close(next)
 	wg.Wait()
+}
+
+// fetchAllVec is the I/O engine fetch phase: instead of per-probe pointer
+// chasing it submits the radius round in vectored waves — every probe's
+// table-entry block as one batch, then every live chain's current logical
+// block as one batch per chain depth — so the engine can coalesce adjacent
+// blocks, dedup across concurrent queries, and keep the backend at its
+// configured queue depth. The blocks read, the per-probe id lists and the
+// logical I/O counts are identical to fetchAll's; only the submission shape
+// changes. Engine outcome counters are folded into st.
+//
+// Demand waves read under a background context on purpose: cancellation
+// stays at the searcher's documented radius-round granularity, exactly as on
+// the pool path (which never aborts a round midway either).
+func (ps *ParallelSearcher) fetchAllVec(rIdx int, probes []*probe, st *Stats) error {
+	if len(probes) == 0 {
+		return nil
+	}
+	ix := ps.ix
+	// The engine may have been attached after this searcher was built;
+	// allocate the wave arenas on first use in that case.
+	ps.ensureVecArenas()
+	var bst ioengine.BatchStats
+	ctx := context.Background()
+
+	// Wave 0: all table-entry blocks, stashing each probe's head-pointer
+	// byte offset for the decode loop.
+	addrs := ps.vecAddrs[:0]
+	dsts := ps.vecDsts[:0]
+	offs := ps.vecOffs[:0]
+	for i, pr := range probes {
+		blk, off := ix.tableEntryBlock(rIdx, pr.l, pr.idx)
+		addrs = append(addrs, blk)
+		offs = append(offs, off)
+		dsts = append(dsts, ps.vecBufs[i][:blockstore.BlockSize])
+	}
+	if err := ix.ioeng.ReadBatch(ctx, addrs, dsts, &bst); err != nil {
+		return err
+	}
+	live := ps.vecLive[:0]
+	heads := ps.vecHeads[:0]
+	for i, pr := range probes {
+		pr.ios++
+		head := blockstore.Addr(binary.LittleEndian.Uint64(ps.vecBufs[i][offs[i] : offs[i]+8]))
+		if head != blockstore.Nil {
+			live = append(live, pr)
+			heads = append(heads, head)
+		}
+	}
+
+	// Chain waves: one logical bucket block per live probe, repeated until
+	// every chain drains. A logical block spanning several physical blocks
+	// contributes adjacent addresses, which the engine coalesces back into
+	// one read.
+	phys := ix.physPerBucket
+	for len(live) > 0 {
+		addrs = addrs[:0]
+		dsts = dsts[:0]
+		for i := range live {
+			buf := ps.vecBufs[i]
+			for p := 0; p < phys; p++ {
+				addrs = append(addrs, heads[i]+blockstore.Addr(p))
+				dsts = append(dsts, buf[p*blockstore.BlockSize:(p+1)*blockstore.BlockSize])
+			}
+		}
+		if err := ix.ioeng.ReadBatch(ctx, addrs, dsts, &bst); err != nil {
+			return err
+		}
+		nextLive := live[:0]
+		nextHeads := heads[:0]
+		for i, pr := range live {
+			buf := ps.vecBufs[i]
+			pr.ios++
+			next, count := bucketHeader(buf)
+			p := HeaderBytes
+			for e := 0; e < count; e++ {
+				id, efp := ix.unpackEntry(getUint40(buf[p:]))
+				p += EntryBytes
+				if efp == pr.fp {
+					pr.ids = append(pr.ids, id)
+				}
+			}
+			if next != blockstore.Nil {
+				nextLive = append(nextLive, pr)
+				nextHeads = append(nextHeads, next)
+			}
+		}
+		live = nextLive
+		heads = nextHeads
+	}
+	foldBatchStats(st, bst)
+	// The arenas may have grown; keep the larger backing for the next round.
+	ps.vecAddrs = addrs[:0]
+	ps.vecOffs = offs[:0]
+	ps.vecDsts = dsts[:0]
+	ps.vecLive = live[:0]
+	ps.vecHeads = heads[:0]
+	return nil
 }
 
 // fetchOne reads one probe's table entry and full bucket chain, collecting

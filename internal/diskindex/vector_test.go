@@ -1,0 +1,458 @@
+package diskindex
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"e2lshos/internal/ann"
+	"e2lshos/internal/blockcache"
+	"e2lshos/internal/blockstore"
+	"e2lshos/internal/ioengine"
+	"e2lshos/internal/iosim"
+)
+
+// engineAttached returns a view of ix whose reads go through a fresh
+// vectored I/O engine (and optionally a fresh cache + readahead), sharing
+// the frozen index structures with the receiver.
+func engineAttached(t *testing.T, ix *Index, depth int, cacheBytes int64, readahead int) *Index {
+	t.Helper()
+	clone := *ix
+	clone.cache = nil
+	clone.prefetcher = nil
+	clone.readahead = 0
+	clone.ioeng = nil
+	var cache *blockcache.Cache
+	if cacheBytes > 0 {
+		var err error
+		cache, err = blockcache.New(cacheBytes, blockcache.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clone.AttachCache(cache, readahead)
+	}
+	eng, err := ioengine.New(clone.store, ioengine.Options{Depth: depth, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone.AttachIOEngine(eng)
+	return &clone
+}
+
+// logicalStats strips the physical-path counters (cache, coalescing, dedup,
+// prefetch) so two runs can be compared on what the algorithm did.
+func logicalStats(st Stats) Stats {
+	st.CacheHits = 0
+	st.CacheMisses = 0
+	st.Prefetched = 0
+	st.CoalescedReads = 0
+	st.DedupedReads = 0
+	return st
+}
+
+// TestVectoredFetchMatchesSerial is the PR's equivalence criterion: with the
+// I/O engine attached, both diskindex searchers must return identical
+// neighbor sets, distances and logical N_IO to the serial read path — on
+// generous budgets AND under mid-round budget truncation, cached and
+// uncached, across bucket-block sizes.
+func TestVectoredFetchMatchesSerial(t *testing.T) {
+	cases := []struct {
+		name  string
+		sigma float64
+		opts  Options
+	}{
+		{"generous budget", 1000, DefaultOptions()},
+		{"truncating budget", 2, DefaultOptions()},
+		{"multi-block buckets", 64, func() Options {
+			o := DefaultOptions()
+			o.BucketBytes = 4096
+			return o
+		}()},
+		{"chained buckets", 200, func() Options {
+			o := DefaultOptions()
+			o.TableBits = 6
+			return o
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, ix, _ := testSetup(t, 2000, tc.sigma, tc.opts)
+			for _, cached := range []bool{false, true} {
+				name := "uncached"
+				var cacheBytes int64
+				if cached {
+					name = "cached"
+					cacheBytes = 64 << 20
+				}
+				t.Run(name, func(t *testing.T) {
+					vec := engineAttached(t, ix, 16, cacheBytes, 0)
+
+					// Sequential searcher: read-for-read identical.
+					plainSeq := ix.NewSearcher()
+					vecSeq := vec.NewSearcher()
+					for qi, q := range d.Queries {
+						want, wantSt, err := plainSeq.Search(q, 5)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, gotSt, err := vecSeq.Search(q, 5)
+						if err != nil {
+							t.Fatal(err)
+						}
+						compareRuns(t, "sequential", qi, want.Neighbors, got.Neighbors, wantSt, gotSt, cached, ix.physPerBucket)
+					}
+
+					// Parallel searcher: the vectored wave fetch must read the
+					// same logical blocks as the goroutine-pool fetch.
+					plainPar, err := ix.NewParallelSearcher(8)
+					if err != nil {
+						t.Fatal(err)
+					}
+					vecPar, err := vec.NewParallelSearcher(8)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for qi, q := range d.Queries {
+						want, wantSt, err := plainPar.Search(q, 5)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, gotSt, err := vecPar.Search(q, 5)
+						if err != nil {
+							t.Fatal(err)
+						}
+						compareRuns(t, "parallel", qi, want.Neighbors, got.Neighbors, wantSt, gotSt, cached, ix.physPerBucket)
+					}
+				})
+			}
+		})
+	}
+}
+
+// compareRuns asserts neighbors (IDs and distances), logical stats, and the
+// engine-path accounting invariants.
+func compareRuns(t *testing.T, which string, qi int, want, got []ann.Neighbor, wantSt, gotSt Stats, cached bool, phys int) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s query %d: %d vs %d neighbors", which, qi, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s query %d rank %d: %+v vs %+v", which, qi, i, want[i], got[i])
+		}
+	}
+	if w, g := logicalStats(wantSt), logicalStats(gotSt); w != g {
+		t.Fatalf("%s query %d: logical stats diverged\nserial:   %+v\nvectored: %+v", which, qi, w, g)
+	}
+	if cached {
+		// Cache outcomes are per physical block: a logical bucket block of
+		// physPerBucket blocks contributes that many outcomes, exactly as on
+		// the serial path.
+		if want := gotSt.TableIOs + gotSt.BucketIOs*phys; gotSt.CacheHits+gotSt.CacheMisses != want {
+			t.Fatalf("%s query %d: cache outcomes %d+%d do not cover %d physical reads",
+				which, qi, gotSt.CacheHits, gotSt.CacheMisses, want)
+		}
+	} else if gotSt.CacheHits != 0 || gotSt.CacheMisses != 0 {
+		t.Fatalf("%s query %d: uncached run reported cache counters: %+v", which, qi, gotSt)
+	}
+}
+
+// TestEngineAttachedAfterSearcher: AttachIOEngine's contract is "attach
+// before issuing queries", not "before creating searchers" — a searcher
+// built first must allocate its wave arenas lazily instead of panicking.
+func TestEngineAttachedAfterSearcher(t *testing.T) {
+	d, ix, _ := testSetup(t, 1000, 8, DefaultOptions())
+	clone := *ix
+	ps, err := clone.NewParallelSearcher(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ioengine.New(clone.store, ioengine.Options{Depth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone.AttachIOEngine(eng)
+	if _, _, err := ps.Search(d.Queries[0], 1); err != nil {
+		t.Fatalf("search after late engine attach: %v", err)
+	}
+	if eng.Counters().Reads == 0 {
+		t.Error("late-attached engine saw no traffic")
+	}
+}
+
+// TestVectoredCoalescingSavesReads: with multi-block buckets, one logical
+// bucket block spans adjacent physical blocks, so the vectored fetch must
+// coalesce them into fewer physical reads without changing logical N_IO.
+func TestVectoredCoalescingSavesReads(t *testing.T) {
+	opts := DefaultOptions()
+	opts.BucketBytes = 4096 // 8 physical blocks per logical bucket block
+	d, ix, _ := testSetup(t, 2000, 64, opts)
+	vec := engineAttached(t, ix, 16, 0, 0)
+	ps, err := vec.NewParallelSearcher(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg Stats
+	for _, q := range d.Queries {
+		_, st, err := ps.Search(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg.BucketIOs += st.BucketIOs
+		agg.CoalescedReads += st.CoalescedReads
+	}
+	if agg.BucketIOs == 0 {
+		t.Fatal("no bucket reads; test is vacuous")
+	}
+	// Every logical bucket block is 8 adjacent physical blocks: at least 7
+	// of every 8 physical reads must have been coalesced away.
+	if agg.CoalescedReads < agg.BucketIOs*7 {
+		t.Errorf("coalesced %d reads over %d logical bucket IOs; want >= %d",
+			agg.CoalescedReads, agg.BucketIOs, agg.BucketIOs*7)
+	}
+	reads, physical, coalesced, _ := engCounters(vec)
+	if physical+coalesced != reads {
+		t.Errorf("engine counters inconsistent: %d phys + %d coalesced != %d reads",
+			physical, coalesced, reads)
+	}
+}
+
+func engCounters(ix *Index) (reads, physical, coalesced, deduped int64) {
+	c := ix.IOEngine().Counters()
+	return c.Reads, c.PhysicalReads, c.CoalescedReads, c.DedupedReads
+}
+
+// TestVectoredReadaheadAgrees: engine-attached readahead (vectored prefetch
+// waves) must leave answers identical to the plain index and actually
+// prefetch on multi-round ladders.
+func TestVectoredReadaheadAgrees(t *testing.T) {
+	d, ix, _ := testSetup(t, 2000, 8, DefaultOptions())
+	plain := ix.NewSearcher()
+	vec := engineAttached(t, ix, 16, 64<<20, 4)
+	vecSeq := vec.NewSearcher()
+	var agg Stats
+	for qi, q := range d.Queries {
+		want, _, err := plain.Search(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := vecSeq.Search(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Neighbors) != len(got.Neighbors) {
+			t.Fatalf("query %d: neighbor count differs with vectored readahead", qi)
+		}
+		for i := range want.Neighbors {
+			if want.Neighbors[i] != got.Neighbors[i] {
+				t.Fatalf("query %d rank %d differs with vectored readahead", qi, i)
+			}
+		}
+		agg.Radii += st.Radii
+		agg.Prefetched += st.Prefetched
+		agg.CacheHits += st.CacheHits
+	}
+	if agg.Radii <= len(d.Queries) {
+		t.Skip("ladder ended after one round; no readahead window at this scale")
+	}
+	if agg.Prefetched == 0 {
+		t.Error("multi-round queries prefetched nothing through the engine")
+	}
+	if agg.CacheHits == 0 {
+		t.Error("vectored readahead produced no demand hits on a cold cache")
+	}
+}
+
+// TestVectoredConcurrentSearchersRace: many ParallelSearchers sharing one
+// engine (dedup table, depth semaphore, cache) must stay correct under the
+// race detector and agree with the serial reference.
+func TestVectoredConcurrentSearchersRace(t *testing.T) {
+	d, ix, _ := testSetup(t, 2000, 8, DefaultOptions())
+	plain := ix.NewSearcher()
+	wantRes := make([][]uint32, len(d.Queries))
+	for qi, q := range d.Queries {
+		res, _, err := plain.Search(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nb := range res.Neighbors {
+			wantRes[qi] = append(wantRes[qi], nb.ID)
+		}
+	}
+	vec := engineAttached(t, ix, 8, 64<<20, 0)
+	const searchers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, searchers)
+	for w := 0; w < searchers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ps, err := vec.NewParallelSearcher(4)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for qi, q := range d.Queries {
+				res, st, err := ps.SearchContext(context.Background(), q, 1)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if st.CacheHits+st.CacheMisses != st.TableIOs+st.BucketIOs {
+					errs <- fmt.Errorf("query %d: cache outcomes %d+%d do not cover %d logical reads",
+						qi, st.CacheHits, st.CacheMisses, st.TableIOs+st.BucketIOs)
+					return
+				}
+				for i, id := range wantRes[qi] {
+					if res.Neighbors[i].ID != id {
+						errs <- fmt.Errorf("query %d: neighbor %d diverged under shared engine", qi, i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCrossQueryDedupOnSlowDevice: on a device-timed backend, reads stay in
+// flight long enough for concurrent searchers walking the same buckets to
+// join each other's reads — the integrated singleflight path. (On a DRAM
+// backend flights retire in nanoseconds and dedup rarely triggers; the
+// timing-free mechanism tests live in the ioengine package.)
+func TestCrossQueryDedupOnSlowDevice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock timing test")
+	}
+	d, ix, _ := testSetup(t, 2000, 8, DefaultOptions())
+	// ~14µs per read: slow enough to overlap, fast enough for a test.
+	wall, _ := wallIndex(t, ix, d.Vectors, iosim.CSSD, 0.1)
+	eng, err := ioengine.New(wall.store, ioengine.Options{Depth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall.AttachIOEngine(eng)
+	const searchers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < searchers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ps, err := wall.NewParallelSearcher(4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Everyone walks the same queries: maximal overlap.
+			for _, q := range d.Queries[:5] {
+				if _, _, err := ps.Search(q, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c := eng.Counters()
+	if c.DedupedReads == 0 {
+		t.Errorf("%d concurrent searchers over identical queries shared no reads: %+v", searchers, c)
+	}
+	if c.PhysicalReads+c.CoalescedReads+c.DedupedReads > c.Reads {
+		t.Errorf("counters overlap: %+v", c)
+	}
+}
+
+// wallIndex reloads ix onto a store timed like the given device (scaled), so
+// queue-depth effects show up on the wall clock.
+func wallIndex(t testing.TB, ix *Index, data [][]float32, spec iosim.DeviceSpec, scale float64) (*Index, *iosim.WallBackend) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wall, err := iosim.NewWallBackend(blockstore.NewMemBackend(), spec, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), data, blockstore.NewWithBackend(wall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded, wall
+}
+
+// TestQueueDepthSpeedsUpSimulatedDevice is the wall-clock acceptance check
+// in miniature: on a cSSD-profile backend, the parallel searcher through the
+// engine at QD=32 must beat QD=1 by well over the required 25%.
+func TestQueueDepthSpeedsUpSimulatedDevice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock timing test")
+	}
+	d, ix, _ := testSetup(t, 2000, 8, DefaultOptions())
+	// Scale the cSSD's 139µs service time down to ~14µs to keep the test
+	// fast; the queue-depth ratio is scale-invariant.
+	const scale = 0.1
+	run := func(depth int) time.Duration {
+		wall, _ := wallIndex(t, ix, d.Vectors, iosim.CSSD, scale)
+		eng, err := ioengine.New(wall.store, ioengine.Options{Depth: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wall.AttachIOEngine(eng)
+		ps, err := wall.NewParallelSearcher(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		for _, q := range d.Queries {
+			if _, _, err := ps.Search(q, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	qd1 := run(1)
+	qd32 := run(32)
+	t.Logf("QD=1: %v, QD=32: %v (%.1fx)", qd1, qd32, float64(qd1)/float64(qd32))
+	if float64(qd32)*1.25 > float64(qd1) {
+		t.Errorf("QD=32 (%v) not >=25%% faster than QD=1 (%v) on the simulated cSSD", qd32, qd1)
+	}
+}
+
+// BenchmarkParallelSearcherQD is the Table 2 analogue on the wall clock: the
+// same parallel searcher, same queries, same simulated cSSD — only the I/O
+// engine's queue depth changes.
+func BenchmarkParallelSearcherQD(b *testing.B) {
+	d, _, ix := benchSetup(b)
+	for _, depth := range []int{1, 32} {
+		b.Run(fmt.Sprintf("QD%d", depth), func(b *testing.B) {
+			wall, backend := wallIndex(b, ix, d.Vectors, iosim.CSSD, 0.1)
+			eng, err := ioengine.New(wall.store, ioengine.Options{Depth: depth})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wall.AttachIOEngine(eng)
+			ps, err := wall.NewParallelSearcher(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ps.Search(d.Queries[i%d.NQ()], 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if ops := backend.Ops(); ops > 0 {
+				b.ReportMetric(float64(backend.Reads())/float64(ops), "blocks/op")
+			}
+		})
+	}
+}

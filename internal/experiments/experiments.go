@@ -199,6 +199,7 @@ var Registry = map[string]Runner{
 	"shards":     func(env *Env) (Renderable, error) { return Shards(env) },
 	"sync":       func(env *Env) (Renderable, error) { return SyncComparison(env) },
 	"cachesweep": func(env *Env) (Renderable, error) { return CacheSweep(env) },
+	"qdsweep":    func(env *Env) (Renderable, error) { return QDSweep(env) },
 	"ablation":   func(env *Env) (Renderable, error) { return Ablation(env) },
 }
 

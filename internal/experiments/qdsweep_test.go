@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+// TestQDSweepMonotoneIOPS is the qdsweep acceptance property: effective
+// device IOPS rises monotonically with queue depth up to the die count and
+// saturates at Dies/ServiceTime beyond it, and the vectored async engine
+// turns the deeper queue into higher query throughput.
+func TestQDSweepMonotoneIOPS(t *testing.T) {
+	env := testEnv()
+	res, err := QDSweep(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(qdSweepDepths) {
+		t.Fatalf("%d rows, want %d", len(res.Rows), len(qdSweepDepths))
+	}
+	if res.Dies <= 1 {
+		t.Fatalf("device model has %d dies; sweep is vacuous", res.Dies)
+	}
+	for i, row := range res.Rows {
+		if row.DeviceIOPS <= 0 || row.QPS <= 0 || row.QueryUS <= 0 {
+			t.Fatalf("degenerate row: %+v", row)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := res.Rows[i-1]
+		if row.QueueDepth <= prev.QueueDepth {
+			t.Fatalf("rows not ordered by depth: %d then %d", prev.QueueDepth, row.QueueDepth)
+		}
+		// Monotone up to the die count: strictly increasing while the queue
+		// still has idle dies to recruit, never decreasing after.
+		if row.QueueDepth <= res.Dies && row.DeviceIOPS <= prev.DeviceIOPS {
+			t.Errorf("effective IOPS did not rise from QD%d (%.0f) to QD%d (%.0f) below the %d-die limit",
+				prev.QueueDepth, prev.DeviceIOPS, row.QueueDepth, row.DeviceIOPS, res.Dies)
+		}
+		if row.DeviceIOPS < prev.DeviceIOPS*0.999 {
+			t.Errorf("effective IOPS fell from QD%d to QD%d: %.0f -> %.0f",
+				prev.QueueDepth, row.QueueDepth, prev.DeviceIOPS, row.DeviceIOPS)
+		}
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	// Saturation: the deepest queue must sit near the rated Dies/ServiceTime.
+	if max := float64(res.Dies) * first.DeviceIOPS; last.DeviceIOPS < 0.9*max || last.DeviceIOPS > 1.01*max {
+		t.Errorf("QD%d IOPS %.0f not at the saturated rate %.0f", last.QueueDepth, last.DeviceIOPS, max)
+	}
+	// The engine turns queue depth into throughput: the deepest run must
+	// beat the QD1 run clearly on the I/O-bound cSSD profile.
+	if last.QPS < first.QPS*1.25 {
+		t.Errorf("engine QPS rose only %.2fx from QD1 (%.0f) to QD%d (%.0f); want >=1.25x",
+			last.QPS/first.QPS, first.QPS, last.QueueDepth, last.QPS)
+	}
+	if len(res.Render()) != 1 {
+		t.Error("qdsweep should render one table")
+	}
+}

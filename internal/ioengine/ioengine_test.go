@@ -1,0 +1,544 @@
+package ioengine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"e2lshos/internal/blockcache"
+	"e2lshos/internal/blockstore"
+)
+
+// slowSource is a Source with per-op latency, call counting and a gate that
+// can hold reads open, for dedup/cancellation/depth tests.
+type slowSource struct {
+	store    *blockstore.Store
+	delay    time.Duration
+	gate     chan struct{} // when non-nil, every op blocks until it can receive
+	reads    atomic.Int64  // logical blocks served
+	ops      atomic.Int64  // physical operations
+	inflight atomic.Int64
+	maxIn    atomic.Int64
+}
+
+func (s *slowSource) enter() {
+	if s.gate != nil {
+		<-s.gate
+	}
+	in := s.inflight.Add(1)
+	for {
+		m := s.maxIn.Load()
+		if in <= m || s.maxIn.CompareAndSwap(m, in) {
+			break
+		}
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+}
+
+func (s *slowSource) exit() { s.inflight.Add(-1) }
+
+func (s *slowSource) ReadBlock(a blockstore.Addr, buf []byte) error {
+	s.enter()
+	defer s.exit()
+	s.reads.Add(1)
+	s.ops.Add(1)
+	return s.store.ReadBlock(a, buf)
+}
+
+func (s *slowSource) ReadBlocks(addrs []blockstore.Addr, bufs [][]byte) (int, error) {
+	s.enter()
+	defer s.exit()
+	n, err := s.store.ReadBlocks(addrs, bufs)
+	s.reads.Add(int64(len(addrs)))
+	s.ops.Add(int64(n))
+	return n, err
+}
+
+// testStore allocates n blocks whose first bytes encode their address.
+func testStore(t testing.TB, n int) *blockstore.Store {
+	t.Helper()
+	st := blockstore.NewMem()
+	data := make([]byte, blockstore.BlockSize)
+	for i := 0; i < n; i++ {
+		a := st.Allocate()
+		data[0] = byte(a)
+		data[1] = byte(a >> 8)
+		if err := st.WriteBlock(a, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func checkBlock(t *testing.T, a blockstore.Addr, buf []byte) {
+	t.Helper()
+	if buf[0] != byte(a) || buf[1] != byte(a>>8) {
+		t.Fatalf("block %d: got payload %d,%d", a, buf[0], buf[1])
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	st := testStore(t, 1)
+	if _, err := New(nil, Options{Depth: 1}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := New(st, Options{Depth: 0}); err == nil {
+		t.Error("zero depth accepted")
+	}
+	eng, err := New(st, Options{Depth: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Depth() != 7 {
+		t.Errorf("Depth = %d, want 7", eng.Depth())
+	}
+}
+
+func TestReadBatchCoalescesAdjacentRuns(t *testing.T) {
+	st := testStore(t, 200)
+	src := &slowSource{store: st}
+	eng, err := New(src, Options{Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two adjacent runs (10..14, 50..52) plus one singleton, shuffled.
+	addrs := []blockstore.Addr{12, 50, 10, 99, 13, 51, 11, 52, 14}
+	bufs := make([][]byte, len(addrs))
+	for i := range bufs {
+		bufs[i] = make([]byte, blockstore.BlockSize)
+	}
+	var bst BatchStats
+	if err := eng.ReadBatch(context.Background(), addrs, bufs, &bst); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range addrs {
+		checkBlock(t, a, bufs[i])
+	}
+	if got, want := bst.PhysicalReads, 3; got != want {
+		t.Errorf("PhysicalReads = %d, want %d (runs 10..14, 50..52, 99)", got, want)
+	}
+	if got, want := bst.CoalescedReads, len(addrs)-3; got != want {
+		t.Errorf("CoalescedReads = %d, want %d", got, want)
+	}
+	if src.ops.Load() != 3 {
+		t.Errorf("backend saw %d physical ops, want 3", src.ops.Load())
+	}
+	c := eng.Counters()
+	if c.Reads != int64(len(addrs)) || c.PhysicalReads != 3 || c.CoalescedReads != int64(len(addrs)-3) {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestReadBatchDuplicatesShareOneRead(t *testing.T) {
+	st := testStore(t, 10)
+	src := &slowSource{store: st}
+	eng, err := New(src, Options{Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []blockstore.Addr{5, 5, 5, 7, 7}
+	bufs := make([][]byte, len(addrs))
+	for i := range bufs {
+		bufs[i] = make([]byte, blockstore.BlockSize)
+	}
+	var bst BatchStats
+	if err := eng.ReadBatch(context.Background(), addrs, bufs, &bst); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range addrs {
+		checkBlock(t, a, bufs[i])
+	}
+	if src.reads.Load() != 2 {
+		t.Errorf("backend served %d blocks, want 2 (5 and 7 once each)", src.reads.Load())
+	}
+	if bst.DedupedReads != 3 {
+		t.Errorf("DedupedReads = %d, want 3", bst.DedupedReads)
+	}
+	// The engine-wide counter must agree with the per-call stats: in-batch
+	// duplicates are dedups too.
+	if c := eng.Counters(); c.DedupedReads != 3 {
+		t.Errorf("Counters().DedupedReads = %d, want 3", c.DedupedReads)
+	}
+}
+
+func TestCrossCallDedupSharesInflightRead(t *testing.T) {
+	st := testStore(t, 10)
+	src := &slowSource{store: st, gate: make(chan struct{})}
+	eng, err := New(src, Options{Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 8
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	bufs := make([][]byte, waiters)
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			bufs[w] = make([]byte, blockstore.BlockSize)
+			errs[w] = eng.Read(context.Background(), 3, bufs[w], nil)
+		}(w)
+	}
+	// Let one leader reach the gate, then release exactly one backend op.
+	time.Sleep(20 * time.Millisecond)
+	src.gate <- struct{}{}
+	wg.Wait()
+	select {
+	case src.gate <- struct{}{}:
+		t.Fatal("a second backend read was waiting; dedup failed")
+	default:
+	}
+	for w := 0; w < waiters; w++ {
+		if errs[w] != nil {
+			t.Fatalf("waiter %d: %v", w, errs[w])
+		}
+		checkBlock(t, 3, bufs[w])
+	}
+	if src.reads.Load() != 1 {
+		t.Errorf("backend served %d reads for %d concurrent requests, want 1", src.reads.Load(), waiters)
+	}
+	if eng.Counters().DedupedReads != waiters-1 {
+		t.Errorf("DedupedReads = %d, want %d", eng.Counters().DedupedReads, waiters-1)
+	}
+}
+
+// TestCanceledWaiterDoesNotPoisonFlight is the satellite regression test: a
+// waiter whose context dies while joined to another caller's in-flight read
+// must return ctx.Err() promptly, and the read itself — plus every other
+// waiter — must complete with clean data.
+func TestCanceledWaiterDoesNotPoisonFlight(t *testing.T) {
+	st := testStore(t, 10)
+	src := &slowSource{store: st, gate: make(chan struct{})}
+	eng, err := New(src, Options{Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	leaderDone := make(chan error, 1)
+	leaderBuf := make([]byte, blockstore.BlockSize)
+	go func() { leaderDone <- eng.Read(context.Background(), 4, leaderBuf, nil) }()
+	time.Sleep(20 * time.Millisecond) // leader is parked at the gate
+
+	ctx, cancel := context.WithCancel(context.Background())
+	canceledDone := make(chan error, 1)
+	go func() {
+		canceledDone <- eng.Read(ctx, 4, make([]byte, blockstore.BlockSize), nil)
+	}()
+	survivorDone := make(chan error, 1)
+	survivorBuf := make([]byte, blockstore.BlockSize)
+	go func() { survivorDone <- eng.Read(context.Background(), 4, survivorBuf, nil) }()
+
+	time.Sleep(20 * time.Millisecond) // both joined the leader's flight
+	cancel()
+	if err := <-canceledDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter returned %v, want context.Canceled", err)
+	}
+
+	src.gate <- struct{}{} // release the backend read
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader failed after a waiter was canceled: %v", err)
+	}
+	if err := <-survivorDone; err != nil {
+		t.Fatalf("surviving waiter failed after another waiter was canceled: %v", err)
+	}
+	checkBlock(t, 4, leaderBuf)
+	checkBlock(t, 4, survivorBuf)
+	if src.reads.Load() != 1 {
+		t.Errorf("backend served %d reads, want 1", src.reads.Load())
+	}
+
+	// The flight is fully retired: a fresh read goes to the backend again.
+	go func() { src.gate <- struct{}{} }()
+	fresh := make([]byte, blockstore.BlockSize)
+	if err := eng.Read(context.Background(), 4, fresh, nil); err != nil {
+		t.Fatalf("fresh read after retirement: %v", err)
+	}
+	checkBlock(t, 4, fresh)
+	if src.reads.Load() != 2 {
+		t.Errorf("backend served %d reads after retirement, want 2", src.reads.Load())
+	}
+}
+
+func TestDepthBoundsBackendConcurrency(t *testing.T) {
+	st := testStore(t, 128)
+	src := &slowSource{store: st, delay: 2 * time.Millisecond}
+	const depth = 3
+	eng, err := New(src, Options{Depth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Widely spaced addresses: no coalescing, one op per block, fanned out
+	// from many concurrent batches.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			addrs := make([]blockstore.Addr, 8)
+			bufs := make([][]byte, 8)
+			for i := range addrs {
+				addrs[i] = blockstore.Addr(2*(8*w+i) + 1)
+				bufs[i] = make([]byte, blockstore.BlockSize)
+			}
+			if err := eng.ReadBatch(context.Background(), addrs, bufs, nil); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m := src.maxIn.Load(); m > depth {
+		t.Errorf("backend saw %d concurrent ops, depth is %d", m, depth)
+	}
+}
+
+func TestCacheInteraction(t *testing.T) {
+	st := testStore(t, 64)
+	src := &slowSource{store: st}
+	cache, err := blockcache.New(64*blockstore.BlockSize, blockcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(src, Options{Depth: 4, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []blockstore.Addr{1, 2, 3, 4}
+	bufs := make([][]byte, len(addrs))
+	for i := range bufs {
+		bufs[i] = make([]byte, blockstore.BlockSize)
+	}
+	var cold BatchStats
+	if err := eng.ReadBatch(context.Background(), addrs, bufs, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheMisses != 4 || cold.CacheHits != 0 {
+		t.Errorf("cold batch: %d misses / %d hits, want 4/0", cold.CacheMisses, cold.CacheHits)
+	}
+	var warm BatchStats
+	if err := eng.ReadBatch(context.Background(), addrs, bufs, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != 4 || warm.CacheMisses != 0 {
+		t.Errorf("warm batch: %d hits / %d misses, want 4/0", warm.CacheHits, warm.CacheMisses)
+	}
+	if src.reads.Load() != 4 {
+		t.Errorf("backend served %d reads, want 4 (fills cached)", src.reads.Load())
+	}
+	for i, a := range addrs {
+		checkBlock(t, a, bufs[i])
+	}
+}
+
+func TestReadBatchPropagatesErrors(t *testing.T) {
+	st := testStore(t, 8)
+	eng, err := New(st, Options{Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []blockstore.Addr{1, 2, 1000} // 1000 unallocated
+	bufs := make([][]byte, len(addrs))
+	for i := range bufs {
+		bufs[i] = make([]byte, blockstore.BlockSize)
+	}
+	if err := eng.ReadBatch(context.Background(), addrs, bufs, nil); err == nil {
+		t.Error("invalid address in batch produced no error")
+	}
+	// The failed flight must be retired, not wedged.
+	if err := eng.Read(context.Background(), 1, bufs[0], nil); err != nil {
+		t.Fatalf("engine wedged after batch error: %v", err)
+	}
+}
+
+func TestPrefetchWalksWarmCache(t *testing.T) {
+	// A chain of blocks where each block's first 8 bytes name the next.
+	st := blockstore.NewMem()
+	const chainLen = 6
+	addrs := make([]blockstore.Addr, chainLen)
+	for i := range addrs {
+		addrs[i] = st.Allocate()
+	}
+	data := make([]byte, blockstore.BlockSize)
+	for i, a := range addrs {
+		var next blockstore.Addr
+		if i+1 < chainLen {
+			next = addrs[i+1]
+		}
+		for b := 0; b < 8; b++ {
+			data[b] = byte(uint64(next) >> (8 * b))
+		}
+		if err := st.WriteBlock(a, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache, err := blockcache.New(64*blockstore.BlockSize, blockcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &slowSource{store: st}
+	eng, err := New(src, Options{Depth: 4, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode := func(step int, block []byte) blockstore.Addr {
+		var v uint64
+		for b := 7; b >= 0; b-- {
+			v = v<<8 | uint64(block[b])
+		}
+		return blockstore.Addr(v)
+	}
+	h := eng.Prefetch(context.Background(), []blockcache.Walk{
+		{Start: addrs[0], Steps: chainLen, Next: decode},
+	})
+	if got := h.Wait(); got != chainLen {
+		t.Errorf("prefetched %d blocks, want %d", got, chainLen)
+	}
+	if !h.Done() {
+		t.Error("Done() false after Wait")
+	}
+	if cache.Prefetched() != chainLen {
+		t.Errorf("cache prefetched counter = %d, want %d", cache.Prefetched(), chainLen)
+	}
+	if cache.Hits() != 0 || cache.Misses() != 0 {
+		t.Error("prefetch skewed the demand hit/miss counters")
+	}
+	// Demand reads now all hit.
+	var bst BatchStats
+	buf := make([]byte, blockstore.BlockSize)
+	for _, a := range addrs {
+		if err := eng.Read(context.Background(), a, buf, &bst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bst.CacheHits != chainLen || bst.CacheMisses != 0 {
+		t.Errorf("after prefetch: %d hits / %d misses, want %d/0", bst.CacheHits, bst.CacheMisses, chainLen)
+	}
+	if src.reads.Load() != chainLen {
+		t.Errorf("backend served %d reads, want %d (prefetch only)", src.reads.Load(), chainLen)
+	}
+}
+
+func TestPrefetchCanceledStopsBetweenWaves(t *testing.T) {
+	st := testStore(t, 32)
+	cache, err := blockcache.New(64*blockstore.BlockSize, blockcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(st, Options{Depth: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := eng.Prefetch(ctx, []blockcache.Walk{{
+		Start: 1, Steps: 10,
+		Next: func(step int, block []byte) blockstore.Addr { return blockstore.Addr(step + 2) },
+	}})
+	if got := h.Wait(); got > 1 {
+		t.Errorf("canceled prefetch still walked %d blocks", got)
+	}
+}
+
+func TestConcurrentMixedTrafficRace(t *testing.T) {
+	// Demand reads, batches and prefetches over one engine, under -race.
+	st := testStore(t, 256)
+	cache, err := blockcache.New(128*blockstore.BlockSize, blockcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(&slowSource{store: st}, Options{Depth: 8, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, blockstore.BlockSize)
+			for i := 0; i < 50; i++ {
+				a := blockstore.Addr(1 + (w*37+i*11)%256)
+				if err := eng.Read(context.Background(), a, buf, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				checkBlock(t, a, buf)
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			addrs := make([]blockstore.Addr, 16)
+			bufs := make([][]byte, 16)
+			for i := range bufs {
+				bufs[i] = make([]byte, blockstore.BlockSize)
+			}
+			for i := 0; i < 10; i++ {
+				for j := range addrs {
+					addrs[j] = blockstore.Addr(1 + (w*53+i*16+j)%256)
+				}
+				if err := eng.ReadBatch(context.Background(), addrs, bufs, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				for j, a := range addrs {
+					checkBlock(t, a, bufs[j])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c := eng.Counters()
+	if c.Reads == 0 || c.PhysicalReads == 0 {
+		t.Errorf("no traffic recorded: %+v", c)
+	}
+	if c.PhysicalReads > c.Reads {
+		t.Errorf("more physical reads (%d) than requests (%d)", c.PhysicalReads, c.Reads)
+	}
+}
+
+func TestReadBatchLengthMismatch(t *testing.T) {
+	st := testStore(t, 4)
+	eng, err := New(st, Options{Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ReadBatch(context.Background(), []blockstore.Addr{1, 2}, make([][]byte, 1), nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := eng.ReadBatch(context.Background(), nil, nil, nil); err != nil {
+		t.Errorf("empty batch errored: %v", err)
+	}
+}
+
+func TestBatchStatsString(t *testing.T) {
+	// Folding into a nil stats pointer must be safe on every path.
+	st := testStore(t, 70)
+	eng, err := New(st, Options{Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]blockstore.Addr, 64)
+	bufs := make([][]byte, 64)
+	for i := range addrs {
+		addrs[i] = blockstore.Addr(i + 1)
+		bufs[i] = make([]byte, blockstore.BlockSize)
+	}
+	if err := eng.ReadBatch(context.Background(), addrs, bufs, nil); err != nil {
+		t.Fatal(err)
+	}
+	var bst BatchStats
+	if err := eng.ReadBatch(context.Background(), addrs, bufs, &bst); err != nil {
+		t.Fatal(err)
+	}
+	if s := fmt.Sprintf("%+v", bst); !bytes.Contains([]byte(s), []byte("CoalescedReads")) {
+		t.Errorf("unexpected stats rendering: %s", s)
+	}
+}

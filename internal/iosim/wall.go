@@ -1,0 +1,92 @@
+package iosim
+
+import (
+	"sync/atomic"
+	"time"
+
+	"e2lshos/internal/blockstore"
+)
+
+// WallBackend wraps a blockstore backend with wall-clock device timing from
+// a DeviceSpec: every physical read occupies one of Dies die slots for the
+// spec's service time (scaled by Scale), so the backend reproduces the
+// paper's Table 2 queue-depth curve in real time — at queue depth 1 a
+// caller waits the full service time per read, while Dies concurrent
+// callers stream reads in parallel. It is the device model the wall-clock
+// qdsweep benchmarks drive the I/O engine against, without needing real
+// hardware. Writes are free: the paper's analysis (and this repo's read
+// path) is about random reads, and charging builds would only slow tests.
+//
+// A coalesced vectored read (one run of adjacent blocks) costs one service
+// time: the run is one physical request, which is exactly the benefit the
+// coalescer is buying.
+type WallBackend struct {
+	inner blockstore.Backend
+	spec  DeviceSpec
+	scale float64
+	dies  chan struct{}
+	reads atomic.Int64
+	ops   atomic.Int64
+}
+
+// NewWallBackend wraps inner with the spec's timing. scale multiplies the
+// service time (1.0 = the spec's calibrated latency; tests use smaller
+// values to keep wall clocks short).
+func NewWallBackend(inner blockstore.Backend, spec DeviceSpec, scale float64) (*WallBackend, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	return &WallBackend{
+		inner: inner,
+		spec:  spec,
+		scale: scale,
+		dies:  make(chan struct{}, spec.Dies),
+	}, nil
+}
+
+// Reads returns how many logical blocks were served.
+func (w *WallBackend) Reads() int64 { return w.reads.Load() }
+
+// Ops returns how many physical operations (die occupations) were served.
+func (w *WallBackend) Ops() int64 { return w.ops.Load() }
+
+// occupy holds one die for n physical operations' worth of service time.
+func (w *WallBackend) occupy(nops int) {
+	w.dies <- struct{}{}
+	time.Sleep(time.Duration(float64(w.spec.ServiceTime) * w.scale * float64(nops)))
+	<-w.dies
+	w.ops.Add(int64(nops))
+}
+
+// ReadBlock serves one random read at the device's QD1 latency.
+func (w *WallBackend) ReadBlock(a blockstore.Addr, buf []byte) error {
+	if err := w.inner.ReadBlock(a, buf); err != nil {
+		return err
+	}
+	w.reads.Add(1)
+	w.occupy(1)
+	return nil
+}
+
+// ReadBlocks serves a vectored read: each coalesced run is one physical
+// operation on one die.
+func (w *WallBackend) ReadBlocks(addrs []blockstore.Addr, bufs [][]byte) (int, error) {
+	nops, err := w.inner.ReadBlocks(addrs, bufs)
+	if err != nil {
+		return nops, err
+	}
+	w.reads.Add(int64(len(addrs)))
+	w.occupy(nops)
+	return nops, nil
+}
+
+// WriteBlock passes through untimed.
+func (w *WallBackend) WriteBlock(a blockstore.Addr, data []byte) error {
+	return w.inner.WriteBlock(a, data)
+}
+
+// NumBlocks passes through.
+func (w *WallBackend) NumBlocks() uint64 { return w.inner.NumBlocks() }

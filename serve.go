@@ -124,20 +124,25 @@ type statsResponse struct {
 	// Block-cache counters (zero unless the engine was built with
 	// WithBlockCache): with a cache, cache_misses is the effective N_IO that
 	// reached the backend, n_io stays the logical count.
-	CacheHits        int     `json:"cache_hits"`
-	CacheMisses      int     `json:"cache_misses"`
-	PrefetchedBlocks int     `json:"prefetched_blocks"`
-	MeanIOs          float64 `json:"mean_ios"`
-	MeanRadii        float64 `json:"mean_radii"`
-	MeanChecked      float64 `json:"mean_checked"`
-	Served           uint64  `json:"served"`
-	Failed           uint64  `json:"failed"`
-	Canceled         uint64  `json:"canceled"`
-	Shed             uint64  `json:"shed"`
-	UptimeSeconds    float64 `json:"uptime_seconds"`
-	Scored           int     `json:"scored,omitempty"`
-	MeanRecall       float64 `json:"mean_recall,omitempty"`
-	MeanRatio        float64 `json:"mean_ratio,omitempty"`
+	CacheHits        int `json:"cache_hits"`
+	CacheMisses      int `json:"cache_misses"`
+	PrefetchedBlocks int `json:"prefetched_blocks"`
+	// Vectored I/O engine counters (zero unless the engine was built with
+	// WithIOEngine): reads absorbed by adjacent-run coalescing and by
+	// cross-query singleflight dedup. n_io stays the logical count.
+	CoalescedReads int     `json:"coalesced_reads"`
+	DedupedReads   int     `json:"deduped_reads"`
+	MeanIOs        float64 `json:"mean_ios"`
+	MeanRadii      float64 `json:"mean_radii"`
+	MeanChecked    float64 `json:"mean_checked"`
+	Served         uint64  `json:"served"`
+	Failed         uint64  `json:"failed"`
+	Canceled       uint64  `json:"canceled"`
+	Shed           uint64  `json:"shed"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Scored         int     `json:"scored,omitempty"`
+	MeanRecall     float64 `json:"mean_recall,omitempty"`
+	MeanRatio      float64 `json:"mean_ratio,omitempty"`
 }
 
 // Handler returns the HTTP API: POST /search, GET /stats, GET /healthz.
@@ -247,6 +252,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheHits:        st.CacheHits,
 		CacheMisses:      st.CacheMisses,
 		PrefetchedBlocks: st.PrefetchedBlocks,
+		CoalescedReads:   st.CoalescedReads,
+		DedupedReads:     st.DedupedReads,
 		MeanIOs:          st.MeanIOs(),
 		MeanRadii:        st.MeanRadii(),
 		MeanChecked:      st.MeanChecked(),

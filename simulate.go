@@ -65,6 +65,11 @@ type SimulationConfig struct {
 	Iface   Interface
 	Threads int // virtual CPU cores; default 1
 	K       int // top-k; default 1
+	// QueueDepth is the per-core query interleaving depth — how many query
+	// contexts keep requests in the device queue. Zero follows the index's
+	// WithIOEngine depth when one is attached (so capacity planning sweeps
+	// the same knob the wall-clock engine uses), else 32.
+	QueueDepth int
 }
 
 // SimulationReport summarizes a virtual-time batch.
@@ -118,8 +123,15 @@ func (s *StorageIndex) Simulate(queries [][]float32, cfg SimulationConfig) (*Sim
 	if err != nil {
 		return nil, err
 	}
+	depth := cfg.QueueDepth
+	if depth == 0 {
+		depth = 32
+		if ioeng := s.ix.IOEngine(); ioeng != nil {
+			depth = ioeng.Depth()
+		}
+	}
 	results := make([]diskindex.AsyncResult, len(queries))
-	rep, err := eng.RunBatch(len(queries), 32, s.ix.AsyncQueryFunc(costmodel.Default(), queries, k, results))
+	rep, err := eng.RunBatch(len(queries), depth, s.ix.AsyncQueryFunc(costmodel.Default(), queries, k, results))
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"e2lshos/internal/blockcache"
 	"e2lshos/internal/blockstore"
 	"e2lshos/internal/diskindex"
+	"e2lshos/internal/ioengine"
 )
 
 // StorageIndex is E2LSHoS: the hash index on (real or simulated) storage.
@@ -61,16 +62,26 @@ func OpenStorageIndex(path string, data [][]float32, opts ...StorageOption) (*St
 	return &StorageIndex{ix: ix}, nil
 }
 
-// attachCache realizes the resolved storage settings on the index.
+// attachCache realizes the resolved storage settings on the index: the
+// cache tier first, then (if requested) the vectored I/O engine in front of
+// it, sharing the same cache so dedup sits before one coherent tier.
 func attachCache(ix *diskindex.Index, set storageSettings) error {
-	if set.cacheBytes == 0 {
-		return nil
+	var cache *blockcache.Cache
+	if set.cacheBytes > 0 {
+		var err error
+		cache, err = blockcache.New(set.cacheBytes, blockcache.Options{})
+		if err != nil {
+			return err
+		}
+		ix.AttachCache(cache, set.readahead)
 	}
-	cache, err := blockcache.New(set.cacheBytes, blockcache.Options{})
-	if err != nil {
-		return err
+	if set.ioDepth > 0 {
+		eng, err := ioengine.New(ix.Store(), ioengine.Options{Depth: set.ioDepth, Cache: cache})
+		if err != nil {
+			return err
+		}
+		ix.AttachIOEngine(eng)
 	}
-	ix.AttachCache(cache, set.readahead)
 	return nil
 }
 
@@ -83,6 +94,19 @@ func (s *StorageIndex) CacheStats() (hits, misses, prefetched int64) {
 		return 0, 0, 0
 	}
 	return c.Hits(), c.Misses(), c.Prefetched()
+}
+
+// IOEngineStats reports the cumulative vectored-engine counters across all
+// queries (all zero when the index was built without WithIOEngine):
+// requested block reads, the physical backend operations that served them,
+// and the reads absorbed by adjacent-run coalescing and singleflight dedup.
+func (s *StorageIndex) IOEngineStats() (reads, physical, coalesced, deduped int64) {
+	eng := s.ix.IOEngine()
+	if eng == nil {
+		return 0, 0, 0, 0
+	}
+	c := eng.Counters()
+	return c.Reads, c.PhysicalReads, c.CoalescedReads, c.DedupedReads
 }
 
 // Search answers a top-k query with a concurrent fan-out of the WithFanout
@@ -167,5 +191,7 @@ func diskStats(st diskindex.Stats) Stats {
 		CacheHits:        st.CacheHits,
 		CacheMisses:      st.CacheMisses,
 		PrefetchedBlocks: st.Prefetched,
+		CoalescedReads:   st.CoalescedReads,
+		DedupedReads:     st.DedupedReads,
 	}
 }
