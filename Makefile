@@ -1,0 +1,36 @@
+# Convenience targets mirroring the CI jobs. `make lint` is the gate a PR
+# must pass: vet plus the repo's own invariant checker (cmd/lshlint).
+
+GO ?= go
+
+.PHONY: all build test race lint fuzz bench cover
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# vet + lshlint: the four custom analyzers (ctxladder, hotpathalloc,
+# statsfold, guardedby) over the whole module. Any finding fails.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/lshlint ./...
+
+# Short smoke run of every fuzz target, mirroring the CI fuzz job.
+fuzz:
+	$(GO) test ./internal/blockstore -run '^$$' -fuzz FuzzNextRun -fuzztime 20s
+	$(GO) test ./internal/diskindex -run '^$$' -fuzz FuzzUint40RoundTrip -fuzztime 20s
+	$(GO) test ./internal/diskindex -run '^$$' -fuzz FuzzChainRoundTrip -fuzztime 20s
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=3x ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1

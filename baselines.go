@@ -52,6 +52,7 @@ type srsQuerier struct {
 	budget int
 }
 
+//lsh:foldall srs.Stats
 func (s srsQuerier) query(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (Result, Stats, error) {
 	// A caller-supplied budget owns the accuracy knob (§3.3), so the
 	// chi-square early stop only runs unbudgeted.
@@ -117,6 +118,7 @@ type qalshQuerier struct {
 	s *qalsh.Searcher
 }
 
+//lsh:foldall qalsh.Stats
 func (q qalshQuerier) query(ctx context.Context, v []float32, k int, dst []ann.Neighbor) (Result, Stats, error) {
 	res, st, err := q.s.SearchInto(ctx, v, k, dst)
 	return res, Stats{

@@ -15,9 +15,14 @@
 //
 //	benchjson -delta BENCH_PR3.json BENCH_PR4.json
 //	benchjson -delta -gate 'Search|MatVec' -threshold 20 old.json new.json
+//	benchjson -delta -json old.json new.json
 //
 // With -gate, benchmarks whose name matches the regexp fail the command
 // (exit 1) when their ns/op regressed by more than -threshold percent.
+// With -json, the delta (rows, gate parameters and the pass/fail verdict)
+// is emitted as one JSON object instead of markdown, so the CI gate's
+// verdict is machine-readable in the job artifact; the exit code is
+// unchanged.
 package main
 
 import (
@@ -53,13 +58,14 @@ func main() {
 	delta := flag.Bool("delta", false, "compare two BENCH_*.json files: benchjson -delta old.json new.json")
 	gate := flag.String("gate", "", "with -delta: regexp of benchmark names to gate on regression")
 	threshold := flag.Float64("threshold", 20, "with -gate: maximum tolerated ns/op regression, percent")
+	jsonOut := flag.Bool("json", false, "with -delta: emit the comparison as JSON instead of markdown")
 	flag.Parse()
 	if *delta {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -delta needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		ok, err := runDelta(os.Stdout, flag.Arg(0), flag.Arg(1), *gate, *threshold)
+		ok, err := runDelta(os.Stdout, flag.Arg(0), flag.Arg(1), *gate, *threshold, *jsonOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
@@ -174,10 +180,25 @@ func loadFile(path string) (*File, error) {
 
 // DeltaRow is one benchmark's old-vs-new comparison.
 type DeltaRow struct {
-	Pkg, Name        string
-	OldNS, NewNS     float64
-	DeltaPct         float64 // positive = slower
-	Gated, Regressed bool
+	Pkg       string  `json:"pkg"`
+	Name      string  `json:"name"`
+	OldNS     float64 `json:"old_ns_op"`
+	NewNS     float64 `json:"new_ns_op"`
+	DeltaPct  float64 `json:"delta_pct"` // positive = slower
+	Gated     bool    `json:"gated"`
+	Regressed bool    `json:"regressed"`
+}
+
+// DeltaReport is the -delta -json schema: the full comparison plus the
+// gate's machine-readable verdict.
+type DeltaReport struct {
+	Old             string     `json:"old"`
+	New             string     `json:"new"`
+	Gate            string     `json:"gate,omitempty"`
+	ThresholdPct    float64    `json:"threshold_pct"`
+	MissingBaseline bool       `json:"missing_baseline,omitempty"`
+	OK              bool       `json:"ok"`
+	Rows            []DeltaRow `json:"rows"`
 }
 
 // Delta joins two trajectories on (pkg, benchmark) and computes the ns/op
@@ -221,14 +242,21 @@ func Delta(oldF, newF *File, gate *regexp.Regexp, threshold float64) []DeltaRow 
 	return rows
 }
 
-// runDelta loads, compares and renders; it reports false when a gated
-// benchmark regressed beyond the threshold. A missing baseline file is not a
+// runDelta loads, compares and renders — markdown by default, one
+// DeltaReport object with jsonOut; it reports false when a gated benchmark
+// regressed beyond the threshold. A missing baseline file is not a
 // failure: the first run on a fresh trajectory (or a branch predating the
 // baseline commit) has nothing to compare against, so it prints a clear note
 // and succeeds.
-func runDelta(w io.Writer, oldPath, newPath, gatePat string, threshold float64) (bool, error) {
+func runDelta(w io.Writer, oldPath, newPath, gatePat string, threshold float64, jsonOut bool) (bool, error) {
 	oldF, err := loadFile(oldPath)
 	if errors.Is(err, os.ErrNotExist) {
+		if jsonOut {
+			return true, writeReport(w, DeltaReport{
+				Old: oldPath, New: newPath, Gate: gatePat, ThresholdPct: threshold,
+				MissingBaseline: true, OK: true, Rows: []DeltaRow{},
+			})
+		}
 		fmt.Fprintf(w, "### Benchmark delta\n\nNo baseline: %s does not exist yet, nothing to compare %s against.\n",
 			oldPath, newPath)
 		return true, nil
@@ -248,6 +276,21 @@ func runDelta(w io.Writer, oldPath, newPath, gatePat string, threshold float64) 
 		}
 	}
 	rows := Delta(oldF, newF, gate, threshold)
+	if jsonOut {
+		ok := true
+		for _, r := range rows {
+			if r.Regressed {
+				ok = false
+			}
+		}
+		if rows == nil {
+			rows = []DeltaRow{}
+		}
+		return ok, writeReport(w, DeltaReport{
+			Old: oldPath, New: newPath, Gate: gatePat, ThresholdPct: threshold,
+			OK: ok, Rows: rows,
+		})
+	}
 	fmt.Fprintf(w, "### Benchmark delta: %s vs %s\n\n", oldPath, newPath)
 	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | delta |")
 	fmt.Fprintln(w, "|---|---:|---:|---:|")
@@ -273,6 +316,13 @@ func runDelta(w io.Writer, oldPath, newPath, gatePat string, threshold float64) 
 		}
 	}
 	return ok, nil
+}
+
+// writeReport encodes one DeltaReport as indented JSON.
+func writeReport(w io.Writer, rep DeltaReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 // fmtNS renders a nanosecond value compactly.

@@ -123,7 +123,7 @@ func TestRunDeltaGate(t *testing.T) {
 		{Pkg: "p", Name: "BenchmarkSearch", Metrics: map[string]float64{"ns/op": 1100}},
 	}})
 	var out strings.Builder
-	ok, err := runDelta(&out, oldP, newP, "Search", 20)
+	ok, err := runDelta(&out, oldP, newP, "Search", 20, false)
 	if err != nil || !ok {
 		t.Fatalf("10%% slowdown under a 20%% gate should pass, got ok=%v err=%v\n%s", ok, err, out.String())
 	}
@@ -131,7 +131,7 @@ func TestRunDeltaGate(t *testing.T) {
 		t.Errorf("summary table missing benchmark row:\n%s", out.String())
 	}
 	out.Reset()
-	ok, err = runDelta(&out, oldP, newP, "Search", 5)
+	ok, err = runDelta(&out, oldP, newP, "Search", 5, false)
 	if err != nil || ok {
 		t.Fatalf("10%% slowdown under a 5%% gate should fail, got ok=%v err=%v", ok, err)
 	}
@@ -142,7 +142,7 @@ func TestRunDeltaGate(t *testing.T) {
 	// trajectory prints a clear note and exits clean, so CI on branches
 	// predating the baseline commit does not break.
 	out.Reset()
-	ok, err = runDelta(&out, filepath.Join(dir, "missing.json"), newP, "Search", 20)
+	ok, err = runDelta(&out, filepath.Join(dir, "missing.json"), newP, "Search", 20, false)
 	if err != nil || !ok {
 		t.Fatalf("missing baseline should succeed with a note, got ok=%v err=%v", ok, err)
 	}
@@ -154,7 +154,72 @@ func TestRunDeltaGate(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := runDelta(&out, bad, newP, "", 20); err == nil {
+	if _, err := runDelta(&out, bad, newP, "", 20, false); err == nil {
 		t.Error("corrupt old file should error")
+	}
+}
+
+func TestRunDeltaJSON(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, f *File) string {
+		p := filepath.Join(dir, name)
+		b, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldP := write("old.json", &File{Benchmarks: []Benchmark{
+		{Pkg: "p", Name: "BenchmarkSearch", Metrics: map[string]float64{"ns/op": 1000}},
+		{Pkg: "p", Name: "BenchmarkBuild", Metrics: map[string]float64{"ns/op": 100}},
+	}})
+	newP := write("new.json", &File{Benchmarks: []Benchmark{
+		{Pkg: "p", Name: "BenchmarkSearch", Metrics: map[string]float64{"ns/op": 1500}},
+		{Pkg: "p", Name: "BenchmarkBuild", Metrics: map[string]float64{"ns/op": 100}},
+	}})
+
+	var out strings.Builder
+	ok, err := runDelta(&out, oldP, newP, "Search", 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("50% regression under a 20% gate should fail")
+	}
+	var rep DeltaReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.OK || rep.Gate != "Search" || rep.ThresholdPct != 20 {
+		t.Errorf("report verdict wrong: %+v", rep)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("report has %d rows, want 2", len(rep.Rows))
+	}
+	var search *DeltaRow
+	for i := range rep.Rows {
+		if rep.Rows[i].Name == "BenchmarkSearch" {
+			search = &rep.Rows[i]
+		}
+	}
+	if search == nil || !search.Gated || !search.Regressed || search.DeltaPct != 50 {
+		t.Errorf("BenchmarkSearch row wrong: %+v", search)
+	}
+
+	// Machine-readable missing-baseline verdict.
+	out.Reset()
+	ok, err = runDelta(&out, filepath.Join(dir, "missing.json"), newP, "", 20, true)
+	if err != nil || !ok {
+		t.Fatalf("missing baseline should succeed, got ok=%v err=%v", ok, err)
+	}
+	rep = DeltaReport{}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("missing-baseline -json output invalid: %v\n%s", err, out.String())
+	}
+	if !rep.MissingBaseline || !rep.OK || rep.Rows == nil || len(rep.Rows) != 0 {
+		t.Errorf("missing-baseline report wrong: %+v", rep)
 	}
 }

@@ -52,6 +52,8 @@ var (
 // paper's analysis needs (Table 4, Figs 3–8). Engines leave counters they
 // do not track at zero; Queries counts the queries folded in, so per-query
 // means are Mean* methods away.
+//
+//lsh:counters
 type Stats struct {
 	// Queries is the number of queries aggregated into this Stats.
 	Queries int
@@ -96,6 +98,11 @@ type Stats struct {
 	// DedupedReads counts reads satisfied by joining another query's
 	// in-flight backend read, singleflight style (zero without an engine).
 	DedupedReads int
+	// PhysicalReads counts the backend operations the WithIOEngine
+	// submission layer actually issued after coalescing and dedup (zero
+	// without an engine). With an engine attached this is the true device
+	// operation count; IOs() keeps reporting the logical count.
+	PhysicalReads int
 	// IOsAtInf is the paper's N_IO,∞ for the in-memory reference: what the
 	// query would cost on storage with unlimited block size.
 	IOsAtInf int
@@ -110,6 +117,8 @@ type Stats struct {
 func (s Stats) IOs() int { return s.TableIOs + s.BucketIOs }
 
 // Merge folds o into s.
+//
+//lsh:foldall Stats
 func (s *Stats) Merge(o Stats) {
 	s.Queries += o.Queries
 	s.Radii += o.Radii
@@ -126,6 +135,7 @@ func (s *Stats) Merge(o Stats) {
 	s.PrefetchedBlocks += o.PrefetchedBlocks
 	s.CoalescedReads += o.CoalescedReads
 	s.DedupedReads += o.DedupedReads
+	s.PhysicalReads += o.PhysicalReads
 	s.IOsAtInf += o.IOsAtInf
 	s.NodesVisited += o.NodesVisited
 	s.EarlyStopped += o.EarlyStopped
@@ -372,6 +382,7 @@ type memQuerier struct {
 	s *memindex.Searcher
 }
 
+//lsh:foldall memindex.QueryStats
 func (m memQuerier) query(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (Result, Stats, error) {
 	// SearchInto with a nil dst allocates exact-capacity backing, so the
 	// single-query path needs no separate branch.

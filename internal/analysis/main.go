@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Main is the multichecker driver: it loads the packages named by the
+// command-line patterns (default ./...), applies every analyzer, prints
+// findings as "file:line:col: [analyzer] message" and exits non-zero if
+// any were reported. `go list` package wildcards skip testdata
+// directories, so analyzer fixtures never reach the production run.
+func Main(analyzers ...*Analyzer) {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [packages]\n\nanalyzers:\n", os.Args[0])
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	flag.Parse()
+	pkgs, err := Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lshlint:", err)
+		os.Exit(2)
+	}
+	diags, err := Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lshlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lshlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

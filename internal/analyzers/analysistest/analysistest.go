@@ -1,0 +1,131 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against `// want "regexp"` comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under the analyzer's testdata/src/<pkg> directory.
+// Because `go list` wildcards skip testdata, fixtures are invisible to
+// `go build ./...`, `go vet ./...` and the production lshlint run; the
+// loader names the directory explicitly. A want comment constrains the
+// diagnostics of its own line: every diagnostic must be matched by a
+// want on its line, and every want must match at least one diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"e2lshos/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// Run loads the fixture package at dir (relative to the test's working
+// directory, e.g. "testdata/src/a"), applies a, and reports mismatches
+// between diagnostics and want comments through t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := analysis.Load(".", "./"+filepath.ToSlash(dir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s resolved to %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				match := wantRe.FindStringSubmatch(c.Text)
+				if match == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{filepath.Base(pos.Filename), pos.Line}
+				for _, lit := range splitQuoted(match[1]) {
+					pattern, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", k.file, k.line, lit, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", k.file, k.line, pattern, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+		}
+	}
+}
+
+// splitQuoted returns the Go-quoted string literals of s in order,
+// e.g. `"a" "b c"` -> [`"a"`, `"b c"`].
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		s = s[i:]
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				end++
+				break
+			}
+			end++
+		}
+		if end > len(s) {
+			return out
+		}
+		out = append(out, s[:end])
+		s = s[end:]
+	}
+}
+
+// Fprint is a debugging aid: it formats diagnostics one per line.
+func Fprint(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintln(&b, d)
+	}
+	return b.String()
+}

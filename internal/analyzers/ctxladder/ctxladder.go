@@ -1,0 +1,223 @@
+// Package ctxladder enforces the repo's cancellation discipline: the
+// radius ladder (and any other long loop) must notice ctx cancellation,
+// and library code must not mint root contexts behind the caller's back.
+package ctxladder
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"e2lshos/internal/analysis"
+	"e2lshos/internal/analyzers/lshdir"
+)
+
+// Analyzer checks context discipline.
+//
+// Three rules:
+//
+//  1. A loop annotated //lsh:ladder must call ctx.Err() or ctx.Done()
+//     somewhere in its body (per-iteration polling, the paper's radius
+//     ladder being the canonical case). The check must be direct —
+//     delegating to a callee does not satisfy an explicit annotation.
+//  2. By default, in any function named Search*/search*/Fetch*/fetch*
+//     that takes a context.Context, every outermost loop must either
+//     check the context directly or pass a context into a call
+//     (delegation), unless suppressed with //lsh:ctxok.
+//  3. Non-main packages must not call context.Background() or
+//     context.TODO(); a deliberate root context (an owned lifecycle, a
+//     documented ctx-free convenience wrapper) carries //lsh:ctxok
+//     with the reason.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxladder",
+	Doc:  "radius ladders poll ctx; libraries do not mint root contexts",
+	Run:  run,
+}
+
+var defaultName = regexp.MustCompile(`^(Search|search|Fetch|fetch)`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		dirs := lshdir.Parse(pass.Fset, f)
+		checkRootContexts(pass, dirs, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLadderLoops(pass, dirs, fd.Body)
+			checkDefaultLoops(pass, dirs, fd)
+		}
+	}
+	return nil
+}
+
+// checkRootContexts flags context.Background()/TODO() in library code.
+func checkRootContexts(pass *analysis.Pass, dirs *lshdir.Map, f *ast.File) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() != "Background" && fn.Name() != "TODO" {
+			return true
+		}
+		if dirs.Covers("ctxok", call) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"library package calls context.%s; plumb the caller's ctx or annotate //lsh:ctxok <reason>", fn.Name())
+		return true
+	})
+}
+
+// checkLadderLoops enforces rule 1 on every annotated loop, anywhere in
+// the function (including inside func literals).
+func checkLadderLoops(pass *analysis.Pass, dirs *lshdir.Map, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if dirs.Covers("ladder", n) && !usesCtxDirect(pass, n) {
+				pass.Reportf(n.Pos(),
+					"loop marked //lsh:ladder never calls ctx.Err() or ctx.Done(); poll cancellation every iteration")
+			}
+		}
+		return true
+	})
+}
+
+// checkDefaultLoops enforces rule 2: outermost loops of ctx-taking
+// Search*/fetch* functions. Loops inside func literals are exempt (a
+// spawned worker owns its own cancellation protocol).
+func checkDefaultLoops(pass *analysis.Pass, dirs *lshdir.Map, fd *ast.FuncDecl) {
+	if !defaultName.MatchString(fd.Name.Name) || !hasCtxParam(pass, fd) {
+		return
+	}
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			if !inLoop {
+				if !dirs.Covers("ctxok", n) && !dirs.Covers("ladder", n) && !usesCtx(pass, n) {
+					pass.Reportf(n.Pos(),
+						"loop in %s never consults ctx; check ctx.Err() per iteration, delegate to a ctx-taking call, or annotate //lsh:ctxok <reason>", fd.Name.Name)
+				}
+			}
+			inLoop = true
+		}
+		children(n, func(c ast.Node) { walk(c, inLoop) })
+	}
+	walk(fd.Body, false)
+}
+
+// children invokes fn on each direct child of n.
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			fn(c)
+		}
+		return false
+	})
+}
+
+// usesCtxDirect reports whether n contains a call x.Err() or x.Done()
+// with x of type context.Context.
+func usesCtxDirect(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Err" && sel.Sel.Name != "Done" {
+			return true
+		}
+		if isCtxType(pass.TypesInfo.TypeOf(sel.X)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// usesCtx reports whether n checks a context directly or passes one to
+// a call (delegated cancellation).
+func usesCtx(pass *analysis.Pass, n ast.Node) bool {
+	if usesCtxDirect(pass, n) {
+		return true
+	}
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if isCtxType(pass.TypesInfo.TypeOf(arg)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func hasCtxParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if isCtxType(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// calleeFunc resolves the static callee of call, or nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}

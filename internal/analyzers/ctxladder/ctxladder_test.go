@@ -1,0 +1,11 @@
+package ctxladder
+
+import (
+	"testing"
+
+	"e2lshos/internal/analyzers/analysistest"
+)
+
+func TestCtxLadder(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/a")
+}

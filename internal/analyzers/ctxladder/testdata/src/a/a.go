@@ -1,0 +1,94 @@
+// Package a is the ctxladder fixture: seeded violations carry want
+// comments; the corrected forms below them must pass silently.
+package a
+
+import "context"
+
+type index struct{ radii []float64 }
+
+// SearchBad loops over radii without ever consulting ctx.
+func (ix *index) SearchBad(ctx context.Context, q []float32) int {
+	n := 0
+	for range ix.radii { // want "never consults ctx"
+		n++
+	}
+	return n
+}
+
+// SearchGood polls ctx.Err every iteration.
+func (ix *index) SearchGood(ctx context.Context, q []float32) (int, error) {
+	n := 0
+	for range ix.radii {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// SearchDelegated hands ctx to a callee each round, which satisfies the
+// default rule (but would not satisfy an explicit //lsh:ladder).
+func (ix *index) SearchDelegated(ctx context.Context, q []float32) error {
+	for range ix.radii {
+		if err := ix.round(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ix *index) round(ctx context.Context) error { return ctx.Err() }
+
+// fetchLadders has one annotated loop with no direct check and one with.
+func (ix *index) fetchLadders(ctx context.Context) int {
+	n := 0
+	//lsh:ladder
+	for range ix.radii { // want "marked //lsh:ladder never calls"
+		n += ix.radii2(ctx)
+	}
+	//lsh:ladder
+	for range ix.radii {
+		select {
+		case <-ctx.Done():
+			return n
+		default:
+		}
+		n++
+	}
+	return n
+}
+
+func (ix *index) radii2(ctx context.Context) int { return len(ix.radii) }
+
+// SearchSuppressed documents why its loop is ctx-free.
+func (ix *index) SearchSuppressed(ctx context.Context, q []float32) int {
+	n := 0
+	//lsh:ctxok bounded three-element scan, cancellation handled by caller
+	for range ix.radii {
+		n++
+	}
+	return n
+}
+
+// Helper loops in non-Search functions are exempt from the default rule.
+func (ix *index) tally(ctx context.Context) int {
+	n := 0
+	for range ix.radii {
+		n++
+	}
+	return n
+}
+
+func rootBad() context.Context {
+	return context.Background() // want "calls context.Background"
+}
+
+func rootTODO() context.Context {
+	return context.TODO() // want "calls context.TODO"
+}
+
+func rootOK() context.Context {
+	//lsh:ctxok fixture-owned lifecycle
+	return context.Background()
+}

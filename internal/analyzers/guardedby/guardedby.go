@@ -1,0 +1,153 @@
+// Package guardedby machine-checks the lock comments PR 5 left as
+// prose: struct fields annotated //lsh:guardedby mu may only be touched
+// while the named mutex is held.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"e2lshos/internal/analysis"
+	"e2lshos/internal/analyzers/lshdir"
+)
+
+// Analyzer enforces //lsh:guardedby annotations.
+//
+// A field annotated `//lsh:guardedby mu` (trailing or doc-comment
+// style) may be read or written only when the function provably holds
+// base.mu for the same base expression. Three forms count as holding:
+//
+//  1. The function calls base.mu.Lock() or base.mu.RLock() earlier in
+//     its body than the access (positional, not flow-sensitive — the
+//     repo convention is lock-at-entry, defer-unlock).
+//  2. The function's name ends in "Locked", the repo's convention for
+//     helpers whose contract is "caller holds the lock".
+//  3. The access line carries //lsh:nolock <reason> (init-before-
+//     publish, test-only back doors).
+//
+// Composite-literal construction (e.g. &memBackend{chunks: ...}) does
+// not select fields and is naturally exempt: an object under
+// construction is not yet shared. Counters that need no lock should be
+// atomics rather than annotated fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "//lsh:guardedby fields are only touched under their mutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		dirs := lshdir.Parse(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, dirs, guards, fd)
+		}
+	}
+	return nil
+}
+
+// collectGuards maps annotated field objects to their mutex name.
+func collectGuards(pass *analysis.Pass) map[*types.Var]string {
+	guards := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		dirs := lshdir.Parse(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				d, ok := dirs.Get("guardedby", field)
+				if !ok {
+					continue
+				}
+				mu, _, _ := strings.Cut(d.Args, " ")
+				if mu == "" {
+					pass.Reportf(field.Pos(), "//lsh:guardedby needs a mutex field name")
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// lockEvent is one base.mu.Lock()/RLock() call site.
+type lockEvent struct {
+	base string // rendered base expression, e.g. "m" or "e.cache"
+	mu   string
+	pos  token.Pos
+}
+
+func checkFunc(pass *analysis.Pass, dirs *lshdir.Map, guards map[*types.Var]string, fd *ast.FuncDecl) {
+	callerHolds := strings.HasSuffix(fd.Name.Name, "Locked")
+
+	var locks []lockEvent
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		locks = append(locks, lockEvent{
+			base: types.ExprString(muSel.X),
+			mu:   muSel.Sel.Name,
+			pos:  call.Pos(),
+		})
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		mu, guarded := guards[v]
+		if !guarded || callerHolds {
+			return true
+		}
+		if dirs.Covers("nolock", sel) {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		for _, l := range locks {
+			if l.base == base && l.mu == mu && l.pos < sel.Pos() {
+				return true
+			}
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s is guarded by %s.%s; lock it first, suffix the function name with Locked, or annotate //lsh:nolock <reason>",
+			v.Name(), base, mu)
+		return true
+	})
+}

@@ -1,0 +1,11 @@
+package guardedby
+
+import (
+	"testing"
+
+	"e2lshos/internal/analyzers/analysistest"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/a")
+}

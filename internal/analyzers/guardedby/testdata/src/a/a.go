@@ -1,0 +1,60 @@
+// Package a is the guardedby fixture.
+package a
+
+import "sync"
+
+type store struct {
+	mu     sync.RWMutex
+	chunks [][]byte //lsh:guardedby mu
+	blocks uint64   //lsh:guardedby mu
+}
+
+// Get locks before reading: the good form.
+func (s *store) Get(i int) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.chunks[i]
+}
+
+// Put write-locks.
+func (s *store) Put(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chunks = append(s.chunks, b)
+	s.blocks++
+}
+
+// Racy touches both fields with no lock anywhere.
+func (s *store) Racy(i int) int {
+	n := len(s.chunks) // want "guarded by s.mu"
+	s.blocks++         // want "guarded by s.mu"
+	return n + i
+}
+
+// growLocked follows the Locked-suffix contract: caller holds mu.
+func (s *store) growLocked(n int) {
+	for len(s.chunks) < n {
+		s.chunks = append(s.chunks, nil)
+	}
+}
+
+// Reset documents its private-before-publish access.
+func newStore(n int) *store {
+	s := &store{}
+	//lsh:nolock not yet published to another goroutine
+	s.chunks = make([][]byte, n)
+	return s
+}
+
+// wrongMutex locks an unrelated lock.
+type pair struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	n     int //lsh:guardedby mu
+}
+
+func (p *pair) Bump() {
+	p.other.Lock()
+	defer p.other.Unlock()
+	p.n++ // want "guarded by p.mu"
+}

@@ -1,0 +1,220 @@
+// Package hotpathalloc turns the repo's AllocsPerRun benchmarks into a
+// static check: functions annotated //lsh:hotpath must not contain
+// heap-allocating constructs.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"e2lshos/internal/analysis"
+	"e2lshos/internal/analyzers/lshdir"
+)
+
+// Analyzer rejects allocation in //lsh:hotpath functions.
+//
+// Flagged constructs: make, new, map/slice composite literals,
+// &T{...} literals (escape), closures that capture enclosing
+// variables, go statements, calls into package fmt, and append calls
+// that are not the self-append idiom `x = append(x, ...)` (whose
+// growth is amortized away by the searcher arenas).
+//
+// Deliberately allowed: plain value struct literals (`*p = T{...}`),
+// self-append, closures with no captures, deferred closures (open-coded
+// defers stay on the stack), and anything inside a panic(...) argument
+// — the cold path may format its last words. A known-cold allocation
+// inside a hot function (first-use growth, the miss path of a cache
+// probe) is suppressed line-by-line with //lsh:allocok <reason>.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "//lsh:hotpath functions must stay allocation-free",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		dirs := lshdir.Parse(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !dirs.Covers("hotpath", fd) {
+				continue
+			}
+			c := &checker{
+				pass:        pass,
+				dirs:        dirs,
+				fd:          fd,
+				selfAppends: collectSelfAppends(fd.Body),
+				deferredLit: collectDeferredLits(fd.Body),
+			}
+			c.walk(fd.Body)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass        *analysis.Pass
+	dirs        *lshdir.Map
+	fd          *ast.FuncDecl
+	selfAppends map[*ast.CallExpr]bool
+	deferredLit map[*ast.FuncLit]bool
+}
+
+func (c *checker) report(n ast.Node, format string, args ...any) {
+	if c.dirs.Covers("allocok", n) {
+		return
+	}
+	c.pass.Reportf(n.Pos(), format, args...)
+}
+
+// walk scans n, pruning panic(...) argument subtrees.
+func (c *checker) walk(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch c.calleeName(n) {
+			case "panic":
+				// Cold by definition: a panicking hot path may allocate
+				// its message. Skip the whole argument subtree.
+				return false
+			case "make":
+				c.report(n, "hot path calls make; preallocate in the arena or mark //lsh:allocok <reason>")
+			case "new":
+				c.report(n, "hot path calls new; preallocate or mark //lsh:allocok <reason>")
+			case "append":
+				if !c.selfAppends[n] {
+					c.report(n, "hot path append is not the self-append idiom x = append(x, ...); growth may allocate")
+				}
+			default:
+				if fn := c.staticCallee(n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+					c.report(n, "hot path calls fmt.%s, which allocates; move formatting off the hot path", fn.Name())
+				}
+			}
+		case *ast.CompositeLit:
+			switch c.pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				c.report(n, "hot path builds a map literal; hoist it to init or mark //lsh:allocok <reason>")
+			case *types.Slice:
+				c.report(n, "hot path builds a slice literal; hoist it or mark //lsh:allocok <reason>")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.report(n, "hot path takes the address of a composite literal, which escapes to the heap")
+				}
+			}
+		case *ast.GoStmt:
+			c.report(n, "hot path spawns a goroutine; move the spawn off the hot path or mark //lsh:allocok <reason>")
+		case *ast.FuncLit:
+			if !c.deferredLit[n] {
+				if caps := c.captures(n); len(caps) > 0 {
+					c.report(n, "hot path closure captures %s and escapes to the heap", strings.Join(caps, ", "))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectSelfAppends marks append calls of the form x = append(x, ...)
+// (identical first argument and assignment target).
+func collectSelfAppends(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	ok := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, isCall := rhs.(*ast.CallExpr)
+			if !isCall || len(call.Args) == 0 {
+				continue
+			}
+			if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); !isIdent || id.Name != "append" {
+				continue
+			}
+			if types.ExprString(as.Lhs[i]) == types.ExprString(call.Args[0]) {
+				ok[call] = true
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// collectDeferredLits marks func literals that are the direct operand
+// of a defer statement (open-coded, stack-allocated) or of a go
+// statement (the GoStmt itself is already the finding).
+func collectDeferredLits(body *ast.BlockStmt) map[*ast.FuncLit]bool {
+	out := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			call = n.Call
+		case *ast.GoStmt:
+			call = n.Call
+		default:
+			return true
+		}
+		if lit, ok := call.Fun.(*ast.FuncLit); ok {
+			out[lit] = true
+		}
+		return true
+	})
+	return out
+}
+
+// captures lists enclosing-function variables the literal closes over.
+func (c *checker) captures(lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		declaredInFunc := pos >= c.fd.Pos() && pos <= c.fd.End()
+		declaredInLit := pos >= lit.Pos() && pos <= lit.End()
+		if declaredInFunc && !declaredInLit && !seen[v.Name()] {
+			seen[v.Name()] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	return names
+}
+
+func (c *checker) calleeName(call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+		return id.Name
+	}
+	return ""
+}
+
+func (c *checker) staticCallee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	if fn, ok := c.pass.TypesInfo.Uses[id].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}

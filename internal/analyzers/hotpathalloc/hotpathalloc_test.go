@@ -1,0 +1,11 @@
+package hotpathalloc
+
+import (
+	"testing"
+
+	"e2lshos/internal/analyzers/analysistest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,66 @@
+// Package a is the hotpathalloc fixture.
+package a
+
+import "fmt"
+
+type scratch struct {
+	buf  []float32
+	heap []int
+}
+
+type probe struct {
+	id   uint32
+	dist float64
+}
+
+//lsh:hotpath
+func allocsEverywhere(s *scratch, n int) []int {
+	m := make([]int, n)   // want "calls make"
+	p := new(probe)       // want "calls new"
+	_ = map[int]int{1: 2} // want "map literal"
+	_ = []int{1, 2, 3}    // want "slice literal"
+	q := &probe{id: 1}    // want "address of a composite literal"
+	fmt.Println(n)        // want "calls fmt.Println"
+	_ = q
+	other := append(m, int(p.id)) // want "not the self-append idiom"
+	return other
+}
+
+//lsh:hotpath
+func spawns(s *scratch) {
+	go func() { s.heap = nil }() // want "spawns a goroutine"
+}
+
+//lsh:hotpath
+func capturing(s *scratch, n int) func() int {
+	return func() int { return n } // want "closure captures n"
+}
+
+// cleanHot exercises every allowed form: self-append, value struct
+// literal, deferred closure, capture-free closure, panic formatting.
+//
+//lsh:hotpath
+func cleanHot(s *scratch, pr *probe, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("hotpath: negative n %d", n))
+	}
+	s.heap = append(s.heap, n)
+	*pr = probe{id: uint32(n)}
+	defer func() { pr.dist = 0 }()
+	f := func() int { return 7 }
+	_ = f()
+}
+
+// suppressed documents its cold-path growth.
+//
+//lsh:hotpath
+func suppressed(s *scratch, n int) {
+	if cap(s.buf) < n {
+		//lsh:allocok first-use arena growth, amortized to zero
+		s.buf = make([]float32, n)
+	}
+	s.buf = s.buf[:n]
+}
+
+// cold is unannotated: anything goes.
+func cold(n int) []int { return make([]int, n) }

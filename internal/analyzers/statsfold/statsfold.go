@@ -1,0 +1,204 @@
+// Package statsfold guards the paper's work accounting: a counter
+// added to Stats (or any //lsh:counters struct) must flow through every
+// fold point — Merge, the shard fold, the /stats handler — or the
+// served N_IO numbers silently under-report.
+package statsfold
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"e2lshos/internal/analysis"
+	"e2lshos/internal/analyzers/lshdir"
+)
+
+// Analyzer ties counter structs to their fold functions.
+//
+// A struct annotated //lsh:counters declares "every exported field here
+// is a work counter". A function annotated //lsh:foldall T (T local, or
+// pkg.T for an imported counter struct) must reference every exported
+// field of T, either by selecting it (st.Checked), by naming it as a
+// composite-literal key (Stats{Checked: ...}), or by delegating to
+// another function in the same package annotated //lsh:foldall for the
+// same T (how foldShardStats leans on Stats.Merge). Anything missing is
+// a dropped counter and is reported field-by-field.
+//
+// Local foldall targets must themselves carry //lsh:counters, so the
+// pairing is visible at both ends; imported targets are exempt because
+// export data carries no comments.
+var Analyzer = &analysis.Analyzer{
+	Name: "statsfold",
+	Doc:  "every exported counter field reaches every //lsh:foldall fold",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	countersTypes := make(map[types.Object]bool)
+	type fold struct {
+		fd     *ast.FuncDecl
+		arg    string
+		target *types.Named
+	}
+	var folds []fold
+	foldFuncs := make(map[*types.Func]*types.Named)
+
+	for _, f := range pass.Files {
+		dirs := lshdir.Parse(pass.Fset, f)
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if dirs.Covers("counters", ts) || (len(decl.Specs) == 1 && dirs.Covers("counters", decl)) {
+						if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+							countersTypes[obj] = true
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				d, ok := dirs.Get("foldall", decl)
+				if !ok {
+					continue
+				}
+				target, err := resolveTarget(pass, d.Args)
+				if err != nil {
+					pass.Reportf(decl.Pos(), "//lsh:foldall %s: %v", d.Args, err)
+					continue
+				}
+				folds = append(folds, fold{fd: decl, arg: d.Args, target: target})
+				if fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func); ok {
+					foldFuncs[fn] = target
+				}
+			}
+		}
+	}
+
+	for _, fo := range folds {
+		st, ok := fo.target.Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(fo.fd.Pos(), "//lsh:foldall %s: target is not a struct", fo.arg)
+			continue
+		}
+		if fo.target.Obj().Pkg() == pass.Pkg && !countersTypes[fo.target.Obj()] {
+			pass.Reportf(fo.fd.Pos(),
+				"//lsh:foldall %s: target struct is not annotated //lsh:counters", fo.arg)
+		}
+		if fo.fd.Body == nil {
+			continue
+		}
+		seen := make(map[string]bool)
+		delegated := false
+		ast.Inspect(fo.fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel := pass.TypesInfo.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+					if v, ok := sel.Obj().(*types.Var); ok && fieldOf(st, v) {
+						seen[v.Name()] = true
+					}
+				}
+			case *ast.CompositeLit:
+				t := pass.TypesInfo.TypeOf(n)
+				if t != nil && types.Identical(t, fo.target) {
+					for _, elt := range n.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							if id, ok := kv.Key.(*ast.Ident); ok {
+								seen[id.Name] = true
+							}
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if fn := staticCallee(pass, n); fn != nil {
+					if t, ok := foldFuncs[fn]; ok && types.Identical(t, fo.target) && fn != pass.TypesInfo.Defs[fo.fd.Name] {
+						delegated = true
+					}
+				}
+			}
+			return true
+		})
+		if delegated {
+			continue
+		}
+		var missing []string
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Exported() && !seen[f.Name()] {
+				missing = append(missing, f.Name())
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			pass.Reportf(fo.fd.Pos(),
+				"//lsh:foldall %s: fold drops counter field(s) %s", fo.arg, strings.Join(missing, ", "))
+		}
+	}
+	return nil
+}
+
+// resolveTarget resolves "T" in the current package or "pkg.T" among
+// the package's imports.
+func resolveTarget(pass *analysis.Pass, arg string) (*types.Named, error) {
+	if arg == "" {
+		return nil, fmt.Errorf("missing target type")
+	}
+	var scope *types.Scope
+	name := arg
+	if pkgName, typeName, ok := strings.Cut(arg, "."); ok {
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Name() == pkgName {
+				scope = imp.Scope()
+				name = typeName
+				break
+			}
+		}
+		if scope == nil {
+			return nil, fmt.Errorf("package %q is not imported", pkgName)
+		}
+	} else {
+		scope = pass.Pkg.Scope()
+	}
+	obj := scope.Lookup(name)
+	if obj == nil {
+		return nil, fmt.Errorf("type %q not found", arg)
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, fmt.Errorf("%q is not a type", arg)
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil, fmt.Errorf("%q is not a named type", arg)
+	}
+	return named, nil
+}
+
+func fieldOf(st *types.Struct, v *types.Var) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == v {
+			return true
+		}
+	}
+	return false
+}
+
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}

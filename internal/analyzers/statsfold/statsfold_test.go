@@ -1,0 +1,11 @@
+package statsfold
+
+import (
+	"testing"
+
+	"e2lshos/internal/analyzers/analysistest"
+)
+
+func TestStatsFold(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/a")
+}

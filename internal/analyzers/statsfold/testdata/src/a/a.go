@@ -1,0 +1,58 @@
+// Package a is the statsfold fixture.
+package a
+
+// Stats is the counter set under test.
+//
+//lsh:counters
+type Stats struct {
+	Probes  int
+	Checked int
+	IOs     int
+
+	internal int // unexported: exempt
+}
+
+// Merge folds every counter: the good fold.
+//
+//lsh:foldall Stats
+func (s *Stats) Merge(o Stats) {
+	s.Probes += o.Probes
+	s.Checked += o.Checked
+	s.IOs += o.IOs
+}
+
+// dropsOne forgets IOs.
+//
+//lsh:foldall Stats
+func dropsOne(a, b Stats) Stats { // want "drops counter field\\(s\\) IOs"
+	return Stats{Probes: a.Probes + b.Probes, Checked: a.Checked + b.Checked}
+}
+
+// byLiteral references everything through composite-literal keys.
+//
+//lsh:foldall Stats
+func byLiteral(a Stats) Stats {
+	return Stats{Probes: a.Probes, Checked: a.Checked, IOs: a.IOs}
+}
+
+// delegates leans on Merge, the foldShardStats pattern.
+//
+//lsh:foldall Stats
+func delegates(per []Stats) Stats {
+	var agg Stats
+	for _, s := range per {
+		agg.Merge(s)
+	}
+	return agg
+}
+
+// unpaired targets a struct that is not marked //lsh:counters.
+type bare struct{ N int }
+
+//lsh:foldall bare
+func foldBare(b bare) int { // want "not annotated //lsh:counters"
+	return b.N
+}
+
+//lsh:foldall missing
+func badTarget() {} // want "not found"

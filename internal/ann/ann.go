@@ -57,13 +57,15 @@ func NewTopK(k int) *TopK {
 
 // Reset empties the accumulator for a new query of capacity k, reusing the
 // heap backing array whenever it is large enough. k must be positive.
+//
+//lsh:hotpath
 func (t *TopK) Reset(k int) {
 	if k <= 0 {
 		panic("ann: TopK.Reset requires k > 0")
 	}
 	t.k = k
 	if cap(t.heap) < k {
-		t.heap = make([]Neighbor, 0, k)
+		t.heap = make([]Neighbor, 0, k) //lsh:allocok one-time regrow when k exceeds prior capacity
 	} else {
 		t.heap = t.heap[:0]
 	}
@@ -71,6 +73,8 @@ func (t *TopK) Reset(k int) {
 
 // Push offers a candidate. It returns true if the candidate entered the
 // current top-k.
+//
+//lsh:hotpath
 func (t *TopK) Push(id uint32, dist float64) bool {
 	if len(t.heap) < t.k {
 		t.heap = append(t.heap, Neighbor{ID: id, Dist: dist})
@@ -93,6 +97,8 @@ func (t *TopK) Full() bool { return len(t.heap) == t.k }
 
 // Worst returns the largest distance currently in the top-k, or +Inf if the
 // accumulator is not yet full. It is the pruning bound for candidates.
+//
+//lsh:hotpath
 func (t *TopK) Worst() float64 {
 	if len(t.heap) < t.k {
 		return math.Inf(1)
@@ -105,6 +111,8 @@ func (t *TopK) Worst() float64 {
 func (t *TopK) KthDist() float64 { return t.Worst() }
 
 // CountWithin returns how many accumulated neighbors lie within distance d.
+//
+//lsh:hotpath
 func (t *TopK) CountWithin(d float64) int {
 	n := 0
 	for _, nb := range t.heap {
@@ -125,9 +133,11 @@ func (t *TopK) Result() Result {
 // distance then ID and returns the extended slice. It allocates nothing when
 // dst has capacity (a nil dst gets exact-capacity backing); the accumulator
 // remains valid and unchanged.
+//
+//lsh:hotpath
 func (t *TopK) AppendResult(dst []Neighbor) []Neighbor {
 	if dst == nil {
-		dst = make([]Neighbor, 0, len(t.heap))
+		dst = make([]Neighbor, 0, len(t.heap)) //lsh:allocok nil dst asks for exact-capacity backing
 	}
 	start := len(dst)
 	dst = append(dst, t.heap...)
@@ -145,9 +155,11 @@ func (t *TopK) ResultSq() Result {
 // distances: the one place the pruned verification path pays a square root.
 // Sorting happens on the rounded true distances (then ID), matching what
 // pushing true distances would have produced.
+//
+//lsh:hotpath
 func (t *TopK) AppendResultSq(dst []Neighbor) []Neighbor {
 	if dst == nil {
-		dst = make([]Neighbor, 0, len(t.heap))
+		dst = make([]Neighbor, 0, len(t.heap)) //lsh:allocok nil dst asks for exact-capacity backing
 	}
 	start := len(dst)
 	for _, nb := range t.heap {

@@ -89,16 +89,16 @@ type entry struct {
 type shard struct {
 	mu sync.Mutex
 	// main is the protected LRU (front = most recent).
-	main *list.List
+	main *list.List //lsh:guardedby mu
 	// in is the probationary FIFO first-touch blocks land in (2Q's A1in).
-	in *list.List
+	in *list.List //lsh:guardedby mu
 	// out is the ghost FIFO of recently evicted probationary addresses
 	// (2Q's A1out): a re-reference found here promotes straight to main.
-	out *list.List
+	out *list.List //lsh:guardedby mu
 	// table maps resident addresses to their main/in node; ghosts maps
 	// evicted-but-remembered addresses to their out node.
-	table  map[blockstore.Addr]*list.Element
-	ghosts map[blockstore.Addr]*list.Element
+	table  map[blockstore.Addr]*list.Element //lsh:guardedby mu
+	ghosts map[blockstore.Addr]*list.Element //lsh:guardedby mu
 
 	capBlocks int // main + in capacity
 	inCap     int // probationary share (0 = plain LRU)
@@ -128,11 +128,11 @@ func New(capacityBytes int64, opts Options) (*Cache, error) {
 	c := &Cache{shards: make([]shard, shards), mask: uint64(shards - 1)}
 	for i := range c.shards {
 		s := &c.shards[i]
-		s.main = list.New()
-		s.in = list.New()
-		s.out = list.New()
-		s.table = make(map[blockstore.Addr]*list.Element, perShard)
-		s.ghosts = make(map[blockstore.Addr]*list.Element)
+		s.main = list.New()                                         //lsh:nolock cache not yet published
+		s.in = list.New()                                           //lsh:nolock cache not yet published
+		s.out = list.New()                                          //lsh:nolock cache not yet published
+		s.table = make(map[blockstore.Addr]*list.Element, perShard) //lsh:nolock cache not yet published
+		s.ghosts = make(map[blockstore.Addr]*list.Element)          //lsh:nolock cache not yet published
 		s.capBlocks = perShard
 		if opts.Policy == TwoQ {
 			// Kin = 1/4 of the shard, Kout = 1/2 — the 2Q paper's tuning.
@@ -186,6 +186,8 @@ func (c *Cache) Get(a blockstore.Addr, buf []byte) bool {
 
 // get is Get without counter updates: the prefetcher probes through it so
 // Hits/Misses stay pure demand-traffic counters.
+//
+//lsh:hotpath
 func (c *Cache) get(a blockstore.Addr, buf []byte) bool {
 	s := c.shardFor(a)
 	s.mu.Lock()
@@ -221,12 +223,12 @@ func (c *Cache) PutPrefetched(a blockstore.Addr, data []byte) {
 func (c *Cache) Put(a blockstore.Addr, data []byte) {
 	s := c.shardFor(a)
 	s.mu.Lock()
-	s.put(a, data)
+	s.putLocked(a, data)
 	s.mu.Unlock()
 }
 
-// put inserts under the shard lock.
-func (s *shard) put(a blockstore.Addr, data []byte) {
+// putLocked inserts under the shard lock, which the caller holds.
+func (s *shard) putLocked(a blockstore.Addr, data []byte) {
 	if el, ok := s.table[a]; ok {
 		e := el.Value.(*entry)
 		copy(e.data[:], data[:blockstore.BlockSize])
@@ -239,7 +241,7 @@ func (s *shard) put(a blockstore.Addr, data []byte) {
 	copy(e.data[:], data[:blockstore.BlockSize])
 	if s.inCap == 0 {
 		// Plain LRU.
-		s.evictMain(s.capBlocks - 1)
+		s.evictMainLocked(s.capBlocks - 1)
 		s.table[a] = s.main.PushFront(e)
 		e.main = true
 		return
@@ -248,7 +250,7 @@ func (s *shard) put(a blockstore.Addr, data []byte) {
 		// Re-referenced after probationary eviction: hot, goes to main.
 		s.out.Remove(gel)
 		delete(s.ghosts, a)
-		s.evictMain(s.capBlocks - s.in.Len() - 1)
+		s.evictMainLocked(s.capBlocks - s.in.Len() - 1)
 		s.table[a] = s.main.PushFront(e)
 		e.main = true
 		return
@@ -268,12 +270,13 @@ func (s *shard) put(a blockstore.Addr, data []byte) {
 		}
 	}
 	// Keep main within the space the FIFO does not use.
-	s.evictMain(s.capBlocks - s.inCap)
+	s.evictMainLocked(s.capBlocks - s.inCap)
 	s.table[a] = s.in.PushFront(e)
 }
 
-// evictMain trims the main LRU down to limit entries.
-func (s *shard) evictMain(limit int) {
+// evictMainLocked trims the main LRU down to limit entries; the caller
+// holds the shard lock.
+func (s *shard) evictMainLocked(limit int) {
 	if limit < 0 {
 		limit = 0
 	}

@@ -81,6 +81,8 @@ func ReadBlocksSerial(b Backend, addrs []Addr, bufs [][]byte) (int, error) {
 // i, bounded by MaxCoalesce. It is THE coalescing rule: the backends, the
 // I/O engine's run splitter and the simulator's request-charging all call
 // it, so "one physical operation" means the same thing everywhere.
+//
+//lsh:hotpath
 func NextRun(addrs []Addr, i int) int {
 	j := i + 1
 	for j < len(addrs) && addrs[j] == addrs[j-1]+1 && j-i < MaxCoalesce {
@@ -177,8 +179,8 @@ func (s *Store) WriteBlock(a Addr, data []byte) error {
 // real device).
 type memBackend struct {
 	mu     sync.RWMutex
-	chunks [][]byte
-	blocks uint64
+	chunks [][]byte //lsh:guardedby mu
+	blocks uint64   //lsh:guardedby mu
 }
 
 // chunkBlocks is the number of blocks per chunk (2 MiB chunks).
@@ -189,7 +191,8 @@ func (m *memBackend) locate(a Addr) (chunk, offset uint64) {
 	return i / chunkBlocks, (i % chunkBlocks) * BlockSize
 }
 
-func (m *memBackend) ensure(chunk uint64) {
+// ensureLocked grows the chunk table under a held write lock.
+func (m *memBackend) ensureLocked(chunk uint64) {
 	for uint64(len(m.chunks)) <= chunk {
 		m.chunks = append(m.chunks, make([]byte, chunkBlocks*BlockSize))
 	}
@@ -249,7 +252,7 @@ func (m *memBackend) WriteBlock(a Addr, data []byte) error {
 	c, off := m.locate(a)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.ensure(c)
+	m.ensureLocked(c)
 	dst := m.chunks[c][off : off+BlockSize]
 	n := copy(dst, data)
 	clear(dst[n:])

@@ -1,0 +1,56 @@
+package blockstore
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzNextRun hammers THE coalescing rule with arbitrary address streams:
+// every backend, the I/O engine's run splitter and the simulator's request
+// charging assume NextRun partitions any slice into non-empty, in-bounds,
+// truly-adjacent runs of at most MaxCoalesce blocks. A violated invariant
+// here means miscounted physical operations everywhere.
+func FuzzNextRun(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0})
+	seed := make([]byte, 0, 16*8)
+	for a := uint64(10); a < 26; a++ {
+		seed = binary.LittleEndian.AppendUint64(seed, a)
+	}
+	f.Add(seed) // one long adjacent run, exercises the MaxCoalesce cap
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		addrs := make([]Addr, 0, len(raw)/8)
+		for i := 0; i+8 <= len(raw); i += 8 {
+			addrs = append(addrs, Addr(binary.LittleEndian.Uint64(raw[i:])))
+		}
+
+		covered := 0
+		for i := 0; i < len(addrs); {
+			j := NextRun(addrs, i)
+			if j <= i {
+				t.Fatalf("NextRun(%d) = %d: runs must be non-empty", i, j)
+			}
+			if j > len(addrs) {
+				t.Fatalf("NextRun(%d) = %d: past the slice end %d", i, j, len(addrs))
+			}
+			if j-i > MaxCoalesce {
+				t.Fatalf("run [%d,%d) has %d blocks, cap is %d", i, j, j-i, MaxCoalesce)
+			}
+			for k := i + 1; k < j; k++ {
+				if addrs[k] != addrs[k-1]+1 {
+					t.Fatalf("run [%d,%d) not adjacent at %d: %d then %d", i, j, k, addrs[k-1], addrs[k])
+				}
+			}
+			// Maximality: the run only stops at the end, at a gap, or at the cap.
+			if j < len(addrs) && addrs[j] == addrs[j-1]+1 && j-i < MaxCoalesce {
+				t.Fatalf("run [%d,%d) stopped early: %d continues %d", i, j, addrs[j], addrs[j-1])
+			}
+			covered += j - i
+			i = j
+		}
+		if covered != len(addrs) {
+			t.Fatalf("runs covered %d of %d addresses", covered, len(addrs))
+		}
+	})
+}

@@ -72,17 +72,17 @@ type Batcher[R any] struct {
 	cancel context.CancelFunc
 
 	mu       sync.Mutex
-	pending  []request[R]
-	gen      uint64 // generation of the forming batch, to pair timers with it
-	inflight int    // admitted but not yet answered
-	shed     uint64
-	closed   bool
+	pending  []request[R] //lsh:guardedby mu
+	gen      uint64       //lsh:guardedby mu — generation of the forming batch, to pair timers with it
+	inflight int          //lsh:guardedby mu — admitted but not yet answered
+	shed     uint64       //lsh:guardedby mu
+	closed   bool         //lsh:guardedby mu
 	wg       sync.WaitGroup
 }
 
 // New builds a batcher that executes run for every cut batch.
 func New[R any](run Func[R], cfg Config) *Batcher[R] {
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //lsh:ctxok batcher owns its own lifecycle; Close cancels
 	return &Batcher[R]{run: run, cfg: cfg.withDefaults(), ctx: ctx, cancel: cancel}
 }
 

@@ -71,6 +71,7 @@ func (ix *Index) readaheadActive() bool { return ix.prefetcher != nil }
 func (ix *Index) readBlock(a blockstore.Addr, buf []byte, st *Stats) error {
 	if ix.ioeng != nil {
 		var bs ioengine.BatchStats
+		//lsh:ctxok demand reads run to completion by design; see the doc comment
 		if err := ix.ioeng.Read(context.Background(), a, buf, &bs); err != nil {
 			return err
 		}
@@ -95,12 +96,15 @@ func (ix *Index) readBlock(a blockstore.Addr, buf []byte, st *Stats) error {
 }
 
 // foldBatchStats merges one engine call's outcome counters into st.
+//
+//lsh:foldall ioengine.BatchStats
 func foldBatchStats(st *Stats, bs ioengine.BatchStats) {
 	if st == nil {
 		return
 	}
 	st.CacheHits += bs.CacheHits
 	st.CacheMisses += bs.CacheMisses
+	st.PhysicalReads += bs.PhysicalReads
 	st.DedupedReads += bs.DedupedReads
 	st.CoalescedReads += bs.CoalescedReads
 }

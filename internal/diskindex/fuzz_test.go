@@ -1,0 +1,106 @@
+package diskindex
+
+import (
+	"testing"
+
+	"e2lshos/internal/blockstore"
+)
+
+// FuzzUint40RoundTrip checks the packed object-info codec: any 40-bit value
+// must survive putUint40/getUint40 unchanged, and the high 24 bits of the
+// input must be ignored rather than smeared into neighboring entries.
+func FuzzUint40RoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1)<<40 - 1)
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, v uint64) {
+		var buf [EntryBytes]byte
+		putUint40(buf[:], v)
+		if got, want := getUint40(buf[:]), v&(1<<40-1); got != want {
+			t.Fatalf("getUint40(putUint40(%#x)) = %#x, want %#x", v, got, want)
+		}
+	})
+}
+
+// FuzzChainRoundTrip builds a bucket chain from arbitrary object streams
+// through the production writeChain encoder and walks it back with the
+// production decoders (bucketHeader, getUint40, unpackEntry), asserting
+// every (id, fingerprint) pair survives the on-storage format — across
+// fuzzed id widths, table bits and entries-per-block splits.
+func FuzzChainRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, uint8(10), uint8(12), uint8(3))
+	f.Add([]byte{255, 0, 255}, uint8(1), uint8(31), uint8(1))
+	f.Add([]byte{}, uint8(20), uint8(8), uint8(50))
+	f.Fuzz(func(t *testing.T, raw []byte, idBitsRaw, uRaw, perBlockRaw uint8) {
+		idBits := uint(idBitsRaw)%20 + 1 // 1..20
+		u := uint(uRaw)%31 + 1           // 1..31; fp has 32-u bits
+		if idBits+(32-u) > 8*EntryBytes {
+			t.Skip("id+fp wider than an object info")
+		}
+		maxEntries := (blockstore.BlockSize - HeaderBytes) / EntryBytes
+		perBlock := int(perBlockRaw)%maxEntries + 1
+
+		objs := make([]uint32, 0, len(raw))
+		maxID := uint32(0)
+		for _, b := range raw {
+			id := uint32(b) % (1 << idBits)
+			objs = append(objs, id)
+			if id > maxID {
+				maxID = id
+			}
+		}
+		hashes := make([]uint32, maxID+1)
+		for i := range hashes {
+			// Any deterministic per-object hash will do; the fingerprint is
+			// its high 32-u bits.
+			hashes[i] = uint32(i)*2654435761 + 12345
+		}
+
+		ix := &Index{
+			store:           blockstore.NewMem(),
+			u:               u,
+			idBits:          idBits,
+			bucketBytes:     blockstore.BlockSize,
+			physPerBucket:   1,
+			entriesPerBlock: perBlock,
+		}
+		buf := make([]byte, ix.bucketBufBytes())
+		head, err := ix.writeChain(hashes, objs, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(objs) == 0 {
+			return
+		}
+
+		// Walk the chain back with the production decoders.
+		var got []uint32
+		for addr := head; addr != 0; {
+			if err := ix.readLogicalBlock(addr, buf, nil); err != nil {
+				t.Fatal(err)
+			}
+			next, count := bucketHeader(buf)
+			if count > ix.entriesPerBlock {
+				t.Fatalf("block %d claims %d entries, split is %d per block", addr, count, ix.entriesPerBlock)
+			}
+			off := HeaderBytes
+			for i := 0; i < count; i++ {
+				id, fp := ix.unpackEntry(getUint40(buf[off:]))
+				off += EntryBytes
+				if want := hashes[id] >> u; fp != want {
+					t.Fatalf("object %d: fingerprint %#x, want %#x", id, fp, want)
+				}
+				got = append(got, id)
+			}
+			addr = next
+		}
+		if len(got) != len(objs) {
+			t.Fatalf("chain decoded %d entries, wrote %d", len(got), len(objs))
+		}
+		for i := range objs {
+			if got[i] != objs[i] {
+				t.Fatalf("entry %d: decoded id %d, wrote %d", i, got[i], objs[i])
+			}
+		}
+	})
+}

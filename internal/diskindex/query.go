@@ -13,6 +13,8 @@ import (
 
 // Stats records what one query did against the on-storage index, in the
 // units the paper's analysis uses.
+//
+//lsh:counters
 type Stats struct {
 	// Radii is the number of (R,c)-NN rounds executed.
 	Radii int
@@ -50,6 +52,10 @@ type Stats struct {
 	// DedupedReads counts reads satisfied by joining another query's
 	// in-flight backend read, singleflight style (zero without an engine).
 	DedupedReads int
+	// PhysicalReads counts the backend operations the I/O engine actually
+	// issued for this query after coalescing and dedup (zero without an
+	// engine). CacheMisses remains the logical backend-reaching count.
+	PhysicalReads int
 }
 
 // IOs returns the total I/O count of the query (the paper's N_IO).
@@ -120,6 +126,7 @@ func (s *Searcher) SetMultiProbe(t int) {
 // the in-memory reference algorithm table by table (§5.4 steps 1–3, executed
 // sequentially). It returns the neighbors and the per-query statistics.
 func (s *Searcher) Search(q []float32, k int) (ann.Result, Stats, error) {
+	//lsh:ctxok ctx-free convenience wrapper; cancellation lives in SearchContext
 	return s.SearchContext(context.Background(), q, k)
 }
 
@@ -172,6 +179,7 @@ func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (Stats
 	if ix.opts.ShareProjections {
 		ix.families[0].ProjectInto(s.proj, q)
 	}
+	//lsh:ladder
 	for rIdx, radius := range p.Radii {
 		if err := ctx.Err(); err != nil {
 			return st, err
@@ -244,6 +252,8 @@ func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (Stats
 // candidates with partial-distance pruning against the current k-th squared
 // distance (exact; see vecmath.SqDistBounded), and reports whether the
 // per-radius budget was exhausted.
+//
+//lsh:hotpath
 func (s *Searcher) probeBucket(rIdx, l int, h uint32, q []float32, topk *ann.TopK, st *Stats, checked *int) (bool, error) {
 	ix := s.ix
 	p := ix.params
@@ -293,6 +303,8 @@ func (s *Searcher) probeBucket(rIdx, l int, h uint32, q []float32, topk *ann.Top
 }
 
 // readTableEntry fetches the bucket head address for table (r,l) entry idx.
+//
+//lsh:hotpath
 func (s *Searcher) readTableEntry(r, l int, idx uint32, st *Stats) (blockstore.Addr, error) {
 	blk, off := s.ix.tableEntryBlock(r, l, idx)
 	if err := s.ix.readBlock(blk, s.buf[:blockstore.BlockSize], st); err != nil {

@@ -112,6 +112,7 @@ type probe struct {
 
 // Search answers a top-k query.
 func (ps *ParallelSearcher) Search(q []float32, k int) (ann.Result, Stats, error) {
+	//lsh:ctxok ctx-free convenience wrapper; cancellation lives in SearchContext
 	return ps.SearchContext(context.Background(), q, k)
 }
 
@@ -161,6 +162,7 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 	if ix.opts.ShareProjections {
 		ix.families[0].ProjectInto(ps.proj, q)
 	}
+	//lsh:ladder
 	for rIdx, radius := range p.Radii {
 		if err := ctx.Err(); err != nil {
 			return st, err
@@ -285,6 +287,8 @@ func (ps *ParallelSearcher) fetchAll(rIdx int, probes []*probe) {
 // Demand waves read under a background context on purpose: cancellation
 // stays at the searcher's documented radius-round granularity, exactly as on
 // the pool path (which never aborts a round midway either).
+//
+//lsh:hotpath
 func (ps *ParallelSearcher) fetchAllVec(rIdx int, probes []*probe, st *Stats) error {
 	if len(probes) == 0 {
 		return nil
@@ -294,6 +298,7 @@ func (ps *ParallelSearcher) fetchAllVec(rIdx int, probes []*probe, st *Stats) er
 	// allocate the wave arenas on first use in that case.
 	ps.ensureVecArenas()
 	var bst ioengine.BatchStats
+	//lsh:ctxok round-granularity cancellation by design; see the doc comment
 	ctx := context.Background()
 
 	// Wave 0: all table-entry blocks, stashing each probe's head-pointer
@@ -373,6 +378,8 @@ func (ps *ParallelSearcher) fetchAllVec(rIdx int, probes []*probe, st *Stats) er
 
 // fetchOne reads one probe's table entry and full bucket chain, collecting
 // fingerprint-matched ids.
+//
+//lsh:hotpath
 func (ps *ParallelSearcher) fetchOne(rIdx int, pr *probe, buf []byte) {
 	ix := ps.ix
 	blk, off := ix.tableEntryBlock(rIdx, pr.l, pr.idx)

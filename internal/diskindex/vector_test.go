@@ -50,6 +50,7 @@ func logicalStats(st Stats) Stats {
 	st.Prefetched = 0
 	st.CoalescedReads = 0
 	st.DedupedReads = 0
+	st.PhysicalReads = 0
 	return st
 }
 

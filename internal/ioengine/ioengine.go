@@ -57,6 +57,8 @@ type Options struct {
 
 // BatchStats reports what one Read or ReadBatch call did, in the per-query
 // units diskindex.Stats folds in.
+//
+//lsh:counters
 type BatchStats struct {
 	// CacheHits and CacheMisses count cache outcomes (zero without a cache).
 	// A deduped read counts as a hit: it never reached the backend on this
@@ -74,6 +76,8 @@ type BatchStats struct {
 }
 
 // Counters are the engine's cumulative totals, for serving-layer /stats.
+//
+//lsh:counters
 type Counters struct {
 	// Reads is the number of block reads requested (demand traffic;
 	// prefetch waves count only in PhysicalReads/CoalescedReads).
@@ -103,7 +107,7 @@ type Engine struct {
 	sem   chan struct{}
 
 	mu       sync.Mutex
-	inflight map[blockstore.Addr]*flight
+	inflight map[blockstore.Addr]*flight //lsh:guardedby mu
 
 	// scratch pools readWave's classification slices, so a fully
 	// cache-resident wave allocates nothing in steady state.
@@ -138,6 +142,8 @@ func (e *Engine) Depth() int { return cap(e.sem) }
 func (e *Engine) Cache() *blockcache.Cache { return e.cache }
 
 // Counters returns the cumulative engine totals.
+//
+//lsh:foldall Counters
 func (e *Engine) Counters() Counters {
 	return Counters{
 		Reads:          e.reads.Load(),
@@ -159,6 +165,8 @@ func (e *Engine) lookupFlight(a blockstore.Addr) *flight {
 // cache (probed outside the engine lock), then backend. ctx only bounds
 // waiting on another caller's flight; a read this call leads always
 // completes, so sharers are never poisoned.
+//
+//lsh:hotpath
 func (e *Engine) Read(ctx context.Context, a blockstore.Addr, buf []byte, st *BatchStats) error {
 	e.reads.Add(1)
 	if fl := e.lookupFlight(a); fl != nil {
@@ -177,6 +185,7 @@ func (e *Engine) Read(ctx context.Context, a blockstore.Addr, buf []byte, st *Ba
 		e.mu.Unlock()
 		return e.join(ctx, fl, buf, st)
 	}
+	//lsh:allocok miss path: the flight outlives the call and must escape
 	fl := &flight{done: make(chan struct{})}
 	e.inflight[a] = fl
 	e.mu.Unlock()
@@ -277,6 +286,7 @@ type waveScratch struct {
 	runs    []run
 }
 
+//lsh:hotpath
 func (e *Engine) getScratch() *waveScratch {
 	if ws, ok := e.scratch.Get().(*waveScratch); ok {
 		ws.joins = ws.joins[:0]
@@ -286,6 +296,7 @@ func (e *Engine) getScratch() *waveScratch {
 		ws.runs = ws.runs[:0]
 		return ws
 	}
+	//lsh:allocok cold pool miss: one arena per concurrent wave, then reused
 	return &waveScratch{}
 }
 
@@ -299,6 +310,9 @@ type run struct{ lo, hi int }
 // PutPrefetched into h, no per-call stats). It classifies every position —
 // dedup join, cache hit, or leader miss — probing the cache outside the
 // engine lock, then submits the misses as coalesced runs.
+//
+//lsh:hotpath
+//lsh:foldall BatchStats
 func (e *Engine) readWave(ctx context.Context, addrs []blockstore.Addr, bufs [][]byte, st *BatchStats, quiet bool, h *blockcache.Handle) error {
 	ws := e.getScratch()
 	var (
@@ -363,9 +377,11 @@ func (e *Engine) readWave(ctx context.Context, addrs []blockstore.Addr, bufs [][
 				}
 				continue
 			}
+			//lsh:allocok miss path: flights escape into the dedup table
 			fl := &flight{done: make(chan struct{})}
 			e.inflight[a] = fl
 			if flights == nil {
+				//lsh:allocok miss path: only miss-bearing waves pay for the table
 				flights = make(map[blockstore.Addr]*flight, len(misses))
 			}
 			flights[a] = fl
@@ -379,6 +395,7 @@ func (e *Engine) readWave(ctx context.Context, addrs []blockstore.Addr, bufs [][
 
 	var firstErr error
 	if len(lead) > 0 {
+		//lsh:allocok miss path: sort.Slice boxes its less closure
 		sort.Slice(lead, func(x, y int) bool { return addrs[lead[x]] < addrs[lead[y]] })
 		runs := splitRuns(addrs, lead, ws)
 		bst.CoalescedReads += len(lead) - len(runs)
@@ -406,6 +423,8 @@ func (e *Engine) readWave(ctx context.Context, addrs []blockstore.Addr, bufs [][
 
 // cacheProbe checks the cache on the demand (counted) or quiet path.
 // In-batch duplicates that both hit simply copy twice.
+//
+//lsh:hotpath
 func (e *Engine) cacheProbe(a blockstore.Addr, buf []byte, quiet bool) bool {
 	if quiet {
 		return e.cache.PeekQuiet(a, buf)
@@ -417,6 +436,8 @@ func (e *Engine) cacheProbe(a blockstore.Addr, buf []byte, quiet bool) bool {
 // adjacent addresses, delegating the run boundary to blockstore.NextRun so
 // the engine's submission units are exactly the backends' physical
 // operations. Both working slices live in the wave scratch.
+//
+//lsh:hotpath
 func splitRuns(addrs []blockstore.Addr, lead []int, ws *waveScratch) []run {
 	sorted := ws.sorted[:0]
 	for _, pos := range lead {

@@ -74,6 +74,8 @@ func (f *Family) NumProjections() int { return f.L * f.M }
 // single blocked GEMV over the panel-packed projection matrix — the batched
 // replacement for L·M independent Dot calls on the query hot path. The same
 // buffer quantizes into hash values for any radius via HashesAt.
+//
+//lsh:hotpath
 func (f *Family) ProjectInto(dst []float64, q []float32) {
 	if len(q) != f.Dim {
 		panic(fmt.Sprintf("lsh: ProjectInto dimension mismatch: vector %d, family %d", len(q), f.Dim))
@@ -93,6 +95,8 @@ func (f *Family) Project(v []float32, out []float64) {
 // HashesAt quantizes a projection buffer at search radius r and mixes each
 // compound hash into a 32-bit value, one per table, written into out
 // (length L).
+//
+//lsh:hotpath
 func (f *Family) HashesAt(proj []float64, r float64, out []uint32) {
 	if len(proj) != f.NumProjections() {
 		panic(fmt.Sprintf("lsh: HashesAt projection length %d, want %d", len(proj), f.NumProjections()))

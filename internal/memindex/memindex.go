@@ -253,6 +253,8 @@ func freezeTable(hashes []uint32) table {
 
 // QueryStats records what one query did, in the units the paper's analysis
 // needs (Table 4, Figs 3–8).
+//
+//lsh:counters
 type QueryStats struct {
 	// Radii is the number of (R,c)-NN rounds executed (contributes r̄).
 	Radii int
@@ -334,6 +336,7 @@ func (s *Searcher) SetMultiProbe(t int) {
 // radius schedule (§2.3). With SetMultiProbe, each table additionally probes
 // its most promising neighboring buckets.
 func (s *Searcher) Search(q []float32, k int) (ann.Result, QueryStats) {
+	//lsh:ctxok ctx-free convenience wrapper; cancellation lives in SearchContext
 	res, st, _ := s.SearchContext(context.Background(), q, k)
 	return res, st
 }
@@ -357,6 +360,8 @@ func (s *Searcher) SearchInto(ctx context.Context, q []float32, k int, dst []ann
 
 // search runs the radius ladder, leaving the winners (keyed by squared
 // distance) in s.topk.
+//
+//lsh:hotpath
 func (s *Searcher) search(ctx context.Context, q []float32, k int) (QueryStats, error) {
 	p := s.ix.params
 	var st QueryStats
@@ -374,6 +379,7 @@ func (s *Searcher) search(ctx context.Context, q []float32, k int) (QueryStats, 
 	if s.ix.opts.ShareProjections {
 		s.ix.families[0].ProjectInto(s.proj, q)
 	}
+	//lsh:ladder
 	for rIdx, radius := range p.Radii {
 		if err := ctx.Err(); err != nil {
 			return st, err
@@ -430,6 +436,8 @@ func (s *Searcher) search(ctx context.Context, q []float32, k int) (QueryStats, 
 // partial squared distance abandons as soon as it exceeds the current k-th
 // squared distance, which is exact — an abandoned candidate can never enter
 // the top-k (see vecmath.SqDistBounded).
+//
+//lsh:hotpath
 func (s *Searcher) scanBucket(rIdx, l int, h uint32, q []float32, topk *ann.TopK, st *QueryStats, checked *int) bool {
 	p := s.ix.params
 	st.Probes++
@@ -473,6 +481,8 @@ type StatsAccumulator struct {
 }
 
 // Add folds one query's stats into the accumulator.
+//
+//lsh:foldall QueryStats
 func (a *StatsAccumulator) Add(st QueryStats) {
 	a.Queries++
 	a.Sum.Radii += st.Radii

@@ -97,7 +97,7 @@ func (c *Cache) ResetStats() {
 // wraps it.
 type Shared struct {
 	mu sync.Mutex
-	c  *Cache
+	c  *Cache //lsh:guardedby mu
 }
 
 // NewShared creates a guarded cache holding up to capacityPages pages.

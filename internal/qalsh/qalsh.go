@@ -217,6 +217,8 @@ func (ix *Index) IndexBytes() int64 {
 }
 
 // Stats records the work one query performed.
+//
+//lsh:counters
 type Stats struct {
 	// Radii is the number of virtual rehashing rounds executed.
 	Radii int
@@ -260,6 +262,7 @@ func (ix *Index) NewSearcher() *Searcher {
 
 // Search answers a top-k query with QALSH's collision counting procedure.
 func (s *Searcher) Search(q []float32, k int) (ann.Result, Stats) {
+	//lsh:ctxok ctx-free convenience wrapper; cancellation lives in SearchContext
 	res, st, _ := s.SearchContext(context.Background(), q, k)
 	return res, st
 }
@@ -298,6 +301,7 @@ func (s *Searcher) search(ctx context.Context, q []float32, k int) (Stats, error
 	// cursors live in searcher-owned arenas and are reseeded in place.
 	asc, desc := s.asc, s.desc
 	ascOK, descOK := s.ascOK, s.descOK
+	//lsh:ctxok bounded cursor priming, M iterations before the ladder starts
 	for j := range asc {
 		ix.trees[j].SeekAscendInto(&asc[j], s.qProj[j])
 		ix.trees[j].SeekDescendInto(&desc[j], s.qProj[j])
@@ -316,6 +320,7 @@ func (s *Searcher) search(ctx context.Context, q []float32, k int) (Stats, error
 	}
 	threshold := int32(ix.params.L)
 
+	//lsh:ladder
 	for _, radius := range ix.radii {
 		if err := ctx.Err(); err != nil {
 			return st, err
@@ -363,6 +368,8 @@ func (s *Searcher) search(ctx context.Context, q []float32, k int) (Stats, error
 
 // bump increments the collision count of id and reports whether it just
 // reached the candidate threshold (so each object is verified exactly once).
+//
+//lsh:hotpath
 func (s *Searcher) bump(id uint32, threshold int32) bool {
 	if s.epochs[id] != s.epoch {
 		s.epochs[id] = s.epoch
@@ -375,6 +382,8 @@ func (s *Searcher) bump(id uint32, threshold int32) bool {
 // verify checks one candidate's true distance with partial-distance pruning
 // against the current k-th squared distance (exact; see
 // vecmath.SqDistBounded).
+//
+//lsh:hotpath
 func (s *Searcher) verify(q []float32, id uint32, topk *ann.TopK, st *Stats) {
 	if sq, ok := vecmath.SqDistBounded(s.ix.data[id], q, topk.Worst()); ok {
 		topk.Push(id, sq)

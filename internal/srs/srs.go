@@ -138,6 +138,8 @@ func (ix *Index) IndexBytes() int64 {
 
 // Stats records the work one query performed, in the units the shared cost
 // model charges for.
+//
+//lsh:counters
 type Stats struct {
 	// NodesVisited counts R-tree nodes expanded.
 	NodesVisited int
@@ -154,6 +156,7 @@ type Stats struct {
 // (the paper's T'). maxCheck <= 0 means no budget, scanning until the early
 // termination test fires or the tree is exhausted.
 func (ix *Index) Search(q []float32, k, maxCheck int) (ann.Result, Stats) {
+	//lsh:ctxok ctx-free convenience wrapper; cancellation lives in SearchContext
 	res, st, _ := ix.SearchContext(context.Background(), q, k, maxCheck, ix.cfg.UseEarlyStop)
 	return res, st
 }
@@ -223,6 +226,7 @@ func (s *Searcher) search(ctx context.Context, q []float32, k, maxCheck int, ear
 		s.topk.Reset(k)
 	}
 	topk := s.topk
+	//lsh:ladder
 	for {
 		if st.Checked&63 == 0 {
 			if err := ctx.Err(); err != nil {

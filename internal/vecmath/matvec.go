@@ -104,6 +104,8 @@ func (p *Panels) RowDot(r int, v []float32) float64 {
 func MatVec(dst []float64, a *Panels, v []float32) { a.MatVec(dst, v) }
 
 // MatVec is the method form of the package-level MatVec.
+//
+//lsh:hotpath
 func (p *Panels) MatVec(dst []float64, v []float32) {
 	if len(v) != p.dim {
 		panic(fmt.Sprintf("vecmath: MatVec length mismatch: vector %d, matrix %d", len(v), p.dim))

@@ -18,6 +18,8 @@ import "math"
 // Dot returns the dot product of a and b. The two vectors must have the same
 // length; Dot panics otherwise, since a length mismatch is always a caller
 // bug rather than a runtime condition.
+//
+//lsh:hotpath
 func Dot(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic("vecmath: Dot length mismatch")
@@ -40,6 +42,8 @@ func Dot(a, b []float32) float64 {
 
 // SqDist returns the squared Euclidean distance between a and b. It panics on
 // length mismatch for the same reason as Dot.
+//
+//lsh:hotpath
 func SqDist(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic("vecmath: SqDist length mismatch")
@@ -80,6 +84,8 @@ func Dist(a, b []float32) float64 {
 // The accumulation uses exactly SqDist's four-lane order, so a full
 // (non-abandoned) run returns a result bitwise identical to SqDist: pruning
 // never changes a reported distance.
+//
+//lsh:hotpath
 func SqDistBounded(a, b []float32, bound float64) (float64, bool) {
 	if len(a) != len(b) {
 		panic("vecmath: SqDistBounded length mismatch")

@@ -45,13 +45,13 @@ type Server struct {
 	start   time.Time
 
 	mu        sync.Mutex
-	agg       Stats
-	served    uint64
-	failed    uint64
-	canceled  uint64
-	scored    int
-	recallSum float64
-	ratioSum  float64
+	agg       Stats   //lsh:guardedby mu
+	served    uint64  //lsh:guardedby mu
+	failed    uint64  //lsh:guardedby mu
+	canceled  uint64  //lsh:guardedby mu
+	scored    int     //lsh:guardedby mu
+	recallSum float64 //lsh:guardedby mu
+	ratioSum  float64 //lsh:guardedby mu
 }
 
 // NewServer wraps eng for serving. Close releases the coalescer.
@@ -118,6 +118,8 @@ type statsResponse struct {
 	NonEmptyProbes int `json:"non_empty_probes"`
 	EntriesScanned int `json:"entries_scanned"`
 	Checked        int `json:"checked"`
+	Duplicates     int `json:"duplicates"`
+	FPRejected     int `json:"fp_rejected"`
 	TableIOs       int `json:"table_ios"`
 	BucketIOs      int `json:"bucket_ios"`
 	NIO            int `json:"n_io"`
@@ -130,19 +132,24 @@ type statsResponse struct {
 	// Vectored I/O engine counters (zero unless the engine was built with
 	// WithIOEngine): reads absorbed by adjacent-run coalescing and by
 	// cross-query singleflight dedup. n_io stays the logical count.
-	CoalescedReads int     `json:"coalesced_reads"`
-	DedupedReads   int     `json:"deduped_reads"`
-	MeanIOs        float64 `json:"mean_ios"`
-	MeanRadii      float64 `json:"mean_radii"`
-	MeanChecked    float64 `json:"mean_checked"`
-	Served         uint64  `json:"served"`
-	Failed         uint64  `json:"failed"`
-	Canceled       uint64  `json:"canceled"`
-	Shed           uint64  `json:"shed"`
-	UptimeSeconds  float64 `json:"uptime_seconds"`
-	Scored         int     `json:"scored,omitempty"`
-	MeanRecall     float64 `json:"mean_recall,omitempty"`
-	MeanRatio      float64 `json:"mean_ratio,omitempty"`
+	CoalescedReads int `json:"coalesced_reads"`
+	DedupedReads   int `json:"deduped_reads"`
+	PhysicalReads  int `json:"physical_reads"`
+	// In-memory reference and SRS-only counters (zero on other engines).
+	IOsAtInf      int     `json:"ios_at_inf"`
+	NodesVisited  int     `json:"nodes_visited"`
+	EarlyStopped  int     `json:"early_stopped"`
+	MeanIOs       float64 `json:"mean_ios"`
+	MeanRadii     float64 `json:"mean_radii"`
+	MeanChecked   float64 `json:"mean_checked"`
+	Served        uint64  `json:"served"`
+	Failed        uint64  `json:"failed"`
+	Canceled      uint64  `json:"canceled"`
+	Shed          uint64  `json:"shed"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Scored        int     `json:"scored,omitempty"`
+	MeanRecall    float64 `json:"mean_recall,omitempty"`
+	MeanRatio     float64 `json:"mean_ratio,omitempty"`
 }
 
 // Handler returns the HTTP API: POST /search, GET /stats, GET /healthz.
@@ -236,6 +243,7 @@ func (s *Server) score(qid *int, res Result) {
 	s.mu.Unlock()
 }
 
+//lsh:foldall Stats
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	st := s.agg
@@ -246,6 +254,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		NonEmptyProbes:   st.NonEmptyProbes,
 		EntriesScanned:   st.EntriesScanned,
 		Checked:          st.Checked,
+		Duplicates:       st.Duplicates,
+		FPRejected:       st.FPRejected,
 		TableIOs:         st.TableIOs,
 		BucketIOs:        st.BucketIOs,
 		NIO:              st.IOs(),
@@ -254,6 +264,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PrefetchedBlocks: st.PrefetchedBlocks,
 		CoalescedReads:   st.CoalescedReads,
 		DedupedReads:     st.DedupedReads,
+		PhysicalReads:    st.PhysicalReads,
+		IOsAtInf:         st.IOsAtInf,
+		NodesVisited:     st.NodesVisited,
+		EarlyStopped:     st.EarlyStopped,
 		MeanIOs:          st.MeanIOs(),
 		MeanRadii:        st.MeanRadii(),
 		MeanChecked:      st.MeanChecked(),

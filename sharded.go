@@ -214,6 +214,8 @@ func (x *ShardedIndex) BatchSearch(ctx context.Context, queries [][]float32, opt
 // because every shard really did that work, but Queries must count logical
 // queries, not logical queries × shards — so it is the maximum any single
 // shard answered, which on a clean run is exactly the batch size.
+//
+//lsh:foldall Stats
 func foldShardStats(per []Stats) Stats {
 	var agg Stats
 	logical := 0

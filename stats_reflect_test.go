@@ -1,0 +1,136 @@
+package e2lshos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// fillStats sets every int field of a Stats to a distinct nonzero value via
+// reflection, so a counter dropped anywhere downstream shows up as an exact
+// missing value rather than a silent zero.
+func fillStats(t *testing.T) Stats {
+	t.Helper()
+	var st Stats
+	v := reflect.ValueOf(&st).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() != reflect.Int {
+			t.Fatalf("Stats.%s is %s; this test assumes int counters", v.Type().Field(i).Name, f.Kind())
+		}
+		f.SetInt(int64(i + 1))
+	}
+	return st
+}
+
+// TestStatsMergeEveryField is the runtime twin of the statsfold analyzer:
+// merging a fully-populated Stats into a zero one must reproduce it exactly,
+// and merging twice must double every field. A Merge that forgets a counter
+// fails on the exact field name.
+func TestStatsMergeEveryField(t *testing.T) {
+	filled := fillStats(t)
+
+	var sum Stats
+	sum.Merge(filled)
+	if sum != filled {
+		t.Fatalf("zero.Merge(filled) = %+v, want %+v", sum, filled)
+	}
+	sum.Merge(filled)
+	v := reflect.ValueOf(sum)
+	for i := 0; i < v.NumField(); i++ {
+		if got, want := v.Field(i).Int(), int64(2*(i+1)); got != want {
+			t.Errorf("after double merge, Stats.%s = %d, want %d", v.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// statsJSONKeys maps every Stats counter to the /stats key that must expose
+// it. TestStatsEndpointExposesEveryCounter fails if a Stats field is missing
+// here, so adding a counter forces a decision about its serving name.
+var statsJSONKeys = map[string]string{
+	"Queries":          "queries",
+	"Radii":            "radii",
+	"Probes":           "probes",
+	"NonEmptyProbes":   "non_empty_probes",
+	"EntriesScanned":   "entries_scanned",
+	"Checked":          "checked",
+	"Duplicates":       "duplicates",
+	"FPRejected":       "fp_rejected",
+	"TableIOs":         "table_ios",
+	"BucketIOs":        "bucket_ios",
+	"CacheHits":        "cache_hits",
+	"CacheMisses":      "cache_misses",
+	"PrefetchedBlocks": "prefetched_blocks",
+	"CoalescedReads":   "coalesced_reads",
+	"DedupedReads":     "deduped_reads",
+	"PhysicalReads":    "physical_reads",
+	"IOsAtInf":         "ios_at_inf",
+	"NodesVisited":     "nodes_visited",
+	"EarlyStopped":     "early_stopped",
+}
+
+// statsStubEngine answers every batch with a fixed Stats, so the serving
+// layer's aggregation is the only thing under test.
+type statsStubEngine struct{ st Stats }
+
+func (e statsStubEngine) Search(ctx context.Context, q []float32, opts ...SearchOption) (Result, Stats, error) {
+	return Result{}, e.st, nil
+}
+
+func (e statsStubEngine) BatchSearch(ctx context.Context, queries [][]float32, opts ...SearchOption) ([]Result, Stats, error) {
+	return make([]Result, len(queries)), e.st, nil
+}
+
+// TestStatsEndpointExposesEveryCounter drives one query through the server
+// and asserts /stats carries every Stats counter, by name, with the value
+// the engine reported. This is the wire-level completeness check the
+// statsfold analyzer performs statically on handleStats.
+func TestStatsEndpointExposesEveryCounter(t *testing.T) {
+	filled := fillStats(t)
+	typ := reflect.TypeOf(filled)
+	for i := 0; i < typ.NumField(); i++ {
+		if _, ok := statsJSONKeys[typ.Field(i).Name]; !ok {
+			t.Fatalf("Stats.%s has no /stats JSON key registered in statsJSONKeys", typ.Field(i).Name)
+		}
+	}
+
+	srv, err := NewServer(statsStubEngine{st: filled}, ServerConfig{Dim: 2, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+
+	body, _ := json.Marshal(searchRequest{Query: []float32{1, 2}})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/search", bytes.NewReader(body)))
+	if rec.Code != 200 {
+		t.Fatalf("/search returned %d: %s", rec.Code, rec.Body)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/stats returned %d: %s", rec.Code, rec.Body)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	v := reflect.ValueOf(filled)
+	for i := 0; i < v.NumField(); i++ {
+		name := typ.Field(i).Name
+		key := statsJSONKeys[name]
+		raw, ok := got[key]
+		if !ok {
+			t.Errorf("/stats has no %q key for Stats.%s", key, name)
+			continue
+		}
+		if want := float64(v.Field(i).Int()); raw != want {
+			t.Errorf("/stats %q = %v, want %v (Stats.%s)", key, raw, want, name)
+		}
+	}
+}

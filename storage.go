@@ -100,6 +100,8 @@ func (s *StorageIndex) CacheStats() (hits, misses, prefetched int64) {
 // queries (all zero when the index was built without WithIOEngine):
 // requested block reads, the physical backend operations that served them,
 // and the reads absorbed by adjacent-run coalescing and singleflight dedup.
+//
+//lsh:foldall ioengine.Counters
 func (s *StorageIndex) IOEngineStats() (reads, physical, coalesced, deduped int64) {
 	eng := s.ix.IOEngine()
 	if eng == nil {
@@ -176,6 +178,10 @@ func (d diskSyncQuerier) query(ctx context.Context, q []float32, k int, dst []an
 	return res, diskStats(st), err
 }
 
+// diskStats converts per-query disk-index counters into the facade's
+// Stats, field for field.
+//
+//lsh:foldall diskindex.Stats
 func diskStats(st diskindex.Stats) Stats {
 	return Stats{
 		Queries:          1,
@@ -193,5 +199,6 @@ func diskStats(st diskindex.Stats) Stats {
 		PrefetchedBlocks: st.Prefetched,
 		CoalescedReads:   st.CoalescedReads,
 		DedupedReads:     st.DedupedReads,
+		PhysicalReads:    st.PhysicalReads,
 	}
 }
