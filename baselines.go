@@ -12,6 +12,7 @@ import (
 
 // SRSIndex is the SRS small-index baseline (in-memory).
 type SRSIndex struct {
+	telem
 	ix *srs.Index
 }
 
@@ -71,6 +72,7 @@ func (s srsQuerier) query(ctx context.Context, q []float32, k int, dst []ann.Nei
 
 // QALSHIndex is the QALSH small-index baseline (in-memory).
 type QALSHIndex struct {
+	telem
 	ix *qalsh.Index
 }
 

@@ -395,6 +395,39 @@ func benchRepeatedQueries(b *testing.B, opts ...StorageOption) {
 	b.ReportMetric(float64(backend)/queries, "backend-reads/query")
 }
 
+// BenchmarkSearchLatencyQuantiles runs the single-query serving path with
+// telemetry on and reports the measured latency distribution: p50-ns/op and
+// p99-ns/op land in the BENCH_*.json trajectory next to the ns/op mean, and
+// benchjson -delta renders their movement without gating on baselines that
+// predate percentile reporting.
+func BenchmarkSearchLatencyQuantiles(b *testing.B) {
+	d, err := GeneratePaperDataset(SIFT, 0, 4000, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := NewStorageIndex(d.Vectors, Config{Sigma: 8}, WithBlockCache(64<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ix.EnableTelemetry(); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.Search(ctx, d.Queries[i%d.NQ()], WithK(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, row := range ix.TelemetryReport() {
+		if row.Stage == "total" {
+			b.ReportMetric(float64(row.P50), "p50-ns/op")
+			b.ReportMetric(float64(row.P99), "p99-ns/op")
+		}
+	}
+}
+
 func BenchmarkRepeatedQueriesUncached(b *testing.B) {
 	benchRepeatedQueries(b)
 }

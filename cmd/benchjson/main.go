@@ -1,7 +1,8 @@
 // Command benchjson converts `go test -bench` output into the BENCH_*.json
 // trajectory format CI commits on main: one entry per benchmark mapping
 // every reported metric (ns/op plus custom b.ReportMetric units like
-// backend-reads/query or miss-%@full) to its value.
+// backend-reads/query, miss-%@full, or the telemetry-histogram percentiles
+// p50-ns/op / p99-ns/op) to its value.
 //
 // Usage:
 //
@@ -178,13 +179,20 @@ func loadFile(path string) (*File, error) {
 	return &f, nil
 }
 
-// DeltaRow is one benchmark's old-vs-new comparison.
+// DeltaRow is one benchmark's old-vs-new comparison. The percentile fields
+// are filled only when the benchmark reports p50-ns/op / p99-ns/op (the
+// telemetry-histogram metrics); they are informational and never gated, so
+// baselines recorded before percentiles existed keep comparing cleanly.
 type DeltaRow struct {
 	Pkg       string  `json:"pkg"`
 	Name      string  `json:"name"`
 	OldNS     float64 `json:"old_ns_op"`
 	NewNS     float64 `json:"new_ns_op"`
 	DeltaPct  float64 `json:"delta_pct"` // positive = slower
+	OldP50    float64 `json:"old_p50_ns_op,omitempty"`
+	NewP50    float64 `json:"new_p50_ns_op,omitempty"`
+	OldP99    float64 `json:"old_p99_ns_op,omitempty"`
+	NewP99    float64 `json:"new_p99_ns_op,omitempty"`
 	Gated     bool    `json:"gated"`
 	Regressed bool    `json:"regressed"`
 }
@@ -226,6 +234,8 @@ func Delta(oldF, newF *File, gate *regexp.Regexp, threshold float64) []DeltaRow 
 			Pkg: nb.Pkg, Name: nb.Name,
 			OldNS: oldNS, NewNS: newNS,
 			DeltaPct: (newNS - oldNS) / oldNS * 100,
+			OldP50:   ob.Metrics["p50-ns/op"], NewP50: nb.Metrics["p50-ns/op"],
+			OldP99: ob.Metrics["p99-ns/op"], NewP99: nb.Metrics["p99-ns/op"],
 		}
 		if gate != nil && gate.MatchString(nb.Name) {
 			row.Gated = true
@@ -292,8 +302,8 @@ func runDelta(w io.Writer, oldPath, newPath, gatePat string, threshold float64, 
 		})
 	}
 	fmt.Fprintf(w, "### Benchmark delta: %s vs %s\n\n", oldPath, newPath)
-	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | delta |")
-	fmt.Fprintln(w, "|---|---:|---:|---:|")
+	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | delta | p50 Δ | p99 Δ |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|")
 	ok := true
 	var worst []string
 	for _, r := range rows {
@@ -306,7 +316,9 @@ func runDelta(w io.Writer, oldPath, newPath, gatePat string, threshold float64, 
 				worst = append(worst, fmt.Sprintf("%s (%s): %+.1f%%", r.Name, r.Pkg, r.DeltaPct))
 			}
 		}
-		fmt.Fprintf(w, "| %s%s | %s | %s | %+.1f%% |\n", r.Name, mark, fmtNS(r.OldNS), fmtNS(r.NewNS), r.DeltaPct)
+		fmt.Fprintf(w, "| %s%s | %s | %s | %+.1f%% | %s | %s |\n", r.Name, mark,
+			fmtNS(r.OldNS), fmtNS(r.NewNS), r.DeltaPct,
+			fmtPctDelta(r.OldP50, r.NewP50), fmtPctDelta(r.OldP99, r.NewP99))
 	}
 	if gate != nil {
 		if ok {
@@ -323,6 +335,16 @@ func writeReport(w io.Writer, rep DeltaReport) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// fmtPctDelta renders a percentile's old→new movement, or "–" when either
+// trajectory predates percentile reporting — the comparison is informational
+// and never blocks on a missing-percentile baseline.
+func fmtPctDelta(old, new float64) string {
+	if old <= 0 || new <= 0 {
+		return "–"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
 }
 
 // fmtNS renders a nanosecond value compactly.

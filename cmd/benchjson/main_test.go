@@ -103,6 +103,46 @@ func TestDelta(t *testing.T) {
 	}
 }
 
+// TestDeltaPercentiles: p50/p99 metrics ride along when present and never
+// gate — a baseline recorded before percentile reporting compares cleanly.
+func TestDeltaPercentiles(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{
+		{Pkg: "p", Name: "BenchmarkSearchTail", Metrics: map[string]float64{
+			"ns/op": 1000, "p50-ns/op": 900, "p99-ns/op": 4000,
+		}},
+		{Pkg: "p", Name: "BenchmarkSearchOld", Metrics: map[string]float64{"ns/op": 1000}},
+	}}
+	newF := &File{Benchmarks: []Benchmark{
+		{Pkg: "p", Name: "BenchmarkSearchTail", Metrics: map[string]float64{
+			"ns/op": 1000, "p50-ns/op": 950, "p99-ns/op": 8000, // tail doubled
+		}},
+		{Pkg: "p", Name: "BenchmarkSearchOld", Metrics: map[string]float64{
+			"ns/op": 1000, "p50-ns/op": 500, "p99-ns/op": 2000, // no old percentiles
+		}},
+	}}
+	rows := Delta(oldF, newF, regexp.MustCompile(`Search`), 20)
+	byName := map[string]DeltaRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["BenchmarkSearchTail"]; r.OldP99 != 4000 || r.NewP99 != 8000 || r.OldP50 != 900 {
+		t.Errorf("SearchTail percentiles not joined: %+v", r)
+	}
+	// A doubled p99 with flat ns/op must not trip the gate.
+	if r := byName["BenchmarkSearchTail"]; r.Regressed {
+		t.Errorf("SearchTail = %+v: percentile movement must not gate", r)
+	}
+	if r := byName["BenchmarkSearchOld"]; r.OldP50 != 0 || r.NewP50 != 500 {
+		t.Errorf("SearchOld = %+v, want missing old percentiles carried as zero", r)
+	}
+	if fmtPctDelta(0, 500) != "–" {
+		t.Errorf("fmtPctDelta(0, 500) = %q, want – for missing baseline", fmtPctDelta(0, 500))
+	}
+	if got := fmtPctDelta(4000, 8000); got != "+100.0%" {
+		t.Errorf("fmtPctDelta(4000, 8000) = %q", got)
+	}
+}
+
 func TestRunDeltaGate(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name string, f *File) string {

@@ -57,6 +57,10 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 		cacheMB   = fs.Int("cache", 0, "per-shard block cache for storage shards, in MiB (0 = uncached)")
 		readahead = fs.Int("readahead", 0, "bucket blocks prefetched per chain between radius rounds (needs -cache)")
 		ioDepth   = fs.Int("iodepth", 0, "vectored I/O engine queue depth per storage shard: batched round submission, adjacent-block coalescing, cross-query dedup (0 = off)")
+		metrics   = fs.Bool("metrics", true, "enable engine latency telemetry (per-stage histograms folded across shards, served at /metrics)")
+		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceSamp = fs.Float64("trace-sample", 0, "fraction of queries traced per stage, in [0,1] (0 = histograms only)")
+		slowQuery = fs.Duration("slowquery", 0, "dump the span trace of sampled queries slower than this to stderr (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +112,15 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 	if err != nil {
 		return err
 	}
+	if *metrics || *traceSamp > 0 || *slowQuery > 0 {
+		topts := []e2lshos.TelemetryOption{e2lshos.WithTracing(*traceSamp)}
+		if *slowQuery > 0 {
+			topts = append(topts, e2lshos.WithSlowQueryLog(*slowQuery))
+		}
+		if err := ix.EnableTelemetry(topts...); err != nil {
+			return err
+		}
+	}
 	srv, err := e2lshos.NewServer(ix, e2lshos.ServerConfig{
 		Dim:      ds.Dim,
 		K:        *k,
@@ -115,6 +128,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 		MaxDelay: *maxDelay,
 		MaxQueue: *maxQueue,
 		Exact:    e2lshos.GroundTruth(ds, *k),
+		Pprof:    *pprofOn,
 	})
 	if err != nil {
 		return err
@@ -128,7 +142,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(out, "listening on %s (POST /search, GET /stats, GET /healthz)\n", ln.Addr())
+	fmt.Fprintf(out, "listening on %s (POST /search, GET /stats, GET /metrics, GET /healthz)\n", ln.Addr())
 	if ready != nil {
 		ready(ln.Addr())
 	}

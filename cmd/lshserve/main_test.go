@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -39,6 +40,11 @@ func TestServeConcurrentTraffic(t *testing.T) {
 	ix, err := e2lshos.NewShardedIndex(d.Vectors, 3, e2lshos.PlaceHash,
 		e2lshos.StorageShardBuilder(e2lshos.ShardConfig(e2lshos.Config{Sigma: 32}, d.Vectors, 3)))
 	if err != nil {
+		t.Fatal(err)
+	}
+	// Telemetry on, as lshserve's -metrics default enables it, so the
+	// /metrics scrape below sees the per-stage engine summaries too.
+	if err := ix.EnableTelemetry(e2lshos.WithTracing(0.5)); err != nil {
 		t.Fatal(err)
 	}
 	srv, err := e2lshos.NewServer(ix, e2lshos.ServerConfig{
@@ -136,6 +142,82 @@ func TestServeConcurrentTraffic(t *testing.T) {
 	if hz.StatusCode != http.StatusOK {
 		t.Errorf("/healthz returned %d", hz.StatusCode)
 	}
+
+	scrapeMetrics(t, ts.URL)
+}
+
+// statsPromNames lists the /metrics exposition name of every exported
+// e2lshos.Stats counter plus the derived N_IO. The reflection guard in
+// scrapeMetrics pins the list's length to the Stats field count, so adding a
+// counter without registering its metric name fails here.
+var statsPromNames = []string{
+	"lsh_stats_queries_total",
+	"lsh_stats_radii_total",
+	"lsh_stats_probes_total",
+	"lsh_stats_non_empty_probes_total",
+	"lsh_stats_entries_scanned_total",
+	"lsh_stats_checked_total",
+	"lsh_stats_duplicates_total",
+	"lsh_stats_fp_rejected_total",
+	"lsh_stats_table_ios_total",
+	"lsh_stats_bucket_ios_total",
+	"lsh_stats_n_io_total",
+	"lsh_stats_cache_hits_total",
+	"lsh_stats_cache_misses_total",
+	"lsh_stats_prefetched_blocks_total",
+	"lsh_stats_coalesced_reads_total",
+	"lsh_stats_deduped_reads_total",
+	"lsh_stats_physical_reads_total",
+	"lsh_stats_ios_at_inf_total",
+	"lsh_stats_nodes_visited_total",
+	"lsh_stats_early_stopped_total",
+}
+
+// scrapeMetrics asserts the /metrics page carries every Stats counter by
+// name, the serving counters, and the latency summaries with their
+// p50/p99/p999 quantiles — the CI-side contract of the telemetry subsystem.
+func scrapeMetrics(t *testing.T, base string) {
+	t.Helper()
+	if want := reflect.TypeOf(e2lshos.Stats{}).NumField() + 1; len(statsPromNames) != want {
+		t.Fatalf("statsPromNames has %d entries for %d Stats fields (+ n_io); register the new counter's metric name",
+			len(statsPromNames), want)
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics returned %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q, want Prometheus text exposition", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, name := range statsPromNames {
+		if !strings.Contains(page, "\n"+name+" ") {
+			t.Errorf("/metrics missing Stats counter %s", name)
+		}
+	}
+	for _, want := range []string{
+		"lsh_served_total", "lsh_failed_total", "lsh_canceled_total",
+		"lsh_shed_total", "lsh_uptime_seconds",
+		`lsh_http_request_seconds{quantile="0.5"}`,
+		`lsh_http_request_seconds{quantile="0.99"}`,
+		`lsh_http_request_seconds{quantile="0.999"}`,
+		"lsh_coalesce_wait_seconds",
+		// The sharded engine is telemetry-enabled by lshserve's -metrics
+		// default, so the per-stage engine summary must be present too.
+		`lsh_query_latency_seconds{stage="total"`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
 }
 
 // TestServeBadRequests: malformed bodies and wrong dimensionality are 400s,
@@ -231,6 +313,9 @@ func TestRunGracefulShutdown(t *testing.T) {
 	if sresp.StatusCode != http.StatusOK {
 		t.Fatalf("/search returned %d", sresp.StatusCode)
 	}
+	// The run() flag defaults (-metrics on) must yield a complete scrape on
+	// the real serving loop, exactly as CI asserts on the httptest server.
+	scrapeMetrics(t, base)
 
 	cancel() // stand-in for SIGINT: main wires the same ctx through signal.NotifyContext
 	select {

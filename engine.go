@@ -6,9 +6,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"e2lshos/internal/ann"
 	"e2lshos/internal/memindex"
+	"e2lshos/internal/telemetry"
 )
 
 // Engine is the one query interface all four ANN engines satisfy:
@@ -231,12 +233,17 @@ type querier interface {
 }
 
 // engineCore is what each engine contributes to the shared Search /
-// BatchSearch machinery: a querier factory.
+// BatchSearch machinery: a querier factory and the telemetry anchor (every
+// engine embeds telem, so collector() is always present and usually nil).
 type engineCore interface {
 	newQuerier(s searchSettings) (querier, error)
+	collector() *telemetry.Collector
 }
 
-// engineSearch implements Engine.Search over an engineCore.
+// engineSearch implements Engine.Search over an engineCore. With telemetry
+// enabled it times the query end to end and, when the sampler picks this
+// query, threads a span trace into the querier's searcher; disabled, the
+// only cost is one atomic load.
 func engineSearch(ctx context.Context, e engineCore, q []float32, opts []SearchOption) (Result, Stats, error) {
 	set, err := resolveSettings(opts)
 	if err != nil {
@@ -249,7 +256,18 @@ func engineSearch(ctx context.Context, e engineCore, q []float32, opts []SearchO
 	if err != nil {
 		return Result{}, Stats{}, err
 	}
-	return qr.query(ctx, q, set.k, nil)
+	col := e.collector()
+	if col == nil {
+		return qr.query(ctx, q, set.k, nil)
+	}
+	tr := col.StartTrace()
+	if ts, ok := qr.(traceSetter); ok {
+		ts.setTrace(tr)
+	}
+	t0 := time.Now()
+	res, st, err := qr.query(ctx, q, set.k, nil)
+	col.FinishQuery(time.Since(t0), tr)
+	return res, st, err
 }
 
 // engineBatchSearch implements Engine.BatchSearch over an engineCore: a
@@ -279,6 +297,16 @@ func engineBatchSearch(ctx context.Context, e engineCore, queries [][]float32, o
 	// allocations per query (the searchers reuse their own scratch).
 	slab := make([]ann.Neighbor, len(queries)*set.k)
 
+	// With telemetry enabled, each worker times its queries individually —
+	// per-query engine latency, not batch wall time — and stamps the
+	// coalescer queue wait (carried on the batch context by the serving
+	// layer) onto sampled traces.
+	col := e.collector()
+	var waits []time.Duration
+	if col != nil {
+		waits = telemetry.QueueWaits(ctx)
+	}
+
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
@@ -306,6 +334,7 @@ func engineBatchSearch(ctx context.Context, e engineCore, queries [][]float32, o
 				fail(err)
 				return
 			}
+			ts, _ := qr.(traceSetter)
 			var local Stats
 			for {
 				i := int(next.Add(1)) - 1
@@ -313,7 +342,26 @@ func engineBatchSearch(ctx context.Context, e engineCore, queries [][]float32, o
 					break
 				}
 				seg := slab[i*set.k : i*set.k : (i+1)*set.k]
+				if col == nil {
+					res, st, err := qr.query(bctx, queries[i], set.k, seg)
+					if err != nil {
+						fail(err)
+						break
+					}
+					results[i] = res
+					local.Merge(st)
+					continue
+				}
+				tr := col.StartTrace()
+				if ts != nil {
+					ts.setTrace(tr)
+				}
+				if tr != nil && i < len(waits) {
+					tr.Add(telemetry.StageCoalesceWait, -1, 0, waits[i], 0, 0)
+				}
+				t0 := time.Now()
 				res, st, err := qr.query(bctx, queries[i], set.k, seg)
+				col.FinishQuery(time.Since(t0), tr)
 				if err != nil {
 					fail(err)
 					break
@@ -336,6 +384,7 @@ func engineBatchSearch(ctx context.Context, e engineCore, queries [][]float32, o
 // InMemoryIndex is classic in-memory E2LSH: the algorithmic reference the
 // three other engines are measured against.
 type InMemoryIndex struct {
+	telem
 	ix *memindex.Index
 }
 
@@ -381,6 +430,8 @@ func (m *InMemoryIndex) newQuerier(set searchSettings) (querier, error) {
 type memQuerier struct {
 	s *memindex.Searcher
 }
+
+func (m memQuerier) setTrace(tr *telemetry.Trace) { m.s.SetTrace(tr) }
 
 //lsh:foldall memindex.QueryStats
 func (m memQuerier) query(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (Result, Stats, error) {

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"e2lshos/internal/telemetry"
 )
 
 // ErrOverloaded is returned by Do when the admission queue is full; callers
@@ -32,6 +34,10 @@ type Config struct {
 	// MaxQueue bounds admitted-but-unanswered queries; beyond it Do sheds
 	// load with ErrOverloaded (default 4×MaxBatch).
 	MaxQueue int
+	// ObserveWait, when set, receives every query's queue wait — the time
+	// between its admission and its batch being cut. Called once per query
+	// on the batch goroutine, never under the batcher lock.
+	ObserveWait func(time.Duration)
 }
 
 func (c Config) withDefaults() Config {
@@ -53,10 +59,12 @@ func (c Config) withDefaults() Config {
 type Func[R any] func(ctx context.Context, queries [][]float32) ([]R, error)
 
 // request is one caller's slot in a forming batch. done is buffered so the
-// batch goroutine never blocks on a caller that gave up waiting.
+// batch goroutine never blocks on a caller that gave up waiting. enq stamps
+// admission time so the cut can attribute each query's queue wait.
 type request[R any] struct {
 	q    []float32
 	done chan response[R]
+	enq  time.Time
 }
 
 type response[R any] struct {
@@ -110,7 +118,7 @@ func (b *Batcher[R]) Do(ctx context.Context, q []float32) (R, error) {
 	}
 	b.inflight++
 	done := make(chan response[R], 1)
-	b.pending = append(b.pending, request[R]{q: q, done: done})
+	b.pending = append(b.pending, request[R]{q: q, done: done, enq: time.Now()})
 	if len(b.pending) >= b.cfg.MaxBatch {
 		b.cutLocked()
 	} else if len(b.pending) == 1 {
@@ -155,13 +163,22 @@ func (b *Batcher[R]) cutLocked() {
 }
 
 // runBatch executes one batch and fans its slots back out to the callers.
+// Each query's queue wait (admission → cut) is measured here: reported to
+// ObserveWait for the full population, and attached to the batch context so
+// the engine below can stamp coalesce-wait spans onto sampled traces.
 func (b *Batcher[R]) runBatch(batch []request[R]) {
 	defer b.wg.Done()
+	cut := time.Now()
 	queries := make([][]float32, len(batch))
+	waits := make([]time.Duration, len(batch))
 	for i, req := range batch {
 		queries[i] = req.q
+		waits[i] = cut.Sub(req.enq)
+		if b.cfg.ObserveWait != nil {
+			b.cfg.ObserveWait(waits[i])
+		}
 	}
-	results, err := b.run(b.ctx, queries)
+	results, err := b.run(telemetry.WithQueueWaits(b.ctx, waits), queries)
 	for i, req := range batch {
 		resp := response[R]{err: err}
 		if i < len(results) {

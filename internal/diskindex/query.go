@@ -3,11 +3,13 @@ package diskindex
 import (
 	"context"
 	"encoding/binary"
+	"time"
 
 	"e2lshos/internal/ann"
 	"e2lshos/internal/blockcache"
 	"e2lshos/internal/blockstore"
 	"e2lshos/internal/lsh"
+	"e2lshos/internal/telemetry"
 	"e2lshos/internal/vecmath"
 )
 
@@ -88,7 +90,19 @@ type Searcher struct {
 	nextHashes []uint32
 	raProj     []float64
 	pending    *blockcache.Handle
+	// trace is the active sampled-query span buffer (nil for unsampled
+	// queries, which is almost always). ioNS accumulates demand-read time
+	// across a round so the round's verify time can be computed as the
+	// remainder — reads and distance checks interleave inside probeBucket,
+	// so they cannot be bracketed separately.
+	trace *telemetry.Trace
+	ioNS  time.Duration
 }
+
+// SetTrace installs the span buffer the next query records into (nil
+// disables tracing). The owner sets it per query; the searcher never
+// outlives its trace.
+func (s *Searcher) SetTrace(tr *telemetry.Trace) { s.trace = tr }
 
 // NewSearcher returns a fresh synchronous searcher.
 func (ix *Index) NewSearcher() *Searcher {
@@ -191,6 +205,8 @@ func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (Stats
 			s.pending = nil
 		}
 		st.Radii++
+		tr := s.trace
+		roundStart := tr.Clock()
 		fam := ix.FamilyFor(rIdx)
 		if !ix.opts.ShareProjections {
 			fam.ProjectInto(s.proj, q)
@@ -202,6 +218,12 @@ func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (Stats
 			}
 		} else {
 			fam.HashesAt(s.proj, radius, s.hashes)
+		}
+		projEnd := tr.Clock()
+		var stBefore Stats
+		if tr.Active() {
+			stBefore = st
+			s.ioNS = 0
 		}
 		if ix.readaheadActive() && rIdx+1 < p.R() {
 			ix.roundHashes(q, rIdx+1, s.proj, s.raProj, s.nextHashes)
@@ -238,6 +260,23 @@ func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (Stats
 				}
 			}
 		}
+		if tr.Active() {
+			// The round's reads and distance checks interleave inside
+			// probeBucket, so I/O time is accumulated read-by-read (s.ioNS)
+			// and verify time is the remainder of the table walk.
+			end := tr.Clock()
+			verify := end - projEnd - s.ioNS
+			if verify < 0 {
+				verify = 0
+			}
+			tr.Add(telemetry.StageProject, rIdx, roundStart, projEnd-roundStart, 0, 0)
+			tr.Add(telemetry.StageIO, rIdx, projEnd, s.ioNS,
+				int64(st.TableIOs+st.BucketIOs-stBefore.TableIOs-stBefore.BucketIOs),
+				int64(st.CacheHits-stBefore.CacheHits))
+			tr.Add(telemetry.StageVerify, rIdx, projEnd, verify, int64(st.Checked-stBefore.Checked), 0)
+			tr.Add(telemetry.StageRound, rIdx, roundStart, end-roundStart,
+				int64(st.Probes-stBefore.Probes), int64(st.NonEmptyProbes-stBefore.NonEmptyProbes))
+		}
 		if topk.Full() {
 			cr := p.C * radius
 			if topk.CountWithin(cr*cr) >= k {
@@ -269,8 +308,12 @@ func (s *Searcher) probeBucket(rIdx, l int, h uint32, q []float32, topk *ann.Top
 	}
 	addr := head
 	for addr != blockstore.Nil {
+		t0 := s.trace.Clock()
 		if err := ix.readLogicalBlock(addr, s.buf, st); err != nil {
 			return false, err
+		}
+		if s.trace != nil {
+			s.ioNS += s.trace.Clock() - t0
 		}
 		st.BucketIOs++
 		next, count := bucketHeader(s.buf)
@@ -307,8 +350,12 @@ func (s *Searcher) probeBucket(rIdx, l int, h uint32, q []float32, topk *ann.Top
 //lsh:hotpath
 func (s *Searcher) readTableEntry(r, l int, idx uint32, st *Stats) (blockstore.Addr, error) {
 	blk, off := s.ix.tableEntryBlock(r, l, idx)
+	t0 := s.trace.Clock()
 	if err := s.ix.readBlock(blk, s.buf[:blockstore.BlockSize], st); err != nil {
 		return 0, err
+	}
+	if s.trace != nil {
+		s.ioNS += s.trace.Clock() - t0
 	}
 	st.TableIOs++
 	return blockstore.Addr(binary.LittleEndian.Uint64(s.buf[off : off+8])), nil

@@ -11,6 +11,7 @@ import (
 	"e2lshos/internal/blockstore"
 	"e2lshos/internal/ioengine"
 	"e2lshos/internal/lsh"
+	"e2lshos/internal/telemetry"
 	"e2lshos/internal/vecmath"
 )
 
@@ -49,7 +50,15 @@ type ParallelSearcher struct {
 	nextHashes []uint32
 	raProj     []float64
 	pending    *blockcache.Handle
+	// trace is the active sampled-query span buffer (nil for unsampled
+	// queries). Only the owning goroutine touches it; the fetch pool's
+	// goroutines never see it.
+	trace *telemetry.Trace
 }
+
+// SetTrace installs the span buffer the next query records into (nil
+// disables tracing).
+func (ps *ParallelSearcher) SetTrace(tr *telemetry.Trace) { ps.trace = tr }
 
 // NewParallelSearcher creates a searcher with the given fan-out (≥1).
 func (ix *Index) NewParallelSearcher(workers int) (*ParallelSearcher, error) {
@@ -172,11 +181,18 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 			ps.pending = nil
 		}
 		st.Radii++
+		tr := ps.trace
+		roundStart := tr.Clock()
 		fam := ix.FamilyFor(rIdx)
 		if !ix.opts.ShareProjections {
 			fam.ProjectInto(ps.proj, q)
 		}
 		fam.HashesAt(ps.proj, radius, ps.hashes)
+		projEnd := tr.Clock()
+		var stBefore Stats
+		if tr.Active() {
+			stBefore = st
+		}
 		if ix.readaheadActive() && rIdx+1 < p.R() {
 			ix.roundHashes(q, rIdx+1, ps.proj, ps.raProj, ps.nextHashes)
 			ps.pending = ix.prefetchRound(ctx, rIdx+1, ps.nextHashes)
@@ -198,6 +214,7 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 		// Fetch phase: table entries + bucket chains. With an I/O engine the
 		// round goes out as vectored waves; otherwise the goroutine pool
 		// walks each probe's chain with blocking reads.
+		fetchStart := tr.Clock()
 		if ix.ioeng != nil {
 			if err := ps.fetchAllVec(rIdx, probes, &st); err != nil {
 				topk.Reset(k)
@@ -216,6 +233,7 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 			st.CacheHits += pr.cst.CacheHits
 			st.CacheMisses += pr.cst.CacheMisses
 		}
+		fetchEnd := tr.Clock()
 		// Verify phase: deterministic, in table order, under the budget.
 		checked := 0
 	probes:
@@ -236,6 +254,16 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 					break probes
 				}
 			}
+		}
+		if tr.Active() {
+			end := tr.Clock()
+			tr.Add(telemetry.StageProject, rIdx, roundStart, projEnd-roundStart, 0, 0)
+			tr.Add(telemetry.StageIO, rIdx, fetchStart, fetchEnd-fetchStart,
+				int64(st.TableIOs+st.BucketIOs-stBefore.TableIOs-stBefore.BucketIOs),
+				int64(st.CacheHits-stBefore.CacheHits))
+			tr.Add(telemetry.StageVerify, rIdx, fetchEnd, end-fetchEnd, int64(st.Checked-stBefore.Checked), 0)
+			tr.Add(telemetry.StageRound, rIdx, roundStart, end-roundStart,
+				int64(st.Probes-stBefore.Probes), int64(st.NonEmptyProbes-stBefore.NonEmptyProbes))
 		}
 		if topk.Full() {
 			cr := p.C * radius
@@ -312,9 +340,16 @@ func (ps *ParallelSearcher) fetchAllVec(rIdx int, probes []*probe, st *Stats) er
 		offs = append(offs, off)
 		dsts = append(dsts, ps.vecBufs[i][:blockstore.BlockSize])
 	}
+	tr := ps.trace
+	waveStart := tr.Clock()
 	if err := ix.ioeng.ReadBatch(ctx, addrs, dsts, &bst); err != nil {
 		return err
 	}
+	if tr.Active() {
+		tr.Add(telemetry.StageIOWait, rIdx, waveStart, tr.Clock()-waveStart,
+			int64(len(addrs)), int64(bst.PhysicalReads))
+	}
+	physSeen := bst.PhysicalReads
 	live := ps.vecLive[:0]
 	heads := ps.vecHeads[:0]
 	for i, pr := range probes {
@@ -341,8 +376,14 @@ func (ps *ParallelSearcher) fetchAllVec(rIdx int, probes []*probe, st *Stats) er
 				dsts = append(dsts, buf[p*blockstore.BlockSize:(p+1)*blockstore.BlockSize])
 			}
 		}
+		waveStart = tr.Clock()
 		if err := ix.ioeng.ReadBatch(ctx, addrs, dsts, &bst); err != nil {
 			return err
+		}
+		if tr.Active() {
+			tr.Add(telemetry.StageIOWait, rIdx, waveStart, tr.Clock()-waveStart,
+				int64(len(addrs)), int64(bst.PhysicalReads-physSeen))
+			physSeen = bst.PhysicalReads
 		}
 		nextLive := live[:0]
 		nextHeads := heads[:0]

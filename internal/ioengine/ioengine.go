@@ -32,9 +32,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"e2lshos/internal/blockcache"
 	"e2lshos/internal/blockstore"
+	"e2lshos/internal/telemetry"
 )
 
 // Source is the data plane the engine reads from. *blockstore.Store
@@ -117,7 +119,17 @@ type Engine struct {
 	physical  atomic.Int64
 	coalesced atomic.Int64
 	deduped   atomic.Int64
+
+	// lat, when set, receives the submit→complete latency of every physical
+	// backend operation (semaphore wait + device time, the paper's
+	// queue-depth-dependent quantity). Swapped atomically so telemetry can
+	// be enabled on a live engine; nil costs one atomic load per op.
+	lat atomic.Pointer[telemetry.Histogram]
 }
+
+// SetLatencyHist attaches (or, with nil, detaches) the histogram that every
+// physical operation's submit→complete latency is observed into.
+func (e *Engine) SetLatencyHist(h *telemetry.Histogram) { e.lat.Store(h) }
 
 // New creates an engine over src.
 func New(src Source, opts Options) (*Engine, error) {
@@ -195,9 +207,17 @@ func (e *Engine) Read(ctx context.Context, a blockstore.Addr, buf []byte, st *Ba
 		}
 		st.PhysicalReads++
 	}
+	lat := e.lat.Load()
+	var t0 time.Time
+	if lat != nil {
+		t0 = time.Now()
+	}
 	e.sem <- struct{}{}
 	err := e.src.ReadBlock(a, buf)
 	<-e.sem
+	if lat != nil {
+		lat.Observe(time.Since(t0))
+	}
 	e.physical.Add(1)
 	e.publish(a, fl, buf, err, false, nil)
 	return err
@@ -492,9 +512,17 @@ func (e *Engine) submitRun(addrs []blockstore.Addr, bufs [][]byte, lead []int, r
 		runAddrs[k] = addrs[pos]
 		runBufs[k] = bufs[pos]
 	}
+	lat := e.lat.Load()
+	var t0 time.Time
+	if lat != nil {
+		t0 = time.Now()
+	}
 	e.sem <- struct{}{}
 	_, err := e.src.ReadBlocks(runAddrs, runBufs)
 	<-e.sem
+	if lat != nil {
+		lat.Observe(time.Since(t0))
+	}
 	e.physical.Add(1)
 	for k := 0; k < n; k++ {
 		pos := lead[r.lo+k]

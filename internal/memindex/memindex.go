@@ -14,6 +14,7 @@ import (
 
 	"e2lshos/internal/ann"
 	"e2lshos/internal/lsh"
+	"e2lshos/internal/telemetry"
 	"e2lshos/internal/vecmath"
 )
 
@@ -299,7 +300,14 @@ type Searcher struct {
 	floors     []int64
 	fracs      []float64
 	pfloors    []int64
+	// trace is the active sampled-query span buffer (nil for unsampled
+	// queries; all its methods are nil-safe no-ops then).
+	trace *telemetry.Trace
 }
+
+// SetTrace installs the span buffer the next query records into (nil
+// disables tracing).
+func (s *Searcher) SetTrace(tr *telemetry.Trace) { s.trace = tr }
 
 // NewSearcher returns a fresh searcher over the index.
 func (ix *Index) NewSearcher() *Searcher {
@@ -385,6 +393,8 @@ func (s *Searcher) search(ctx context.Context, q []float32, k int) (QueryStats, 
 			return st, err
 		}
 		st.Radii++
+		tr := s.trace
+		roundStart := tr.Clock()
 		fam := s.ix.FamilyFor(rIdx)
 		if !s.ix.opts.ShareProjections {
 			fam.ProjectInto(s.proj, q)
@@ -398,6 +408,11 @@ func (s *Searcher) search(ctx context.Context, q []float32, k int) (QueryStats, 
 			}
 		} else {
 			fam.HashesAt(s.proj, radius, s.hashes)
+		}
+		projEnd := tr.Clock()
+		var stBefore QueryStats
+		if tr.Active() {
+			stBefore = st
 		}
 		checked := 0 // per-radius candidate budget (the paper's S)
 	tables:
@@ -420,6 +435,15 @@ func (s *Searcher) search(ctx context.Context, q []float32, k int) (QueryStats, 
 					break tables
 				}
 			}
+		}
+		if tr.Active() {
+			// In-memory there is no I/O stage: the table walk is all
+			// verification work, so the round splits into project + verify.
+			end := tr.Clock()
+			tr.Add(telemetry.StageProject, rIdx, roundStart, projEnd-roundStart, 0, 0)
+			tr.Add(telemetry.StageVerify, rIdx, projEnd, end-projEnd, int64(st.Checked-stBefore.Checked), 0)
+			tr.Add(telemetry.StageRound, rIdx, roundStart, end-roundStart,
+				int64(st.Probes-stBefore.Probes), int64(st.NonEmptyProbes-stBefore.NonEmptyProbes))
 		}
 		if topk.Full() {
 			cr := p.C * radius

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"e2lshos/internal/ann"
 )
@@ -120,7 +121,18 @@ type BatchFunc[S any] func(ctx context.Context, shard int, queries [][]float32) 
 // itself is passed per call, already bound to its engine and options.
 type Router[S any] struct {
 	globals [][]uint32
+
+	// observe, when set, receives every shard's answer latency per scatter
+	// call (one query or one batch): the time from scatter to that shard's
+	// closure returning, which includes goroutine scheduling — the quantity
+	// a load balancer or straggler detector actually experiences.
+	observe func(shard int, d time.Duration)
 }
+
+// SetObserver installs (or, with nil, removes) the per-shard latency hook.
+// Not safe to call concurrently with Search/BatchSearch; install it at
+// setup time, as the facade's telemetry enablement does.
+func (r *Router[S]) SetObserver(fn func(shard int, d time.Duration)) { r.observe = fn }
 
 // NewRouter builds a router over a Partition result.
 func NewRouter[S any](globals [][]uint32) (*Router[S], error) {
@@ -186,12 +198,19 @@ func (r *Router[S]) scatter(ctx context.Context, fn func(ctx context.Context, sh
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	outs := make([]shardOut[S], len(r.globals))
+	var start time.Time
+	if r.observe != nil {
+		start = time.Now()
+	}
 	var wg sync.WaitGroup
 	for i := range r.globals {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			results, stats, err := fn(sctx, i)
+			if r.observe != nil {
+				r.observe(i, time.Since(start))
+			}
 			outs[i] = shardOut[S]{results: results, stats: stats, err: err}
 			if err != nil {
 				cancel() // fail fast: stop the sibling shards

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// PromContentType is the Prometheus text exposition format content type.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promQuantiles are the summary quantiles served for every stage.
+var promQuantiles = [...]float64{0.5, 0.9, 0.99, 0.999}
+
+// promOctaves are the `le` bounds (in nanoseconds) of the coarse histogram
+// exposed alongside the summary: one power-of-two bound per octave from
+// 4.096µs to ~17.2s. The full-resolution sub-buckets stay internal; an
+// octave ladder is what a dashboard heatmap actually wants, and keeps the
+// exposition to a few dozen lines per stage.
+var promOctaves = func() []int64 {
+	var b []int64
+	for e := uint(12); e <= 34; e++ {
+		b = append(b, int64(1)<<e)
+	}
+	return b
+}()
+
+// WriteCounter writes one counter sample in exposition format. name must
+// already carry the _total suffix per Prometheus naming conventions.
+func WriteCounter(w io.Writer, name string, v float64) {
+	fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", name, name, formatProm(v))
+}
+
+// WriteGauge writes one gauge sample in exposition format.
+func WriteGauge(w io.Writer, name string, v float64) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatProm(v))
+}
+
+// WriteHistProm writes one histogram snapshot as a Prometheus summary
+// (quantiles + sum + count) under name, in seconds, with no stage label.
+func WriteHistProm(w io.Writer, name string, s *HistSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s summary\n", name)
+	writeSummaryLines(w, name, "", s)
+}
+
+// WriteProm writes the snapshot in Prometheus text exposition format:
+//
+//   - <prefix>_query_latency_seconds: a summary per stage (label
+//     stage="project" etc.) with p50/p90/p99/p999 quantiles, sum and count;
+//   - <prefix>_query_latency_hist_seconds: a cumulative histogram per stage
+//     with one power-of-two `le` bound per octave;
+//   - <prefix>_traced_queries_total, <prefix>_slow_queries_total,
+//     <prefix>_trace_spans_dropped_total: the sampling counters.
+//
+// Stages with no samples are omitted, so a telemetry-enabled but idle
+// engine exposes only the counters.
+func (s *Snapshot) WriteProm(w io.Writer, prefix string) {
+	if s == nil {
+		return
+	}
+	sum := prefix + "_query_latency_seconds"
+	fmt.Fprintf(w, "# TYPE %s summary\n", sum)
+	for i := range s.Stages {
+		if s.Stages[i].Count == 0 {
+			continue
+		}
+		writeSummaryLines(w, sum, Stage(i).String(), &s.Stages[i])
+	}
+	hist := prefix + "_query_latency_hist_seconds"
+	fmt.Fprintf(w, "# TYPE %s histogram\n", hist)
+	for i := range s.Stages {
+		if s.Stages[i].Count == 0 {
+			continue
+		}
+		writeHistogramLines(w, hist, Stage(i).String(), &s.Stages[i])
+	}
+	WriteCounter(w, prefix+"_traced_queries_total", float64(s.Sampled))
+	WriteCounter(w, prefix+"_slow_queries_total", float64(s.Slow))
+	WriteCounter(w, prefix+"_trace_spans_dropped_total", float64(s.DroppedSpans))
+}
+
+// writeSummaryLines emits one stage's quantile/sum/count samples. stage ""
+// omits the stage label.
+func writeSummaryLines(w io.Writer, name, stage string, h *HistSnapshot) {
+	for _, q := range promQuantiles {
+		if stage == "" {
+			fmt.Fprintf(w, "%s{quantile=%q} %s\n", name, formatProm(q), formatProm(seconds(int64(h.Quantile(q)))))
+		} else {
+			fmt.Fprintf(w, "%s{stage=%q,quantile=%q} %s\n", name, stage, formatProm(q), formatProm(seconds(int64(h.Quantile(q)))))
+		}
+	}
+	lbl := ""
+	if stage != "" {
+		lbl = "{stage=" + strconv.Quote(stage) + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, lbl, formatProm(seconds(h.Sum)))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, lbl, h.Count)
+}
+
+// writeHistogramLines emits one stage's cumulative octave buckets.
+func writeHistogramLines(w io.Writer, name, stage string, h *HistSnapshot) {
+	var cum uint64
+	idx := 0
+	for _, le := range promOctaves {
+		for idx < NumBuckets && BucketUpper(idx) <= le {
+			cum += h.Counts[idx]
+			idx++
+		}
+		fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d\n", name, stage, formatProm(seconds(le)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", name, stage, h.Count)
+	fmt.Fprintf(w, "%s_sum{stage=%q} %s\n", name, stage, formatProm(seconds(h.Sum)))
+	fmt.Fprintf(w, "%s_count{stage=%q} %d\n", name, stage, h.Count)
+}
+
+// seconds converts nanoseconds to float seconds for exposition.
+func seconds(ns int64) float64 { return float64(ns) / 1e9 }
+
+// formatProm renders a float sample value the way Prometheus clients do:
+// shortest representation that round-trips.
+func formatProm(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

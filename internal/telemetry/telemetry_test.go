@@ -1,0 +1,349 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip pins the bucketing invariants the quantile error
+// bound rests on: every value lands in a bucket whose upper bound is >= the
+// value and within 1/subCount relative distance of it.
+func TestBucketRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, 31, 32, 33, 63, 64, 65, 1000, 4095, 4096, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, rng.Int63())
+	}
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= NumBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		up := BucketUpper(idx)
+		if up < v {
+			t.Fatalf("BucketUpper(bucketIndex(%d)) = %d < value", v, up)
+		}
+		if idx > 0 {
+			if prev := BucketUpper(idx - 1); prev >= v {
+				t.Fatalf("value %d fits bucket %d but previous bucket upper %d >= value", v, idx, prev)
+			}
+		}
+		if v >= subCount {
+			if rel := float64(up-v) / float64(v); rel > 1.0/subCount {
+				t.Fatalf("bucket width for %d: upper %d is %.4f relative, want <= 1/%d", v, up, rel, subCount)
+			}
+		}
+	}
+	// Buckets tile the axis: upper bounds strictly increase.
+	for i := 1; i < NumBuckets; i++ {
+		if BucketUpper(i) <= BucketUpper(i-1) {
+			t.Fatalf("BucketUpper not increasing at %d: %d <= %d", i, BucketUpper(i), BucketUpper(i-1))
+		}
+	}
+}
+
+// sampleQuantile is the reference: the histogram's quantile definition
+// applied to the raw sorted samples.
+func sampleQuantile(sorted []time.Duration, q float64) time.Duration {
+	rank := uint64(q * float64(len(sorted)))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramMergeProperty is the satellite property test: merging two
+// histograms preserves the total count exactly, equals observing the union
+// directly, and every served quantile stays within the bucketing scheme's
+// 1/32 relative error of the true sample quantile.
+func TestHistogramMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n1, n2 := 1+rng.Intn(2000), 1+rng.Intn(2000)
+		var h1, h2, both Histogram
+		all := make([]time.Duration, 0, n1+n2)
+		sample := func() time.Duration {
+			// Log-uniform over ~7 decades, the shape of real latency tails.
+			return time.Duration(math.Exp(rng.Float64()*16) * 100)
+		}
+		for i := 0; i < n1; i++ {
+			d := sample()
+			h1.Observe(d)
+			both.Observe(d)
+			all = append(all, d)
+		}
+		for i := 0; i < n2; i++ {
+			d := sample()
+			h2.Observe(d)
+			both.Observe(d)
+			all = append(all, d)
+		}
+		var s1, s2, sb HistSnapshot
+		h1.Snapshot(&s1)
+		h2.Snapshot(&s2)
+		both.Snapshot(&sb)
+		merged := s1
+		merged.Merge(&s2)
+
+		if merged.Count != uint64(n1+n2) {
+			t.Fatalf("trial %d: merged count = %d, want %d", trial, merged.Count, n1+n2)
+		}
+		if merged != sb {
+			t.Fatalf("trial %d: merge of split histograms differs from observing the union directly", trial)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 0.999, 1} {
+			got := merged.Quantile(q)
+			want := sampleQuantile(all, q)
+			if got < want {
+				t.Fatalf("trial %d: q=%g: served %v below true sample quantile %v", trial, q, got, want)
+			}
+			if w := float64(want); w >= subCount {
+				if rel := float64(got-want) / w; rel > 1.0/subCount+1e-12 {
+					t.Fatalf("trial %d: q=%g: served %v vs true %v, relative error %.5f > 1/%d",
+						trial, q, got, want, rel, subCount)
+				}
+			}
+		}
+	}
+}
+
+// TestHistogramConcurrent exercises concurrent observers against snapshots;
+// run with -race this is the lock-freedom check.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Int63n(1 << 30)))
+			}
+		}(int64(w))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var s HistSnapshot
+		for i := 0; i < 100; i++ {
+			h.Snapshot(&s)
+			if s.Count != 0 && s.Quantile(0.5) > s.Quantile(1) {
+				t.Error("p50 above p100 in concurrent snapshot")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	var s HistSnapshot
+	h.Snapshot(&s)
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+}
+
+// TestTraceNilSafety pins the zero-cost disabled contract: every method on
+// a nil *Trace is a no-op returning zeros.
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.Active() {
+		t.Fatal("nil trace reports active")
+	}
+	if tr.Clock() != 0 {
+		t.Fatal("nil trace clock != 0")
+	}
+	tr.Add(StageIO, 0, 0, time.Millisecond, 1, 2) // must not panic
+	if tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil trace has spans")
+	}
+}
+
+// TestTraceSpanBufferBounds fills a trace past MaxSpans and checks the
+// overflow is dropped and counted, never grown.
+func TestTraceSpanBufferBounds(t *testing.T) {
+	tr := new(Trace)
+	tr.begin(time.Now())
+	for i := 0; i < MaxSpans+10; i++ {
+		tr.Add(StageRound, i, 0, time.Microsecond, int64(i), 0)
+	}
+	if len(tr.Spans()) != MaxSpans {
+		t.Fatalf("spans = %d, want %d", len(tr.Spans()), MaxSpans)
+	}
+	if tr.Dropped() != 10 {
+		t.Fatalf("dropped = %d, want 10", tr.Dropped())
+	}
+	if got := tr.Spans()[3]; got.Round != 3 || got.N != 3 {
+		t.Fatalf("span 3 = %+v", got)
+	}
+}
+
+// TestCollectorSampling checks the deterministic 1-in-N sampler and that
+// FinishQuery folds sampled spans into their stage histograms.
+func TestCollectorSampling(t *testing.T) {
+	c := New(Config{SampleRate: 0.25})
+	traced := 0
+	for i := 0; i < 100; i++ {
+		tr := c.StartTrace()
+		if tr != nil {
+			traced++
+			tr.Add(StageProject, 0, 0, 2*time.Millisecond, 0, 0)
+			tr.Add(StageVerify, 0, 2*time.Millisecond, time.Millisecond, 10, 0)
+		}
+		c.FinishQuery(5*time.Millisecond, tr)
+	}
+	if traced != 25 {
+		t.Fatalf("traced %d of 100 at rate 0.25, want 25", traced)
+	}
+	s := c.Snapshot()
+	if s.Stages[StageTotal].Count != 100 {
+		t.Fatalf("total count = %d, want 100 (sampling must not gate totals)", s.Stages[StageTotal].Count)
+	}
+	if s.Stages[StageProject].Count != 25 || s.Stages[StageVerify].Count != 25 {
+		t.Fatalf("stage counts project=%d verify=%d, want 25/25",
+			s.Stages[StageProject].Count, s.Stages[StageVerify].Count)
+	}
+	if s.Sampled != 25 {
+		t.Fatalf("Sampled = %d, want 25", s.Sampled)
+	}
+	if got := s.Stages[StageProject].Quantile(0.5); got < 2*time.Millisecond || got > time.Duration(float64(2*time.Millisecond)*1.04) {
+		t.Fatalf("project p50 = %v, want ~2ms", got)
+	}
+
+	off := New(Config{})
+	if off.StartTrace() != nil {
+		t.Fatal("zero sample rate still produced a trace")
+	}
+}
+
+// TestCollectorSlowLog drives one query over the threshold and checks the
+// dump names per-stage durations, which is what the acceptance criteria
+// require of the slow-query log.
+func TestCollectorSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	c := New(Config{SampleRate: 1, SlowThreshold: time.Millisecond, SlowWriter: &buf})
+
+	// Fast query: no dump.
+	tr := c.StartTrace()
+	c.FinishQuery(100*time.Microsecond, tr)
+	if buf.Len() != 0 {
+		t.Fatalf("fast query was dumped: %q", buf.String())
+	}
+
+	tr = c.StartTrace()
+	tr.Add(StageProject, 0, 0, 40*time.Microsecond, 0, 0)
+	tr.Add(StageIO, 0, 40*time.Microsecond, 800*time.Microsecond, 12, 3)
+	tr.Add(StageVerify, 0, 840*time.Microsecond, 160*time.Microsecond, 7, 0)
+	tr.Add(StageCoalesceWait, -1, 0, 90*time.Microsecond, 0, 0)
+	c.FinishQuery(2*time.Millisecond, tr)
+
+	out := buf.String()
+	if out == "" {
+		t.Fatal("slow query produced no dump")
+	}
+	for _, want := range []string{"slow query", "total=2ms", "project", "io", "verify", "coalesce_wait", "r0", "n=12 m=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow log missing %q:\n%s", want, out)
+		}
+	}
+	s := c.Snapshot()
+	if s.Slow != 1 {
+		t.Fatalf("Slow = %d, want 1", s.Slow)
+	}
+}
+
+// TestSnapshotFoldShard checks the sharded fold: shard totals are not
+// double-counted, every other stage merges.
+func TestSnapshotFoldShard(t *testing.T) {
+	shard := New(Config{SampleRate: 1})
+	tr := shard.StartTrace()
+	tr.Add(StageIO, 0, 0, time.Millisecond, 4, 1)
+	shard.FinishQuery(3*time.Millisecond, tr)
+
+	parent := New(Config{})
+	parent.FinishQuery(5*time.Millisecond, nil)
+	ps := parent.Snapshot()
+	ps.FoldShard(shard.Snapshot())
+
+	if ps.Stages[StageTotal].Count != 1 {
+		t.Fatalf("folded total count = %d, want 1 (shard totals must not fold into parent totals)",
+			ps.Stages[StageTotal].Count)
+	}
+	if ps.Stages[StageIO].Count != 1 {
+		t.Fatalf("folded io count = %d, want 1", ps.Stages[StageIO].Count)
+	}
+	if ps.Sampled != 1 {
+		t.Fatalf("folded Sampled = %d, want 1", ps.Sampled)
+	}
+}
+
+// TestWriteProm spot-checks the exposition format: type lines, quantile
+// labels, bucket monotonicity and the sampling counters.
+func TestWriteProm(t *testing.T) {
+	c := New(Config{SampleRate: 1})
+	for i := 0; i < 50; i++ {
+		tr := c.StartTrace()
+		tr.Add(StageProject, 0, 0, time.Duration(i+1)*10*time.Microsecond, 0, 0)
+		c.FinishQuery(time.Duration(i+1)*100*time.Microsecond, tr)
+	}
+	var b bytes.Buffer
+	c.Snapshot().WriteProm(&b, "lsh")
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lsh_query_latency_seconds summary",
+		`lsh_query_latency_seconds{stage="total",quantile="0.5"}`,
+		`lsh_query_latency_seconds{stage="total",quantile="0.999"}`,
+		`lsh_query_latency_seconds{stage="project",quantile="0.99"}`,
+		`lsh_query_latency_seconds_count{stage="total"} 50`,
+		"# TYPE lsh_query_latency_hist_seconds histogram",
+		`lsh_query_latency_hist_seconds_bucket{stage="total",le="+Inf"} 50`,
+		"# TYPE lsh_traced_queries_total counter",
+		"lsh_traced_queries_total 50",
+		"lsh_slow_queries_total 0",
+		"lsh_trace_spans_dropped_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Unobserved stages must not appear.
+	if strings.Contains(out, `stage="io_op"`) {
+		t.Error("exposition contains a stage with zero samples")
+	}
+}
+
+// TestObserveAllocs proves the recording paths allocate nothing: histogram
+// observation always, and trace span appends on a pooled trace.
+func TestObserveAllocs(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(123 * time.Microsecond) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op", n)
+	}
+	c := New(Config{SampleRate: 1})
+	// Warm the pool.
+	c.FinishQuery(time.Millisecond, c.StartTrace())
+	if n := testing.AllocsPerRun(1000, func() {
+		tr := c.StartTrace()
+		tr.Add(StageIO, 1, 0, time.Microsecond, 1, 0)
+		c.FinishQuery(time.Millisecond, tr)
+	}); n != 0 {
+		t.Fatalf("sampled trace round-trip allocates %v/op", n)
+	}
+	var nilTr *Trace
+	if n := testing.AllocsPerRun(1000, func() {
+		if nilTr.Active() {
+			t.Fatal("unreachable")
+		}
+		nilTr.Add(StageIO, 0, nilTr.Clock(), 0, 0, 0)
+	}); n != 0 {
+		t.Fatalf("nil trace path allocates %v/op", n)
+	}
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"context"
+	"time"
+)
+
+// MaxSpans bounds one trace's span buffer. A query that produces more spans
+// (pathological radius ladders) drops the excess and counts them, rather
+// than growing — the buffer is a fixed array precisely so a pooled Trace
+// never reallocates.
+const MaxSpans = 256
+
+// Span is one timed stage of a query. Start is the offset from the trace's
+// start time, so a slow-query dump reads as a timeline. N and M carry
+// stage-specific magnitudes (e.g. blocks read and cache hits for StageIO);
+// zero when a stage has nothing to report.
+type Span struct {
+	Stage Stage
+	Round int16 // radius-ladder round index, -1 when not per-round
+	Start time.Duration
+	Dur   time.Duration
+	N, M  int64
+}
+
+// Trace is a per-query span buffer, owned by whoever is running the query
+// (searcher, batch worker) and never shared between goroutines. All methods
+// are nil-safe: a disabled or unsampled query carries a nil *Trace and every
+// call degenerates to a branch on nil, no time syscalls, no allocation —
+// this is what lets trace hooks live inside //lsh:hotpath bodies.
+type Trace struct {
+	start   time.Time
+	n       int
+	dropped int
+	spans   [MaxSpans]Span
+}
+
+// begin readies a pooled trace for a new query.
+func (tr *Trace) begin(now time.Time) {
+	tr.start = now
+	tr.n = 0
+	tr.dropped = 0
+}
+
+// Active reports whether spans are being collected. Callers with
+// non-trivial span bookkeeping (e.g. accumulating I/O time across a round)
+// gate it on Active so the disabled path does no work at all.
+//
+//lsh:hotpath
+func (tr *Trace) Active() bool {
+	return tr != nil
+}
+
+// Clock returns the elapsed time since the trace began, the timestamp
+// domain Span.Start lives in. On a nil trace it returns 0 without reading
+// the clock.
+//
+//lsh:hotpath
+func (tr *Trace) Clock() time.Duration {
+	if tr == nil {
+		return 0
+	}
+	return time.Since(tr.start)
+}
+
+// Add appends one span. round is -1 for stages that are not tied to a
+// radius round. Past MaxSpans the span is dropped and counted.
+//
+//lsh:hotpath
+func (tr *Trace) Add(stage Stage, round int, start, dur time.Duration, n, m int64) {
+	if tr == nil {
+		return
+	}
+	if tr.n >= MaxSpans {
+		tr.dropped++
+		return
+	}
+	tr.spans[tr.n] = Span{Stage: stage, Round: int16(round), Start: start, Dur: dur, N: n, M: m}
+	tr.n++
+}
+
+// Spans returns the recorded spans in append order. The slice aliases the
+// trace's buffer; it is only valid until the trace is returned to its pool.
+func (tr *Trace) Spans() []Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.spans[:tr.n]
+}
+
+// Dropped returns how many spans were discarded for want of buffer space.
+func (tr *Trace) Dropped() int {
+	if tr == nil {
+		return 0
+	}
+	return tr.dropped
+}
+
+// waitsKey carries per-query coalescer queue waits on a batch context.
+type waitsKey struct{}
+
+// WithQueueWaits attaches the per-query coalescer waits for a batch to its
+// context: waits[i] is how long queries[i] sat in the queue before the
+// batch was cut. The serving coalescer sets this once per batch (one
+// context allocation per batch, on the already-allocating batch path) so
+// the engine's batch loop can stamp a coalesce-wait span onto sampled
+// traces without the coalescer knowing about engines.
+func WithQueueWaits(ctx context.Context, waits []time.Duration) context.Context {
+	return context.WithValue(ctx, waitsKey{}, waits)
+}
+
+// QueueWaits returns the waits attached by WithQueueWaits, or nil.
+func QueueWaits(ctx context.Context) []time.Duration {
+	w, _ := ctx.Value(waitsKey{}).([]time.Duration)
+	return w
+}

@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
 	"e2lshos/internal/coalesce"
+	"e2lshos/internal/telemetry"
 )
 
 // ServerConfig tunes the HTTP serving front-end.
@@ -32,6 +35,10 @@ type ServerConfig struct {
 	// facade's Recall / OverallRatio metrics and /stats reports the running
 	// means — shadow scoring for serving experiments.
 	Exact []Result
+	// Pprof mounts net/http/pprof's profiling handlers under /debug/pprof/.
+	// Off by default: profiling endpoints on a query port are a foot-gun
+	// unless deliberately enabled.
+	Pprof bool
 }
 
 // Server is the serving front-end: an Engine behind a query coalescer with
@@ -43,6 +50,12 @@ type Server struct {
 	cfg     ServerConfig
 	batcher *coalesce.Batcher[Result]
 	start   time.Time
+
+	// lat and wait are always on (one atomic add per request): end-to-end
+	// HTTP request latency and per-query coalescer queue wait. They back
+	// /metrics' p50/p99/p999 regardless of engine-side telemetry.
+	lat  *telemetry.Histogram
+	wait *telemetry.Histogram
 
 	mu        sync.Mutex
 	agg       Stats   //lsh:guardedby mu
@@ -65,7 +78,11 @@ func NewServer(eng Engine, cfg ServerConfig) (*Server, error) {
 	if cfg.K <= 0 {
 		cfg.K = 1
 	}
-	s := &Server{eng: eng, cfg: cfg, start: time.Now()}
+	s := &Server{
+		eng: eng, cfg: cfg, start: time.Now(),
+		lat:  new(telemetry.Histogram),
+		wait: new(telemetry.Histogram),
+	}
 	opts := append([]SearchOption{WithK(cfg.K)}, cfg.Opts...)
 	s.batcher = coalesce.New(func(ctx context.Context, queries [][]float32) ([]Result, error) {
 		results, st, err := eng.BatchSearch(ctx, queries, opts...)
@@ -73,7 +90,10 @@ func NewServer(eng Engine, cfg ServerConfig) (*Server, error) {
 		s.agg.Merge(st)
 		s.mu.Unlock()
 		return results, err
-	}, coalesce.Config{MaxBatch: cfg.MaxBatch, MaxDelay: cfg.MaxDelay, MaxQueue: cfg.MaxQueue})
+	}, coalesce.Config{
+		MaxBatch: cfg.MaxBatch, MaxDelay: cfg.MaxDelay, MaxQueue: cfg.MaxQueue,
+		ObserveWait: s.wait.Observe,
+	})
 	return s, nil
 }
 
@@ -152,14 +172,24 @@ type statsResponse struct {
 	MeanRatio     float64 `json:"mean_ratio,omitempty"`
 }
 
-// Handler returns the HTTP API: POST /search, GET /stats, GET /healthz.
+// Handler returns the HTTP API: POST /search, GET /stats, GET /healthz,
+// GET /metrics (Prometheus text exposition), and — when ServerConfig.Pprof
+// is set — net/http/pprof under /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -181,7 +211,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("k must be omitted (server default %d) or in [1,%d]", s.cfg.K, s.cfg.K), http.StatusBadRequest)
 		return
 	}
+	t0 := time.Now()
 	res, err := s.batcher.Do(r.Context(), req.Query)
+	s.lat.Observe(time.Since(t0))
 	if err != nil {
 		var status int
 		switch {
@@ -284,6 +316,69 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition format:
+// every Stats counter (as lsh_stats_<name>_total, names matching the /stats
+// JSON keys), the serving counters, the always-on request-latency and
+// coalescer-wait summaries, and — when the engine has telemetry enabled —
+// its per-stage latency summaries, octave histograms and trace counters
+// under the lsh_ prefix.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	st := s.agg
+	served, failed, canceled := s.served, s.failed, s.canceled
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", telemetry.PromContentType)
+	writeStatsProm(w, st)
+	telemetry.WriteCounter(w, "lsh_served_total", float64(served))
+	telemetry.WriteCounter(w, "lsh_failed_total", float64(failed))
+	telemetry.WriteCounter(w, "lsh_canceled_total", float64(canceled))
+	telemetry.WriteCounter(w, "lsh_shed_total", float64(s.batcher.Shed()))
+	telemetry.WriteGauge(w, "lsh_uptime_seconds", time.Since(s.start).Seconds())
+
+	var lat, wait telemetry.HistSnapshot
+	s.lat.Snapshot(&lat)
+	telemetry.WriteHistProm(w, "lsh_http_request_seconds", &lat)
+	s.wait.Snapshot(&wait)
+	telemetry.WriteHistProm(w, "lsh_coalesce_wait_seconds", &wait)
+
+	if t, ok := s.eng.(telemetered); ok {
+		t.telemetrySnapshot().WriteProm(w, "lsh")
+	}
+}
+
+// writeStatsProm emits every Stats counter as lsh_stats_<json key>_total,
+// plus the derived lsh_stats_n_io_total (the paper's N_IO), so dashboards
+// and the /stats endpoint agree on names.
+//
+//lsh:foldall Stats
+func writeStatsProm(w io.Writer, st Stats) {
+	telemetry.WriteCounter(w, "lsh_stats_queries_total", float64(st.Queries))
+	telemetry.WriteCounter(w, "lsh_stats_radii_total", float64(st.Radii))
+	telemetry.WriteCounter(w, "lsh_stats_probes_total", float64(st.Probes))
+	telemetry.WriteCounter(w, "lsh_stats_non_empty_probes_total", float64(st.NonEmptyProbes))
+	telemetry.WriteCounter(w, "lsh_stats_entries_scanned_total", float64(st.EntriesScanned))
+	telemetry.WriteCounter(w, "lsh_stats_checked_total", float64(st.Checked))
+	telemetry.WriteCounter(w, "lsh_stats_duplicates_total", float64(st.Duplicates))
+	telemetry.WriteCounter(w, "lsh_stats_fp_rejected_total", float64(st.FPRejected))
+	telemetry.WriteCounter(w, "lsh_stats_table_ios_total", float64(st.TableIOs))
+	telemetry.WriteCounter(w, "lsh_stats_bucket_ios_total", float64(st.BucketIOs))
+	telemetry.WriteCounter(w, "lsh_stats_n_io_total", float64(st.IOs()))
+	telemetry.WriteCounter(w, "lsh_stats_cache_hits_total", float64(st.CacheHits))
+	telemetry.WriteCounter(w, "lsh_stats_cache_misses_total", float64(st.CacheMisses))
+	telemetry.WriteCounter(w, "lsh_stats_prefetched_blocks_total", float64(st.PrefetchedBlocks))
+	telemetry.WriteCounter(w, "lsh_stats_coalesced_reads_total", float64(st.CoalescedReads))
+	telemetry.WriteCounter(w, "lsh_stats_deduped_reads_total", float64(st.DedupedReads))
+	telemetry.WriteCounter(w, "lsh_stats_physical_reads_total", float64(st.PhysicalReads))
+	telemetry.WriteCounter(w, "lsh_stats_ios_at_inf_total", float64(st.IOsAtInf))
+	telemetry.WriteCounter(w, "lsh_stats_nodes_visited_total", float64(st.NodesVisited))
+	telemetry.WriteCounter(w, "lsh_stats_early_stopped_total", float64(st.EarlyStopped))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"e2lshos/internal/lsh"
 	"e2lshos/internal/shard"
+	"e2lshos/internal/telemetry"
 )
 
 // ShardPlacement selects how NewShardedIndex distributes vectors over
@@ -135,6 +137,7 @@ func ShardConfig(cfg Config, data [][]float32, shards int) Config {
 // unsharded engine), and fold the per-shard Stats. Options pass through to
 // every shard; as everywhere, each engine honors the knobs it has.
 type ShardedIndex struct {
+	telem
 	router  *shard.Router[Stats]
 	engines []Engine
 }
@@ -169,6 +172,62 @@ func NewShardedIndex(data [][]float32, shards int, placement ShardPlacement, bui
 	return &ShardedIndex{router: router, engines: engines}, nil
 }
 
+// EnableTelemetry turns on telemetry for the whole sharded tree: the router
+// gets its own collector (end-to-end latency, slow-query counting, and a
+// shard_wait histogram fed by per-shard scatter latencies), and the options
+// propagate to every shard engine so each records its own stage detail.
+// TelemetryReport and /metrics then serve the folded view. Install before
+// serving queries — the router observer is not swapped concurrently with
+// searches.
+func (x *ShardedIndex) EnableTelemetry(opts ...TelemetryOption) error {
+	if err := x.telem.EnableTelemetry(opts...); err != nil {
+		return err
+	}
+	col := x.collector()
+	x.router.SetObserver(func(_ int, d time.Duration) {
+		col.ObserveStage(telemetry.StageShardWait, d)
+	})
+	for i, eng := range x.engines {
+		t, ok := eng.(interface {
+			EnableTelemetry(...TelemetryOption) error
+		})
+		if !ok {
+			continue
+		}
+		if err := t.EnableTelemetry(opts...); err != nil {
+			return fmt.Errorf("e2lshos: enabling telemetry on shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// telemetrySnapshot folds the shards' telemetry into the router's own
+// snapshot: per-stage detail sums across shards (FoldShard semantics — shard
+// end-to-end totals are dropped because the router's shard_wait histogram
+// already records each shard's contribution to every query).
+func (x *ShardedIndex) telemetrySnapshot() *telemetry.Snapshot {
+	sp := x.telem.telemetrySnapshot()
+	if sp == nil {
+		return nil
+	}
+	for _, eng := range x.engines {
+		t, ok := eng.(telemetered)
+		if !ok {
+			continue
+		}
+		if ssp := t.telemetrySnapshot(); ssp != nil {
+			sp.FoldShard(ssp)
+		}
+	}
+	return sp
+}
+
+// TelemetryReport summarizes the folded sharded-tree telemetry; see the
+// unsharded TelemetryReport for row semantics.
+func (x *ShardedIndex) TelemetryReport() []LatencySummary {
+	return summarizeTelemetry(x.telemetrySnapshot())
+}
+
 // Shards returns the number of shards.
 func (x *ShardedIndex) Shards() int { return x.router.Shards() }
 
@@ -184,10 +243,18 @@ func (x *ShardedIndex) Search(ctx context.Context, q []float32, opts ...SearchOp
 	if err != nil {
 		return Result{}, Stats{}, err
 	}
+	col := x.collector()
+	var t0 time.Time
+	if col != nil {
+		t0 = time.Now()
+	}
 	res, per, err := x.router.Search(ctx, q, set.k,
 		func(sctx context.Context, i int, q []float32) (Result, Stats, error) {
 			return x.engines[i].Search(sctx, q, opts...)
 		})
+	if col != nil {
+		col.FinishQuery(time.Since(t0), nil)
+	}
 	return res, foldShardStats(per), err
 }
 
@@ -199,10 +266,23 @@ func (x *ShardedIndex) BatchSearch(ctx context.Context, queries [][]float32, opt
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	col := x.collector()
+	var t0 time.Time
+	if col != nil {
+		t0 = time.Now()
+	}
 	results, per, err := x.router.BatchSearch(ctx, queries, set.k,
 		func(sctx context.Context, i int, queries [][]float32) ([]Result, Stats, error) {
 			return x.engines[i].BatchSearch(sctx, queries, opts...)
 		})
+	if col != nil {
+		// Every query in the batch completes when the batch does, so the
+		// batch wall time is each query's end-to-end latency.
+		d := time.Since(t0)
+		for range queries {
+			col.FinishQuery(d, nil)
+		}
+	}
 	if results == nil {
 		results = make([]Result, len(queries))
 	}

@@ -8,11 +8,26 @@ import (
 	"e2lshos/internal/blockstore"
 	"e2lshos/internal/diskindex"
 	"e2lshos/internal/ioengine"
+	"e2lshos/internal/telemetry"
 )
 
 // StorageIndex is E2LSHoS: the hash index on (real or simulated) storage.
 type StorageIndex struct {
+	telem
 	ix *diskindex.Index
+}
+
+// EnableTelemetry turns on query telemetry (see the telem method it
+// shadows) and, when the vectored I/O engine is attached, additionally
+// routes every physical submit→complete latency into the io_op histogram.
+func (s *StorageIndex) EnableTelemetry(opts ...TelemetryOption) error {
+	if err := s.telem.EnableTelemetry(opts...); err != nil {
+		return err
+	}
+	if eng := s.ix.IOEngine(); eng != nil {
+		eng.SetLatencyHist(s.collector().StageHist(telemetry.StageIOOp))
+	}
+	return nil
 }
 
 // NewStorageIndex builds an E2LSHoS index over data into an in-memory block
@@ -164,6 +179,8 @@ type diskParQuerier struct {
 	ps *diskindex.ParallelSearcher
 }
 
+func (d diskParQuerier) setTrace(tr *telemetry.Trace) { d.ps.SetTrace(tr) }
+
 func (d diskParQuerier) query(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (Result, Stats, error) {
 	res, st, err := d.ps.SearchInto(ctx, q, k, dst)
 	return res, diskStats(st), err
@@ -172,6 +189,8 @@ func (d diskParQuerier) query(ctx context.Context, q []float32, k int, dst []ann
 type diskSyncQuerier struct {
 	s *diskindex.Searcher
 }
+
+func (d diskSyncQuerier) setTrace(tr *telemetry.Trace) { d.s.SetTrace(tr) }
 
 func (d diskSyncQuerier) query(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (Result, Stats, error) {
 	res, st, err := d.s.SearchInto(ctx, q, k, dst)
