@@ -5,14 +5,18 @@ import (
 	"fmt"
 
 	"e2lshos/internal/ann"
+	"e2lshos/internal/autotune"
 	"e2lshos/internal/lsh"
 	"e2lshos/internal/qalsh"
 	"e2lshos/internal/srs"
 )
 
-// SRSIndex is the SRS small-index baseline (in-memory).
+// SRSIndex is the SRS small-index baseline (in-memory). It embeds the tune
+// anchor for interface uniformity, but SRS has no radius ladder, so the
+// controller has nothing to steer and queries hand it straight back.
 type SRSIndex struct {
 	telem
+	tune
 	ix *srs.Index
 }
 
@@ -73,6 +77,7 @@ func (s srsQuerier) query(ctx context.Context, q []float32, k int, dst []ann.Nei
 // QALSHIndex is the QALSH small-index baseline (in-memory).
 type QALSHIndex struct {
 	telem
+	tune
 	ix *qalsh.Index
 }
 
@@ -119,6 +124,8 @@ func (s *QALSHIndex) newQuerier(searchSettings) (querier, error) {
 type qalshQuerier struct {
 	s *qalsh.Searcher
 }
+
+func (q qalshQuerier) setController(c *autotune.Ctl) { q.s.SetController(c) }
 
 //lsh:foldall qalsh.Stats
 func (q qalshQuerier) query(ctx context.Context, v []float32, k int, dst []ann.Neighbor) (Result, Stats, error) {

@@ -435,3 +435,28 @@ func BenchmarkRepeatedQueriesUncached(b *testing.B) {
 func BenchmarkRepeatedQueriesCached(b *testing.B) {
 	benchRepeatedQueries(b, WithBlockCache(64<<20), WithReadahead(2))
 }
+
+// BenchmarkAutotuneSweep runs the PR-8 recall-target sweep end to end and
+// reports the headline trade: mean N_IO at the 0.9 target against the
+// full-ladder baseline, plus the retained recall the stop kept. The metrics
+// land in the BENCH_*.json trajectory so the controller's I/O savings are a
+// tracked number, not a one-off test assertion.
+func BenchmarkAutotuneSweep(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AutotuneSweep(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			base := res.Rows[len(res.Rows)-1]
+			for _, row := range res.Rows {
+				if row.RecallTarget == 0.9 {
+					b.ReportMetric(row.MeanIO, "N_IO@target0.9")
+					b.ReportMetric(row.Retained, "retained@target0.9")
+					b.ReportMetric(base.MeanIO, "N_IO-full-ladder")
+				}
+			}
+		}
+	}
+}

@@ -7,7 +7,13 @@
 //	lshserve -addr :8080 -paper SIFT -n 20000 -shards 4 -engine storage
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/search -d '{"query":[...128 floats...],"k":5}'
+//	curl -s -X POST localhost:8080/v1/search \
+//	    -d '{"query":[...],"k":5,"recall_target":0.9,"latency_budget_ms":5}'
 //	curl -s localhost:8080/stats          # cumulative Stats incl. N_IO
+//
+// The -autotune / -recall-target / -latency-budget flags set server-default
+// SLOs (per-request /v1/search knobs override them); -target-p99 starts the
+// server-level AIMD loop on coalescer batch size and I/O queue depth.
 //
 // SIGINT/SIGTERM drain in-flight requests and shut the server down cleanly.
 package main
@@ -61,9 +67,21 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		traceSamp = fs.Float64("trace-sample", 0, "fraction of queries traced per stage, in [0,1] (0 = histograms only)")
 		slowQuery = fs.Duration("slowquery", 0, "dump the span trace of sampled queries slower than this to stderr (0 = off)")
+		autotune  = fs.Bool("autotune", false, "enable the per-query autotune controller (required by the SLO flags below; /v1/search requests can then set per-request targets)")
+		recallTgt = fs.Float64("recall-target", 0, "server-default recall target in (0,1): stop each radius ladder once the learned self-recall model clears it (0 = off; implies -autotune)")
+		latBudget = fs.Duration("latency-budget", 0, "server-default per-query latency budget; queries degrade knobs mid-ladder to fit (0 = off; implies -autotune)")
+		degrade   = fs.String("degrade", "knobs", "out-of-budget behavior: knobs (graceful degradation) or stop")
+		targetP99 = fs.Duration("target-p99", 0, "server-level p99 objective: an AIMD loop steers coalescer batch size and I/O queue depth against it (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	degradePolicy, err := e2lshos.ParseDegradePolicy(*degrade)
+	if err != nil {
+		return err
+	}
+	if *recallTgt > 0 || *latBudget > 0 {
+		*autotune = true
 	}
 	var storageOpts []e2lshos.StorageOption
 	if *cacheMB > 0 {
@@ -121,14 +139,27 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 			return err
 		}
 	}
+	if *autotune {
+		if err := ix.EnableAutotune(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "autotune on (recall target %g, latency budget %v, degrade %s)\n",
+			*recallTgt, *latBudget, degradePolicy)
+	}
 	srv, err := e2lshos.NewServer(ix, e2lshos.ServerConfig{
 		Dim:      ds.Dim,
 		K:        *k,
 		MaxBatch: *maxBatch,
 		MaxDelay: *maxDelay,
 		MaxQueue: *maxQueue,
-		Exact:    e2lshos.GroundTruth(ds, *k),
-		Pprof:    *pprofOn,
+		Tuning: e2lshos.SearchTuning{
+			RecallTarget:  *recallTgt,
+			LatencyBudget: *latBudget,
+			Degrade:       degradePolicy,
+		},
+		TargetP99: *targetP99,
+		Exact:     e2lshos.GroundTruth(ds, *k),
+		Pprof:     *pprofOn,
 	})
 	if err != nil {
 		return err
@@ -142,7 +173,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(out, "listening on %s (POST /search, GET /stats, GET /metrics, GET /healthz)\n", ln.Addr())
+	fmt.Fprintf(out, "listening on %s (POST /v1/search, POST /search, GET /stats, GET /metrics, GET /healthz)\n", ln.Addr())
 	if ready != nil {
 		ready(ln.Addr())
 	}

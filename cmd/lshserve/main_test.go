@@ -171,6 +171,9 @@ var statsPromNames = []string{
 	"lsh_stats_ios_at_inf_total",
 	"lsh_stats_nodes_visited_total",
 	"lsh_stats_early_stopped_total",
+	"lsh_stats_rounds_skipped_total",
+	"lsh_stats_budget_exhausted_total",
+	"lsh_stats_degraded_knobs_total",
 }
 
 // scrapeMetrics asserts the /metrics page carries every Stats counter by
@@ -285,6 +288,7 @@ func TestRunGracefulShutdown(t *testing.T) {
 			"-addr", "127.0.0.1:0", "-n", "2000", "-queries", "10",
 			"-shards", "2", "-engine", "mixed", "-k", "2",
 			"-cache", "8", "-iodepth", "16",
+			"-recall-target", "0.9", "-target-p99", "100ms",
 		}, &out, func(a net.Addr) { addrc <- a })
 	}()
 
@@ -312,6 +316,29 @@ func TestRunGracefulShutdown(t *testing.T) {
 	sresp.Body.Close()
 	if sresp.StatusCode != http.StatusOK {
 		t.Fatalf("/search returned %d", sresp.StatusCode)
+	}
+	// The SLO flags above wire EnableAutotune plus the server-default recall
+	// target through run(); a per-request /v1/search override must answer
+	// with the versioned envelope.
+	v1body, _ := json.Marshal(map[string]any{"query": q, "k": 2, "recall_target": 0.5})
+	vresp, err := http.Post(base+"/v1/search", "application/json", bytes.NewReader(v1body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Neighbors  []any          `json:"neighbors"`
+		K          int            `json:"k"`
+		Controller map[string]any `json:"controller"`
+	}
+	if err := json.NewDecoder(vresp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	vresp.Body.Close()
+	if vresp.StatusCode != http.StatusOK || env.K != 2 || env.Controller == nil {
+		t.Fatalf("/v1/search status %d, envelope %+v", vresp.StatusCode, env)
+	}
+	if !strings.Contains(out.String(), "autotune on") {
+		t.Errorf("autotune wiring not logged:\n%s", out.String())
 	}
 	// The run() flag defaults (-metrics on) must yield a complete scrape on
 	// the real serving loop, exactly as CI asserts on the httptest server.

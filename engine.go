@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"e2lshos/internal/ann"
+	"e2lshos/internal/autotune"
 	"e2lshos/internal/memindex"
 	"e2lshos/internal/telemetry"
 )
@@ -113,6 +114,17 @@ type Stats struct {
 	// EarlyStopped counts queries ended by SRS's chi-square test rather
 	// than the budget or tree exhaustion.
 	EarlyStopped int
+	// RoundsSkipped counts ladder rounds the autotune controller cut
+	// relative to the full schedule (recall-target early stops and
+	// latency-budget stops; zero without EnableAutotune).
+	RoundsSkipped int
+	// BudgetExhausted counts queries the controller stopped because their
+	// latency budget could not cover another round.
+	BudgetExhausted int
+	// DegradedKnobs counts knob-degradation steps the controller took
+	// mid-query (readahead off, multi-probe down, fan-out down, candidate
+	// budget down) to stay within latency budgets.
+	DegradedKnobs int
 }
 
 // IOs returns the total storage I/O count (the paper's N_IO).
@@ -141,6 +153,9 @@ func (s *Stats) Merge(o Stats) {
 	s.IOsAtInf += o.IOsAtInf
 	s.NodesVisited += o.NodesVisited
 	s.EarlyStopped += o.EarlyStopped
+	s.RoundsSkipped += o.RoundsSkipped
+	s.BudgetExhausted += o.BudgetExhausted
+	s.DegradedKnobs += o.DegradedKnobs
 }
 
 // MeanRadii returns the paper's r̄, the average radii searched per query.
@@ -170,6 +185,8 @@ type searchSettings struct {
 	budget     int
 	multiProbe int
 	workers    int
+	tuning     SearchTuning
+	statsInto  []Stats
 }
 
 // SearchOption tunes one Search or BatchSearch call. Options replace the
@@ -201,6 +218,35 @@ func WithMultiProbe(t int) SearchOption { return func(s *searchSettings) { s.mul
 // Search ignores it.
 func WithWorkers(n int) SearchOption { return func(s *searchSettings) { s.workers = n } }
 
+// WithTuning attaches a per-query SLO contract (recall target, latency
+// budget, degradation policy). It has effect only on engines with
+// EnableAutotune on; without a tuner the contract is silently ignored, like
+// any other unsupported knob.
+func WithTuning(t SearchTuning) SearchOption { return func(s *searchSettings) { s.tuning = t } }
+
+// WithRecallTarget sets only the tuning's recall target; see SearchTuning.
+func WithRecallTarget(r float64) SearchOption {
+	return func(s *searchSettings) { s.tuning.RecallTarget = r }
+}
+
+// WithLatencyBudget sets only the tuning's latency budget; see SearchTuning.
+func WithLatencyBudget(d time.Duration) SearchOption {
+	return func(s *searchSettings) { s.tuning.LatencyBudget = d }
+}
+
+// WithDegradePolicy sets only the tuning's degradation policy.
+func WithDegradePolicy(p DegradePolicy) SearchOption {
+	return func(s *searchSettings) { s.tuning.Degrade = p }
+}
+
+// WithStatsInto asks for per-query stats: query i of the batch (index 0 for
+// Search) writes its individual Stats into dst[i], in addition to the
+// aggregate return. Queries beyond len(dst) are not recorded; unanswered
+// slots keep their previous contents.
+func WithStatsInto(dst []Stats) SearchOption {
+	return func(s *searchSettings) { s.statsInto = dst }
+}
+
 // resolveSettings applies opts over the defaults and validates the result.
 func resolveSettings(opts []SearchOption) (searchSettings, error) {
 	s := searchSettings{k: 1, fanout: DefaultFanout}
@@ -218,6 +264,12 @@ func resolveSettings(opts []SearchOption) (searchSettings, error) {
 		return s, fmt.Errorf("e2lshos: negative multi-probe count %d", s.multiProbe)
 	case s.workers < 0:
 		return s, fmt.Errorf("e2lshos: negative worker count %d", s.workers)
+	case s.tuning.RecallTarget < 0 || s.tuning.RecallTarget >= 1:
+		return s, fmt.Errorf("e2lshos: recall target must be in [0, 1), got %g", s.tuning.RecallTarget)
+	case s.tuning.LatencyBudget < 0:
+		return s, fmt.Errorf("e2lshos: negative latency budget %v", s.tuning.LatencyBudget)
+	case s.tuning.Degrade > DegradeStop:
+		return s, fmt.Errorf("e2lshos: unknown degrade policy %d", s.tuning.Degrade)
 	}
 	return s, nil
 }
@@ -233,11 +285,13 @@ type querier interface {
 }
 
 // engineCore is what each engine contributes to the shared Search /
-// BatchSearch machinery: a querier factory and the telemetry anchor (every
-// engine embeds telem, so collector() is always present and usually nil).
+// BatchSearch machinery: a querier factory plus the telemetry and autotune
+// anchors (every engine embeds telem and tune, so collector() and tuner()
+// are always present and usually nil).
 type engineCore interface {
 	newQuerier(s searchSettings) (querier, error)
 	collector() *telemetry.Collector
+	tuner() *autotune.Tuner
 }
 
 // engineSearch implements Engine.Search over an engineCore. With telemetry
@@ -257,8 +311,32 @@ func engineSearch(ctx context.Context, e engineCore, q []float32, opts []SearchO
 		return Result{}, Stats{}, err
 	}
 	col := e.collector()
+	tn := e.tuner()
+	var ctl *autotune.Ctl
+	if tn != nil {
+		// Even untuned queries check out a controller: they run the full
+		// ladder anyway and train the recall/latency model for free. Engines
+		// without ladder hooks hand the controller straight back.
+		ctl = tn.Start(set.tuning.internal(), baseKnobs(set), time.Now())
+		if cs, ok := qr.(ctlSetter); ok {
+			cs.setController(ctl)
+		} else {
+			tn.Finish(ctl)
+			ctl = nil
+		}
+	}
+	record := func(st *Stats) {
+		if ctl != nil {
+			applyOutcome(st, tn.Finish(ctl))
+		}
+		if len(set.statsInto) > 0 {
+			set.statsInto[0] = *st
+		}
+	}
 	if col == nil {
-		return qr.query(ctx, q, set.k, nil)
+		res, st, err := qr.query(ctx, q, set.k, nil)
+		record(&st)
+		return res, st, err
 	}
 	tr := col.StartTrace()
 	if ts, ok := qr.(traceSetter); ok {
@@ -267,6 +345,7 @@ func engineSearch(ctx context.Context, e engineCore, q []float32, opts []SearchO
 	t0 := time.Now()
 	res, st, err := qr.query(ctx, q, set.k, nil)
 	col.FinishQuery(time.Since(t0), tr)
+	record(&st)
 	return res, st, err
 }
 
@@ -300,10 +379,13 @@ func engineBatchSearch(ctx context.Context, e engineCore, queries [][]float32, o
 	// With telemetry enabled, each worker times its queries individually —
 	// per-query engine latency, not batch wall time — and stamps the
 	// coalescer queue wait (carried on the batch context by the serving
-	// layer) onto sampled traces.
+	// layer) onto sampled traces. The autotune controller reads the same
+	// waits so a coalesced query's latency budget starts at admission, not
+	// at batch dispatch.
 	col := e.collector()
+	tn := e.tuner()
 	var waits []time.Duration
-	if col != nil {
+	if col != nil || tn != nil {
 		waits = telemetry.QueueWaits(ctx)
 	}
 
@@ -335,6 +417,10 @@ func engineBatchSearch(ctx context.Context, e engineCore, queries [][]float32, o
 				return
 			}
 			ts, _ := qr.(traceSetter)
+			var cs ctlSetter
+			if tn != nil {
+				cs, _ = qr.(ctlSetter)
+			}
 			var local Stats
 			for {
 				i := int(next.Add(1)) - 1
@@ -342,29 +428,52 @@ func engineBatchSearch(ctx context.Context, e engineCore, queries [][]float32, o
 					break
 				}
 				seg := slab[i*set.k : i*set.k : (i+1)*set.k]
-				if col == nil {
+				if col == nil && cs == nil {
 					res, st, err := qr.query(bctx, queries[i], set.k, seg)
 					if err != nil {
 						fail(err)
 						break
 					}
+					if i < len(set.statsInto) {
+						set.statsInto[i] = st
+					}
 					results[i] = res
 					local.Merge(st)
 					continue
 				}
-				tr := col.StartTrace()
-				if ts != nil {
-					ts.setTrace(tr)
-				}
-				if tr != nil && i < len(waits) {
-					tr.Add(telemetry.StageCoalesceWait, -1, 0, waits[i], 0, 0)
+				var tr *telemetry.Trace
+				if col != nil {
+					tr = col.StartTrace()
+					if ts != nil {
+						ts.setTrace(tr)
+					}
+					if tr != nil && i < len(waits) {
+						tr.Add(telemetry.StageCoalesceWait, -1, 0, waits[i], 0, 0)
+					}
 				}
 				t0 := time.Now()
+				var ctl *autotune.Ctl
+				if cs != nil {
+					start := t0
+					if i < len(waits) {
+						start = start.Add(-waits[i])
+					}
+					ctl = tn.Start(set.tuning.internal(), baseKnobs(set), start)
+					cs.setController(ctl)
+				}
 				res, st, err := qr.query(bctx, queries[i], set.k, seg)
-				col.FinishQuery(time.Since(t0), tr)
+				if col != nil {
+					col.FinishQuery(time.Since(t0), tr)
+				}
+				if ctl != nil {
+					applyOutcome(&st, tn.Finish(ctl))
+				}
 				if err != nil {
 					fail(err)
 					break
+				}
+				if i < len(set.statsInto) {
+					set.statsInto[i] = st
 				}
 				results[i] = res
 				local.Merge(st)
@@ -385,6 +494,7 @@ func engineBatchSearch(ctx context.Context, e engineCore, queries [][]float32, o
 // three other engines are measured against.
 type InMemoryIndex struct {
 	telem
+	tune
 	ix *memindex.Index
 }
 
@@ -432,6 +542,8 @@ type memQuerier struct {
 }
 
 func (m memQuerier) setTrace(tr *telemetry.Trace) { m.s.SetTrace(tr) }
+
+func (m memQuerier) setController(c *autotune.Ctl) { m.s.SetController(c) }
 
 //lsh:foldall memindex.QueryStats
 func (m memQuerier) query(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (Result, Stats, error) {

@@ -95,6 +95,9 @@ func (t *TopK) Len() int { return len(t.heap) }
 // Full reports whether k neighbors have been accumulated.
 func (t *TopK) Full() bool { return len(t.heap) == t.k }
 
+// K returns the accumulator's capacity.
+func (t *TopK) K() int { return t.k }
+
 // Worst returns the largest distance currently in the top-k, or +Inf if the
 // accumulator is not yet full. It is the pruning bound for candidates.
 //
@@ -166,6 +169,20 @@ func (t *TopK) AppendResultSq(dst []Neighbor) []Neighbor {
 		dst = append(dst, Neighbor{ID: nb.ID, Dist: math.Sqrt(nb.Dist)})
 	}
 	sortNeighbors(dst[start:])
+	return dst
+}
+
+// AppendIDs appends the IDs currently held (heap order, no sorting) to dst
+// and returns the extended slice. It allocates only when dst lacks capacity.
+// The autotune controller uses it to snapshot top-k membership per radius
+// round; membership is all its self-recall model needs, so the sort and the
+// sqrt of the Result extractors are skipped.
+//
+//lsh:hotpath
+func (t *TopK) AppendIDs(dst []uint32) []uint32 {
+	for _, nb := range t.heap {
+		dst = append(dst, nb.ID) //lsh:allocok amortized arena regrow, capped at k
+	}
 	return dst
 }
 

@@ -1,0 +1,220 @@
+package autotune
+
+import (
+	"slices"
+	"sync"
+	"time"
+)
+
+// Model is the online recall-vs-radius and latency model one Tuner learns
+// for its engine. Safe for concurrent use; every fold is O(rounds).
+//
+// Self-recall: frac[b] estimates the fraction of the eventual top-k already
+// accumulated, conditioned on the query's own certification progress — the
+// count m of top-k members inside the current certified ball (cR)², the
+// quantity the natural (R,c)-NN stop tests against k — bucketed into
+// certBins bins of m/k. Conditioning on the query's progress rather than on
+// the round index matters twice over. First, survivorship: a stop decision
+// is only taken on a query that survived the round without terminating, so
+// folding finished queries in as 1.0 would inflate the estimate exactly for
+// the population it is applied to. Second, alignment: queries of different
+// difficulty reach the same round with wildly different amounts of answer
+// in hand, which smears a round-indexed estimate into uselessness, while
+// certification progress is each query's own clock. Membership snapshots
+// make the per-query fraction exact: an id in the top-k that also survives
+// to the end can never have left in between (an eviction means k better
+// neighbors existed, and those never get worse), and the certified count is
+// nondecreasing too (members are only displaced by closer points, which lie
+// inside any ball containing the displaced one). Early-stop decisions
+// compare frac[bin(m,k)] minus the safety margins against the target.
+//
+// Latency: roundNS[r] is an EWMA of round r's observed wall duration, fed
+// by every controlled query (cut ones included — a round that ran is valid
+// data regardless of how its query ended). BeforeRound compares it against
+// the query's remaining budget to degrade or stop before burning the budget
+// rather than after.
+type Model struct {
+	mu      sync.Mutex
+	ladders int                           //lsh:guardedby mu — full-ladder observations folded
+	frac    [certBins][stableBins]float64 //lsh:guardedby mu — self-recall per (cert, stability) cell
+	nobs    [certBins][stableBins]int     //lsh:guardedby mu — observations per cell
+	roundNS []float64                     //lsh:guardedby mu — per-round duration EWMA
+	guard   float64                       //lsh:guardedby mu — adaptive guardrail margin
+}
+
+// certBins buckets certification progress m/k. 16 bins resolve single-
+// neighbor steps up to k=16; beyond that adjacent m values share a bin,
+// which only makes the estimate more conservative (lower m folded in).
+// stableBins buckets the second conditioning axis — how many consecutive
+// rounds the top-k has gone unchanged. Certification progress says how far
+// the ball has to grow; stability says whether growing it still changes the
+// answer. A query at cert 9/10 whose top-k just churned is a different
+// population from one that has coasted unchanged for three rounds, and only
+// the latter's estimate justifies stopping.
+const (
+	certBins   = 16
+	stableBins = 4
+)
+
+// certBin maps a certified count to its bin. m ≥ k never reaches the model
+// (the ladder terminates naturally there) but clamps safely.
+func certBin(m, k int) int {
+	if k <= 0 || m >= k {
+		return certBins - 1
+	}
+	return m * certBins / k
+}
+
+// stableBin clamps a consecutive-unchanged-rounds count to its bucket.
+func stableBin(s int) int { return min(s, stableBins-1) }
+
+// fracAlpha bounds the fold-in weight of one ladder once the estimate has
+// warmed up, so the model keeps tracking workload drift; roundAlpha adapts
+// the latency predictions faster, since load changes faster than geometry.
+const (
+	fracWarmup = 64
+	roundAlpha = 0.25
+)
+
+// Trained returns how many full ladders the self-recall estimate has seen.
+func (m *Model) Trained() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ladders
+}
+
+// EstRecall returns the estimated self-recall for a query whose certified
+// count stands at cert of k with a top-k unchanged for stable consecutive
+// rounds, and whether the estimate is usable: at least minTrain training
+// observations must have landed in that exact cell — a global ladder count
+// would let well-observed cells vouch for barely-observed ones.
+func (m *Model) EstRecall(cert, k, stable, minTrain int) (float64, bool) {
+	b, s := certBin(cert, k), stableBin(stable)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.nobs[b][s] < minTrain {
+		return 0, false
+	}
+	return m.frac[b][s], true
+}
+
+// PredictRound returns the expected duration of round rIdx (0 when the
+// round has not been observed yet).
+func (m *Model) PredictRound(rIdx int) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rIdx >= len(m.roundNS) {
+		return 0
+	}
+	return time.Duration(m.roundNS[rIdx])
+}
+
+// GuardMargin returns the adaptive guardrail margin.
+func (m *Model) GuardMargin() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.guard
+}
+
+// ObserveRound folds one executed round's duration into the EWMA.
+func (m *Model) ObserveRound(rIdx int, d time.Duration) {
+	if rIdx < 0 || d < 0 {
+		return
+	}
+	m.mu.Lock()
+	for len(m.roundNS) <= rIdx {
+		m.roundNS = append(m.roundNS, 0)
+	}
+	if m.roundNS[rIdx] == 0 {
+		m.roundNS[rIdx] = float64(d)
+	} else {
+		m.roundNS[rIdx] += roundAlpha * (float64(d) - m.roundNS[rIdx])
+	}
+	m.mu.Unlock()
+}
+
+// ObserveLadder folds one full-ladder query: snaps[r] is the top-k
+// membership, certs[r] the certified count, and stables[r] the consecutive-
+// unchanged-rounds count after round r, for exactly the rounds the query
+// survived (the naturally-terminating round is not snapshotted — the query
+// was not "still running" after it, so it belongs to no stop decision's
+// population). k is the query's top-k capacity; a round's membership
+// fraction folds into the (certification, stability) cell its counters
+// select.
+func (m *Model) ObserveLadder(snaps [][]uint32, certs, stables []int, k int, final []uint32) {
+	if len(final) == 0 || k <= 0 || len(certs) < len(snaps) || len(stables) < len(snaps) {
+		return
+	}
+	slices.Sort(final)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ladders++
+	for r := 0; r < len(snaps); r++ {
+		hits := 0
+		for _, id := range snaps[r] {
+			if _, ok := slices.BinarySearch(final, id); ok {
+				hits++
+			}
+		}
+		f := float64(hits) / float64(len(final))
+		b, s := certBin(certs[r], k), stableBin(stables[r])
+		m.nobs[b][s]++
+		alpha := 1 / float64(min(m.nobs[b][s], fracWarmup))
+		m.frac[b][s] += alpha * (f - m.frac[b][s])
+	}
+}
+
+// ObserveServedRecall is the guardrail fold: a served recall below target
+// widens the margin by half the shortfall (capped at 0.2), an on-target one
+// decays it by 5%.
+func (m *Model) ObserveServedRecall(target, recall float64) {
+	if target <= 0 {
+		return
+	}
+	m.mu.Lock()
+	if recall < target {
+		m.guard += (target - recall) / 2
+		if m.guard > 0.2 {
+			m.guard = 0.2
+		}
+	} else {
+		m.guard *= 0.95
+	}
+	m.mu.Unlock()
+}
+
+// ModelSnapshot is a copy of the model state for metrics and tests.
+type ModelSnapshot struct {
+	// Ladders is the number of full-ladder observations folded in.
+	Ladders int
+	// GuardMargin is the current adaptive guardrail margin.
+	GuardMargin float64
+	// Frac is the self-recall estimate per [certification bin][stability
+	// bin] cell (certified count m/k scaled into certBins buckets,
+	// consecutive-unchanged rounds clamped into stableBins).
+	Frac [][]float64
+	// Obs is the number of training observations folded into each cell;
+	// cells with Obs below the tuner's MinTrain never authorize a stop.
+	Obs [][]int
+	// RoundNS is the per-round duration EWMA in nanoseconds.
+	RoundNS []float64
+}
+
+// Snapshot copies the model state.
+func (m *Model) Snapshot() ModelSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	frac := make([][]float64, certBins)
+	obs := make([][]int, certBins)
+	for b := range m.frac {
+		frac[b] = slices.Clone(m.frac[b][:])
+		obs[b] = slices.Clone(m.nobs[b][:])
+	}
+	return ModelSnapshot{
+		Ladders:     m.ladders,
+		GuardMargin: m.guard,
+		Frac:        frac,
+		Obs:         obs,
+		RoundNS:     slices.Clone(m.roundNS),
+	}
+}

@@ -1,0 +1,122 @@
+package autotune
+
+import (
+	"time"
+
+	"e2lshos/internal/telemetry"
+)
+
+// ServerTunerConfig bounds the server-level control loop.
+type ServerTunerConfig struct {
+	// TargetP99 is the end-to-end latency objective. Required.
+	TargetP99 time.Duration
+	// Batch is the coalescer's starting MaxBatch; MinBatch/MaxBatch bound
+	// the loop's adjustments (defaults 1 / 4×Batch).
+	Batch, MinBatch, MaxBatch int
+	// Depth is the I/O engine's starting queue depth; MinDepth/MaxDepth
+	// bound it. Depth 0 disables depth control (no engine attached).
+	Depth, MinDepth, MaxDepth int
+	// MinSamples is how many requests an interval needs before its p99 is
+	// trusted (default 16).
+	MinSamples uint64
+}
+
+func (c ServerTunerConfig) withDefaults() ServerTunerConfig {
+	if c.Batch <= 0 {
+		c.Batch = 32
+	}
+	if c.MinBatch <= 0 {
+		c.MinBatch = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4 * c.Batch
+	}
+	if c.Depth > 0 {
+		if c.MinDepth <= 0 {
+			c.MinDepth = 1
+		}
+		if c.MaxDepth <= 0 {
+			c.MaxDepth = 4 * c.Depth
+		}
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 16
+	}
+	return c
+}
+
+// ServerAction is one control decision: the coalescer batch size and I/O
+// queue depth to apply, plus the interval observation that produced it.
+type ServerAction struct {
+	// Batch is the desired coalescer MaxBatch.
+	Batch int
+	// Depth is the desired I/O engine queue depth (0 = depth control off).
+	Depth int
+	// P99 is the interval's observed p99 (0 when below MinSamples).
+	P99 time.Duration
+	// Samples is the interval's request count.
+	Samples uint64
+}
+
+// ServerTuner is the server-level AIMD loop on observed p99: fed the
+// serving layer's cumulative request-latency histogram each tick, it diffs
+// against the previous snapshot to get the interval distribution and steers
+// two global knobs.
+//
+//   - Over target: halve the coalescer batch (smaller batches cut the
+//     head-of-batch wait and bound how much work one slow query delays) and
+//     raise the I/O queue depth multiplicatively (more device parallelism
+//     drains the backlog that built the tail).
+//   - Under half the target: grow the batch additively (amortize per-batch
+//     overhead while latency headroom exists) and decay the extra depth one
+//     step (deep queues raise per-op latency — the paper's Table 2 — so
+//     headroom is given back).
+//
+// Not safe for concurrent use; drive it from one tick loop.
+type ServerTuner struct {
+	cfg   ServerTunerConfig
+	prev  telemetry.HistSnapshot
+	batch int
+	depth int
+}
+
+// NewServerTuner builds the loop at cfg's starting point.
+func NewServerTuner(cfg ServerTunerConfig) *ServerTuner {
+	cfg = cfg.withDefaults()
+	return &ServerTuner{cfg: cfg, batch: cfg.Batch, depth: cfg.Depth}
+}
+
+// Observe feeds the cumulative latency snapshot at one tick and returns the
+// knob settings to apply. Intervals with fewer than MinSamples requests
+// leave the knobs unchanged.
+func (t *ServerTuner) Observe(cur *telemetry.HistSnapshot) ServerAction {
+	var delta telemetry.HistSnapshot
+	for i := range cur.Counts {
+		delta.Counts[i] = cur.Counts[i] - t.prev.Counts[i]
+	}
+	delta.Count = cur.Count - t.prev.Count
+	delta.Sum = cur.Sum - t.prev.Sum
+	delta.Max = cur.Max
+	t.prev = *cur
+
+	act := ServerAction{Batch: t.batch, Depth: t.depth, Samples: delta.Count}
+	if delta.Count < t.cfg.MinSamples {
+		return act
+	}
+	p99 := delta.Quantile(0.99)
+	act.P99 = p99
+	switch {
+	case p99 > t.cfg.TargetP99:
+		t.batch = max(t.cfg.MinBatch, t.batch/2)
+		if t.depth > 0 {
+			t.depth = min(t.cfg.MaxDepth, t.depth*2)
+		}
+	case p99 < t.cfg.TargetP99/2:
+		t.batch = min(t.cfg.MaxBatch, t.batch+max(1, t.batch/8))
+		if t.depth > t.cfg.Depth {
+			t.depth--
+		}
+	}
+	act.Batch, act.Depth = t.batch, t.depth
+	return act
+}

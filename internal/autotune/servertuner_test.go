@@ -1,0 +1,81 @@
+package autotune
+
+import (
+	"testing"
+	"time"
+
+	"e2lshos/internal/telemetry"
+)
+
+// feed observes n samples of duration d and returns the cumulative snapshot.
+func feed(h *telemetry.Histogram, n int, d time.Duration) *telemetry.HistSnapshot {
+	for i := 0; i < n; i++ {
+		h.Observe(d)
+	}
+	var sp telemetry.HistSnapshot
+	h.Snapshot(&sp)
+	return &sp
+}
+
+// TestServerTunerAIMD: an over-target interval halves the batch and doubles
+// the depth; sustained under-half-target intervals grow the batch additively
+// and decay the depth back toward its configured starting point.
+func TestServerTunerAIMD(t *testing.T) {
+	tn := NewServerTuner(ServerTunerConfig{
+		TargetP99: 10 * time.Millisecond,
+		Batch:     32, Depth: 8,
+	})
+	h := new(telemetry.Histogram)
+
+	act := tn.Observe(feed(h, 100, 50*time.Millisecond))
+	if act.Batch != 16 || act.Depth != 16 {
+		t.Fatalf("over target: batch/depth = %d/%d, want 16/16", act.Batch, act.Depth)
+	}
+	act = tn.Observe(feed(h, 100, 50*time.Millisecond))
+	if act.Batch != 8 || act.Depth != 32 {
+		t.Fatalf("still over: batch/depth = %d/%d, want 8/32", act.Batch, act.Depth)
+	}
+	// Depth is capped at MaxDepth (4×Depth = 32 by default).
+	act = tn.Observe(feed(h, 100, 50*time.Millisecond))
+	if act.Depth != 32 {
+		t.Fatalf("depth exceeded its cap: %d", act.Depth)
+	}
+
+	// Fast intervals: additive batch growth, depth decays toward 8.
+	prevBatch, prevDepth := act.Batch, act.Depth
+	for i := 0; i < 40; i++ {
+		act = tn.Observe(feed(h, 100, time.Millisecond))
+		if act.Batch < prevBatch || act.Depth > prevDepth {
+			t.Fatalf("recovery reversed: batch %d->%d depth %d->%d", prevBatch, act.Batch, prevDepth, act.Depth)
+		}
+		prevBatch, prevDepth = act.Batch, act.Depth
+	}
+	if act.Batch <= 8 {
+		t.Errorf("batch never recovered: %d", act.Batch)
+	}
+	if act.Depth != 8 {
+		t.Errorf("depth did not decay to its starting point: %d, want 8", act.Depth)
+	}
+	if act.Batch > 128 {
+		t.Errorf("batch exceeded MaxBatch: %d", act.Batch)
+	}
+}
+
+// TestServerTunerMinSamples: an interval below MinSamples leaves the knobs
+// alone — one slow straggler in an idle second must not halve the batch.
+func TestServerTunerMinSamples(t *testing.T) {
+	tn := NewServerTuner(ServerTunerConfig{TargetP99: 10 * time.Millisecond, Batch: 32, MinSamples: 16})
+	h := new(telemetry.Histogram)
+	act := tn.Observe(feed(h, 3, time.Second))
+	if act.Batch != 32 || act.P99 != 0 {
+		t.Errorf("sparse interval acted: batch %d p99 %v", act.Batch, act.P99)
+	}
+	if act.Samples != 3 {
+		t.Errorf("Samples = %d, want 3", act.Samples)
+	}
+	// Depth 0 disables depth control entirely.
+	act = tn.Observe(feed(h, 100, time.Second))
+	if act.Depth != 0 {
+		t.Errorf("depth control active without an engine: %d", act.Depth)
+	}
+}

@@ -72,26 +72,91 @@ type response[R any] struct {
 	err error
 }
 
+// admitter is the admission-control state one or more batchers share: a
+// bounded count of admitted-but-unanswered queries plus the shed counter.
+// Keyed batchers hand every sub-batcher the same admitter, so the overload
+// bound covers the whole keyed family, not each key separately.
+type admitter struct {
+	mu       sync.Mutex
+	max      int
+	inflight int    //lsh:guardedby mu — admitted but not yet answered
+	shed     uint64 //lsh:guardedby mu
+}
+
+// tryAdmit claims one queue slot, or counts a shed and reports false.
+func (a *admitter) tryAdmit() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight >= a.max {
+		a.shed++
+		return false
+	}
+	a.inflight++
+	return true
+}
+
+// release returns n queue slots after their batch delivered.
+func (a *admitter) release(n int) {
+	a.mu.Lock()
+	a.inflight -= n
+	a.mu.Unlock()
+}
+
+// shedCount returns how many calls were refused.
+func (a *admitter) shedCount() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.shed
+}
+
 // Batcher coalesces concurrent Do calls into batched Func executions.
 type Batcher[R any] struct {
 	run    Func[R]
 	cfg    Config
+	adm    *admitter
 	ctx    context.Context
 	cancel context.CancelFunc
 
 	mu       sync.Mutex
 	pending  []request[R] //lsh:guardedby mu
 	gen      uint64       //lsh:guardedby mu — generation of the forming batch, to pair timers with it
-	inflight int          //lsh:guardedby mu — admitted but not yet answered
-	shed     uint64       //lsh:guardedby mu
+	maxBatch int          //lsh:guardedby mu — live batch-size knob (SetMaxBatch)
 	closed   bool         //lsh:guardedby mu
 	wg       sync.WaitGroup
 }
 
 // New builds a batcher that executes run for every cut batch.
 func New[R any](run Func[R], cfg Config) *Batcher[R] {
+	cfg = cfg.withDefaults()
+	return newShared[R](run, cfg, &admitter{max: cfg.MaxQueue})
+}
+
+// newShared builds a batcher on an externally-owned admitter.
+func newShared[R any](run Func[R], cfg Config, adm *admitter) *Batcher[R] {
 	ctx, cancel := context.WithCancel(context.Background()) //lsh:ctxok batcher owns its own lifecycle; Close cancels
-	return &Batcher[R]{run: run, cfg: cfg.withDefaults(), ctx: ctx, cancel: cancel}
+	return &Batcher[R]{run: run, cfg: cfg, adm: adm, maxBatch: cfg.MaxBatch, ctx: ctx, cancel: cancel}
+}
+
+// SetMaxBatch adjusts the live batch-size knob (the server-level autotuner
+// steers it against observed p99). Values below 1 are clamped to 1. Batches
+// already forming are cut at whichever bound they reach first.
+func (b *Batcher[R]) SetMaxBatch(n int) {
+	if n < 1 {
+		n = 1
+	}
+	b.mu.Lock()
+	b.maxBatch = n
+	if len(b.pending) >= n {
+		b.cutLocked()
+	}
+	b.mu.Unlock()
+}
+
+// MaxBatch returns the current batch-size knob.
+func (b *Batcher[R]) MaxBatch() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.maxBatch
 }
 
 // Do admits one query, waits for the batch it lands in to execute, and
@@ -111,15 +176,13 @@ func (b *Batcher[R]) Do(ctx context.Context, q []float32) (R, error) {
 		b.mu.Unlock()
 		return zero, ErrClosed
 	}
-	if b.inflight >= b.cfg.MaxQueue {
-		b.shed++
+	if !b.adm.tryAdmit() {
 		b.mu.Unlock()
 		return zero, ErrOverloaded
 	}
-	b.inflight++
 	done := make(chan response[R], 1)
 	b.pending = append(b.pending, request[R]{q: q, done: done, enq: time.Now()})
-	if len(b.pending) >= b.cfg.MaxBatch {
+	if len(b.pending) >= b.maxBatch {
 		b.cutLocked()
 	} else if len(b.pending) == 1 {
 		gen := b.gen
@@ -135,12 +198,9 @@ func (b *Batcher[R]) Do(ctx context.Context, q []float32) (R, error) {
 	}
 }
 
-// Shed returns how many calls have been refused with ErrOverloaded.
-func (b *Batcher[R]) Shed() uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.shed
-}
+// Shed returns how many calls have been refused with ErrOverloaded (across
+// the whole keyed family when the admitter is shared).
+func (b *Batcher[R]) Shed() uint64 { return b.adm.shedCount() }
 
 // cutGen cuts the forming batch if it is still generation gen: a timer whose
 // batch was already cut by the MaxBatch path finds gen advanced and does
@@ -188,9 +248,7 @@ func (b *Batcher[R]) runBatch(batch []request[R]) {
 		}
 		req.done <- resp
 	}
-	b.mu.Lock()
-	b.inflight -= len(batch)
-	b.mu.Unlock()
+	b.adm.release(len(batch))
 }
 
 // Close stops admission, flushes the forming batch, and waits for in-flight

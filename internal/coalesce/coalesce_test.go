@@ -135,9 +135,9 @@ func TestCoalesceLoadShedding(t *testing.T) {
 	// Wait until all admitted requests occupy the queue.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		b.mu.Lock()
-		inflight := b.inflight
-		b.mu.Unlock()
+		b.adm.mu.Lock()
+		inflight := b.adm.inflight
+		b.adm.mu.Unlock()
 		if inflight == maxQueue {
 			break
 		}
@@ -178,9 +178,9 @@ func TestCoalesceCallerCancel(t *testing.T) {
 	if _, err := b.Do(pre, []float32{0}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("pre-canceled caller got %v, want context.Canceled", err)
 	}
-	b.mu.Lock()
-	inflight := b.inflight
-	b.mu.Unlock()
+	b.adm.mu.Lock()
+	inflight := b.adm.inflight
+	b.adm.mu.Unlock()
 	if inflight != 1 {
 		t.Errorf("pre-canceled caller took a queue slot: inflight = %d, want 1", inflight)
 	}

@@ -1,0 +1,112 @@
+package coalesce
+
+import (
+	"context"
+	"sync"
+)
+
+// KeyedFunc executes one coalesced batch for a single key. The returned
+// slice must align positionally with queries.
+type KeyedFunc[K comparable, R any] func(ctx context.Context, key K, queries [][]float32) ([]R, error)
+
+// Keyed coalesces concurrent Do calls into batched executions that are
+// key-pure: every cut batch contains queries of exactly one key. Keys model
+// incompatible per-request tuning (fanout, multi-probe, recall target …) —
+// queries that cannot share one engine BatchSearch call must not share a
+// batch. Sub-batchers are created lazily per key and all share one admitter,
+// so MaxQueue bounds admitted-but-unanswered queries across the whole
+// family, not per key.
+type Keyed[K comparable, R any] struct {
+	run KeyedFunc[K, R]
+	cfg Config
+	adm *admitter
+
+	mu       sync.Mutex
+	subs     map[K]*Batcher[R] //lsh:guardedby mu
+	maxBatch int               //lsh:guardedby mu — applied to new sub-batchers
+	closed   bool              //lsh:guardedby mu
+}
+
+// NewKeyed builds a keyed batcher that executes run for every cut batch.
+func NewKeyed[K comparable, R any](run KeyedFunc[K, R], cfg Config) *Keyed[K, R] {
+	cfg = cfg.withDefaults()
+	return &Keyed[K, R]{
+		run:      run,
+		cfg:      cfg,
+		adm:      &admitter{max: cfg.MaxQueue},
+		subs:     make(map[K]*Batcher[R]),
+		maxBatch: cfg.MaxBatch,
+	}
+}
+
+// Do admits one query under key and waits for its key-pure batch; semantics
+// otherwise match Batcher.Do.
+func (kb *Keyed[K, R]) Do(ctx context.Context, key K, q []float32) (R, error) {
+	kb.mu.Lock()
+	if kb.closed {
+		kb.mu.Unlock()
+		var zero R
+		return zero, ErrClosed
+	}
+	sub, ok := kb.subs[key]
+	if !ok {
+		k := key
+		sub = newShared[R](func(ctx context.Context, queries [][]float32) ([]R, error) {
+			return kb.run(ctx, k, queries)
+		}, kb.cfg, kb.adm)
+		sub.SetMaxBatch(kb.maxBatch)
+		kb.subs[key] = sub
+	}
+	kb.mu.Unlock()
+	return sub.Do(ctx, q)
+}
+
+// Shed returns how many calls were refused with ErrOverloaded across all
+// keys.
+func (kb *Keyed[K, R]) Shed() uint64 { return kb.adm.shedCount() }
+
+// SetMaxBatch adjusts the live batch-size knob on every current and future
+// sub-batcher.
+func (kb *Keyed[K, R]) SetMaxBatch(n int) {
+	if n < 1 {
+		n = 1
+	}
+	kb.mu.Lock()
+	kb.maxBatch = n
+	subs := make([]*Batcher[R], 0, len(kb.subs))
+	for _, sub := range kb.subs {
+		subs = append(subs, sub)
+	}
+	kb.mu.Unlock()
+	// Outside kb.mu: SetMaxBatch takes each sub's own lock and may cut a
+	// batch, and new Do calls must not block on the fan-out.
+	for _, sub := range subs {
+		sub.SetMaxBatch(n)
+	}
+}
+
+// MaxBatch returns the current batch-size knob.
+func (kb *Keyed[K, R]) MaxBatch() int {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	return kb.maxBatch
+}
+
+// Close stops admission and closes every sub-batcher, flushing their forming
+// batches and waiting for in-flight batches to deliver.
+func (kb *Keyed[K, R]) Close() {
+	kb.mu.Lock()
+	if kb.closed {
+		kb.mu.Unlock()
+		return
+	}
+	kb.closed = true
+	subs := make([]*Batcher[R], 0, len(kb.subs))
+	for _, sub := range kb.subs {
+		subs = append(subs, sub)
+	}
+	kb.mu.Unlock()
+	for _, sub := range subs {
+		sub.Close()
+	}
+}

@@ -1,0 +1,155 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestKeyedBatchesAreKeyPure: concurrent callers across several keys always
+// land in batches of exactly their own key, and every caller gets its own
+// slot back. Run with -race this also exercises the shared-admitter paths.
+func TestKeyedBatchesAreKeyPure(t *testing.T) {
+	type key struct{ fanout int }
+	var mixed atomic.Int64
+	run := func(ctx context.Context, k key, queries [][]float32) ([]float32, error) {
+		out := make([]float32, len(queries))
+		for i, q := range queries {
+			if int(q[0]) != k.fanout {
+				mixed.Add(1)
+			}
+			out[i] = q[1]
+		}
+		return out, nil
+	}
+	kb := NewKeyed(run, Config{MaxBatch: 8, MaxDelay: 200 * time.Microsecond, MaxQueue: 1024})
+	defer kb.Close()
+
+	const keys, perKey = 4, 64
+	var wg sync.WaitGroup
+	errc := make(chan error, keys*perKey)
+	for f := 0; f < keys; f++ {
+		for i := 0; i < perKey; i++ {
+			wg.Add(1)
+			go func(f, i int) {
+				defer wg.Done()
+				want := float32(f*1000 + i)
+				got, err := kb.Do(context.Background(), key{fanout: f}, []float32{float32(f), want})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got != want {
+					errc <- errors.New("slot misrouted across callers")
+				}
+			}(f, i)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if n := mixed.Load(); n != 0 {
+		t.Errorf("%d queries landed in a batch of the wrong key", n)
+	}
+}
+
+// TestKeyedSharedQueueBound: MaxQueue bounds admissions across keys jointly;
+// a second key cannot be admitted while the first key's stalled batch holds
+// every slot, and the family-wide shed counter records the refusal.
+func TestKeyedSharedQueueBound(t *testing.T) {
+	release := make(chan struct{})
+	run := func(ctx context.Context, k int, queries [][]float32) ([]float32, error) {
+		<-release
+		return make([]float32, len(queries)), nil
+	}
+	const maxQueue = 4
+	kb := NewKeyed(run, Config{MaxBatch: 1, MaxDelay: time.Hour, MaxQueue: maxQueue})
+	defer kb.Close()
+
+	var wg sync.WaitGroup
+	for c := 0; c < maxQueue; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := kb.Do(context.Background(), 1, []float32{0}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		kb.adm.mu.Lock()
+		inflight := kb.adm.inflight
+		kb.adm.mu.Unlock()
+		if inflight == maxQueue {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admitted requests never filled the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := kb.Do(context.Background(), 2, []float32{0}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("cross-key over-admission returned %v, want ErrOverloaded", err)
+	}
+	if kb.Shed() != 1 {
+		t.Errorf("family shed counter = %d, want 1", kb.Shed())
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestKeyedSetMaxBatch: the live knob propagates to existing sub-batchers
+// and seeds new ones.
+func TestKeyedSetMaxBatch(t *testing.T) {
+	run := func(ctx context.Context, k int, queries [][]float32) ([]float32, error) {
+		return make([]float32, len(queries)), nil
+	}
+	kb := NewKeyed(run, Config{MaxBatch: 32, MaxDelay: 100 * time.Microsecond})
+	defer kb.Close()
+	if _, err := kb.Do(context.Background(), 7, []float32{0}); err != nil {
+		t.Fatal(err)
+	}
+	kb.SetMaxBatch(3)
+	if got := kb.MaxBatch(); got != 3 {
+		t.Fatalf("MaxBatch() = %d after SetMaxBatch(3)", got)
+	}
+	kb.mu.Lock()
+	sub := kb.subs[7]
+	kb.mu.Unlock()
+	if got := sub.MaxBatch(); got != 3 {
+		t.Errorf("existing sub-batcher MaxBatch() = %d, want 3", got)
+	}
+	if _, err := kb.Do(context.Background(), 8, []float32{0}); err != nil {
+		t.Fatal(err)
+	}
+	kb.mu.Lock()
+	sub8 := kb.subs[8]
+	kb.mu.Unlock()
+	if got := sub8.MaxBatch(); got != 3 {
+		t.Errorf("new sub-batcher MaxBatch() = %d, want 3", got)
+	}
+}
+
+// TestKeyedClose: Do after Close refuses with ErrClosed on every key.
+func TestKeyedClose(t *testing.T) {
+	run := func(ctx context.Context, k int, queries [][]float32) ([]float32, error) {
+		return make([]float32, len(queries)), nil
+	}
+	kb := NewKeyed(run, Config{MaxDelay: 50 * time.Microsecond})
+	if _, err := kb.Do(context.Background(), 1, []float32{0}); err != nil {
+		t.Fatal(err)
+	}
+	kb.Close()
+	if _, err := kb.Do(context.Background(), 1, []float32{0}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after Close = %v, want ErrClosed", err)
+	}
+	if _, err := kb.Do(context.Background(), 2, []float32{0}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after Close (new key) = %v, want ErrClosed", err)
+	}
+}

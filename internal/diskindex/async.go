@@ -2,8 +2,10 @@ package diskindex
 
 import (
 	"encoding/binary"
+	"time"
 
 	"e2lshos/internal/ann"
+	"e2lshos/internal/autotune"
 	"e2lshos/internal/blockstore"
 	"e2lshos/internal/costmodel"
 	"e2lshos/internal/lsh"
@@ -15,6 +17,9 @@ import (
 type AsyncResult struct {
 	Result ann.Result
 	Stats  Stats
+	// Outcome is what the autotune controller did to this query (zero
+	// without a tuner; see AsyncQueryFuncTuned).
+	Outcome autotune.Outcome
 }
 
 // asyncPool recycles per-query state machines. The scheduler runs its whole
@@ -52,6 +57,14 @@ type asyncPool struct {
 // the vectored waves degrade to blocking per-block reads, exactly the mmap
 // baseline. The engine path requires the default 512-byte bucket blocks.
 func (ix *Index) AsyncQueryFunc(model costmodel.CPUModel, queries [][]float32, k int, results []AsyncResult) sched.QueryFunc {
+	return ix.AsyncQueryFuncTuned(model, queries, k, results, nil, autotune.Tuning{})
+}
+
+// AsyncQueryFuncTuned is AsyncQueryFunc with a per-query autotune controller:
+// every query runs under tn with tuning tu (recall-target early stops and the
+// candidate-budget degradation; the wall-clock-only knobs — readahead,
+// fan-out — have no meaning on the simulator). A nil tn disables control.
+func (ix *Index) AsyncQueryFuncTuned(model costmodel.CPUModel, queries [][]float32, k int, results []AsyncResult, tn *autotune.Tuner, tu autotune.Tuning) sched.QueryFunc {
 	if ix.physPerBucket != 1 {
 		panic("diskindex: the engine path requires 512-byte bucket blocks")
 	}
@@ -89,6 +102,10 @@ func (ix *Index) AsyncQueryFunc(model costmodel.CPUModel, queries [][]float32, k
 		run.rIdx = 0
 		run.checked = 0
 		run.outstanding = 0
+		run.tn = tn
+		if tn != nil {
+			run.ctl = tn.Start(tu, autotune.Knobs{}, time.Now())
+		}
 		ix.checkDim(run.q)
 		tc.Charge(costmodel.ToTime(model.QueryFixed))
 		if ix.opts.ShareProjections {
@@ -129,7 +146,12 @@ type asyncRun struct {
 
 	rIdx        int
 	checked     int // per-radius candidate budget consumption
+	budgetS     int // per-radius candidate budget, possibly degraded per round
 	outstanding int // blocks of the current wave still in flight
+
+	// tn/ctl are the autotune hooks (nil without a tuner).
+	tn  *autotune.Tuner
+	ctl *autotune.Ctl
 }
 
 // startRadius begins one (R,c)-NN round: hash, then submit every occupied
@@ -144,6 +166,15 @@ func (run *asyncRun) startRadius(tc *sched.Ctx, done func()) {
 	if run.rIdx >= p.R() {
 		run.finish(done)
 		return
+	}
+	run.budgetS = p.S
+	if run.ctl != nil {
+		kn, proceed := run.ctl.BeforeRound(run.rIdx, p.S)
+		if !proceed {
+			run.finish(done)
+			return
+		}
+		run.budgetS = kn.BudgetS
 	}
 	run.out.Stats.Radii++
 	fam := ix.FamilyFor(run.rIdx)
@@ -190,7 +221,7 @@ func (run *asyncRun) onTableBlock(tc *sched.Ctx, done func(), i int, block []byt
 	run.out.Stats.TableIOs++
 	tc.Charge(costmodel.ToTime(run.model.Scan(1)))
 	head := blockstore.Addr(binary.LittleEndian.Uint64(block[run.waveOff[i] : run.waveOff[i]+8]))
-	if head != blockstore.Nil && run.checked < run.ix.params.S {
+	if head != blockstore.Nil && run.checked < run.budgetS {
 		// Budget exhaustion makes the remaining chains moot; stale occupancy
 		// cannot happen on a frozen index.
 		run.next = append(run.next, head)
@@ -219,7 +250,7 @@ func (run *asyncRun) onBucketBlock(tc *sched.Ctx, done func(), i int, block []by
 			run.out.Stats.FPRejected++
 			continue
 		}
-		if run.checked >= ix.params.S {
+		if run.checked >= run.budgetS {
 			truncated = true
 			break
 		}
@@ -236,7 +267,7 @@ func (run *asyncRun) onBucketBlock(tc *sched.Ctx, done func(), i int, block []by
 		run.out.Stats.Checked++
 		run.checked++
 	}
-	if next != blockstore.Nil && !truncated && run.checked < ix.params.S {
+	if next != blockstore.Nil && !truncated && run.checked < run.budgetS {
 		run.next = append(run.next, next)
 		run.nextFP = append(run.nextFP, fp)
 	}
@@ -269,7 +300,12 @@ func (run *asyncRun) waveDone(tc *sched.Ctx, done func()) {
 // endRadius applies the (R,c)-NN termination test and either finishes the
 // query or starts the next round.
 func (run *asyncRun) endRadius(tc *sched.Ctx, done func()) {
-	if run.radiusSatisfied() {
+	certified := run.certifiedCount()
+	if run.topk.Full() && certified >= run.k {
+		run.finish(done)
+		return
+	}
+	if run.ctl != nil && run.ctl.AfterRound(run.rIdx, run.topk, certified) {
 		run.finish(done)
 		return
 	}
@@ -277,19 +313,22 @@ func (run *asyncRun) endRadius(tc *sched.Ctx, done func()) {
 	run.startRadius(tc, done)
 }
 
-// radiusSatisfied applies the (R,c)-NN termination test at the end of the
-// current radius round, in squared-distance space.
-func (run *asyncRun) radiusSatisfied() bool {
+// certifiedCount is the (R,c)-NN termination count at the end of the current
+// radius round, in squared-distance space: how many accumulated neighbors
+// sit inside the certified ball (cR)².
+func (run *asyncRun) certifiedCount() int {
 	p := run.ix.params
-	if !run.topk.Full() {
-		return false
-	}
 	cr := p.C * p.Radii[run.rIdx]
-	return run.topk.CountWithin(cr*cr) >= run.k
+	return run.topk.CountWithin(cr * cr)
 }
 
 func (run *asyncRun) finish(done func()) {
 	run.out.Result = run.topk.ResultSq()
+	if run.ctl != nil {
+		run.ctl.EndLadder(run.topk, run.out.Stats.Radii, run.ix.params.R())
+		run.out.Outcome = run.tn.Finish(run.ctl)
+		run.ctl = nil
+	}
 	run.pool.free = append(run.pool.free, run)
 	done()
 }

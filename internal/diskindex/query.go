@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"e2lshos/internal/ann"
+	"e2lshos/internal/autotune"
 	"e2lshos/internal/blockcache"
 	"e2lshos/internal/blockstore"
 	"e2lshos/internal/lsh"
@@ -97,12 +98,18 @@ type Searcher struct {
 	// so they cannot be bracketed separately.
 	trace *telemetry.Trace
 	ioNS  time.Duration
+	// ctl is the active autotune controller (nil for uncontrolled queries).
+	ctl *autotune.Ctl
 }
 
 // SetTrace installs the span buffer the next query records into (nil
 // disables tracing). The owner sets it per query; the searcher never
 // outlives its trace.
 func (s *Searcher) SetTrace(tr *telemetry.Trace) { s.trace = tr }
+
+// SetController installs the autotune controller the next query consults
+// per radius round (nil disables control).
+func (s *Searcher) SetController(c *autotune.Ctl) { s.ctl = c }
 
 // NewSearcher returns a fresh synchronous searcher.
 func (ix *Index) NewSearcher() *Searcher {
@@ -204,6 +211,19 @@ func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (Stats
 			st.Prefetched += int(s.pending.Wait())
 			s.pending = nil
 		}
+		mp, budgetS, readahead := s.multiProbe, p.S, true
+		if c := s.ctl; c != nil {
+			kn, proceed := c.BeforeRound(rIdx, p.S)
+			if !proceed {
+				break
+			}
+			budgetS, readahead = kn.BudgetS, kn.Readahead
+			// Never raise multi-probe above what the searcher sized its
+			// floor arenas for.
+			if kn.MultiProbe < mp {
+				mp = kn.MultiProbe
+			}
+		}
 		st.Radii++
 		tr := s.trace
 		roundStart := tr.Clock()
@@ -211,7 +231,7 @@ func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (Stats
 		if !ix.opts.ShareProjections {
 			fam.ProjectInto(s.proj, q)
 		}
-		if s.multiProbe > 0 {
+		if mp > 0 {
 			fam.FloorsAt(s.proj, radius, s.floors, s.fracs)
 			for l := 0; l < p.L; l++ {
 				s.hashes[l] = fam.CombineFloors(l, s.floors[l*p.M:(l+1)*p.M])
@@ -225,14 +245,14 @@ func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (Stats
 			stBefore = st
 			s.ioNS = 0
 		}
-		if ix.readaheadActive() && rIdx+1 < p.R() {
+		if readahead && ix.readaheadActive() && rIdx+1 < p.R() {
 			ix.roundHashes(q, rIdx+1, s.proj, s.raProj, s.nextHashes)
 			s.pending = ix.prefetchRound(ctx, rIdx+1, s.nextHashes)
 		}
 		checked := 0
 	tables:
 		for l := 0; l < p.L; l++ {
-			full, err := s.probeBucket(rIdx, l, s.hashes[l], q, topk, &st, &checked)
+			full, err := s.probeBucket(rIdx, l, s.hashes[l], q, topk, &st, &checked, budgetS)
 			if err != nil {
 				topk.Reset(k)
 				return st, err
@@ -240,17 +260,17 @@ func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (Stats
 			if full {
 				break tables
 			}
-			if s.multiProbe == 0 {
+			if mp == 0 {
 				continue
 			}
 			fracs := s.fracs[l*p.M : (l+1)*p.M]
 			base := s.floors[l*p.M : (l+1)*p.M]
-			for _, set := range lsh.PerturbationSets(fracs, s.multiProbe) {
+			for _, set := range lsh.PerturbationSets(fracs, mp) {
 				copy(s.pfloors, base)
 				for _, pert := range set {
 					s.pfloors[pert.Coord] += int64(pert.Delta)
 				}
-				full, err := s.probeBucket(rIdx, l, ix.FamilyFor(rIdx).CombineFloors(l, s.pfloors), q, topk, &st, &checked)
+				full, err := s.probeBucket(rIdx, l, ix.FamilyFor(rIdx).CombineFloors(l, s.pfloors), q, topk, &st, &checked, budgetS)
 				if err != nil {
 					topk.Reset(k)
 					return st, err
@@ -277,12 +297,17 @@ func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (Stats
 			tr.Add(telemetry.StageRound, rIdx, roundStart, end-roundStart,
 				int64(st.Probes-stBefore.Probes), int64(st.NonEmptyProbes-stBefore.NonEmptyProbes))
 		}
-		if topk.Full() {
-			cr := p.C * radius
-			if topk.CountWithin(cr*cr) >= k {
-				break
-			}
+		cr := p.C * radius
+		certified := topk.CountWithin(cr * cr)
+		if topk.Full() && certified >= k {
+			break
 		}
+		if c := s.ctl; c != nil && c.AfterRound(rIdx, topk, certified) {
+			break
+		}
+	}
+	if c := s.ctl; c != nil {
+		c.EndLadder(topk, st.Radii, p.R())
 	}
 	return st, nil
 }
@@ -293,9 +318,8 @@ func (s *Searcher) searchContext(ctx context.Context, q []float32, k int) (Stats
 // per-radius budget was exhausted.
 //
 //lsh:hotpath
-func (s *Searcher) probeBucket(rIdx, l int, h uint32, q []float32, topk *ann.TopK, st *Stats, checked *int) (bool, error) {
+func (s *Searcher) probeBucket(rIdx, l int, h uint32, q []float32, topk *ann.TopK, st *Stats, checked *int, budget int) (bool, error) {
 	ix := s.ix
-	p := ix.params
 	st.Probes++
 	idx, fp := lsh.SplitHash(h, ix.u)
 	if !ix.isOccupied(rIdx, l, idx) {
@@ -336,7 +360,7 @@ func (s *Searcher) probeBucket(rIdx, l int, h uint32, q []float32, topk *ann.Top
 			}
 			st.Checked++
 			*checked++
-			if *checked >= p.S {
+			if *checked >= budget {
 				return true, nil
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"e2lshos/internal/ann"
+	"e2lshos/internal/autotune"
 	"e2lshos/internal/blockcache"
 	"e2lshos/internal/blockstore"
 	"e2lshos/internal/ioengine"
@@ -54,11 +55,17 @@ type ParallelSearcher struct {
 	// queries). Only the owning goroutine touches it; the fetch pool's
 	// goroutines never see it.
 	trace *telemetry.Trace
+	// ctl is the active autotune controller (nil for uncontrolled queries).
+	ctl *autotune.Ctl
 }
 
 // SetTrace installs the span buffer the next query records into (nil
 // disables tracing).
 func (ps *ParallelSearcher) SetTrace(tr *telemetry.Trace) { ps.trace = tr }
+
+// SetController installs the autotune controller the next query consults
+// per radius round (nil disables control).
+func (ps *ParallelSearcher) SetController(c *autotune.Ctl) { ps.ctl = c }
 
 // NewParallelSearcher creates a searcher with the given fan-out (≥1).
 func (ix *Index) NewParallelSearcher(workers int) (*ParallelSearcher, error) {
@@ -180,6 +187,17 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 			st.Prefetched += int(ps.pending.Wait())
 			ps.pending = nil
 		}
+		budgetS, readahead, fanout := p.S, true, ps.workers
+		if c := ps.ctl; c != nil {
+			kn, proceed := c.BeforeRound(rIdx, p.S)
+			if !proceed {
+				break
+			}
+			budgetS, readahead = kn.BudgetS, kn.Readahead
+			if kn.Fanout > 0 && kn.Fanout < fanout {
+				fanout = kn.Fanout
+			}
+		}
 		st.Radii++
 		tr := ps.trace
 		roundStart := tr.Clock()
@@ -193,7 +211,7 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 		if tr.Active() {
 			stBefore = st
 		}
-		if ix.readaheadActive() && rIdx+1 < p.R() {
+		if readahead && ix.readaheadActive() && rIdx+1 < p.R() {
 			ix.roundHashes(q, rIdx+1, ps.proj, ps.raProj, ps.nextHashes)
 			ps.pending = ix.prefetchRound(ctx, rIdx+1, ps.nextHashes)
 		}
@@ -221,7 +239,7 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 				return st, err
 			}
 		} else {
-			ps.fetchAll(rIdx, probes)
+			ps.fetchAll(rIdx, probes, fanout)
 		}
 		for _, pr := range probes {
 			if pr.err != nil {
@@ -250,7 +268,7 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 				}
 				st.Checked++
 				checked++
-				if checked >= p.S {
+				if checked >= budgetS {
 					break probes
 				}
 			}
@@ -265,23 +283,32 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 			tr.Add(telemetry.StageRound, rIdx, roundStart, end-roundStart,
 				int64(st.Probes-stBefore.Probes), int64(st.NonEmptyProbes-stBefore.NonEmptyProbes))
 		}
-		if topk.Full() {
-			cr := p.C * radius
-			if topk.CountWithin(cr*cr) >= k {
-				break
-			}
+		cr := p.C * radius
+		certified := topk.CountWithin(cr * cr)
+		if topk.Full() && certified >= k {
+			break
 		}
+		if c := ps.ctl; c != nil && c.AfterRound(rIdx, topk, certified) {
+			break
+		}
+	}
+	if c := ps.ctl; c != nil {
+		c.EndLadder(topk, st.Radii, p.R())
 	}
 	return st, nil
 }
 
 // fetchAll walks every probe's table entry and bucket chain using the
-// goroutine pool.
-func (ps *ParallelSearcher) fetchAll(rIdx int, probes []*probe) {
+// goroutine pool, fanning out at most `fanout` goroutines (the controller
+// may degrade it below the configured worker count mid-query).
+func (ps *ParallelSearcher) fetchAll(rIdx int, probes []*probe, fanout int) {
 	if len(probes) == 0 {
 		return
 	}
-	workers := ps.workers
+	workers := fanout
+	if workers < 1 {
+		workers = 1
+	}
 	if workers > len(probes) {
 		workers = len(probes)
 	}

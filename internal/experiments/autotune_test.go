@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// TestAutotuneSweepMonotoneIO is the sweep's acceptance property: mean N_IO
+// is monotone in the recall target — loosening the target never costs I/O,
+// every tuned row beats or matches the full-ladder baseline, the headline
+// 0.9 target strictly beats it, and every row's shadow-scored retained
+// recall clears its own target.
+func TestAutotuneSweepMonotoneIO(t *testing.T) {
+	env := testEnv()
+	res, err := AutotuneSweep(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(autotuneTargets)+1 {
+		t.Fatalf("%d rows, want %d targets + baseline", len(res.Rows), len(autotuneTargets))
+	}
+	base := res.Rows[len(res.Rows)-1]
+	if base.RecallTarget != 0 || base.MeanIO <= 0 {
+		t.Fatalf("last row is not a usable baseline: %+v", base)
+	}
+	for i, row := range res.Rows[:len(res.Rows)-1] {
+		if row.RecallTarget != autotuneTargets[i] {
+			t.Fatalf("row %d target %g, want %g", i, row.RecallTarget, autotuneTargets[i])
+		}
+		if row.MeanIO > base.MeanIO {
+			t.Errorf("target %g mean N_IO %.1f above the full-ladder baseline %.1f",
+				row.RecallTarget, row.MeanIO, base.MeanIO)
+		}
+		if i > 0 && row.MeanIO < res.Rows[i-1].MeanIO {
+			t.Errorf("mean N_IO fell from %.1f to %.1f as the target tightened %g -> %g",
+				res.Rows[i-1].MeanIO, row.MeanIO, res.Rows[i-1].RecallTarget, row.RecallTarget)
+		}
+		if row.Retained < row.RecallTarget {
+			t.Errorf("target %g retained only %.3f of the full ladder's answers",
+				row.RecallTarget, row.Retained)
+		}
+	}
+	headline := res.Rows[1] // the 0.9 target, the served default
+	if headline.Stopped == 0 || headline.RoundsSkipped == 0 {
+		t.Errorf("0.9 target never stopped a ladder early: %+v", headline)
+	}
+	if headline.MeanIO >= base.MeanIO {
+		t.Errorf("0.9 target mean N_IO %.1f did not beat the baseline %.1f",
+			headline.MeanIO, base.MeanIO)
+	}
+}

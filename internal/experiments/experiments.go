@@ -201,6 +201,7 @@ var Registry = map[string]Runner{
 	"cachesweep": func(env *Env) (Renderable, error) { return CacheSweep(env) },
 	"qdsweep":    func(env *Env) (Renderable, error) { return QDSweep(env) },
 	"ablation":   func(env *Env) (Renderable, error) { return Ablation(env) },
+	"autotune":   func(env *Env) (Renderable, error) { return AutotuneSweep(env) },
 }
 
 // IDs returns the experiment ids in stable order.

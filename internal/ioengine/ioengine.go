@@ -106,7 +106,7 @@ type flight struct {
 type Engine struct {
 	src   Source
 	cache *blockcache.Cache
-	sem   chan struct{}
+	sem   *semaphore
 
 	mu       sync.Mutex
 	inflight map[blockstore.Addr]*flight //lsh:guardedby mu
@@ -142,13 +142,24 @@ func New(src Source, opts Options) (*Engine, error) {
 	return &Engine{
 		src:      src,
 		cache:    opts.Cache,
-		sem:      make(chan struct{}, opts.Depth),
+		sem:      newSemaphore(opts.Depth),
 		inflight: make(map[blockstore.Addr]*flight),
 	}, nil
 }
 
-// Depth returns the configured queue depth.
-func (e *Engine) Depth() int { return cap(e.sem) }
+// Depth returns the current queue depth.
+func (e *Engine) Depth() int { return e.sem.limit() }
+
+// SetDepth adjusts the queue depth on the live engine, reporting whether n
+// was accepted (n < 1 is refused). Physical operations already in flight
+// finish at the old depth; new submissions honor the new one.
+func (e *Engine) SetDepth(n int) bool {
+	if n < 1 {
+		return false
+	}
+	e.sem.setLimit(n)
+	return true
+}
 
 // Cache returns the attached cache (nil when uncached).
 func (e *Engine) Cache() *blockcache.Cache { return e.cache }
@@ -212,9 +223,9 @@ func (e *Engine) Read(ctx context.Context, a blockstore.Addr, buf []byte, st *Ba
 	if lat != nil {
 		t0 = time.Now()
 	}
-	e.sem <- struct{}{}
+	e.sem.acquire()
 	err := e.src.ReadBlock(a, buf)
-	<-e.sem
+	e.sem.release()
 	if lat != nil {
 		lat.Observe(time.Since(t0))
 	}
@@ -517,9 +528,9 @@ func (e *Engine) submitRun(addrs []blockstore.Addr, bufs [][]byte, lead []int, r
 	if lat != nil {
 		t0 = time.Now()
 	}
-	e.sem <- struct{}{}
+	e.sem.acquire()
 	_, err := e.src.ReadBlocks(runAddrs, runBufs)
-	<-e.sem
+	e.sem.release()
 	if lat != nil {
 		lat.Observe(time.Since(t0))
 	}

@@ -1,0 +1,54 @@
+package ioengine
+
+import "sync"
+
+// semaphore is a counting semaphore whose limit can change while held: the
+// server-level autotuner lowers and raises the device queue depth on a live
+// engine against observed tail latency, which a buffered channel (capacity
+// fixed at make) cannot express. Lowering the limit never interrupts
+// operations already in flight; it only stops new acquires until the count
+// drains below the new limit.
+type semaphore struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	lim  int //lsh:guardedby mu
+	held int //lsh:guardedby mu
+}
+
+func newSemaphore(limit int) *semaphore {
+	s := &semaphore{lim: limit}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *semaphore) acquire() {
+	s.mu.Lock()
+	for s.held >= s.lim {
+		s.cond.Wait()
+	}
+	s.held++
+	s.mu.Unlock()
+}
+
+func (s *semaphore) release() {
+	s.mu.Lock()
+	s.held--
+	s.mu.Unlock()
+	// Waking one waiter per release is enough: each release frees exactly
+	// one slot, except after setLimit raises lim, which broadcasts itself.
+	s.cond.Signal()
+}
+
+// setLimit adjusts the limit, waking all waiters so they re-check it.
+func (s *semaphore) setLimit(n int) {
+	s.mu.Lock()
+	s.lim = n
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *semaphore) limit() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lim
+}

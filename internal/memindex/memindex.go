@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"e2lshos/internal/ann"
+	"e2lshos/internal/autotune"
 	"e2lshos/internal/lsh"
 	"e2lshos/internal/telemetry"
 	"e2lshos/internal/vecmath"
@@ -303,11 +304,17 @@ type Searcher struct {
 	// trace is the active sampled-query span buffer (nil for unsampled
 	// queries; all its methods are nil-safe no-ops then).
 	trace *telemetry.Trace
+	// ctl is the active autotune controller (nil for uncontrolled queries).
+	ctl *autotune.Ctl
 }
 
 // SetTrace installs the span buffer the next query records into (nil
 // disables tracing).
 func (s *Searcher) SetTrace(tr *telemetry.Trace) { s.trace = tr }
+
+// SetController installs the autotune controller the next query consults
+// per radius round (nil disables control).
+func (s *Searcher) SetController(c *autotune.Ctl) { s.ctl = c }
 
 // NewSearcher returns a fresh searcher over the index.
 func (ix *Index) NewSearcher() *Searcher {
@@ -392,6 +399,19 @@ func (s *Searcher) search(ctx context.Context, q []float32, k int) (QueryStats, 
 		if err := ctx.Err(); err != nil {
 			return st, err
 		}
+		mp, budgetS := s.multiProbe, p.S
+		if c := s.ctl; c != nil {
+			kn, proceed := c.BeforeRound(rIdx, p.S)
+			if !proceed {
+				break
+			}
+			budgetS = kn.BudgetS
+			// Never raise multi-probe above what the searcher sized its
+			// floor arenas for.
+			if kn.MultiProbe < mp {
+				mp = kn.MultiProbe
+			}
+		}
 		st.Radii++
 		tr := s.trace
 		roundStart := tr.Clock()
@@ -399,7 +419,7 @@ func (s *Searcher) search(ctx context.Context, q []float32, k int) (QueryStats, 
 		if !s.ix.opts.ShareProjections {
 			fam.ProjectInto(s.proj, q)
 		}
-		if s.multiProbe > 0 {
+		if mp > 0 {
 			// Derive base hashes from explicit floors so perturbed probes
 			// stay coherent with the base probe.
 			fam.FloorsAt(s.proj, radius, s.floors, s.fracs)
@@ -417,21 +437,21 @@ func (s *Searcher) search(ctx context.Context, q []float32, k int) (QueryStats, 
 		checked := 0 // per-radius candidate budget (the paper's S)
 	tables:
 		for l := 0; l < p.L; l++ {
-			if s.scanBucket(rIdx, l, s.hashes[l], q, topk, &st, &checked) {
+			if s.scanBucket(rIdx, l, s.hashes[l], q, topk, &st, &checked, budgetS) {
 				break tables
 			}
-			if s.multiProbe == 0 {
+			if mp == 0 {
 				continue
 			}
 			fracs := s.fracs[l*p.M : (l+1)*p.M]
 			base := s.floors[l*p.M : (l+1)*p.M]
-			for _, set := range lsh.PerturbationSets(fracs, s.multiProbe) {
+			for _, set := range lsh.PerturbationSets(fracs, mp) {
 				copy(s.pfloors, base)
 				for _, pert := range set {
 					s.pfloors[pert.Coord] += int64(pert.Delta)
 				}
 				h := fam.CombineFloors(l, s.pfloors)
-				if s.scanBucket(rIdx, l, h, q, topk, &st, &checked) {
+				if s.scanBucket(rIdx, l, h, q, topk, &st, &checked, budgetS) {
 					break tables
 				}
 			}
@@ -445,12 +465,17 @@ func (s *Searcher) search(ctx context.Context, q []float32, k int) (QueryStats, 
 			tr.Add(telemetry.StageRound, rIdx, roundStart, end-roundStart,
 				int64(st.Probes-stBefore.Probes), int64(st.NonEmptyProbes-stBefore.NonEmptyProbes))
 		}
-		if topk.Full() {
-			cr := p.C * radius
-			if topk.CountWithin(cr*cr) >= k {
-				break
-			}
+		cr := p.C * radius
+		certified := topk.CountWithin(cr * cr)
+		if topk.Full() && certified >= k {
+			break
 		}
+		if c := s.ctl; c != nil && c.AfterRound(rIdx, topk, certified) {
+			break
+		}
+	}
+	if c := s.ctl; c != nil {
+		c.EndLadder(topk, st.Radii, len(p.Radii))
 	}
 	return st, nil
 }
@@ -462,8 +487,7 @@ func (s *Searcher) search(ctx context.Context, q []float32, k int) (QueryStats, 
 // the top-k (see vecmath.SqDistBounded).
 //
 //lsh:hotpath
-func (s *Searcher) scanBucket(rIdx, l int, h uint32, q []float32, topk *ann.TopK, st *QueryStats, checked *int) bool {
-	p := s.ix.params
+func (s *Searcher) scanBucket(rIdx, l int, h uint32, q []float32, topk *ann.TopK, st *QueryStats, checked *int, budget int) bool {
 	st.Probes++
 	ids := s.ix.tables[rIdx][l].bucket(h)
 	if len(ids) == 0 {
@@ -485,7 +509,7 @@ func (s *Searcher) scanBucket(rIdx, l int, h uint32, q []float32, topk *ann.TopK
 		}
 		st.Checked++
 		*checked++
-		if *checked >= p.S {
+		if *checked >= budget {
 			if s.onVisit != nil {
 				s.onVisit(len(ids), read)
 			}

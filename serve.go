@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"e2lshos/internal/autotune"
 	"e2lshos/internal/coalesce"
 	"e2lshos/internal/telemetry"
 )
@@ -24,16 +25,29 @@ type ServerConfig struct {
 	// Requests may ask for fewer neighbors; they get a prefix.
 	K int
 	// MaxBatch, MaxDelay and MaxQueue are the query coalescer knobs; see
-	// the coalesce package. Shed load surfaces as 503.
+	// the coalesce package. Shed load surfaces as 429 with Retry-After.
 	MaxBatch int
 	MaxDelay time.Duration
 	MaxQueue int
 	// Opts are applied to every coalesced BatchSearch (WithK(K) is implied).
 	Opts []SearchOption
+	// Tuning is the server-default SLO contract; /v1/search requests can
+	// override any part of it per request. Needs EnableAutotune on the
+	// engine to have effect.
+	Tuning SearchTuning
+	// TargetP99, when positive, starts the server-level control loop: every
+	// TunerInterval it reads the interval p99 from the request-latency
+	// histogram and steers the coalescer batch size (and, when the engine
+	// exposes one, the I/O queue depth) against the target.
+	TargetP99 time.Duration
+	// TunerInterval is the control-loop tick (default 1s).
+	TunerInterval time.Duration
 	// Exact optionally holds ground-truth results for a held-out query set.
 	// A request carrying "qid": i is scored against Exact[i] with the
 	// facade's Recall / OverallRatio metrics and /stats reports the running
-	// means — shadow scoring for serving experiments.
+	// means — shadow scoring for serving experiments. Scored recalls also
+	// feed the autotuner's guardrail margin when the request carried a
+	// recall target.
 	Exact []Result
 	// Pprof mounts net/http/pprof's profiling handlers under /debug/pprof/.
 	// Off by default: profiling endpoints on a query port are a foot-gun
@@ -41,27 +55,56 @@ type ServerConfig struct {
 	Pprof bool
 }
 
-// Server is the serving front-end: an Engine behind a query coalescer with
-// JSON endpoints /search, /stats and /healthz. Concurrent single-query
-// requests are grouped into one BatchSearch per tick, so request-at-a-time
-// traffic exercises the batch pool's per-goroutine searcher reuse.
+// tuningKey is the per-request knob set a coalesced batch must agree on:
+// queries with different knobs cannot share one BatchSearch call, so the
+// keyed coalescer cuts key-pure batches.
+type tuningKey struct {
+	fanout        int
+	multiProbe    int
+	budget        int
+	recallTarget  float64
+	latencyBudget time.Duration
+	degrade       DegradePolicy
+}
+
+// searchOutcome is one query's slot of a coalesced batch: its result plus
+// its individual Stats (the per-query WithStatsInto row), so the v1 envelope
+// can report what the controller did to exactly this query.
+type searchOutcome struct {
+	res Result
+	st  Stats
+}
+
+// Server is the serving front-end: an Engine behind a keyed query coalescer
+// with JSON endpoints /v1/search (per-request tuning), /search (legacy
+// shim), /stats and /healthz. Concurrent single-query requests with
+// compatible tuning are grouped into one BatchSearch per tick, so
+// request-at-a-time traffic exercises the batch pool's per-goroutine
+// searcher reuse.
 type Server struct {
-	eng     Engine
-	cfg     ServerConfig
-	batcher *coalesce.Batcher[Result]
-	start   time.Time
+	eng      Engine
+	cfg      ServerConfig
+	batcher  *coalesce.Keyed[tuningKey, searchOutcome]
+	baseOpts []SearchOption
+	baseKey  tuningKey
+	start    time.Time
 
 	// lat and wait are always on (one atomic add per request): end-to-end
 	// HTTP request latency and per-query coalescer queue wait. They back
-	// /metrics' p50/p99/p999 regardless of engine-side telemetry.
+	// /metrics' p50/p99/p999 regardless of engine-side telemetry, and lat
+	// additionally feeds the server-level tuner.
 	lat  *telemetry.Histogram
 	wait *telemetry.Histogram
+
+	tunerStop chan struct{}
+	tunerWG   sync.WaitGroup
 
 	mu        sync.Mutex
 	agg       Stats   //lsh:guardedby mu
 	served    uint64  //lsh:guardedby mu
 	failed    uint64  //lsh:guardedby mu
 	canceled  uint64  //lsh:guardedby mu
+	degraded  uint64  //lsh:guardedby mu — served, but the controller degraded them
 	scored    int     //lsh:guardedby mu
 	recallSum float64 //lsh:guardedby mu
 	ratioSum  float64 //lsh:guardedby mu
@@ -83,22 +126,116 @@ func NewServer(eng Engine, cfg ServerConfig) (*Server, error) {
 		lat:  new(telemetry.Histogram),
 		wait: new(telemetry.Histogram),
 	}
-	opts := append([]SearchOption{WithK(cfg.K)}, cfg.Opts...)
-	s.batcher = coalesce.New(func(ctx context.Context, queries [][]float32) ([]Result, error) {
-		results, st, err := eng.BatchSearch(ctx, queries, opts...)
-		s.mu.Lock()
-		s.agg.Merge(st)
-		s.mu.Unlock()
-		return results, err
-	}, coalesce.Config{
+	s.baseOpts = append([]SearchOption{WithK(cfg.K)}, cfg.Opts...)
+	if cfg.Tuning.Active() {
+		s.baseOpts = append(s.baseOpts, WithTuning(cfg.Tuning))
+	}
+	// Resolving the base options both validates cfg.Opts at construction
+	// (not first request) and pins the base key every request's overrides
+	// start from.
+	set, err := resolveSettings(s.baseOpts)
+	if err != nil {
+		return nil, err
+	}
+	s.baseKey = tuningKey{
+		fanout:        set.fanout,
+		multiProbe:    set.multiProbe,
+		budget:        set.budget,
+		recallTarget:  set.tuning.RecallTarget,
+		latencyBudget: set.tuning.LatencyBudget,
+		degrade:       set.tuning.Degrade,
+	}
+	s.batcher = coalesce.NewKeyed(s.runBatch, coalesce.Config{
 		MaxBatch: cfg.MaxBatch, MaxDelay: cfg.MaxDelay, MaxQueue: cfg.MaxQueue,
 		ObserveWait: s.wait.Observe,
 	})
+	if cfg.TargetP99 > 0 {
+		s.startTuner()
+	}
 	return s, nil
 }
 
-// Close flushes and stops the coalescer; pending requests complete first.
-func (s *Server) Close() { s.batcher.Close() }
+// runBatch executes one key-pure coalesced batch against the engine.
+func (s *Server) runBatch(ctx context.Context, key tuningKey, queries [][]float32) ([]searchOutcome, error) {
+	per := make([]Stats, len(queries))
+	opts := s.baseOpts[:len(s.baseOpts):len(s.baseOpts)]
+	opts = append(opts,
+		WithFanout(key.fanout),
+		WithMultiProbe(key.multiProbe),
+		WithBudget(key.budget),
+		WithTuning(SearchTuning{
+			RecallTarget:  key.recallTarget,
+			LatencyBudget: key.latencyBudget,
+			Degrade:       key.degrade,
+		}),
+		WithStatsInto(per),
+	)
+	results, st, err := s.eng.BatchSearch(ctx, queries, opts...)
+	s.mu.Lock()
+	s.agg.Merge(st)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]searchOutcome, len(results))
+	for i := range results {
+		out[i] = searchOutcome{res: results[i], st: per[i]}
+	}
+	return out, nil
+}
+
+// startTuner launches the server-level AIMD loop against TargetP99.
+func (s *Server) startTuner() {
+	depth := 0
+	if d, ok := s.eng.(interface{ IODepth() int }); ok {
+		depth = d.IODepth()
+	}
+	tuner := autotune.NewServerTuner(autotune.ServerTunerConfig{
+		TargetP99: s.cfg.TargetP99,
+		Batch:     s.batcher.MaxBatch(),
+		Depth:     depth,
+	})
+	interval := s.cfg.TunerInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.tunerStop = make(chan struct{})
+	s.tunerWG.Add(1)
+	go func() {
+		defer s.tunerWG.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		setDepth, _ := s.eng.(interface{ SetIODepth(int) bool })
+		for {
+			select {
+			case <-s.tunerStop:
+				return
+			case <-tick.C:
+			}
+			var snap telemetry.HistSnapshot
+			s.lat.Snapshot(&snap)
+			act := tuner.Observe(&snap)
+			if act.Samples == 0 {
+				continue
+			}
+			s.batcher.SetMaxBatch(act.Batch)
+			if act.Depth > 0 && setDepth != nil {
+				setDepth.SetIODepth(act.Depth)
+			}
+		}
+	}()
+}
+
+// Close stops the control loop, then flushes and stops the coalescer;
+// pending requests complete first.
+func (s *Server) Close() {
+	if s.tunerStop != nil {
+		close(s.tunerStop)
+		s.tunerWG.Wait()
+		s.tunerStop = nil
+	}
+	s.batcher.Close()
+}
 
 // Stats returns the cumulative Stats of everything served so far.
 func (s *Server) Stats() Stats {
@@ -107,7 +244,7 @@ func (s *Server) Stats() Stats {
 	return s.agg
 }
 
-// searchRequest is the /search body.
+// searchRequest is the legacy /search body.
 type searchRequest struct {
 	Query []float32 `json:"query"`
 	// K asks for the first K neighbors of the server's top-K (optional).
@@ -116,16 +253,71 @@ type searchRequest struct {
 	QID *int `json:"qid,omitempty"`
 }
 
-// searchNeighbor is one neighbor in a /search response.
+// searchRequestV1 is the /v1/search body: the legacy fields plus per-request
+// execution knobs and an SLO contract. Every knob is optional; omitted knobs
+// inherit the server's configuration.
+type searchRequestV1 struct {
+	Query []float32 `json:"query"`
+	K     int       `json:"k,omitempty"`
+	QID   *int      `json:"qid,omitempty"`
+	// Fanout overrides the concurrent read fan-out (StorageIndex).
+	Fanout int `json:"fanout,omitempty"`
+	// MultiProbe overrides the perturbation count; an explicit 0 disables
+	// multi-probe even when the server default enables it.
+	MultiProbe *int `json:"multiprobe,omitempty"`
+	// Budget overrides the per-radius verified-candidate cap.
+	Budget int `json:"budget,omitempty"`
+	// RecallTarget in (0,1) stops the radius ladder early once the engine
+	// estimates the target recall is met. Requires EnableAutotune.
+	RecallTarget float64 `json:"recall_target,omitempty"`
+	// LatencyBudgetMS bounds the query's wall time in milliseconds; the
+	// controller degrades knobs (or stops, per Degrade) to stay inside it.
+	LatencyBudgetMS float64 `json:"latency_budget_ms,omitempty"`
+	// Degrade selects the out-of-budget behavior: "knobs" or "stop".
+	Degrade string `json:"degrade,omitempty"`
+}
+
+// searchNeighbor is one neighbor in a search response.
 type searchNeighbor struct {
 	ID   uint32  `json:"id"`
 	Dist float64 `json:"dist"`
 }
 
-// searchResponse is the /search reply.
+// searchResponse is the legacy /search reply.
 type searchResponse struct {
 	Neighbors []searchNeighbor `json:"neighbors"`
 	K         int              `json:"k"`
+}
+
+// searchStatsV1 is the per-query work summary in a /v1/search envelope.
+type searchStatsV1 struct {
+	Radii         int `json:"radii"`
+	Probes        int `json:"probes"`
+	Checked       int `json:"checked"`
+	NIO           int `json:"n_io"`
+	CacheHits     int `json:"cache_hits"`
+	CacheMisses   int `json:"cache_misses"`
+	PhysicalReads int `json:"physical_reads"`
+}
+
+// controllerV1 reports what the autotune controller did to this query (all
+// zero without EnableAutotune or an SLO contract).
+type controllerV1 struct {
+	// RoundsSkipped is how many ladder rounds the controller cut relative
+	// to the full schedule.
+	RoundsSkipped int `json:"rounds_skipped"`
+	// BudgetExhausted reports a latency-budget stop.
+	BudgetExhausted bool `json:"budget_exhausted"`
+	// DegradedKnobs counts mid-query knob-degradation steps.
+	DegradedKnobs int `json:"degraded_knobs"`
+}
+
+// searchResponseV1 is the /v1/search envelope.
+type searchResponseV1 struct {
+	Neighbors  []searchNeighbor `json:"neighbors"`
+	K          int              `json:"k"`
+	Stats      searchStatsV1    `json:"stats"`
+	Controller controllerV1     `json:"controller"`
 }
 
 // statsResponse is the /stats reply: the cumulative Stats counters (the
@@ -156,27 +348,34 @@ type statsResponse struct {
 	DedupedReads   int `json:"deduped_reads"`
 	PhysicalReads  int `json:"physical_reads"`
 	// In-memory reference and SRS-only counters (zero on other engines).
-	IOsAtInf      int     `json:"ios_at_inf"`
-	NodesVisited  int     `json:"nodes_visited"`
-	EarlyStopped  int     `json:"early_stopped"`
-	MeanIOs       float64 `json:"mean_ios"`
-	MeanRadii     float64 `json:"mean_radii"`
-	MeanChecked   float64 `json:"mean_checked"`
-	Served        uint64  `json:"served"`
-	Failed        uint64  `json:"failed"`
-	Canceled      uint64  `json:"canceled"`
-	Shed          uint64  `json:"shed"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Scored        int     `json:"scored,omitempty"`
-	MeanRecall    float64 `json:"mean_recall,omitempty"`
-	MeanRatio     float64 `json:"mean_ratio,omitempty"`
+	IOsAtInf     int `json:"ios_at_inf"`
+	NodesVisited int `json:"nodes_visited"`
+	EarlyStopped int `json:"early_stopped"`
+	// Autotune controller counters (zero without EnableAutotune).
+	RoundsSkipped   int     `json:"rounds_skipped"`
+	BudgetExhausted int     `json:"budget_exhausted"`
+	DegradedKnobs   int     `json:"degraded_knobs"`
+	MeanIOs         float64 `json:"mean_ios"`
+	MeanRadii       float64 `json:"mean_radii"`
+	MeanChecked     float64 `json:"mean_checked"`
+	Served          uint64  `json:"served"`
+	Failed          uint64  `json:"failed"`
+	Canceled        uint64  `json:"canceled"`
+	Shed            uint64  `json:"shed"`
+	Degraded        uint64  `json:"degraded"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Scored          int     `json:"scored,omitempty"`
+	MeanRecall      float64 `json:"mean_recall,omitempty"`
+	MeanRatio       float64 `json:"mean_ratio,omitempty"`
 }
 
-// Handler returns the HTTP API: POST /search, GET /stats, GET /healthz,
-// GET /metrics (Prometheus text exposition), and — when ServerConfig.Pprof
-// is set — net/http/pprof under /debug/pprof/.
+// Handler returns the HTTP API: POST /v1/search (per-request tuning), POST
+// /search (legacy shim), GET /stats, GET /healthz, GET /metrics (Prometheus
+// text exposition), and — when ServerConfig.Pprof is set — net/http/pprof
+// under /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/search", s.handleSearchV1)
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -193,6 +392,70 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// checkCommon validates the fields shared by both request versions,
+// reporting whether the request may proceed.
+func (s *Server) checkCommon(w http.ResponseWriter, query []float32, k int) bool {
+	if len(query) != s.cfg.Dim {
+		http.Error(w, fmt.Sprintf("query has %d dimensions, index has %d", len(query), s.cfg.Dim), http.StatusBadRequest)
+		return false
+	}
+	if k < 0 || k > s.cfg.K {
+		http.Error(w, fmt.Sprintf("k must be omitted (server default %d) or in [1,%d]", s.cfg.K, s.cfg.K), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// doSearch runs one admitted query through the keyed coalescer, mapping
+// errors to status codes; ok reports whether a response is still owed.
+func (s *Server) doSearch(w http.ResponseWriter, r *http.Request, key tuningKey, query []float32) (searchOutcome, bool) {
+	t0 := time.Now()
+	out, err := s.batcher.Do(r.Context(), key, query)
+	s.lat.Observe(time.Since(t0))
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The client gave up, not the engine: count separately and use
+			// nginx's 499 so /stats and logs keep disconnects apart from
+			// real failures.
+			s.mu.Lock()
+			s.canceled++
+			s.mu.Unlock()
+			http.Error(w, err.Error(), 499)
+		case errors.Is(err, coalesce.ErrOverloaded):
+			// Shed load is backpressure, not failure: 429 tells well-behaved
+			// clients to retry after the queue drains (sheds are counted by
+			// the coalescer, separately from controller degrades).
+			s.mu.Lock()
+			s.failed++
+			s.mu.Unlock()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		case errors.Is(err, coalesce.ErrClosed):
+			s.mu.Lock()
+			s.failed++
+			s.mu.Unlock()
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default:
+			s.mu.Lock()
+			s.failed++
+			s.mu.Unlock()
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return searchOutcome{}, false
+	}
+	s.mu.Lock()
+	s.served++
+	if out.st.DegradedKnobs > 0 || out.st.BudgetExhausted > 0 {
+		s.degraded++
+	}
+	s.mu.Unlock()
+	return out, true
+}
+
+// handleSearch is the legacy /search endpoint: a thin shim over the v1 path
+// that runs the query at the server's base tuning and answers in the
+// original response shape.
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -203,62 +466,124 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
 		return
 	}
-	if len(req.Query) != s.cfg.Dim {
-		http.Error(w, fmt.Sprintf("query has %d dimensions, index has %d", len(req.Query), s.cfg.Dim), http.StatusBadRequest)
+	if !s.checkCommon(w, req.Query, req.K) {
 		return
 	}
-	if req.K < 0 || req.K > s.cfg.K {
-		http.Error(w, fmt.Sprintf("k must be omitted (server default %d) or in [1,%d]", s.cfg.K, s.cfg.K), http.StatusBadRequest)
+	out, ok := s.doSearch(w, r, s.baseKey, req.Query)
+	if !ok {
 		return
 	}
-	t0 := time.Now()
-	res, err := s.batcher.Do(r.Context(), req.Query)
-	s.lat.Observe(time.Since(t0))
-	if err != nil {
-		var status int
-		switch {
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			// The client gave up, not the engine: count separately and use
-			// nginx's 499 so /stats and logs keep disconnects apart from
-			// real failures.
-			s.mu.Lock()
-			s.canceled++
-			s.mu.Unlock()
-			status = 499
-		case errors.Is(err, coalesce.ErrOverloaded), errors.Is(err, coalesce.ErrClosed):
-			s.mu.Lock()
-			s.failed++
-			s.mu.Unlock()
-			status = http.StatusServiceUnavailable
-		default:
-			s.mu.Lock()
-			s.failed++
-			s.mu.Unlock()
-			status = http.StatusInternalServerError
-		}
-		http.Error(w, err.Error(), status)
-		return
-	}
-	s.score(req.QID, res)
+	s.score(req.QID, out.res, s.baseKey.recallTarget)
 	k := req.K
 	if k == 0 {
 		k = s.cfg.K
 	}
-	resp := searchResponse{K: k, Neighbors: make([]searchNeighbor, 0, k)}
+	writeJSON(w, http.StatusOK, searchResponse{K: k, Neighbors: neighborsPrefix(out.res, k)})
+}
+
+// handleSearchV1 is the versioned search endpoint: per-request execution
+// knobs and SLO contract, and a structured envelope with per-query stats and
+// controller actions.
+func (s *Server) handleSearchV1(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req searchRequestV1
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if !s.checkCommon(w, req.Query, req.K) {
+		return
+	}
+	key := s.baseKey
+	switch {
+	case req.Fanout < 0:
+		http.Error(w, fmt.Sprintf("negative fanout %d", req.Fanout), http.StatusBadRequest)
+		return
+	case req.MultiProbe != nil && *req.MultiProbe < 0:
+		http.Error(w, fmt.Sprintf("negative multiprobe %d", *req.MultiProbe), http.StatusBadRequest)
+		return
+	case req.Budget < 0:
+		http.Error(w, fmt.Sprintf("negative budget %d", req.Budget), http.StatusBadRequest)
+		return
+	case req.RecallTarget < 0 || req.RecallTarget >= 1:
+		http.Error(w, fmt.Sprintf("recall_target must be in [0, 1), got %g", req.RecallTarget), http.StatusBadRequest)
+		return
+	case req.LatencyBudgetMS < 0:
+		http.Error(w, fmt.Sprintf("negative latency_budget_ms %g", req.LatencyBudgetMS), http.StatusBadRequest)
+		return
+	}
+	if req.Fanout > 0 {
+		key.fanout = req.Fanout
+	}
+	if req.MultiProbe != nil {
+		key.multiProbe = *req.MultiProbe
+	}
+	if req.Budget > 0 {
+		key.budget = req.Budget
+	}
+	if req.RecallTarget > 0 {
+		key.recallTarget = req.RecallTarget
+	}
+	if req.LatencyBudgetMS > 0 {
+		key.latencyBudget = time.Duration(req.LatencyBudgetMS * float64(time.Millisecond))
+	}
+	if req.Degrade != "" {
+		p, err := ParseDegradePolicy(req.Degrade)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		key.degrade = p
+	}
+	out, ok := s.doSearch(w, r, key, req.Query)
+	if !ok {
+		return
+	}
+	s.score(req.QID, out.res, key.recallTarget)
+	k := req.K
+	if k == 0 {
+		k = s.cfg.K
+	}
+	st := out.st
+	writeJSON(w, http.StatusOK, searchResponseV1{
+		K:         k,
+		Neighbors: neighborsPrefix(out.res, k),
+		Stats: searchStatsV1{
+			Radii:         st.Radii,
+			Probes:        st.Probes,
+			Checked:       st.Checked,
+			NIO:           st.IOs(),
+			CacheHits:     st.CacheHits,
+			CacheMisses:   st.CacheMisses,
+			PhysicalReads: st.PhysicalReads,
+		},
+		Controller: controllerV1{
+			RoundsSkipped:   st.RoundsSkipped,
+			BudgetExhausted: st.BudgetExhausted > 0,
+			DegradedKnobs:   st.DegradedKnobs,
+		},
+	})
+}
+
+// neighborsPrefix converts the first k neighbors to the wire shape.
+func neighborsPrefix(res Result, k int) []searchNeighbor {
+	out := make([]searchNeighbor, 0, k)
 	for i, nb := range res.Neighbors {
 		if i >= k {
 			break
 		}
-		resp.Neighbors = append(resp.Neighbors, searchNeighbor{ID: nb.ID, Dist: nb.Dist})
+		out = append(out, searchNeighbor{ID: nb.ID, Dist: nb.Dist})
 	}
-	s.mu.Lock()
-	s.served++
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
+	return out
 }
 
-// score folds one shadow-scored answer into the running accuracy means.
-func (s *Server) score(qid *int, res Result) {
+// score folds one shadow-scored answer into the running accuracy means and,
+// when the query carried a recall target, feeds the served recall into the
+// autotuner's guardrail margin.
+func (s *Server) score(qid *int, res Result, target float64) {
 	if qid == nil || *qid < 0 || *qid >= len(s.cfg.Exact) {
 		return
 	}
@@ -273,6 +598,11 @@ func (s *Server) score(qid *int, res Result) {
 	s.recallSum += recall
 	s.ratioSum += ratio
 	s.mu.Unlock()
+	if target > 0 {
+		if a, ok := s.eng.(autotuned); ok {
+			a.observeServedRecall(target, recall)
+		}
+	}
 }
 
 //lsh:foldall Stats
@@ -300,12 +630,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		IOsAtInf:         st.IOsAtInf,
 		NodesVisited:     st.NodesVisited,
 		EarlyStopped:     st.EarlyStopped,
+		RoundsSkipped:    st.RoundsSkipped,
+		BudgetExhausted:  st.BudgetExhausted,
+		DegradedKnobs:    st.DegradedKnobs,
 		MeanIOs:          st.MeanIOs(),
 		MeanRadii:        st.MeanRadii(),
 		MeanChecked:      st.MeanChecked(),
 		Served:           s.served,
 		Failed:           s.failed,
 		Canceled:         s.canceled,
+		Degraded:         s.degraded,
 		Shed:             s.batcher.Shed(),
 		UptimeSeconds:    time.Since(s.start).Seconds(),
 		Scored:           s.scored,
@@ -321,9 +655,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves GET /metrics in Prometheus text exposition format:
 // every Stats counter (as lsh_stats_<name>_total, names matching the /stats
 // JSON keys), the serving counters, the always-on request-latency and
-// coalescer-wait summaries, and — when the engine has telemetry enabled —
-// its per-stage latency summaries, octave histograms and trace counters
-// under the lsh_ prefix.
+// coalescer-wait summaries, the live tuner knob settings, and — when the
+// engine has telemetry or autotuning enabled — its per-stage latency
+// summaries and model state under the lsh_ prefix.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
@@ -331,7 +665,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	st := s.agg
-	served, failed, canceled := s.served, s.failed, s.canceled
+	served, failed, canceled, degraded := s.served, s.failed, s.canceled, s.degraded
 	s.mu.Unlock()
 
 	w.Header().Set("Content-Type", telemetry.PromContentType)
@@ -340,7 +674,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	telemetry.WriteCounter(w, "lsh_failed_total", float64(failed))
 	telemetry.WriteCounter(w, "lsh_canceled_total", float64(canceled))
 	telemetry.WriteCounter(w, "lsh_shed_total", float64(s.batcher.Shed()))
+	telemetry.WriteCounter(w, "lsh_degraded_total", float64(degraded))
 	telemetry.WriteGauge(w, "lsh_uptime_seconds", time.Since(s.start).Seconds())
+	telemetry.WriteGauge(w, "lsh_coalesce_max_batch", float64(s.batcher.MaxBatch()))
+	if d, ok := s.eng.(interface{ IODepth() int }); ok {
+		telemetry.WriteGauge(w, "lsh_io_depth", float64(d.IODepth()))
+	}
 
 	var lat, wait telemetry.HistSnapshot
 	s.lat.Snapshot(&lat)
@@ -348,6 +687,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.wait.Snapshot(&wait)
 	telemetry.WriteHistProm(w, "lsh_coalesce_wait_seconds", &wait)
 
+	if a, ok := s.eng.(autotuned); ok {
+		if sp := a.autotuneSnapshot(); sp != nil {
+			telemetry.WriteCounter(w, "lsh_autotune_trained_total", float64(sp.Ladders))
+			telemetry.WriteGauge(w, "lsh_autotune_guard_margin", sp.GuardMargin)
+		}
+	}
 	if t, ok := s.eng.(telemetered); ok {
 		t.telemetrySnapshot().WriteProm(w, "lsh")
 	}
@@ -379,6 +724,9 @@ func writeStatsProm(w io.Writer, st Stats) {
 	telemetry.WriteCounter(w, "lsh_stats_ios_at_inf_total", float64(st.IOsAtInf))
 	telemetry.WriteCounter(w, "lsh_stats_nodes_visited_total", float64(st.NodesVisited))
 	telemetry.WriteCounter(w, "lsh_stats_early_stopped_total", float64(st.EarlyStopped))
+	telemetry.WriteCounter(w, "lsh_stats_rounds_skipped_total", float64(st.RoundsSkipped))
+	telemetry.WriteCounter(w, "lsh_stats_budget_exhausted_total", float64(st.BudgetExhausted))
+	telemetry.WriteCounter(w, "lsh_stats_degraded_knobs_total", float64(st.DegradedKnobs))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"e2lshos/internal/autotune"
 	"e2lshos/internal/lsh"
 	"e2lshos/internal/shard"
 	"e2lshos/internal/telemetry"
@@ -138,6 +139,7 @@ func ShardConfig(cfg Config, data [][]float32, shards int) Config {
 // every shard; as everywhere, each engine honors the knobs it has.
 type ShardedIndex struct {
 	telem
+	tune
 	router  *shard.Router[Stats]
 	engines []Engine
 }
@@ -201,6 +203,87 @@ func (x *ShardedIndex) EnableTelemetry(opts ...TelemetryOption) error {
 	return nil
 }
 
+// EnableAutotune turns on the per-query recall/latency controller for the
+// whole sharded tree: the options propagate to every shard engine so each
+// learns its own recall-vs-radius model (shard geometries differ), and the
+// router keeps its own anchor so the serving layer can see autotuning is on.
+func (x *ShardedIndex) EnableAutotune(opts ...AutotuneOption) error {
+	if err := x.tune.EnableAutotune(opts...); err != nil {
+		return err
+	}
+	for i, eng := range x.engines {
+		t, ok := eng.(interface {
+			EnableAutotune(...AutotuneOption) error
+		})
+		if !ok {
+			continue
+		}
+		if err := t.EnableAutotune(opts...); err != nil {
+			return fmt.Errorf("e2lshos: enabling autotune on shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// observeServedRecall fans the guardrail observation out to every shard's
+// tuner (each steered its part of the query).
+func (x *ShardedIndex) observeServedRecall(target, recall float64) {
+	for _, eng := range x.engines {
+		if a, ok := eng.(autotuned); ok {
+			a.observeServedRecall(target, recall)
+		}
+	}
+}
+
+// autotuneSnapshot folds the shards' model state: trained-ladder counts sum,
+// the guardrail margin is the most conservative shard's.
+func (x *ShardedIndex) autotuneSnapshot() *autotune.ModelSnapshot {
+	if x.tuner() == nil {
+		return nil
+	}
+	var out autotune.ModelSnapshot
+	for _, eng := range x.engines {
+		a, ok := eng.(autotuned)
+		if !ok {
+			continue
+		}
+		if sp := a.autotuneSnapshot(); sp != nil {
+			out.Ladders += sp.Ladders
+			if sp.GuardMargin > out.GuardMargin {
+				out.GuardMargin = sp.GuardMargin
+			}
+		}
+	}
+	return &out
+}
+
+// SetIODepth adjusts the I/O queue depth on every shard that has a live
+// engine, reporting whether any shard accepted it.
+func (x *ShardedIndex) SetIODepth(n int) bool {
+	applied := false
+	for _, eng := range x.engines {
+		if d, ok := eng.(interface{ SetIODepth(int) bool }); ok && d.SetIODepth(n) {
+			applied = true
+		}
+	}
+	return applied
+}
+
+// shardTuningOpts adapts caller options for forwarding to shards: per-query
+// stats destinations are overridden (shards report through the router's
+// Stats channel — forwarding the caller's destination would have every shard
+// race on it), and a query-level latency budget is split so each shard gets
+// 90% of it — the scatter-gather adds merge work after the slowest shard,
+// and the headroom keeps the logical query inside its budget.
+func shardTuningOpts(opts []SearchOption, set searchSettings, statsInto []Stats) []SearchOption {
+	out := opts[:len(opts):len(opts)]
+	out = append(out, WithStatsInto(statsInto))
+	if set.tuning.LatencyBudget > 0 {
+		out = append(out, WithLatencyBudget(set.tuning.LatencyBudget*9/10))
+	}
+	return out
+}
+
 // telemetrySnapshot folds the shards' telemetry into the router's own
 // snapshot: per-stage detail sums across shards (FoldShard semantics — shard
 // end-to-end totals are dropped because the router's shard_wait histogram
@@ -244,18 +327,23 @@ func (x *ShardedIndex) Search(ctx context.Context, q []float32, opts ...SearchOp
 		return Result{}, Stats{}, err
 	}
 	col := x.collector()
+	shardOpts := shardTuningOpts(opts, set, nil)
 	var t0 time.Time
 	if col != nil {
 		t0 = time.Now()
 	}
 	res, per, err := x.router.Search(ctx, q, set.k,
 		func(sctx context.Context, i int, q []float32) (Result, Stats, error) {
-			return x.engines[i].Search(sctx, q, opts...)
+			return x.engines[i].Search(sctx, q, shardOpts...)
 		})
 	if col != nil {
 		col.FinishQuery(time.Since(t0), nil)
 	}
-	return res, foldShardStats(per), err
+	st := foldShardStats(per)
+	if len(set.statsInto) > 0 {
+		set.statsInto[0] = st
+	}
+	return res, st, err
 }
 
 // BatchSearch scatters the whole batch to every shard's BatchSearch — so
@@ -267,13 +355,26 @@ func (x *ShardedIndex) BatchSearch(ctx context.Context, queries [][]float32, opt
 		return nil, Stats{}, err
 	}
 	col := x.collector()
+	// With a per-query stats destination, each shard writes into its own
+	// arena and the per-query rows fold after the gather.
+	var shardDst [][]Stats
+	if len(set.statsInto) > 0 {
+		shardDst = make([][]Stats, x.router.Shards())
+		for i := range shardDst {
+			shardDst[i] = make([]Stats, len(queries))
+		}
+	}
 	var t0 time.Time
 	if col != nil {
 		t0 = time.Now()
 	}
 	results, per, err := x.router.BatchSearch(ctx, queries, set.k,
 		func(sctx context.Context, i int, queries [][]float32) ([]Result, Stats, error) {
-			return x.engines[i].BatchSearch(sctx, queries, opts...)
+			var dst []Stats
+			if shardDst != nil {
+				dst = shardDst[i]
+			}
+			return x.engines[i].BatchSearch(sctx, queries, shardTuningOpts(opts, set, dst)...)
 		})
 	if col != nil {
 		// Every query in the batch completes when the batch does, so the
@@ -285,6 +386,19 @@ func (x *ShardedIndex) BatchSearch(ctx context.Context, queries [][]float32, opt
 	}
 	if results == nil {
 		results = make([]Result, len(queries))
+	}
+	if shardDst != nil {
+		n := len(set.statsInto)
+		if n > len(queries) {
+			n = len(queries)
+		}
+		row := make([]Stats, len(shardDst))
+		for qi := 0; qi < n; qi++ {
+			for si := range shardDst {
+				row[si] = shardDst[si][qi]
+			}
+			set.statsInto[qi] = foldShardStats(row)
+		}
 	}
 	return results, foldShardStats(per), err
 }

@@ -74,6 +74,9 @@ var statsJSONKeys = map[string]string{
 	"IOsAtInf":         "ios_at_inf",
 	"NodesVisited":     "nodes_visited",
 	"EarlyStopped":     "early_stopped",
+	"RoundsSkipped":    "rounds_skipped",
+	"BudgetExhausted":  "budget_exhausted",
+	"DegradedKnobs":    "degraded_knobs",
 }
 
 // statsStubEngine answers every batch with a fixed Stats, so the serving

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"e2lshos/internal/ann"
+	"e2lshos/internal/autotune"
 	"e2lshos/internal/blockcache"
 	"e2lshos/internal/blockstore"
 	"e2lshos/internal/diskindex"
@@ -14,6 +15,7 @@ import (
 // StorageIndex is E2LSHoS: the hash index on (real or simulated) storage.
 type StorageIndex struct {
 	telem
+	tune
 	ix *diskindex.Index
 }
 
@@ -126,6 +128,26 @@ func (s *StorageIndex) IOEngineStats() (reads, physical, coalesced, deduped int6
 	return c.Reads, c.PhysicalReads, c.CoalescedReads, c.DedupedReads
 }
 
+// SetIODepth adjusts the vectored I/O engine's queue depth on the live
+// index, reporting whether it applied (false without an attached engine or
+// for n < 1). The server-level autotuner steers this against observed p99.
+func (s *StorageIndex) SetIODepth(n int) bool {
+	eng := s.ix.IOEngine()
+	if eng == nil {
+		return false
+	}
+	return eng.SetDepth(n)
+}
+
+// IODepth reports the I/O engine's current queue depth (0 without one).
+func (s *StorageIndex) IODepth() int {
+	eng := s.ix.IOEngine()
+	if eng == nil {
+		return 0
+	}
+	return eng.Depth()
+}
+
 // Search answers a top-k query with a concurrent fan-out of the WithFanout
 // width (default DefaultFanout) — the paper's "many parallel read requests"
 // realized with blocking reads on concurrent goroutines. It honors WithK,
@@ -181,6 +203,8 @@ type diskParQuerier struct {
 
 func (d diskParQuerier) setTrace(tr *telemetry.Trace) { d.ps.SetTrace(tr) }
 
+func (d diskParQuerier) setController(c *autotune.Ctl) { d.ps.SetController(c) }
+
 func (d diskParQuerier) query(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (Result, Stats, error) {
 	res, st, err := d.ps.SearchInto(ctx, q, k, dst)
 	return res, diskStats(st), err
@@ -191,6 +215,8 @@ type diskSyncQuerier struct {
 }
 
 func (d diskSyncQuerier) setTrace(tr *telemetry.Trace) { d.s.SetTrace(tr) }
+
+func (d diskSyncQuerier) setController(c *autotune.Ctl) { d.s.SetController(c) }
 
 func (d diskSyncQuerier) query(ctx context.Context, q []float32, k int, dst []ann.Neighbor) (Result, Stats, error) {
 	res, st, err := d.s.SearchInto(ctx, q, k, dst)
