@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fuzz bench cover
+.PHONY: all build test race lint fuzz chaos bench cover
 
 all: build test lint
 
@@ -16,8 +16,8 @@ test:
 race:
 	$(GO) test -race ./...
 
-# vet + lshlint: the four custom analyzers (ctxladder, hotpathalloc,
-# statsfold, guardedby) over the whole module. Any finding fails.
+# vet + lshlint: the five custom analyzers (ctxladder, hotpathalloc,
+# statsfold, guardedby, ioerr) over the whole module. Any finding fails.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/lshlint ./...
@@ -25,8 +25,13 @@ lint:
 # Short smoke run of every fuzz target, mirroring the CI fuzz job.
 fuzz:
 	$(GO) test ./internal/blockstore -run '^$$' -fuzz FuzzNextRun -fuzztime 20s
+	$(GO) test ./internal/blockstore -run '^$$' -fuzz FuzzChecksumRoundTrip -fuzztime 20s
 	$(GO) test ./internal/diskindex -run '^$$' -fuzz FuzzUint40RoundTrip -fuzztime 20s
 	$(GO) test ./internal/diskindex -run '^$$' -fuzz FuzzChainRoundTrip -fuzztime 20s
+
+# Chaos suite: every engine under injected storage faults, race detector on.
+chaos:
+	$(GO) test -race -run 'TestChaos' -count=1 .
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=3x ./...

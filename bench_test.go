@@ -436,6 +436,32 @@ func BenchmarkRepeatedQueriesCached(b *testing.B) {
 	benchRepeatedQueries(b, WithBlockCache(64<<20), WithReadahead(2))
 }
 
+// benchChecksums measures the integrity tax: the same query workload with
+// CRC32C verification of every block read (the default) versus the raw
+// path. The pair lands in the BENCH_*.json trajectory so the checksum
+// overhead is a tracked number, not a claim.
+func benchChecksums(b *testing.B, on bool) {
+	d, err := GeneratePaperDataset(SIFT, 0, 4000, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := NewStorageIndex(d.Vectors, Config{Sigma: 8}, WithChecksums(on))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.BatchSearch(ctx, d.Queries, WithK(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChecksumOn(b *testing.B) { benchChecksums(b, true) }
+
+func BenchmarkChecksumOff(b *testing.B) { benchChecksums(b, false) }
+
 // BenchmarkAutotuneSweep runs the PR-8 recall-target sweep end to end and
 // reports the headline trade: mean N_IO at the 0.9 target against the
 // full-ladder baseline, plus the retained recall the stop kept. The metrics

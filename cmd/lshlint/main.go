@@ -1,7 +1,8 @@
 // Command lshlint is the repo's invariant checker: a multichecker over
-// the four custom analyzers that enforce cancellation discipline
+// the five custom analyzers that enforce cancellation discipline
 // (ctxladder), allocation-free hot paths (hotpathalloc), complete
-// counter folding (statsfold) and mutex annotations (guardedby).
+// counter folding (statsfold), mutex annotations (guardedby) and
+// handled block I/O errors (ioerr).
 //
 // Usage:
 //
@@ -11,7 +12,8 @@
 // process exit 1; CI runs it as a gated job. See DESIGN.md "Invariants
 // & enforcement" for the annotation language (//lsh:hotpath,
 // //lsh:ladder, //lsh:guardedby, //lsh:counters, //lsh:foldall and the
-// per-line suppressions //lsh:allocok, //lsh:ctxok, //lsh:nolock).
+// per-line suppressions //lsh:allocok, //lsh:ctxok, //lsh:nolock,
+// //lsh:errok).
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"e2lshos/internal/analyzers/ctxladder"
 	"e2lshos/internal/analyzers/guardedby"
 	"e2lshos/internal/analyzers/hotpathalloc"
+	"e2lshos/internal/analyzers/ioerr"
 	"e2lshos/internal/analyzers/statsfold"
 )
 
@@ -27,6 +30,7 @@ func main() {
 		ctxladder.Analyzer,
 		guardedby.Analyzer,
 		hotpathalloc.Analyzer,
+		ioerr.Analyzer,
 		statsfold.Analyzer,
 	)
 }

@@ -63,6 +63,9 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 		cacheMB   = fs.Int("cache", 0, "per-shard block cache for storage shards, in MiB (0 = uncached)")
 		readahead = fs.Int("readahead", 0, "bucket blocks prefetched per chain between radius rounds (needs -cache)")
 		ioDepth   = fs.Int("iodepth", 0, "vectored I/O engine queue depth per storage shard: batched round submission, adjacent-block coalescing, cross-query dedup (0 = off)")
+		retries   = fs.Int("retries", 0, "per-block read retries with backoff before a fault degrades the query (needs -iodepth; 0 = off)")
+		hedge     = fs.Bool("hedge", false, "hedged shard reads: re-issue a sub-query straggling past its shard's p99 and take the first answer")
+		checksum  = fs.Bool("checksum", true, "per-block CRC32C verification on storage shards (-checksum=false trades fault detection for read throughput)")
 		metrics   = fs.Bool("metrics", true, "enable engine latency telemetry (per-stage histograms folded across shards, served at /metrics)")
 		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		traceSamp = fs.Float64("trace-sample", 0, "fraction of queries traced per stage, in [0,1] (0 = histograms only)")
@@ -94,6 +97,15 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 	}
 	if *ioDepth > 0 {
 		storageOpts = append(storageOpts, e2lshos.WithIOEngine(*ioDepth))
+	}
+	if *retries > 0 {
+		if *ioDepth <= 0 {
+			return fmt.Errorf("-retries needs -iodepth (the retry layer lives in the vectored I/O engine)")
+		}
+		storageOpts = append(storageOpts, e2lshos.WithRetries(*retries))
+	}
+	if !*checksum {
+		storageOpts = append(storageOpts, e2lshos.WithChecksums(false))
 	}
 
 	place, err := e2lshos.ParseShardPlacement(*placement)
@@ -146,6 +158,10 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 		fmt.Fprintf(out, "autotune on (recall target %g, latency budget %v, degrade %s)\n",
 			*recallTgt, *latBudget, degradePolicy)
 	}
+	if *hedge {
+		ix.EnableHedging(e2lshos.HedgeConfig{})
+		fmt.Fprintln(out, "hedged shard reads on (duplicate sub-queries past each shard's p99)")
+	}
 	srv, err := e2lshos.NewServer(ix, e2lshos.ServerConfig{
 		Dim:      ds.Dim,
 		K:        *k,
@@ -173,7 +189,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(out, "listening on %s (POST /v1/search, POST /search, GET /stats, GET /metrics, GET /healthz)\n", ln.Addr())
+	fmt.Fprintf(out, "listening on %s (POST /v1/search, POST /search, GET /stats, GET /metrics, GET /healthz, GET /readyz)\n", ln.Addr())
 	if ready != nil {
 		ready(ln.Addr())
 	}

@@ -168,6 +168,9 @@ var statsPromNames = []string{
 	"lsh_stats_coalesced_reads_total",
 	"lsh_stats_deduped_reads_total",
 	"lsh_stats_physical_reads_total",
+	"lsh_stats_faulted_reads_total",
+	"lsh_stats_skipped_chains_total",
+	"lsh_stats_partial_queries_total",
 	"lsh_stats_ios_at_inf_total",
 	"lsh_stats_nodes_visited_total",
 	"lsh_stats_early_stopped_total",

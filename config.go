@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"e2lshos/internal/ann"
+	"e2lshos/internal/blockstore"
 	"e2lshos/internal/lsh"
 )
 
@@ -83,9 +84,12 @@ type StorageOption func(*storageSettings)
 
 // storageSettings is the resolved storage option set.
 type storageSettings struct {
-	cacheBytes int64
-	readahead  int
-	ioDepth    int
+	cacheBytes  int64
+	readahead   int
+	ioDepth     int
+	retries     int
+	checksumOff bool
+	backend     blockstore.Backend
 }
 
 // WithBlockCache interposes a concurrency-safe, scan-resistant block cache
@@ -118,6 +122,35 @@ func WithIOEngine(depth int) StorageOption {
 	return func(s *storageSettings) { s.ioDepth = depth }
 }
 
+// WithRetries makes the I/O engine retry failed block reads up to n times
+// with capped exponential backoff and jitter before giving up; addresses
+// that exhaust the budget land in a bounded quarantine set and fail fast
+// afterwards. Requires WithIOEngine (the retry layer lives in the engine).
+// Queries degrade around reads that still fail — the affected chains are
+// skipped and the result is marked partial (Stats.Partial) instead of the
+// query erroring out.
+func WithRetries(n int) StorageOption {
+	return func(s *storageSettings) { s.retries = n }
+}
+
+// WithChecksums toggles CRC32C verification of every block read (on by
+// default). Turning it off skips both recording and verifying sums — for
+// measuring raw-path overhead, or for trusting a device with its own
+// end-to-end integrity. Images written by pre-checksum builds load fine
+// either way.
+func WithChecksums(on bool) StorageOption {
+	return func(s *storageSettings) { s.checksumOff = !on }
+}
+
+// WithStorageBackend builds the index's block store over the supplied
+// backend instead of the default in-memory one — the injection point for
+// fault-injecting wrappers in chaos tests and for custom block devices.
+// Build-time only: OpenStorageIndex owns its store's backend and rejects
+// this option.
+func WithStorageBackend(b blockstore.Backend) StorageOption {
+	return func(s *storageSettings) { s.backend = b }
+}
+
 // resolveStorageSettings applies opts and validates the combination.
 func resolveStorageSettings(opts []StorageOption) (storageSettings, error) {
 	var s storageSettings
@@ -133,6 +166,10 @@ func resolveStorageSettings(opts []StorageOption) (storageSettings, error) {
 		return s, fmt.Errorf("e2lshos: WithReadahead requires WithBlockCache (prefetch lands in the cache)")
 	case s.ioDepth < 0:
 		return s, fmt.Errorf("e2lshos: negative I/O engine queue depth %d", s.ioDepth)
+	case s.retries < 0:
+		return s, fmt.Errorf("e2lshos: negative retry budget %d", s.retries)
+	case s.retries > 0 && s.ioDepth == 0:
+		return s, fmt.Errorf("e2lshos: WithRetries requires WithIOEngine (the retry layer lives in the I/O engine)")
 	}
 	return s, nil
 }

@@ -106,6 +106,17 @@ type Stats struct {
 	// without an engine). With an engine attached this is the true device
 	// operation count; IOs() keeps reporting the logical count.
 	PhysicalReads int
+	// FaultedReads counts block reads that still failed after the storage
+	// tier's retries (zero on healthy devices and on the in-memory
+	// engines). Cancellation is not a fault.
+	FaultedReads int
+	// SkippedChains counts bucket chains abandoned because a block was
+	// unreadable: the degraded-mode skips behind FaultedReads.
+	SkippedChains int
+	// Partial counts queries that skipped at least one chain and thus
+	// served a possibly-incomplete result (per query it is 0 or 1; Merge
+	// makes it the partial-query count alongside Queries).
+	Partial int
 	// IOsAtInf is the paper's N_IO,∞ for the in-memory reference: what the
 	// query would cost on storage with unlimited block size.
 	IOsAtInf int
@@ -150,6 +161,9 @@ func (s *Stats) Merge(o Stats) {
 	s.CoalescedReads += o.CoalescedReads
 	s.DedupedReads += o.DedupedReads
 	s.PhysicalReads += o.PhysicalReads
+	s.FaultedReads += o.FaultedReads
+	s.SkippedChains += o.SkippedChains
+	s.Partial += o.Partial
 	s.IOsAtInf += o.IOsAtInf
 	s.NodesVisited += o.NodesVisited
 	s.EarlyStopped += o.EarlyStopped

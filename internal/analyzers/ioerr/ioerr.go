@@ -1,0 +1,138 @@
+// Package ioerr enforces the repo's fault-tolerance discipline at its
+// root: block I/O errors must be handled, never dropped. The whole
+// degraded-results machinery (retry, quarantine, skip-chain, partial
+// envelopes) starts from the premise that every ReadBlock/WriteBlock
+// error reaches a decision point; one discarded error silently converts
+// a storage fault into wrong answers.
+package ioerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"e2lshos/internal/analysis"
+	"e2lshos/internal/analyzers/lshdir"
+)
+
+// Analyzer flags discarded error returns from block I/O calls.
+//
+// A call to a function or method named ReadBlock, ReadBlocks or
+// WriteBlock whose final result is an error must not:
+//
+//   - stand alone as an expression statement,
+//   - run under go or defer (the error has nowhere to go),
+//   - assign its error to the blank identifier.
+//
+// A deliberate drop (a best-effort prefetch, a test helper) carries
+// //lsh:errok with the reason on the statement.
+var Analyzer = &analysis.Analyzer{
+	Name: "ioerr",
+	Doc:  "block I/O errors are handled, not dropped",
+	Run:  run,
+}
+
+// targets are the block I/O entry points across the storage stack:
+// blockstore.Store, the Backend implementations, and every wrapper
+// (faultinject, ioengine) that mirrors the interface.
+var targets = map[string]bool{
+	"ReadBlock":  true,
+	"ReadBlocks": true,
+	"WriteBlock": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		dirs := lshdir.Parse(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if name := targetCall(pass, n.X); name != "" && !dirs.Covers("errok", n) {
+					reportDrop(pass, n, name, "its error is discarded")
+				}
+			case *ast.GoStmt:
+				if name := targetCall(pass, n.Call); name != "" && !dirs.Covers("errok", n) {
+					reportDrop(pass, n, name, "a goroutine statement drops its error")
+				}
+			case *ast.DeferStmt:
+				if name := targetCall(pass, n.Call); name != "" && !dirs.Covers("errok", n) {
+					reportDrop(pass, n, name, "a defer statement drops its error")
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, dirs, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags assignments that route a target call's error into the
+// blank identifier.
+func checkAssign(pass *analysis.Pass, dirs *lshdir.Map, n *ast.AssignStmt) {
+	if dirs.Covers("errok", n) {
+		return
+	}
+	if len(n.Rhs) == 1 {
+		// Tuple or single assignment from one call: the error is the
+		// callee's last result, so it lands in the last LHS slot.
+		name := targetCall(pass, n.Rhs[0])
+		if name == "" {
+			return
+		}
+		if isBlank(n.Lhs[len(n.Lhs)-1]) {
+			reportDrop(pass, n, name, "its error is assigned to _")
+		}
+		return
+	}
+	// Parallel assignment a, b = f(), g(): positions align one-to-one.
+	for i, rhs := range n.Rhs {
+		if name := targetCall(pass, rhs); name != "" && i < len(n.Lhs) && isBlank(n.Lhs[i]) {
+			reportDrop(pass, n, name, "its error is assigned to _")
+		}
+	}
+}
+
+func reportDrop(pass *analysis.Pass, n ast.Node, name, how string) {
+	pass.Reportf(n.Pos(),
+		"%s %s; a storage fault here must degrade or propagate — handle the error or annotate //lsh:errok <reason>", name, how)
+}
+
+// targetCall reports the callee name when expr is a call to one of the
+// block I/O targets whose final result is an error, or "".
+func targetCall(pass *analysis.Pass, expr ast.Expr) string {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if !targets[id.Name] {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return ""
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return ""
+	}
+	return id.Name
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,11 @@
+package ioerr
+
+import (
+	"testing"
+
+	"e2lshos/internal/analyzers/analysistest"
+)
+
+func TestIOErr(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,51 @@
+// Package a is the ioerr fixture: seeded violations carry want
+// comments; the corrected forms below them must pass silently.
+package a
+
+import "fmt"
+
+// store mirrors the block I/O surface the analyzer targets.
+type store struct{}
+
+func (store) ReadBlock(addr uint64, buf []byte) error               { return nil }
+func (store) ReadBlocks(addrs []uint64, bufs [][]byte) (int, error) { return len(addrs), nil }
+func (store) WriteBlock(addr uint64, data []byte) error             { return nil }
+
+// lookalike has a target name but no error result; the analyzer must
+// leave it alone.
+type lookalike struct{}
+
+func (lookalike) ReadBlock(addr uint64) int { return 0 }
+
+func dropped(s store, buf []byte) {
+	s.ReadBlock(1, buf)            // want "ReadBlock its error is discarded"
+	s.WriteBlock(1, buf)           // want "WriteBlock its error is discarded"
+	_ = s.ReadBlock(2, buf)        // want "ReadBlock its error is assigned to _"
+	n, _ := s.ReadBlocks(nil, nil) // want "ReadBlocks its error is assigned to _"
+	_ = n
+	go s.WriteBlock(3, buf)   // want "WriteBlock a goroutine statement drops its error"
+	defer s.ReadBlock(4, buf) // want "ReadBlock a defer statement drops its error"
+}
+
+func handled(s store, buf []byte) error {
+	if err := s.ReadBlock(1, buf); err != nil {
+		return err
+	}
+	n, err := s.ReadBlocks(nil, nil)
+	if err != nil {
+		return fmt.Errorf("%d blocks: %w", n, err)
+	}
+	return s.WriteBlock(1, buf)
+}
+
+func deliberate(s store, buf []byte) {
+	// A best-effort prefetch may drop its error, with the reason on
+	// record.
+	s.ReadBlock(1, buf) //lsh:errok prefetch is advisory; the demand read rechecks
+	//lsh:errok doc-style suppression also binds
+	s.WriteBlock(2, buf)
+}
+
+func notATarget(l lookalike) {
+	l.ReadBlock(1) // no error result: not block I/O in the enforced sense
+}

@@ -91,10 +91,14 @@ func NextRun(addrs []Addr, i int) int {
 	return j
 }
 
-// Store couples a backend with a bump allocator.
+// Store couples a backend with a bump allocator and the out-of-band block
+// checksum table (see checksum.go). Checksums are on by default; toggle
+// before serving with SetChecksums — the flag itself is not synchronized.
 type Store struct {
 	backend Backend
 	next    Addr
+	sums    sumTable
+	ckOff   bool
 }
 
 // NewMem returns a store backed by chunked in-memory slabs.
@@ -139,12 +143,20 @@ func (s *Store) NumBlocks() uint64 { return uint64(s.next) - 1 }
 // metric (Table 6).
 func (s *Store) Bytes() int64 { return int64(s.NumBlocks()) * BlockSize }
 
-// ReadBlock reads block a into buf.
+// ReadBlock reads block a into buf, verifying its recorded checksum (if
+// any) before returning: a mismatch surfaces as *ErrCorrupt and the caller
+// never sees the bad bytes as a success.
 func (s *Store) ReadBlock(a Addr, buf []byte) error {
 	if a == Nil || a >= s.next {
-		return fmt.Errorf("blockstore: read of invalid address %d (allocated %d)", a, s.NumBlocks())
+		return fmt.Errorf("blockstore: read of invalid address %d (allocated %d): %w", a, s.NumBlocks(), ErrInvalidAddr)
 	}
-	return s.backend.ReadBlock(a, buf)
+	if err := s.backend.ReadBlock(a, buf); err != nil {
+		return err
+	}
+	if s.ckOff {
+		return nil
+	}
+	return s.sums.verify(a, buf)
 }
 
 // ReadBlocks reads block addrs[i] into bufs[i], delegating coalescing to the
@@ -155,21 +167,39 @@ func (s *Store) ReadBlocks(addrs []Addr, bufs [][]byte) (int, error) {
 	}
 	for _, a := range addrs {
 		if a == Nil || a >= s.next {
-			return 0, fmt.Errorf("blockstore: vectored read of invalid address %d (allocated %d)", a, s.NumBlocks())
+			return 0, fmt.Errorf("blockstore: vectored read of invalid address %d (allocated %d): %w", a, s.NumBlocks(), ErrInvalidAddr)
 		}
 	}
-	return s.backend.ReadBlocks(addrs, bufs)
+	ops, err := s.backend.ReadBlocks(addrs, bufs)
+	if err != nil || s.ckOff {
+		return ops, err
+	}
+	// Verify every scattered-back block; the first mismatch wins, like the
+	// backends' own first-error semantics.
+	for i, a := range addrs {
+		if err := s.sums.verify(a, bufs[i]); err != nil {
+			return ops, err
+		}
+	}
+	return ops, nil
 }
 
-// WriteBlock writes data to block a, which must be allocated.
+// WriteBlock writes data to block a, which must be allocated, and records
+// the block's checksum.
 func (s *Store) WriteBlock(a Addr, data []byte) error {
 	if a == Nil || a >= s.next {
-		return fmt.Errorf("blockstore: write to invalid address %d (allocated %d)", a, s.NumBlocks())
+		return fmt.Errorf("blockstore: write to invalid address %d (allocated %d): %w", a, s.NumBlocks(), ErrInvalidAddr)
 	}
 	if len(data) > BlockSize {
 		return fmt.Errorf("blockstore: write of %d bytes exceeds block size", len(data))
 	}
-	return s.backend.WriteBlock(a, data)
+	if err := s.backend.WriteBlock(a, data); err != nil {
+		return err
+	}
+	if !s.ckOff {
+		s.sums.record(a, Checksum(data))
+	}
+	return nil
 }
 
 // memBackend stores blocks in fixed-size chunks to avoid one giant
@@ -387,50 +417,98 @@ func (fb *fileBackend) WriteBlock(a Addr, data []byte) error {
 
 func (fb *fileBackend) NumBlocks() uint64 { return fb.blocks.Load() }
 
+// imageSumsFlag is the format-version bit in the image header's 8-byte block
+// count: set when every block carries a 4-byte CRC32C trailer. Block counts
+// never approach 2^63, so the bit is free; images written before checksums
+// existed have it clear and load exactly as before.
+const imageSumsFlag = uint64(1) << 63
+
 // WriteTo serializes the allocated blocks: an 8-byte block count followed by
-// raw block contents. It lets a memory-built index be persisted and later
-// served from a file backend.
+// block contents, each followed by its 4-byte little-endian CRC32C when
+// checksums are on (signalled by the header's imageSumsFlag bit). It lets a
+// memory-built index be persisted and later served from a file backend.
+// Blocks are re-verified against the checksum table as they stream out, so a
+// rotten block cannot be laundered into a clean-looking image.
 func (s *Store) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<20)
+	withSums := !s.ckOff
+	hdrCount := s.NumBlocks()
+	if withSums {
+		hdrCount |= imageSumsFlag
+	}
 	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], s.NumBlocks())
+	binary.LittleEndian.PutUint64(hdr[:], hdrCount)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return 0, fmt.Errorf("blockstore: write header: %w", err)
 	}
 	written := int64(8)
 	buf := make([]byte, BlockSize)
+	var trailer [4]byte
 	for a := Addr(1); a < s.next; a++ {
 		if err := s.backend.ReadBlock(a, buf); err != nil {
 			return written, err
+		}
+		if withSums {
+			if err := s.sums.verify(a, buf); err != nil {
+				return written, err
+			}
 		}
 		if _, err := bw.Write(buf); err != nil {
 			return written, fmt.Errorf("blockstore: write block %d: %w", a, err)
 		}
 		written += BlockSize
+		if withSums {
+			binary.LittleEndian.PutUint32(trailer[:], Checksum(buf))
+			if _, err := bw.Write(trailer[:]); err != nil {
+				return written, fmt.Errorf("blockstore: write block %d checksum: %w", a, err)
+			}
+			written += 4
+		}
 	}
 	return written, bw.Flush()
 }
 
 // ReadFrom restores a store serialized by WriteTo into the current backend.
+// Checksummed images (imageSumsFlag set) are verified block by block as they
+// stream in — a flipped bit anywhere in the image surfaces as *ErrCorrupt at
+// load time, not as silently wrong neighbors at query time — and the
+// trailers seed the in-memory checksum table. Pre-checksum images load
+// unverified; their blocks get fresh checksums recorded as they are written
+// through the store, so even old images are fully covered once restored.
 func (s *Store) ReadFrom(r io.Reader) (int64, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return 0, fmt.Errorf("blockstore: read header: %w", err)
 	}
-	blocks := binary.LittleEndian.Uint64(hdr[:])
+	hdrCount := binary.LittleEndian.Uint64(hdr[:])
+	withSums := hdrCount&imageSumsFlag != 0
+	blocks := hdrCount &^ imageSumsFlag
 	readBytes := int64(8)
 	buf := make([]byte, BlockSize)
+	var trailer [4]byte
 	s.next = 1
 	for i := uint64(0); i < blocks; i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return readBytes, fmt.Errorf("blockstore: read block %d: %w", i+1, err)
 		}
+		readBytes += BlockSize
 		a := s.Allocate()
-		if err := s.backend.WriteBlock(a, buf); err != nil {
+		if withSums {
+			if _, err := io.ReadFull(br, trailer[:]); err != nil {
+				return readBytes, fmt.Errorf("blockstore: read block %d checksum: %w", i+1, err)
+			}
+			readBytes += 4
+			want := binary.LittleEndian.Uint32(trailer[:])
+			if got := Checksum(buf); got != want {
+				return readBytes, &ErrCorrupt{Addr: a, Want: want, Got: got}
+			}
+		}
+		// WriteBlock (not the bare backend) so the checksum table covers the
+		// restored blocks.
+		if err := s.WriteBlock(a, buf); err != nil {
 			return readBytes, err
 		}
-		readBytes += BlockSize
 	}
 	return readBytes, nil
 }

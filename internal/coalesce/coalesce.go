@@ -24,6 +24,11 @@ var ErrOverloaded = errors.New("coalesce: admission queue full")
 // ErrClosed is returned by Do after Close.
 var ErrClosed = errors.New("coalesce: batcher closed")
 
+// ErrPanic wraps a recovered batch-function panic: every caller of the
+// poisoned batch gets an error wrapping this instead of the process dying
+// on a batch goroutine (one bad query must not kill the server).
+var ErrPanic = errors.New("coalesce: batch function panicked")
+
 // Config tunes the batcher. The zero value selects the defaults.
 type Config struct {
 	// MaxBatch is the largest batch cut from the queue (default 32).
@@ -81,6 +86,7 @@ type admitter struct {
 	max      int
 	inflight int    //lsh:guardedby mu — admitted but not yet answered
 	shed     uint64 //lsh:guardedby mu
+	panics   uint64 //lsh:guardedby mu — recovered batch-function panics
 }
 
 // tryAdmit claims one queue slot, or counts a shed and reports false.
@@ -107,6 +113,26 @@ func (a *admitter) shedCount() uint64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.shed
+}
+
+// load returns the admitted-but-unanswered count and the queue bound.
+func (a *admitter) load() (inflight, max int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight, a.max
+}
+
+// panicCount returns how many batch executions were recovered from panics.
+func (a *admitter) panicCount() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.panics
+}
+
+func (a *admitter) countPanic() {
+	a.mu.Lock()
+	a.panics++
+	a.mu.Unlock()
 }
 
 // Batcher coalesces concurrent Do calls into batched Func executions.
@@ -202,6 +228,14 @@ func (b *Batcher[R]) Do(ctx context.Context, q []float32) (R, error) {
 // the whole keyed family when the admitter is shared).
 func (b *Batcher[R]) Shed() uint64 { return b.adm.shedCount() }
 
+// Load returns the admitted-but-unanswered query count and the queue bound
+// (shared across the keyed family when the admitter is shared) — the
+// backpressure signal behind Retry-After headers.
+func (b *Batcher[R]) Load() (inflight, max int) { return b.adm.load() }
+
+// Panics returns how many batch executions were recovered from panics.
+func (b *Batcher[R]) Panics() uint64 { return b.adm.panicCount() }
+
 // cutGen cuts the forming batch if it is still generation gen: a timer whose
 // batch was already cut by the MaxBatch path finds gen advanced and does
 // nothing.
@@ -238,7 +272,7 @@ func (b *Batcher[R]) runBatch(batch []request[R]) {
 			b.cfg.ObserveWait(waits[i])
 		}
 	}
-	results, err := b.run(telemetry.WithQueueWaits(b.ctx, waits), queries)
+	results, err := b.safeRun(telemetry.WithQueueWaits(b.ctx, waits), queries)
 	for i, req := range batch {
 		resp := response[R]{err: err}
 		if i < len(results) {
@@ -249,6 +283,20 @@ func (b *Batcher[R]) runBatch(batch []request[R]) {
 		req.done <- resp
 	}
 	b.adm.release(len(batch))
+}
+
+// safeRun executes the batch function, converting a panic into an error so
+// a poisoned batch fails its callers instead of killing the process. The
+// batch goroutine is the blast radius of arbitrary engine code; nothing
+// above it recovers.
+func (b *Batcher[R]) safeRun(ctx context.Context, queries [][]float32) (results []R, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.adm.countPanic()
+			results, err = nil, fmt.Errorf("%w: %v", ErrPanic, r)
+		}
+	}()
+	return b.run(ctx, queries)
 }
 
 // Close stops admission, flushes the forming batch, and waits for in-flight

@@ -65,6 +65,14 @@ func (kb *Keyed[K, R]) Do(ctx context.Context, key K, q []float32) (R, error) {
 // keys.
 func (kb *Keyed[K, R]) Shed() uint64 { return kb.adm.shedCount() }
 
+// Load returns the admitted-but-unanswered query count and the queue bound
+// across all keys.
+func (kb *Keyed[K, R]) Load() (inflight, max int) { return kb.adm.load() }
+
+// Panics returns how many batch executions were recovered from panics
+// across all keys.
+func (kb *Keyed[K, R]) Panics() uint64 { return kb.adm.panicCount() }
+
 // SetMaxBatch adjusts the live batch-size knob on every current and future
 // sub-batcher.
 func (kb *Keyed[K, R]) SetMaxBatch(n int) {

@@ -300,6 +300,15 @@ func (run *asyncRun) waveDone(tc *sched.Ctx, done func()) {
 // endRadius applies the (R,c)-NN termination test and either finishes the
 // query or starts the next round.
 func (run *asyncRun) endRadius(tc *sched.Ctx, done func()) {
+	// Fold degraded reads (sched serves failed reads as zero blocks) into
+	// the round's stats. Each faulted block truncates exactly one chain —
+	// a zero table block is a Nil head, a zero bucket block an empty tail
+	// — so on this path SkippedChains equals FaultedReads.
+	if f := int(tc.FaultedReads()); f > run.out.Stats.FaultedReads {
+		run.out.Stats.FaultedReads = f
+		run.out.Stats.SkippedChains = f
+		run.out.Stats.Partial = 1
+	}
 	certified := run.certifiedCount()
 	if run.topk.Full() && certified >= run.k {
 		run.finish(done)

@@ -1,119 +1,125 @@
 package diskindex
 
 import (
-	"errors"
+	"context"
 	"testing"
 
 	"e2lshos/internal/blockstore"
+	"e2lshos/internal/faultinject"
 )
 
-// faultBackend wraps a backend and fails reads after a countdown, injecting
-// storage faults mid-query.
-type faultBackend struct {
-	inner     blockstore.Backend
-	failAfter int
-	err       error
-}
-
-func (f *faultBackend) ReadBlock(a blockstore.Addr, buf []byte) error {
-	if f.failAfter <= 0 {
-		return f.err
-	}
-	f.failAfter--
-	return f.inner.ReadBlock(a, buf)
-}
-
-func (f *faultBackend) ReadBlocks(addrs []blockstore.Addr, bufs [][]byte) (int, error) {
-	return blockstore.ReadBlocksSerial(f, addrs, bufs)
-}
-
-func (f *faultBackend) WriteBlock(a blockstore.Addr, data []byte) error {
-	return f.inner.WriteBlock(a, data)
-}
-
-func (f *faultBackend) NumBlocks() uint64 { return f.inner.NumBlocks() }
-
-// faultyCopy clones an index's blocks into a store that fails after n reads.
-func faultyCopy(t *testing.T, ix *Index, failAfter int) *Index {
+// faultyCopy clones an index's blocks into a fresh store behind a
+// fault-injecting backend, so queries run against deterministic storage
+// faults without an I/O engine or cache in the way.
+func faultyCopy(t *testing.T, ix *Index, sch faultinject.Schedule) (*Index, *faultinject.Backend) {
 	t.Helper()
-	errInjected := errors.New("injected storage fault")
-	// Copy blocks into a fresh mem backend, then wrap it.
-	inner := blockstore.NewMem()
+	inner := blockstore.NewMemBackend()
 	buf := make([]byte, blockstore.BlockSize)
 	for a := blockstore.Addr(1); a <= blockstore.Addr(ix.Store().NumBlocks()); a++ {
 		if err := ix.Store().ReadBlock(a, buf); err != nil {
 			t.Fatal(err)
 		}
-		b := inner.Allocate()
-		if err := inner.WriteBlock(b, buf); err != nil {
+		if err := inner.WriteBlock(a, buf); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// Rebuild a Store over the fault wrapper. NewWithBackend resumes
-	// allocation; reads below the high-water mark stay valid.
-	var backend blockstore.Backend = &faultBackend{inner: storeBackend{inner}, failAfter: failAfter, err: errInjected}
-	faulty := blockstore.NewWithBackend(backend)
+	fb := faultinject.Wrap(inner, sch)
 	clone := *ix
-	clone.store = faulty
-	return &clone
+	clone.store = blockstore.NewWithBackend(fb)
+	return &clone, fb
 }
 
-// storeBackend adapts a *Store back to the Backend interface.
-type storeBackend struct{ s *blockstore.Store }
-
-func (sb storeBackend) ReadBlock(a blockstore.Addr, buf []byte) error { return sb.s.ReadBlock(a, buf) }
-func (sb storeBackend) WriteBlock(a blockstore.Addr, d []byte) error  { return sb.s.WriteBlock(a, d) }
-func (sb storeBackend) NumBlocks() uint64                             { return sb.s.NumBlocks() + 1 }
-
-func (sb storeBackend) ReadBlocks(addrs []blockstore.Addr, bufs [][]byte) (int, error) {
-	return sb.s.ReadBlocks(addrs, bufs)
-}
-
-func TestSyncSearchPropagatesStorageErrors(t *testing.T) {
+// TestSyncSearchDegradesOnStorageFaults: storage faults skip the affected
+// chains instead of failing the query — every query answers, the ones that
+// lost chains say so via Partial, and FaultedReads accounts exactly for the
+// injected failures (no engine, no retries: one injected EIO is one faulted
+// read is one skipped chain).
+func TestSyncSearchDegradesOnStorageFaults(t *testing.T) {
 	d, ix, _ := testSetup(t, 800, 8, DefaultOptions())
-	for _, failAfter := range []int{0, 1, 3} {
-		faulty := faultyCopy(t, ix, failAfter)
+	for _, failAfter := range []int{1, 3, 16} {
+		faulty, fb := faultyCopy(t, ix, faultinject.Schedule{Seed: 1, FailAfter: failAfter})
 		s := faulty.NewSearcher()
-		sawErr := false
+		faulted, partials := 0, 0
 		for _, q := range d.Queries {
-			if _, _, err := s.Search(q, 1); err != nil {
-				sawErr = true
-				break
+			_, st, err := s.Search(q, 1)
+			if err != nil {
+				t.Fatalf("failAfter=%d: query failed instead of degrading: %v", failAfter, err)
+			}
+			faulted += st.FaultedReads
+			partials += st.Partial
+			if st.FaultedReads != st.SkippedChains {
+				t.Fatalf("failAfter=%d: FaultedReads=%d SkippedChains=%d, want equal on the sequential path",
+					failAfter, st.FaultedReads, st.SkippedChains)
+			}
+			if (st.Partial == 1) != (st.SkippedChains > 0) {
+				t.Fatalf("failAfter=%d: Partial=%d with SkippedChains=%d", failAfter, st.Partial, st.SkippedChains)
 			}
 		}
-		if !sawErr {
-			t.Errorf("failAfter=%d: no error surfaced from faulty storage", failAfter)
+		if partials == 0 {
+			t.Errorf("failAfter=%d: dead device produced no partial results", failAfter)
+		}
+		if got := fb.Counters().Failures(); int64(faulted) != got {
+			t.Errorf("failAfter=%d: Stats.FaultedReads total %d != injected failures %d",
+				failAfter, faulted, got)
 		}
 	}
 }
 
-func TestParallelSearchPropagatesStorageErrors(t *testing.T) {
+// TestParallelSearchDegradesOnStorageFaults: the pool path keeps a probe's
+// partially collected candidates when its chain is cut short, and answers
+// every query.
+func TestParallelSearchDegradesOnStorageFaults(t *testing.T) {
 	d, ix, _ := testSetup(t, 800, 8, DefaultOptions())
-	faulty := faultyCopy(t, ix, 2)
+	faulty, fb := faultyCopy(t, ix, faultinject.Schedule{Seed: 2, FailAfter: 2})
 	ps, err := faulty.NewParallelSearcher(4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sawErr := false
+	faulted, partials := 0, 0
 	for _, q := range d.Queries {
-		if _, _, err := ps.Search(q, 1); err != nil {
-			sawErr = true
-			break
+		_, st, err := ps.Search(q, 1)
+		if err != nil {
+			t.Fatalf("parallel query failed instead of degrading: %v", err)
 		}
+		faulted += st.FaultedReads
+		partials += st.Partial
 	}
-	if !sawErr {
-		t.Error("parallel searcher swallowed storage errors")
+	if partials == 0 {
+		t.Error("dead device produced no partial results")
+	}
+	if got := fb.Counters().Failures(); int64(faulted) != got {
+		t.Errorf("Stats.FaultedReads total %d != injected failures %d", faulted, got)
+	}
+}
+
+// TestCancellationStillPropagates: degraded mode is for storage faults
+// only; a canceled context aborts the query with its error, exactly as
+// before.
+func TestCancellationStillPropagates(t *testing.T) {
+	d, ix, _ := testSetup(t, 500, 8, DefaultOptions())
+	s := ix.NewSearcher()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, st, err := s.SearchContext(ctx, d.Queries[0], 1); err != context.Canceled {
+		t.Fatalf("canceled search: err=%v", err)
+	} else if st.Partial != 0 {
+		t.Fatal("cancellation must not masquerade as a partial result")
 	}
 }
 
 func TestHealthySearchAfterManyReads(t *testing.T) {
-	// A fault budget larger than the workload must never trigger.
+	// A fault budget larger than the workload must never trigger, and a
+	// healthy run must never claim partial results.
 	d, ix, _ := testSetup(t, 500, 8, DefaultOptions())
-	faulty := faultyCopy(t, ix, 1<<30)
+	faulty, _ := faultyCopy(t, ix, faultinject.Schedule{Seed: 3, FailAfter: 1 << 30})
 	s := faulty.NewSearcher()
 	for _, q := range d.Queries {
-		if _, _, err := s.Search(q, 1); err != nil {
+		_, st, err := s.Search(q, 1)
+		if err != nil {
 			t.Fatalf("unexpected error from healthy wrapped store: %v", err)
+		}
+		if st.Partial != 0 || st.FaultedReads != 0 || st.SkippedChains != 0 {
+			t.Fatalf("healthy run reported degradation: %+v", st)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package diskindex
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"time"
 
 	"e2lshos/internal/ann"
@@ -59,10 +60,43 @@ type Stats struct {
 	// issued for this query after coalescing and dedup (zero without an
 	// engine). CacheMisses remains the logical backend-reaching count.
 	PhysicalReads int
+	// FaultedReads counts block reads that still failed after the I/O
+	// layer's retries (storage faults only; cancellation is not a fault).
+	FaultedReads int
+	// SkippedChains counts bucket chains abandoned — or never entered —
+	// because a block was unreadable: the degraded-mode skips.
+	SkippedChains int
+	// Partial is 1 when the query skipped any chain and thus served a
+	// possibly-incomplete result, 0 for a complete answer. An int rather
+	// than a bool so it folds through Merge like every other counter
+	// (merged value = number of partial queries).
+	Partial int
 }
 
 // IOs returns the total I/O count of the query (the paper's N_IO).
 func (st Stats) IOs() int { return st.TableIOs + st.BucketIOs }
+
+// storageFault reports whether err is a storage-layer failure the query
+// should degrade around (skip the chain, keep serving) rather than abort
+// on. Cancellation and deadline expiry are the caller giving up — they
+// propagate. ErrInvalidAddr is index corruption or a caller bug — hiding
+// it behind a partial result would mask real breakage, so it propagates
+// too. Everything else (EIO after retries, checksum mismatch, quarantined
+// block) is the device's fault, and one dead block must not take down the
+// whole query.
+func storageFault(err error) bool {
+	return err != nil &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, blockstore.ErrInvalidAddr)
+}
+
+// skipChain records one abandoned chain in st.
+func (st *Stats) skipChain() {
+	st.FaultedReads++
+	st.SkippedChains++
+	st.Partial = 1
+}
 
 // Searcher executes queries synchronously against the store's data plane:
 // no virtual time, just block reads. It is the reference implementation the
@@ -328,12 +362,25 @@ func (s *Searcher) probeBucket(rIdx, l int, h uint32, q []float32, topk *ann.Top
 	st.NonEmptyProbes++
 	head, err := s.readTableEntry(rIdx, l, idx, st)
 	if err != nil {
+		if storageFault(err) {
+			// Unreadable table block after the I/O layer's retries: skip
+			// this bucket rather than fail the query (degraded mode). The
+			// candidates already pushed from other buckets stand.
+			st.skipChain()
+			return false, nil
+		}
 		return false, err
 	}
 	addr := head
 	for addr != blockstore.Nil {
 		t0 := s.trace.Clock()
 		if err := ix.readLogicalBlock(addr, s.buf, st); err != nil {
+			if storageFault(err) {
+				// Abandon the rest of this chain; entries scanned from its
+				// earlier blocks already reached the accumulator and stay.
+				st.skipChain()
+				return false, nil
+			}
 			return false, err
 		}
 		if s.trace != nil {

@@ -243,11 +243,19 @@ func (ps *ParallelSearcher) searchContext(ctx context.Context, q []float32, k in
 		}
 		for _, pr := range probes {
 			if pr.err != nil {
-				topk.Reset(k)
-				return st, pr.err
+				if !storageFault(pr.err) {
+					topk.Reset(k)
+					return st, pr.err
+				}
+				// Degraded mode: the chain was cut short by an unreadable
+				// block; the ids it collected before the cut still verify
+				// below.
+				st.skipChain()
 			}
-			st.TableIOs++
-			st.BucketIOs += pr.ios - 1
+			if pr.ios > 0 {
+				st.TableIOs++
+				st.BucketIOs += pr.ios - 1
+			}
 			st.CacheHits += pr.cst.CacheHits
 			st.CacheMisses += pr.cst.CacheMisses
 		}
@@ -369,8 +377,15 @@ func (ps *ParallelSearcher) fetchAllVec(rIdx int, probes []*probe, st *Stats) er
 	}
 	tr := ps.trace
 	waveStart := tr.Clock()
+	var tableOK []bool
 	if err := ix.ioeng.ReadBatch(ctx, addrs, dsts, &bst); err != nil {
-		return err
+		if !storageFault(err) {
+			return err
+		}
+		tableOK, err = ps.salvageWave(ctx, addrs, dsts, 1, &bst, st)
+		if err != nil {
+			return err
+		}
 	}
 	if tr.Active() {
 		tr.Add(telemetry.StageIOWait, rIdx, waveStart, tr.Clock()-waveStart,
@@ -381,6 +396,9 @@ func (ps *ParallelSearcher) fetchAllVec(rIdx int, probes []*probe, st *Stats) er
 	heads := ps.vecHeads[:0]
 	for i, pr := range probes {
 		pr.ios++
+		if tableOK != nil && !tableOK[i] {
+			continue
+		}
 		head := blockstore.Addr(binary.LittleEndian.Uint64(ps.vecBufs[i][offs[i] : offs[i]+8]))
 		if head != blockstore.Nil {
 			live = append(live, pr)
@@ -404,8 +422,15 @@ func (ps *ParallelSearcher) fetchAllVec(rIdx int, probes []*probe, st *Stats) er
 			}
 		}
 		waveStart = tr.Clock()
+		var chainOK []bool
 		if err := ix.ioeng.ReadBatch(ctx, addrs, dsts, &bst); err != nil {
-			return err
+			if !storageFault(err) {
+				return err
+			}
+			chainOK, err = ps.salvageWave(ctx, addrs, dsts, phys, &bst, st)
+			if err != nil {
+				return err
+			}
 		}
 		if tr.Active() {
 			tr.Add(telemetry.StageIOWait, rIdx, waveStart, tr.Clock()-waveStart,
@@ -417,6 +442,9 @@ func (ps *ParallelSearcher) fetchAllVec(rIdx int, probes []*probe, st *Stats) er
 		for i, pr := range live {
 			buf := ps.vecBufs[i]
 			pr.ios++
+			if chainOK != nil && !chainOK[i] {
+				continue
+			}
 			next, count := bucketHeader(buf)
 			p := HeaderBytes
 			for e := 0; e < count; e++ {
@@ -442,6 +470,33 @@ func (ps *ParallelSearcher) fetchAllVec(rIdx int, probes []*probe, st *Stats) er
 	ps.vecLive = live[:0]
 	ps.vecHeads = heads[:0]
 	return nil
+}
+
+// salvageWave re-reads each logical group of a failed vectored wave
+// individually (group consecutive positions per chain), reporting per-group
+// success so the round can drop only the chains that are actually
+// unreadable. This is the cold path behind a wave-level storage fault: the
+// engine's own salvage already published every healthy block of the failed
+// wave individually (and cached it), and condemned addresses sit in its
+// quarantine, so these re-reads are cache hits or fast fails, not a second
+// trip through the backoff ladder.
+func (ps *ParallelSearcher) salvageWave(ctx context.Context, addrs []blockstore.Addr, dsts [][]byte, group int, bst *ioengine.BatchStats, st *Stats) ([]bool, error) {
+	ok := make([]bool, len(addrs)/group)
+	for g := range ok {
+		ok[g] = true
+		for p := 0; p < group; p++ {
+			i := g*group + p
+			if err := ps.ix.ioeng.Read(ctx, addrs[i], dsts[i], bst); err != nil {
+				if !storageFault(err) {
+					return nil, err
+				}
+				st.skipChain()
+				ok[g] = false
+				break
+			}
+		}
+	}
+	return ok, nil
 }
 
 // fetchOne reads one probe's table entry and full bucket chain, collecting

@@ -28,7 +28,9 @@ package ioengine
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -55,6 +57,23 @@ type Options struct {
 	// fill. The engine's counters then mirror blockcache.ReadThrough's
 	// accounting, so cached and engine-routed reads stay comparable.
 	Cache *blockcache.Cache
+	// Retries is the per-read retry budget: how many times a failed physical
+	// read of one block is re-attempted when the failure classifies as a
+	// transient storage fault (EIO, short read, checksum mismatch — anything
+	// except context cancellation and invalid addresses). 0 disables
+	// retries, quarantine included.
+	Retries int
+	// RetryBackoff is the base delay before the first retry; it doubles per
+	// attempt, capped at 8x, with ±50% jitter so concurrent queries hitting
+	// the same sick device don't retry in lockstep. Defaults to 200µs. The
+	// engine's queue-depth slot is released while backing off, so a
+	// retrying read never stalls healthy traffic.
+	RetryBackoff time.Duration
+	// QuarantineLimit bounds the quarantine set: addresses that exhausted
+	// their retry budget fail fast on later reads instead of re-paying the
+	// full backoff ladder, until evicted FIFO by newer entrants. Defaults
+	// to 1024; only meaningful with Retries > 0.
+	QuarantineLimit int
 }
 
 // BatchStats reports what one Read or ReadBatch call did, in the per-query
@@ -84,12 +103,24 @@ type Counters struct {
 	// Reads is the number of block reads requested (demand traffic;
 	// prefetch waves count only in PhysicalReads/CoalescedReads).
 	Reads int64
-	// PhysicalReads is the number of physical backend operations issued.
+	// PhysicalReads is the number of physical backend operations issued
+	// (retry attempts included).
 	PhysicalReads int64
 	// CoalescedReads is the reads absorbed by adjacent-run merging.
 	CoalescedReads int64
 	// DedupedReads is the demand reads absorbed by singleflight sharing.
 	DedupedReads int64
+	// RetriedReads is the number of retry attempts issued after transient
+	// read failures.
+	RetriedReads int64
+	// FaultedReads is the number of block reads that still failed after
+	// exhausting the retry budget (or that failed with retries disabled).
+	FaultedReads int64
+	// QuarantineHits is the reads failed fast against the quarantine set
+	// without touching the backend.
+	QuarantineHits int64
+	// Quarantined is the current size of the quarantine set (a gauge).
+	Quarantined int64
 }
 
 // flight is one in-flight backend read other callers may join.
@@ -104,9 +135,12 @@ type flight struct {
 // the readahead pool) of an index, so the depth bound and the dedup table
 // span the whole serving process.
 type Engine struct {
-	src   Source
-	cache *blockcache.Cache
-	sem   *semaphore
+	src     Source
+	cache   *blockcache.Cache
+	sem     *semaphore
+	retries int
+	backoff time.Duration
+	quar    quarantine
 
 	mu       sync.Mutex
 	inflight map[blockstore.Addr]*flight //lsh:guardedby mu
@@ -119,6 +153,9 @@ type Engine struct {
 	physical  atomic.Int64
 	coalesced atomic.Int64
 	deduped   atomic.Int64
+	retried   atomic.Int64
+	faulted   atomic.Int64
+	quarHits  atomic.Int64
 
 	// lat, when set, receives the submit→complete latency of every physical
 	// backend operation (semaphore wait + device time, the paper's
@@ -139,10 +176,24 @@ func New(src Source, opts Options) (*Engine, error) {
 	if opts.Depth < 1 {
 		return nil, fmt.Errorf("ioengine: queue depth must be at least 1, got %d", opts.Depth)
 	}
+	if opts.Retries < 0 {
+		return nil, fmt.Errorf("ioengine: negative retry budget %d", opts.Retries)
+	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 200 * time.Microsecond
+	}
+	quarLimit := opts.QuarantineLimit
+	if quarLimit <= 0 {
+		quarLimit = 1024
+	}
 	return &Engine{
 		src:      src,
 		cache:    opts.Cache,
 		sem:      newSemaphore(opts.Depth),
+		retries:  opts.Retries,
+		backoff:  backoff,
+		quar:     quarantine{limit: quarLimit},
 		inflight: make(map[blockstore.Addr]*flight),
 	}, nil
 }
@@ -173,6 +224,10 @@ func (e *Engine) Counters() Counters {
 		PhysicalReads:  e.physical.Load(),
 		CoalescedReads: e.coalesced.Load(),
 		DedupedReads:   e.deduped.Load(),
+		RetriedReads:   e.retried.Load(),
+		FaultedReads:   e.faulted.Load(),
+		QuarantineHits: e.quarHits.Load(),
+		Quarantined:    int64(e.quar.len()),
 	}
 }
 
@@ -218,6 +273,27 @@ func (e *Engine) Read(ctx context.Context, a blockstore.Addr, buf []byte, st *Ba
 		}
 		st.PhysicalReads++
 	}
+	err := e.readPhysical(a, buf)
+	e.publish(a, fl, buf, err, false, nil)
+	return err
+}
+
+// retryable reports whether err is a transient storage fault worth
+// retrying: EIO, short reads and checksum mismatches all qualify (the copy
+// on the wire may be rotten while the device's copy is fine, and transient
+// device errors clear on re-read). Context cancellation is the caller
+// giving up, and blockstore.ErrInvalidAddr is a program bug — neither is
+// retried.
+func retryable(err error) bool {
+	return err != nil &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, blockstore.ErrInvalidAddr)
+}
+
+// readOnce is one physical single-block backend attempt, with the engine's
+// depth bound and latency accounting.
+func (e *Engine) readOnce(a blockstore.Addr, buf []byte) error {
 	lat := e.lat.Load()
 	var t0 time.Time
 	if lat != nil {
@@ -230,8 +306,41 @@ func (e *Engine) Read(ctx context.Context, a blockstore.Addr, buf []byte, st *Ba
 		lat.Observe(time.Since(t0))
 	}
 	e.physical.Add(1)
-	e.publish(a, fl, buf, err, false, nil)
 	return err
+}
+
+// readPhysical is the fault-tolerant single-block read every leader path
+// funnels through: quarantine fast-fail, then up to 1+Retries attempts with
+// capped exponential backoff. The depth slot is held per attempt, never
+// across a backoff sleep. An address that exhausts its budget is
+// quarantined so later queries fail it fast instead of re-paying the
+// ladder.
+func (e *Engine) readPhysical(a blockstore.Addr, buf []byte) error {
+	if qerr := e.quar.check(a); qerr != nil {
+		e.quarHits.Add(1)
+		return qerr
+	}
+	err := e.readOnce(a, buf)
+	for attempt := 0; attempt < e.retries && retryable(err); attempt++ {
+		e.retried.Add(1)
+		e.sleepBackoff(attempt)
+		err = e.readOnce(a, buf)
+	}
+	if retryable(err) {
+		e.faulted.Add(1)
+		if e.retries > 0 {
+			e.quar.add(a, err)
+		}
+	}
+	return err
+}
+
+// sleepBackoff waits before retry attempt (0-based), doubling from the base
+// and capping at 8x, jittered ±50% so retry storms decorrelate.
+func (e *Engine) sleepBackoff(attempt int) {
+	d := e.backoff << min(attempt, 3)
+	d = time.Duration(float64(d) * (0.5 + rand.Float64()))
+	time.Sleep(d)
 }
 
 // join waits for another caller's flight and copies its result out.
@@ -513,7 +622,10 @@ func (e *Engine) submit(addrs []blockstore.Addr, bufs [][]byte, lead []int, runs
 }
 
 // submitRun performs one coalesced physical operation and publishes its
-// flights.
+// flights. A failed vectored read over a retry-enabled engine degrades to
+// per-block salvage — each block gets its own retry ladder — so one bad
+// block cannot poison its run-mates; runs containing a quarantined address
+// skip the doomed vectored attempt and go straight to salvage.
 func (e *Engine) submitRun(addrs []blockstore.Addr, bufs [][]byte, lead []int, r run, flights map[blockstore.Addr]*flight, quiet bool, h *blockcache.Handle) error {
 	n := r.hi - r.lo
 	runAddrs := make([]blockstore.Addr, n)
@@ -523,23 +635,40 @@ func (e *Engine) submitRun(addrs []blockstore.Addr, bufs [][]byte, lead []int, r
 		runAddrs[k] = addrs[pos]
 		runBufs[k] = bufs[pos]
 	}
-	lat := e.lat.Load()
-	var t0 time.Time
-	if lat != nil {
-		t0 = time.Now()
+	if !e.quar.containsAny(runAddrs) {
+		lat := e.lat.Load()
+		var t0 time.Time
+		if lat != nil {
+			t0 = time.Now()
+		}
+		e.sem.acquire()
+		_, err := e.src.ReadBlocks(runAddrs, runBufs)
+		e.sem.release()
+		if lat != nil {
+			lat.Observe(time.Since(t0))
+		}
+		e.physical.Add(1)
+		if err == nil || e.retries == 0 || !retryable(err) {
+			if err != nil && retryable(err) {
+				e.faulted.Add(1)
+			}
+			for k := 0; k < n; k++ {
+				pos := lead[r.lo+k]
+				e.publish(addrs[pos], flights[addrs[pos]], bufs[pos], err, quiet, h)
+			}
+			return err
+		}
 	}
-	e.sem.acquire()
-	_, err := e.src.ReadBlocks(runAddrs, runBufs)
-	e.sem.release()
-	if lat != nil {
-		lat.Observe(time.Since(t0))
-	}
-	e.physical.Add(1)
+	var firstErr error
 	for k := 0; k < n; k++ {
 		pos := lead[r.lo+k]
-		e.publish(addrs[pos], flights[addrs[pos]], bufs[pos], err, quiet, h)
+		berr := e.readPhysical(addrs[pos], bufs[pos])
+		e.publish(addrs[pos], flights[addrs[pos]], bufs[pos], berr, quiet, h)
+		if berr != nil && firstErr == nil {
+			firstErr = berr
+		}
 	}
-	return err
+	return firstErr
 }
 
 // Prefetch starts walking every walk as vectored waves and returns

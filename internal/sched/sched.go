@@ -98,6 +98,7 @@ type Engine struct {
 	ioOverhead simclock.Time // total interface/page CPU cost
 	ios        int64
 	coalesced  int64             // reads merged into another run's request by ReadVec
+	faults     int64             // block reads degraded to zero blocks by store failures
 	runScratch []blockstore.Addr // countRuns sort arena, reused across waves
 	doneCount  int
 	spans      []simclock.Time
@@ -119,15 +120,21 @@ func New(cfg Config) (*Engine, error) {
 // so Charge, Read and done always act at the query's current virtual time.
 // Methods may only be called while one of the query's segments is executing.
 type Ctx struct {
-	e    *Engine
-	cpu  int
-	qi   int
-	t    simclock.Time
-	done bool
+	e      *Engine
+	cpu    int
+	qi     int
+	t      simclock.Time
+	done   bool
+	faults int64 // reads this query saw degraded to zero blocks
 }
 
 // Now returns the query's current virtual time.
 func (tc *Ctx) Now() simclock.Time { return tc.t }
+
+// FaultedReads returns how many of this query's block reads failed at the
+// store and were served as zero blocks instead (see readBlockDegraded).
+// Callers use the between-rounds delta to attribute faults per radius.
+func (tc *Ctx) FaultedReads() int64 { return tc.faults }
 
 // Charge consumes ns nanoseconds of CPU time.
 func (tc *Ctx) Charge(ns simclock.Time) {
@@ -158,9 +165,7 @@ func (tc *Ctx) Read(addr blockstore.Addr, cont func(block []byte)) {
 		doneAt := e.cfg.Pool.Submit(e.q.Now(), uint64(addr))
 		e.q.Schedule(doneAt, func() {
 			buf := e.getBuf()
-			if err := e.cfg.Store.ReadBlock(addr, buf); err != nil {
-				panic(fmt.Sprintf("sched: block read failed: %v", err))
-			}
+			e.readBlockDegraded(tc, addr, buf)
 			e.enqueue(tc.cpu, segment{
 				ctx:       tc,
 				notBefore: e.q.Now(),
@@ -210,9 +215,7 @@ func (tc *Ctx) ReadVec(addrs []blockstore.Addr, cont func(i int, block []byte)) 
 			doneAt := e.cfg.Pool.Submit(e.q.Now(), uint64(a))
 			e.q.Schedule(doneAt, func() {
 				buf := e.getBuf()
-				if err := e.cfg.Store.ReadBlock(a, buf); err != nil {
-					panic(fmt.Sprintf("sched: block read failed: %v", err))
-				}
+				e.readBlockDegraded(tc, a, buf)
 				e.enqueue(tc.cpu, segment{
 					ctx:       tc,
 					notBefore: e.q.Now(),
@@ -260,11 +263,23 @@ func (tc *Ctx) syncRead(addr blockstore.Addr, cont func(block []byte)) {
 		tc.t = e.cfg.Pool.Submit(tc.t, uint64(addr))
 	}
 	buf := e.getBuf()
-	if err := e.cfg.Store.ReadBlock(addr, buf); err != nil {
-		panic(fmt.Sprintf("sched: block read failed: %v", err))
-	}
+	e.readBlockDegraded(tc, addr, buf)
 	cont(buf)
 	e.putBuf(buf)
+}
+
+// readBlockDegraded fills buf from the store, degrading a failed read to an
+// all-zero block instead of failing the run: a zero block decodes as a Nil
+// table head or an empty bucket (next Nil, count 0), so the walk simply
+// ends there — the virtual-time twin of the wall-clock skip-chain path.
+// Faults are counted on the engine (Report.FaultedReads) and on the query's
+// Ctx, so callers can mark results partial per query.
+func (e *Engine) readBlockDegraded(tc *Ctx, addr blockstore.Addr, buf []byte) {
+	if err := e.cfg.Store.ReadBlock(addr, buf); err != nil {
+		clear(buf)
+		e.faults++
+		tc.faults++
+	}
 }
 
 func (e *Engine) getBuf() []byte {
@@ -372,6 +387,10 @@ type Report struct {
 	// request by vectored submission (ReadVec): the device still served
 	// them, but the CPU never paid their T_request.
 	CoalescedReads int64
+	// FaultedReads is how many block reads failed at the store and were
+	// served as zero blocks (degraded mode; the queries they belonged to
+	// saw truncated chains, not errors).
+	FaultedReads int64
 	// Spans are per-query start-to-done durations.
 	Spans []simclock.Time
 	// Device aggregates pool statistics (observed IOPS, latency, usage).
@@ -448,6 +467,7 @@ func (e *Engine) RunBatch(n, contextsPerCPU int, fn QueryFunc) (Report, error) {
 		IOOverhead:     e.ioOverhead,
 		IOs:            e.ios,
 		CoalescedReads: e.coalesced,
+		FaultedReads:   e.faults,
 		Spans:          e.spans,
 		Device:         e.cfg.Pool.Stats(),
 		DeviceUsage:    e.cfg.Pool.Usage(makespan),

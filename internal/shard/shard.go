@@ -15,9 +15,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"e2lshos/internal/ann"
+	"e2lshos/internal/telemetry"
 )
 
 // Placement selects how objects are assigned to shards.
@@ -127,6 +129,72 @@ type Router[S any] struct {
 	// closure returning, which includes goroutine scheduling — the quantity
 	// a load balancer or straggler detector actually experiences.
 	observe func(shard int, d time.Duration)
+
+	// hedge, when set, re-issues a straggling shard's sub-query after that
+	// shard's observed p99 and takes whichever attempt answers first — the
+	// tail-tolerance move of every scatter-gather serving tier, rehearsed
+	// in-process here before the ROADMAP's network tier needs it.
+	hedge *hedger
+}
+
+// HedgeConfig tunes hedged reads (EnableHedging).
+type HedgeConfig struct {
+	// MinSamples is how many successful sub-queries a shard must have
+	// answered before its latency history is trusted enough to hedge
+	// against (default 32).
+	MinSamples int
+	// Floor is the lowest hedge delay ever used, so a fast shard's tight
+	// p99 cannot spawn a duplicate on every scheduling hiccup (default
+	// 200µs).
+	Floor time.Duration
+}
+
+// hedger is the per-shard latency history and the hedging counters.
+type hedger struct {
+	min    int
+	floor  time.Duration
+	hists  []telemetry.Histogram
+	hedged atomic.Int64
+	wins   atomic.Int64
+}
+
+// delay returns the hedge delay for shard i — its observed p99, clamped to
+// the floor — and whether enough history exists to hedge at all.
+func (h *hedger) delay(i int) (time.Duration, bool) {
+	var snap telemetry.HistSnapshot
+	h.hists[i].Snapshot(&snap)
+	if snap.Count < uint64(h.min) {
+		return 0, false
+	}
+	d := snap.Quantile(0.99)
+	if d < h.floor {
+		d = h.floor
+	}
+	return d, true
+}
+
+func (h *hedger) record(i int, d time.Duration) { h.hists[i].Observe(d) }
+
+// EnableHedging turns on hedged reads for every subsequent scatter. Like
+// SetObserver it is a setup-time call, not safe concurrently with
+// Search/BatchSearch.
+func (r *Router[S]) EnableHedging(cfg HedgeConfig) {
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 32
+	}
+	if cfg.Floor <= 0 {
+		cfg.Floor = 200 * time.Microsecond
+	}
+	r.hedge = &hedger{min: cfg.MinSamples, floor: cfg.Floor, hists: make([]telemetry.Histogram, len(r.globals))}
+}
+
+// HedgeStats reports how many duplicate sub-queries were issued and how
+// many of them answered before their primary (0, 0 without EnableHedging).
+func (r *Router[S]) HedgeStats() (hedged, wins int64) {
+	if r.hedge == nil {
+		return 0, 0
+	}
+	return r.hedge.hedged.Load(), r.hedge.wins.Load()
 }
 
 // SetObserver installs (or, with nil, removes) the per-shard latency hook.
@@ -207,18 +275,77 @@ func (r *Router[S]) scatter(ctx context.Context, fn func(ctx context.Context, sh
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results, stats, err := fn(sctx, i)
+			out := r.runShard(sctx, i, fn)
 			if r.observe != nil {
 				r.observe(i, time.Since(start))
 			}
-			outs[i] = shardOut[S]{results: results, stats: stats, err: err}
-			if err != nil {
+			outs[i] = out
+			if out.err != nil {
 				cancel() // fail fast: stop the sibling shards
 			}
 		}(i)
 	}
 	wg.Wait()
 	return outs
+}
+
+// hedgeResult tags a finished attempt with which of the two it was.
+type hedgeResult[S any] struct {
+	out    shardOut[S]
+	second bool
+}
+
+// runShard executes shard i's sub-query, hedging it with a duplicate
+// attempt after the shard's observed p99 once enough latency history
+// exists. The first attempt to answer wins; the loser's context is canceled
+// and its stats are dropped (the duplicate did the same work, so folding
+// both would double-count). Only successful attempts feed the latency
+// history — fast failures must not shrink the hedge delay.
+func (r *Router[S]) runShard(sctx context.Context, i int, fn func(ctx context.Context, shard int) ([]ann.Result, S, error)) shardOut[S] {
+	h := r.hedge
+	var delay time.Duration
+	hedgeable := false
+	if h != nil {
+		delay, hedgeable = h.delay(i)
+	}
+	if !hedgeable {
+		t0 := time.Now()
+		var out shardOut[S]
+		out.results, out.stats, out.err = fn(sctx, i)
+		if h != nil && out.err == nil {
+			h.record(i, time.Since(t0))
+		}
+		return out
+	}
+	actx, acancel := context.WithCancel(sctx)
+	defer acancel() // reap the losing attempt once a winner returns
+	ch := make(chan hedgeResult[S], 2)
+	attempt := func(second bool) {
+		t0 := time.Now()
+		var out shardOut[S]
+		out.results, out.stats, out.err = fn(actx, i)
+		if out.err == nil {
+			h.record(i, time.Since(t0))
+		}
+		ch <- hedgeResult[S]{out: out, second: second}
+	}
+	go attempt(false)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.out
+	case <-timer.C:
+	}
+	// The primary is straggling past this shard's p99: issue the duplicate
+	// and take whichever answers first.
+	h.hedged.Add(1)
+	go attempt(true)
+	res := <-ch
+	if res.second {
+		h.wins.Add(1)
+	}
+	return res.out
 }
 
 // gather merges nq per-query answers across shards in shard order (so the

@@ -6,14 +6,27 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"e2lshos/internal/autotune"
 	"e2lshos/internal/coalesce"
 	"e2lshos/internal/telemetry"
+)
+
+// breakerWindow is how many recent request outcomes the readiness circuit
+// breaker looks at; breakerMinSamples and breakerTripRate are when it trips.
+// Sized so one bad batch (a poisoned query panicking its coalesced batch)
+// cannot flip readiness, but a dying disk — every query failing — trips it
+// within one window.
+const (
+	breakerWindow     = 64
+	breakerMinSamples = 16
+	breakerTripRate   = 0.5
 )
 
 // ServerConfig tunes the HTTP serving front-end.
@@ -105,9 +118,19 @@ type Server struct {
 	failed    uint64  //lsh:guardedby mu
 	canceled  uint64  //lsh:guardedby mu
 	degraded  uint64  //lsh:guardedby mu — served, but the controller degraded them
+	panics    uint64  //lsh:guardedby mu — panics recovered in HTTP handlers
 	scored    int     //lsh:guardedby mu
 	recallSum float64 //lsh:guardedby mu
 	ratioSum  float64 //lsh:guardedby mu
+
+	// The readiness circuit breaker's ring of recent outcomes: 1 marks an
+	// engine-side failure (not client cancellations, not shed load). When
+	// the windowed failure rate crosses breakerTripRate, /readyz turns 503
+	// so load balancers drain this replica before clients burn retries on it.
+	outcomes   [breakerWindow]byte //lsh:guardedby mu
+	outcomeIdx int                 //lsh:guardedby mu
+	outcomeN   int                 //lsh:guardedby mu — filled entries, ≤ breakerWindow
+	outcomeBad int                 //lsh:guardedby mu — failures currently in the ring
 }
 
 // NewServer wraps eng for serving. Close releases the coalescer.
@@ -298,6 +321,11 @@ type searchStatsV1 struct {
 	CacheHits     int `json:"cache_hits"`
 	CacheMisses   int `json:"cache_misses"`
 	PhysicalReads int `json:"physical_reads"`
+	// FaultedReads and SkippedChains report degraded-mode work: block reads
+	// that failed after retries and the bucket chains skipped because of
+	// them (see the envelope's top-level "partial").
+	FaultedReads  int `json:"faulted_reads,omitempty"`
+	SkippedChains int `json:"skipped_chains,omitempty"`
 }
 
 // controllerV1 reports what the autotune controller did to this query (all
@@ -314,10 +342,14 @@ type controllerV1 struct {
 
 // searchResponseV1 is the /v1/search envelope.
 type searchResponseV1 struct {
-	Neighbors  []searchNeighbor `json:"neighbors"`
-	K          int              `json:"k"`
-	Stats      searchStatsV1    `json:"stats"`
-	Controller controllerV1     `json:"controller"`
+	Neighbors []searchNeighbor `json:"neighbors"`
+	K         int              `json:"k"`
+	// Partial reports that storage faults made the engine skip part of the
+	// index for this query: the neighbors are correct but possibly
+	// incomplete. Healthy serving always answers false.
+	Partial    bool          `json:"partial"`
+	Stats      searchStatsV1 `json:"stats"`
+	Controller controllerV1  `json:"controller"`
 }
 
 // statsResponse is the /stats reply: the cumulative Stats counters (the
@@ -347,6 +379,12 @@ type statsResponse struct {
 	CoalescedReads int `json:"coalesced_reads"`
 	DedupedReads   int `json:"deduped_reads"`
 	PhysicalReads  int `json:"physical_reads"`
+	// Fault-tolerance counters: reads that failed after retries, the bucket
+	// chains skipped because of them, and the queries that served partial
+	// results as a consequence.
+	FaultedReads   int `json:"faulted_reads"`
+	SkippedChains  int `json:"skipped_chains"`
+	PartialQueries int `json:"partial_queries"`
 	// In-memory reference and SRS-only counters (zero on other engines).
 	IOsAtInf     int `json:"ios_at_inf"`
 	NodesVisited int `json:"nodes_visited"`
@@ -363,16 +401,26 @@ type statsResponse struct {
 	Canceled        uint64  `json:"canceled"`
 	Shed            uint64  `json:"shed"`
 	Degraded        uint64  `json:"degraded"`
-	UptimeSeconds   float64 `json:"uptime_seconds"`
-	Scored          int     `json:"scored,omitempty"`
-	MeanRecall      float64 `json:"mean_recall,omitempty"`
-	MeanRatio       float64 `json:"mean_ratio,omitempty"`
+	// Panics counts recovered panics — batch functions and HTTP handlers —
+	// that were converted to errors instead of crashes.
+	Panics uint64 `json:"panics"`
+	// Hedged / HedgeWins report shard-read hedging (zero unless the engine
+	// is a ShardedIndex with EnableHedging).
+	Hedged        int64   `json:"hedged,omitempty"`
+	HedgeWins     int64   `json:"hedge_wins,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Scored        int     `json:"scored,omitempty"`
+	MeanRecall    float64 `json:"mean_recall,omitempty"`
+	MeanRatio     float64 `json:"mean_ratio,omitempty"`
 }
 
 // Handler returns the HTTP API: POST /v1/search (per-request tuning), POST
-// /search (legacy shim), GET /stats, GET /healthz, GET /metrics (Prometheus
+// /search (legacy shim), GET /stats, GET /healthz (pure liveness), GET
+// /readyz (storage probe + error-rate breaker), GET /metrics (Prometheus
 // text exposition), and — when ServerConfig.Pprof is set — net/http/pprof
-// under /debug/pprof/.
+// under /debug/pprof/. Every route runs inside a panic-recovery wrapper
+// that converts a handler panic into a 500 instead of a torn-down
+// connection.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/search", s.handleSearchV1)
@@ -380,8 +428,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness only: the process is up and serving HTTP. Readiness —
+		// whether it should receive traffic — is /readyz's question.
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	if s.cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -389,7 +440,62 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics converts a panicking handler into a counted 500. net/http's
+// own recovery would keep the process alive but kill the connection without
+// a response; answering with a status keeps clients and the failure-rate
+// breaker informed. Panics inside coalesced batch functions are recovered
+// one layer down (coalesce.ErrPanic) and never reach here.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.mu.Lock()
+				s.panics++
+				s.failed++
+				s.recordOutcomeLocked(true)
+				s.mu.Unlock()
+				// Best effort: if the handler already started the body this
+				// write is a no-op on the status line, but the connection
+				// still closes cleanly.
+				http.Error(w, fmt.Sprintf("internal error: recovered panic: %v", rec), http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleReadyz is readiness: whether this replica should receive traffic
+// right now. It answers 503 when the windowed failure rate has tripped the
+// circuit breaker or when the engine's storage probe fails, both with a
+// derived Retry-After — load balancers and orchestrators drain the replica
+// instead of clients discovering the failure one request at a time.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	if rate, n, open := s.breakerState(); open {
+		w.Header().Set("Retry-After", s.retryAfter())
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready":  false,
+			"reason": fmt.Sprintf("circuit breaker open: %.0f%% of the last %d requests failed", rate*100, n),
+		})
+		return
+	}
+	if p, ok := s.eng.(interface{ ProbeStorage() error }); ok {
+		if err := p.ProbeStorage(); err != nil {
+			w.Header().Set("Retry-After", s.retryAfter())
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"ready":  false,
+				"reason": err.Error(),
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
 // checkCommon validates the fields shared by both request versions,
@@ -406,6 +512,58 @@ func (s *Server) checkCommon(w http.ResponseWriter, query []float32, k int) bool
 	return true
 }
 
+// recordOutcomeLocked pushes one request outcome into the breaker ring.
+// Caller holds s.mu.
+func (s *Server) recordOutcomeLocked(failed bool) {
+	if s.outcomeN == breakerWindow {
+		s.outcomeBad -= int(s.outcomes[s.outcomeIdx])
+	} else {
+		s.outcomeN++
+	}
+	s.outcomes[s.outcomeIdx] = 0
+	if failed {
+		s.outcomes[s.outcomeIdx] = 1
+		s.outcomeBad++
+	}
+	s.outcomeIdx = (s.outcomeIdx + 1) % breakerWindow
+}
+
+// breakerState reports the windowed failure rate, the sample count behind
+// it, and whether the breaker is open (tripped).
+func (s *Server) breakerState() (rate float64, n int, open bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.outcomeN == 0 {
+		return 0, 0, false
+	}
+	rate = float64(s.outcomeBad) / float64(s.outcomeN)
+	return rate, s.outcomeN, s.outcomeN >= breakerMinSamples && rate >= breakerTripRate
+}
+
+// retryAfter derives the Retry-After seconds a backpressured client should
+// wait: the time for the admitted queue to drain at the observed p99 batch
+// latency, bounded to [1, 30] and then jittered up to 2× so the shed cohort
+// does not return as one synchronized herd.
+func (s *Server) retryAfter() string {
+	inflight, _ := s.batcher.Load()
+	var snap telemetry.HistSnapshot
+	s.lat.Snapshot(&snap)
+	p99 := snap.Quantile(0.99)
+	if p99 <= 0 {
+		p99 = 50 * time.Millisecond // no history yet: assume a fast engine
+	}
+	batches := inflight/s.batcher.MaxBatch() + 1
+	secs := int((time.Duration(batches)*p99 + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	secs += rand.IntN(secs + 1)
+	return strconv.Itoa(secs)
+}
+
 // doSearch runs one admitted query through the keyed coalescer, mapping
 // errors to status codes; ok reports whether a response is still owed.
 func (s *Server) doSearch(w http.ResponseWriter, r *http.Request, key tuningKey, query []float32) (searchOutcome, bool) {
@@ -417,28 +575,32 @@ func (s *Server) doSearch(w http.ResponseWriter, r *http.Request, key tuningKey,
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			// The client gave up, not the engine: count separately and use
 			// nginx's 499 so /stats and logs keep disconnects apart from
-			// real failures.
+			// real failures. Not a breaker outcome — client disconnects say
+			// nothing about this replica's health.
 			s.mu.Lock()
 			s.canceled++
 			s.mu.Unlock()
 			http.Error(w, err.Error(), 499)
 		case errors.Is(err, coalesce.ErrOverloaded):
 			// Shed load is backpressure, not failure: 429 tells well-behaved
-			// clients to retry after the queue drains (sheds are counted by
-			// the coalescer, separately from controller degrades).
+			// clients when to retry (sheds are counted by the coalescer,
+			// separately from controller degrades). Overload is also not a
+			// breaker outcome — it is the queue bound doing its job.
 			s.mu.Lock()
 			s.failed++
 			s.mu.Unlock()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter())
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
 		case errors.Is(err, coalesce.ErrClosed):
 			s.mu.Lock()
 			s.failed++
+			s.recordOutcomeLocked(true)
 			s.mu.Unlock()
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		default:
 			s.mu.Lock()
 			s.failed++
+			s.recordOutcomeLocked(true)
 			s.mu.Unlock()
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
@@ -446,6 +608,7 @@ func (s *Server) doSearch(w http.ResponseWriter, r *http.Request, key tuningKey,
 	}
 	s.mu.Lock()
 	s.served++
+	s.recordOutcomeLocked(false)
 	if out.st.DegradedKnobs > 0 || out.st.BudgetExhausted > 0 {
 		s.degraded++
 	}
@@ -551,6 +714,7 @@ func (s *Server) handleSearchV1(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, searchResponseV1{
 		K:         k,
 		Neighbors: neighborsPrefix(out.res, k),
+		Partial:   st.Partial > 0,
 		Stats: searchStatsV1{
 			Radii:         st.Radii,
 			Probes:        st.Probes,
@@ -559,6 +723,8 @@ func (s *Server) handleSearchV1(w http.ResponseWriter, r *http.Request) {
 			CacheHits:     st.CacheHits,
 			CacheMisses:   st.CacheMisses,
 			PhysicalReads: st.PhysicalReads,
+			FaultedReads:  st.FaultedReads,
+			SkippedChains: st.SkippedChains,
 		},
 		Controller: controllerV1{
 			RoundsSkipped:   st.RoundsSkipped,
@@ -627,6 +793,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CoalescedReads:   st.CoalescedReads,
 		DedupedReads:     st.DedupedReads,
 		PhysicalReads:    st.PhysicalReads,
+		FaultedReads:     st.FaultedReads,
+		SkippedChains:    st.SkippedChains,
+		PartialQueries:   st.Partial,
 		IOsAtInf:         st.IOsAtInf,
 		NodesVisited:     st.NodesVisited,
 		EarlyStopped:     st.EarlyStopped,
@@ -641,8 +810,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Canceled:         s.canceled,
 		Degraded:         s.degraded,
 		Shed:             s.batcher.Shed(),
+		Panics:           s.panics + s.batcher.Panics(),
 		UptimeSeconds:    time.Since(s.start).Seconds(),
 		Scored:           s.scored,
+	}
+	if h, ok := s.eng.(interface{ HedgeStats() (int64, int64) }); ok {
+		resp.Hedged, resp.HedgeWins = h.HedgeStats()
 	}
 	if s.scored > 0 {
 		resp.MeanRecall = s.recallSum / float64(s.scored)
@@ -665,7 +838,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	st := s.agg
-	served, failed, canceled, degraded := s.served, s.failed, s.canceled, s.degraded
+	served, failed, canceled, degraded, panics := s.served, s.failed, s.canceled, s.degraded, s.panics
 	s.mu.Unlock()
 
 	w.Header().Set("Content-Type", telemetry.PromContentType)
@@ -675,6 +848,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	telemetry.WriteCounter(w, "lsh_canceled_total", float64(canceled))
 	telemetry.WriteCounter(w, "lsh_shed_total", float64(s.batcher.Shed()))
 	telemetry.WriteCounter(w, "lsh_degraded_total", float64(degraded))
+	telemetry.WriteCounter(w, "lsh_panics_total", float64(panics+s.batcher.Panics()))
+	if h, ok := s.eng.(interface{ HedgeStats() (int64, int64) }); ok {
+		hedged, wins := h.HedgeStats()
+		telemetry.WriteCounter(w, "lsh_hedged_total", float64(hedged))
+		telemetry.WriteCounter(w, "lsh_hedge_wins_total", float64(wins))
+	}
 	telemetry.WriteGauge(w, "lsh_uptime_seconds", time.Since(s.start).Seconds())
 	telemetry.WriteGauge(w, "lsh_coalesce_max_batch", float64(s.batcher.MaxBatch()))
 	if d, ok := s.eng.(interface{ IODepth() int }); ok {
@@ -721,6 +900,9 @@ func writeStatsProm(w io.Writer, st Stats) {
 	telemetry.WriteCounter(w, "lsh_stats_coalesced_reads_total", float64(st.CoalescedReads))
 	telemetry.WriteCounter(w, "lsh_stats_deduped_reads_total", float64(st.DedupedReads))
 	telemetry.WriteCounter(w, "lsh_stats_physical_reads_total", float64(st.PhysicalReads))
+	telemetry.WriteCounter(w, "lsh_stats_faulted_reads_total", float64(st.FaultedReads))
+	telemetry.WriteCounter(w, "lsh_stats_skipped_chains_total", float64(st.SkippedChains))
+	telemetry.WriteCounter(w, "lsh_stats_partial_queries_total", float64(st.Partial))
 	telemetry.WriteCounter(w, "lsh_stats_ios_at_inf_total", float64(st.IOsAtInf))
 	telemetry.WriteCounter(w, "lsh_stats_nodes_visited_total", float64(st.NodesVisited))
 	telemetry.WriteCounter(w, "lsh_stats_early_stopped_total", float64(st.EarlyStopped))

@@ -84,6 +84,10 @@ type SimulationReport struct {
 	IOCostMS, ComputeMS float64
 	// MeanIOsPerQuery is the paper's N_IO.
 	MeanIOsPerQuery float64
+	// FaultedReads is how many block reads failed at the store during the
+	// simulation and were served degraded (the async path's zero-block
+	// degrade); nonzero only over a faulty backend.
+	FaultedReads int64
 	// Results are the per-query answers.
 	Results []Result
 }
@@ -142,6 +146,7 @@ func (s *StorageIndex) Simulate(queries [][]float32, cfg SimulationConfig) (*Sim
 		IOCostMS:         simclock.Time(int64(rep.IOOverhead) / int64(rep.Queries)).Millis(),
 		ComputeMS:        simclock.Time(int64(rep.Compute) / int64(rep.Queries)).Millis(),
 		MeanIOsPerQuery:  float64(rep.IOs) / float64(rep.Queries),
+		FaultedReads:     rep.FaultedReads,
 	}
 	for _, r := range results {
 		out.Results = append(out.Results, r.Result)

@@ -71,6 +71,9 @@ var statsJSONKeys = map[string]string{
 	"CoalescedReads":   "coalesced_reads",
 	"DedupedReads":     "deduped_reads",
 	"PhysicalReads":    "physical_reads",
+	"FaultedReads":     "faulted_reads",
+	"SkippedChains":    "skipped_chains",
+	"Partial":          "partial_queries",
 	"IOsAtInf":         "ios_at_inf",
 	"NodesVisited":     "nodes_visited",
 	"EarlyStopped":     "early_stopped",

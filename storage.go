@@ -2,6 +2,7 @@ package e2lshos
 
 import (
 	"context"
+	"fmt"
 
 	"e2lshos/internal/ann"
 	"e2lshos/internal/autotune"
@@ -45,9 +46,16 @@ func NewStorageIndex(data [][]float32, cfg Config, opts ...StorageOption) (*Stor
 	if err != nil {
 		return nil, err
 	}
+	store := blockstore.NewMem()
+	if set.backend != nil {
+		store = blockstore.NewWithBackend(set.backend)
+	}
+	if set.checksumOff {
+		store.SetChecksums(false)
+	}
 	ix, err := diskindex.Build(data, p, diskindex.Options{
 		ShareProjections: true, Seed: seed, TableBits: tableBits,
-	}, blockstore.NewMem())
+	}, store)
 	if err != nil {
 		return nil, err
 	}
@@ -60,6 +68,22 @@ func NewStorageIndex(data [][]float32, cfg Config, opts ...StorageOption) (*Stor
 // SaveFile persists the index (metadata and blocks) to the named file.
 func (s *StorageIndex) SaveFile(path string) error { return s.ix.SaveFile(path) }
 
+// ProbeStorage verifies the backing store still answers: it reads the first
+// allocated block through the checksum layer. The serving tier's /readyz
+// calls this, so a dead or corrupting device flips readiness instead of
+// queries discovering it one failure at a time.
+func (s *StorageIndex) ProbeStorage() error {
+	st := s.ix.Store()
+	if st.NumBlocks() == 0 {
+		return nil
+	}
+	buf := make([]byte, blockstore.BlockSize)
+	if err := st.ReadBlock(1, buf); err != nil {
+		return fmt.Errorf("e2lshos: storage probe: %w", err)
+	}
+	return nil
+}
+
 // OpenStorageIndex loads an index persisted by SaveFile. data must be the
 // vectors the index was built over (the database itself stays on DRAM, as
 // in the paper). Storage options apply as in NewStorageIndex; the cache is
@@ -69,9 +93,15 @@ func OpenStorageIndex(path string, data [][]float32, opts ...StorageOption) (*St
 	if err != nil {
 		return nil, err
 	}
+	if set.backend != nil {
+		return nil, fmt.Errorf("e2lshos: WithStorageBackend applies to NewStorageIndex only; a loaded index owns its store")
+	}
 	ix, err := diskindex.LoadFile(path, data)
 	if err != nil {
 		return nil, err
+	}
+	if set.checksumOff {
+		ix.Store().SetChecksums(false)
 	}
 	if err := attachCache(ix, set); err != nil {
 		return nil, err
@@ -93,7 +123,9 @@ func attachCache(ix *diskindex.Index, set storageSettings) error {
 		ix.AttachCache(cache, set.readahead)
 	}
 	if set.ioDepth > 0 {
-		eng, err := ioengine.New(ix.Store(), ioengine.Options{Depth: set.ioDepth, Cache: cache})
+		eng, err := ioengine.New(ix.Store(), ioengine.Options{
+			Depth: set.ioDepth, Cache: cache, Retries: set.retries,
+		})
 		if err != nil {
 			return err
 		}
@@ -113,18 +145,48 @@ func (s *StorageIndex) CacheStats() (hits, misses, prefetched int64) {
 	return c.Hits(), c.Misses(), c.Prefetched()
 }
 
-// IOEngineStats reports the cumulative vectored-engine counters across all
-// queries (all zero when the index was built without WithIOEngine):
-// requested block reads, the physical backend operations that served them,
-// and the reads absorbed by adjacent-run coalescing and singleflight dedup.
+// IOEngineCounters is the full vectored-engine counter set, the facade
+// mirror of the ioengine package's Counters: throughput counters plus the
+// fault-tolerance ones (retries issued, reads failed after retries,
+// quarantine fast-fails, and the current quarantine size — a gauge).
+type IOEngineCounters struct {
+	Reads          int64
+	PhysicalReads  int64
+	CoalescedReads int64
+	DedupedReads   int64
+	RetriedReads   int64
+	FaultedReads   int64
+	QuarantineHits int64
+	Quarantined    int64
+}
+
+// IOCounters reports the cumulative vectored-engine counters across all
+// queries (all zero when the index was built without WithIOEngine).
 //
 //lsh:foldall ioengine.Counters
-func (s *StorageIndex) IOEngineStats() (reads, physical, coalesced, deduped int64) {
+func (s *StorageIndex) IOCounters() IOEngineCounters {
 	eng := s.ix.IOEngine()
 	if eng == nil {
-		return 0, 0, 0, 0
+		return IOEngineCounters{}
 	}
 	c := eng.Counters()
+	return IOEngineCounters{
+		Reads:          c.Reads,
+		PhysicalReads:  c.PhysicalReads,
+		CoalescedReads: c.CoalescedReads,
+		DedupedReads:   c.DedupedReads,
+		RetriedReads:   c.RetriedReads,
+		FaultedReads:   c.FaultedReads,
+		QuarantineHits: c.QuarantineHits,
+		Quarantined:    c.Quarantined,
+	}
+}
+
+// IOEngineStats reports the headline subset of IOCounters: requested block
+// reads, the physical backend operations that served them, and the reads
+// absorbed by adjacent-run coalescing and singleflight dedup.
+func (s *StorageIndex) IOEngineStats() (reads, physical, coalesced, deduped int64) {
+	c := s.IOCounters()
 	return c.Reads, c.PhysicalReads, c.CoalescedReads, c.DedupedReads
 }
 
@@ -245,5 +307,8 @@ func diskStats(st diskindex.Stats) Stats {
 		CoalescedReads:   st.CoalescedReads,
 		DedupedReads:     st.DedupedReads,
 		PhysicalReads:    st.PhysicalReads,
+		FaultedReads:     st.FaultedReads,
+		SkippedChains:    st.SkippedChains,
+		Partial:          st.Partial,
 	}
 }
