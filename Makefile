@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fuzz chaos bench cover
+.PHONY: all build test race lint fuzz chaos crash bench cover
 
 all: build test lint
 
@@ -28,10 +28,20 @@ fuzz:
 	$(GO) test ./internal/blockstore -run '^$$' -fuzz FuzzChecksumRoundTrip -fuzztime 20s
 	$(GO) test ./internal/diskindex -run '^$$' -fuzz FuzzUint40RoundTrip -fuzztime 20s
 	$(GO) test ./internal/diskindex -run '^$$' -fuzz FuzzChainRoundTrip -fuzztime 20s
+	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzWALRecordRoundTrip -fuzztime 20s
 
 # Chaos suite: every engine under injected storage faults, race detector on.
 chaos:
 	$(GO) test -race -run 'TestChaos' -count=1 .
+
+# Crash-recovery gate: the crash-point sweep (every WAL append, sync, and
+# block write killed in fail-stop and torn-write mode, then recovered) plus
+# the concurrent update/search race tests, all under the race detector.
+crash:
+	$(GO) test -race -count=1 \
+		-run 'TestCrashRecoverySweep|TestGroupCommitCrashKeepsPrefix|TestConcurrentInsertSearch' \
+		./internal/diskindex
+	$(GO) test -race -count=1 -run 'TestWALFacadeConcurrentUpdates' .
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=3x ./...

@@ -462,6 +462,47 @@ func BenchmarkChecksumOn(b *testing.B) { benchChecksums(b, true) }
 
 func BenchmarkChecksumOff(b *testing.B) { benchChecksums(b, false) }
 
+// benchInsert measures the online-insert path: ns per durable Insert with
+// the WAL on (append + fsync + block apply) versus the raw in-place update.
+// The pair lands in the BENCH_*.json trajectory so the durability tax is a
+// tracked number. The index rebuilds with the timer stopped whenever the
+// ID headroom (2^idBits - n) runs out; mkOpts runs per build so the WAL
+// variant gets a fresh directory each time.
+func benchInsert(b *testing.B, mkOpts func() []StorageOption) {
+	d, err := GeneratePaperDataset(SIFT, 0, 4096, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := d.Vectors[:3500]
+	spare := d.Vectors[3500:]
+	var ix *StorageIndex
+	left := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if left == 0 {
+			b.StopTimer()
+			ix, err = NewStorageIndex(base, Config{Sigma: 8}, mkOpts()...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			left = len(spare)
+			b.StartTimer()
+		}
+		if _, err := ix.Insert(spare[len(spare)-left]); err != nil {
+			b.Fatal(err)
+		}
+		left--
+	}
+}
+
+func BenchmarkInsertWALOn(b *testing.B) {
+	benchInsert(b, func() []StorageOption { return []StorageOption{WithWAL(b.TempDir())} })
+}
+
+func BenchmarkInsertWALOff(b *testing.B) {
+	benchInsert(b, func() []StorageOption { return nil })
+}
+
 // BenchmarkAutotuneSweep runs the PR-8 recall-target sweep end to end and
 // reports the headline trade: mean N_IO at the 0.9 target against the
 // full-ladder baseline, plus the retained recall the stop kept. The metrics

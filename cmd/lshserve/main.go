@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -75,6 +76,8 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 		latBudget = fs.Duration("latency-budget", 0, "server-default per-query latency budget; queries degrade knobs mid-ladder to fit (0 = off; implies -autotune)")
 		degrade   = fs.String("degrade", "knobs", "out-of-budget behavior: knobs (graceful degradation) or stop")
 		targetP99 = fs.Duration("target-p99", 0, "server-level p99 objective: an AIMD loop steers coalescer batch size and I/O queue depth against it (0 = off)")
+		walDir    = fs.String("wal", "", "WAL directory for durable online updates (POST /v1/insert, DELETE /v1/object/{id}): serves one crash-safe storage engine instead of shards, recovering from the directory when it already holds a checkpoint; the dataset flags must match across restarts (generation is deterministic)")
+		fsyncEver = fs.Int("fsync-every", 1, "WAL group commit: fsync the log every N appends (needs -wal; N>1 trades a bounded ack-durability window for update throughput)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,61 +111,103 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr net.
 		storageOpts = append(storageOpts, e2lshos.WithChecksums(false))
 	}
 
-	place, err := e2lshos.ParseShardPlacement(*placement)
-	if err != nil {
-		return err
+	if *fsyncEver != 1 && *walDir == "" {
+		return fmt.Errorf("-fsync-every needs -wal (it tunes the log's group commit)")
 	}
+
 	fmt.Fprintf(out, "generating %s clone: n=%d, %d held-out queries\n", *paper, *n, *queries)
 	ds, err := e2lshos.GeneratePaperDataset(e2lshos.PaperDataset(*paper), 0, *n, *queries)
 	if err != nil {
 		return err
 	}
-	// ShardConfig keeps per-shard table counts and the radius ladder at the
-	// unsharded level, so accuracy does not degrade as -shards grows.
-	cfg := e2lshos.ShardConfig(e2lshos.Config{Sigma: *sigma}, ds.Vectors, *shards)
-	var build e2lshos.ShardBuilder
-	switch *engine {
-	case "mem":
-		build = e2lshos.InMemoryShardBuilder(cfg)
-	case "storage":
-		build = e2lshos.StorageShardBuilder(cfg, storageOpts...)
-	case "mixed":
-		build = func(shardNum int, vectors [][]float32) (e2lshos.Engine, error) {
-			if shardNum == 0 {
-				return e2lshos.NewInMemoryIndex(vectors, cfg)
-			}
-			return e2lshos.NewStorageIndex(vectors, cfg, storageOpts...)
-		}
-	default:
-		return fmt.Errorf("unknown -engine %q (want mem, storage, or mixed)", *engine)
-	}
 
-	fmt.Fprintf(out, "building %d %s shards (%s placement)\n", *shards, *engine, place)
-	ix, err := e2lshos.NewShardedIndex(ds.Vectors, *shards, place, build)
-	if err != nil {
-		return err
+	// tunable is what every servable engine build must come back as: the
+	// Engine itself plus the observability/SLO surfaces the flags drive.
+	type tunable interface {
+		e2lshos.Engine
+		EnableTelemetry(opts ...e2lshos.TelemetryOption) error
+		EnableAutotune(opts ...e2lshos.AutotuneOption) error
+	}
+	var eng tunable
+	if *walDir != "" {
+		// WAL mode: one crash-safe storage engine, not shards (the log and
+		// its checkpoint generations are per-engine state).
+		if *hedge {
+			return fmt.Errorf("-hedge needs shards; -wal serves a single engine")
+		}
+		walOpts := storageOpts
+		if *fsyncEver > 1 {
+			walOpts = append(walOpts, e2lshos.WithFsyncEvery(*fsyncEver))
+		}
+		six, err := e2lshos.OpenWALIndex(*walDir, ds.Vectors, walOpts...)
+		switch {
+		case err == nil:
+			rst := six.RecoveryStats()
+			fmt.Fprintf(out, "recovered WAL generation %d from %s: %d records replayed (torn tail: %v)\n",
+				rst.Generation, *walDir, rst.Replayed, rst.TornTail)
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Fprintf(out, "building crash-safe storage engine, logging to %s\n", *walDir)
+			six, err = e2lshos.NewStorageIndex(ds.Vectors, e2lshos.Config{Sigma: *sigma},
+				append(walOpts, e2lshos.WithWAL(*walDir))...)
+			if err != nil {
+				return err
+			}
+		default:
+			return err
+		}
+		eng = six
+	} else {
+		place, err := e2lshos.ParseShardPlacement(*placement)
+		if err != nil {
+			return err
+		}
+		// ShardConfig keeps per-shard table counts and the radius ladder at the
+		// unsharded level, so accuracy does not degrade as -shards grows.
+		cfg := e2lshos.ShardConfig(e2lshos.Config{Sigma: *sigma}, ds.Vectors, *shards)
+		var build e2lshos.ShardBuilder
+		switch *engine {
+		case "mem":
+			build = e2lshos.InMemoryShardBuilder(cfg)
+		case "storage":
+			build = e2lshos.StorageShardBuilder(cfg, storageOpts...)
+		case "mixed":
+			build = func(shardNum int, vectors [][]float32) (e2lshos.Engine, error) {
+				if shardNum == 0 {
+					return e2lshos.NewInMemoryIndex(vectors, cfg)
+				}
+				return e2lshos.NewStorageIndex(vectors, cfg, storageOpts...)
+			}
+		default:
+			return fmt.Errorf("unknown -engine %q (want mem, storage, or mixed)", *engine)
+		}
+		fmt.Fprintf(out, "building %d %s shards (%s placement)\n", *shards, *engine, place)
+		ix, err := e2lshos.NewShardedIndex(ds.Vectors, *shards, place, build)
+		if err != nil {
+			return err
+		}
+		if *hedge {
+			ix.EnableHedging(e2lshos.HedgeConfig{})
+			fmt.Fprintln(out, "hedged shard reads on (duplicate sub-queries past each shard's p99)")
+		}
+		eng = ix
 	}
 	if *metrics || *traceSamp > 0 || *slowQuery > 0 {
 		topts := []e2lshos.TelemetryOption{e2lshos.WithTracing(*traceSamp)}
 		if *slowQuery > 0 {
 			topts = append(topts, e2lshos.WithSlowQueryLog(*slowQuery))
 		}
-		if err := ix.EnableTelemetry(topts...); err != nil {
+		if err := eng.EnableTelemetry(topts...); err != nil {
 			return err
 		}
 	}
 	if *autotune {
-		if err := ix.EnableAutotune(); err != nil {
+		if err := eng.EnableAutotune(); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "autotune on (recall target %g, latency budget %v, degrade %s)\n",
 			*recallTgt, *latBudget, degradePolicy)
 	}
-	if *hedge {
-		ix.EnableHedging(e2lshos.HedgeConfig{})
-		fmt.Fprintln(out, "hedged shard reads on (duplicate sub-queries past each shard's p99)")
-	}
-	srv, err := e2lshos.NewServer(ix, e2lshos.ServerConfig{
+	srv, err := e2lshos.NewServer(eng, e2lshos.ServerConfig{
 		Dim:      ds.Dim,
 		K:        *k,
 		MaxBatch: *maxBatch,

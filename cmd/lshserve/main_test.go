@@ -269,6 +269,95 @@ func TestServeBadRequests(t *testing.T) {
 	}
 }
 
+// TestRunWALRestart boots run() in -wal mode, inserts a vector over HTTP,
+// shuts down, then reboots against the same directory and requires the
+// recovery banner plus the insert to still be searchable — the operator-level
+// crash-safety contract end to end.
+func TestRunWALRestart(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-addr", "127.0.0.1:0", "-n", "2000", "-queries", "10",
+		"-k", "2", "-wal", dir, "-fsync-every", "2",
+	}
+	boot := func() (net.Addr, context.CancelFunc, chan error, *bytes.Buffer) {
+		ctx, cancel := context.WithCancel(context.Background())
+		addrc := make(chan net.Addr, 1)
+		var out bytes.Buffer
+		done := make(chan error, 1)
+		go func() { done <- run(ctx, args, &out, func(a net.Addr) { addrc <- a }) }()
+		select {
+		case a := <-addrc:
+			return a, cancel, done, &out
+		case err := <-done:
+			t.Fatalf("run exited before serving: %v\noutput:\n%s", err, out.String())
+		case <-time.After(2 * time.Minute):
+			t.Fatal("server never came up")
+		}
+		panic("unreachable")
+	}
+	shutdown := func(cancel context.CancelFunc, done chan error, out *bytes.Buffer) {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("shutdown returned %v\noutput:\n%s", err, out.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+	}
+
+	vec := make([]float32, 128)
+	for i := range vec {
+		vec[i] = float32(i) * 0.25
+	}
+	addr, cancel, done, out := boot()
+	base := "http://" + addr.String()
+	body, _ := json.Marshal(map[string]any{"vector": vec})
+	resp, err := http.Post(base+"/v1/insert", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ins struct {
+		ID uint32 `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ins); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/insert returned %d", resp.StatusCode)
+	}
+	shutdown(cancel, done, out)
+	if !strings.Contains(out.String(), "logging to "+dir) {
+		t.Errorf("fresh WAL build not logged:\n%s", out.String())
+	}
+
+	addr, cancel, done, out = boot()
+	defer shutdown(cancel, done, out)
+	if !strings.Contains(out.String(), "recovered WAL generation 1") {
+		t.Fatalf("recovery not logged:\n%s", out.String())
+	}
+	sbody, _ := json.Marshal(map[string]any{"query": vec, "k": 1})
+	sresp, err := http.Post("http://"+addr.String()+"/search", "application/json", bytes.NewReader(sbody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		Neighbors []struct {
+			ID   uint32  `json:"id"`
+			Dist float64 `json:"dist"`
+		} `json:"neighbors"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if len(sr.Neighbors) == 0 || sr.Neighbors[0].ID != ins.ID || sr.Neighbors[0].Dist != 0 {
+		t.Fatalf("acked insert %d not searchable after restart: %+v", ins.ID, sr.Neighbors)
+	}
+}
+
 func floats(dim int) string {
 	parts := make([]string, dim)
 	for i := range parts {

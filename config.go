@@ -90,6 +90,8 @@ type storageSettings struct {
 	retries     int
 	checksumOff bool
 	backend     blockstore.Backend
+	walDir      string
+	fsyncEvery  int
 }
 
 // WithBlockCache interposes a concurrency-safe, scan-resistant block cache
@@ -142,6 +144,25 @@ func WithChecksums(on bool) StorageOption {
 	return func(s *storageSettings) { s.checksumOff = !on }
 }
 
+// WithWAL makes online updates durable: Insert and Delete append a
+// checksummed record to a write-ahead log under dir before touching the
+// index, and ack only after the record is synced. NewStorageIndex writes an
+// initial checkpoint into dir (which must not already hold one — recover an
+// existing directory with OpenWALIndex instead); Checkpoint truncates the
+// log under a fresh checkpoint image.
+func WithWAL(dir string) StorageOption {
+	return func(s *storageSettings) { s.walDir = dir }
+}
+
+// WithFsyncEvery relaxes the WAL's durability to group commit: the log is
+// fsynced every n appends instead of every append, trading a bounded window
+// of acked-but-unsynced updates (at most n-1 records on power loss) for
+// update throughput. n = 1 is the default sync-every-append discipline.
+// Requires WithWAL.
+func WithFsyncEvery(n int) StorageOption {
+	return func(s *storageSettings) { s.fsyncEvery = n }
+}
+
 // WithStorageBackend builds the index's block store over the supplied
 // backend instead of the default in-memory one — the injection point for
 // fault-injecting wrappers in chaos tests and for custom block devices.
@@ -170,6 +191,10 @@ func resolveStorageSettings(opts []StorageOption) (storageSettings, error) {
 		return s, fmt.Errorf("e2lshos: negative retry budget %d", s.retries)
 	case s.retries > 0 && s.ioDepth == 0:
 		return s, fmt.Errorf("e2lshos: WithRetries requires WithIOEngine (the retry layer lives in the I/O engine)")
+	case s.fsyncEvery < 0:
+		return s, fmt.Errorf("e2lshos: negative fsync interval %d", s.fsyncEvery)
+	case s.fsyncEvery > 0 && s.walDir == "":
+		return s, fmt.Errorf("e2lshos: WithFsyncEvery requires WithWAL (it tunes the log's group commit)")
 	}
 	return s, nil
 }

@@ -107,6 +107,12 @@ type Index struct {
 	// vectored I/O engine: bounded queue depth, adjacent-block coalescing
 	// and cross-query dedup. See cache.go and real.go.
 	ioeng *ioengine.Engine
+
+	// upd is the mutation state: the update RWMutex that serializes
+	// Insert/Delete against queries, the optional write-ahead log, and the
+	// pooled update scratch. Behind a pointer so WithBudget views share it.
+	// See update.go and recovery.go.
+	upd *updState
 }
 
 // Params returns the algorithmic parameters.
@@ -250,6 +256,7 @@ func Build(data [][]float32, p lsh.Params, opts Options, store *blockstore.Store
 		bucketBytes:     opts.BucketBytes,
 		physPerBucket:   (opts.BucketBytes + blockstore.BlockSize - 1) / blockstore.BlockSize,
 		entriesPerBlock: (opts.BucketBytes - HeaderBytes) / EntryBytes,
+		upd:             &updState{},
 	}
 	fams, err := lsh.NewFamilies(p, opts.ShareProjections, opts.Seed)
 	if err != nil {

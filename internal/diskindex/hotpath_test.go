@@ -6,6 +6,9 @@ import (
 
 	"e2lshos/internal/ann"
 	"e2lshos/internal/blockcache"
+	"e2lshos/internal/blockstore"
+	"e2lshos/internal/dataset"
+	"e2lshos/internal/lsh"
 )
 
 // TestCachedSearchIntoZeroAllocs is the PR-4 steady-state contract for the
@@ -37,6 +40,54 @@ func TestCachedSearchIntoZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state cached SearchInto allocates %v allocs/query, want 0", allocs)
+	}
+}
+
+// TestInsertZeroAllocs is the steady-state contract for the update path:
+// with the WAL off and the dataset slice holding spare capacity, Insert
+// runs entirely on the pooled update scratch — zero allocations per call.
+// (Chain-head overflow, roughly one insert in a hundred per bucket,
+// legitimately allocates a fresh block; the run count stays below that.)
+func TestInsertZeroAllocs(t *testing.T) {
+	const n, spare = 3500, 80
+	d, err := dataset.Generate(dataset.Spec{
+		Name: "insalloc", N: n, Queries: 1, Dim: 16,
+		Clusters: 5, Spread: 0.05, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lsh.DefaultConfig()
+	cfg.Rho = 0.25
+	rmin := dataset.NNDistanceQuantile(d, 0.05, 10, 1)
+	if rmin <= 0 {
+		rmin = 0.1
+	}
+	p, err := lsh.Derive(cfg, d.N(), d.Dim, rmin, lsh.MaxRadius(d.MaxAbs(), d.Dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spare capacity so the measured inserts never regrow the dataset slice.
+	data := make([][]float32, n, n+spare)
+	copy(data, d.Vectors)
+	ix, err := Build(data, p, DefaultOptions(), blockstore.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := make([]float32, d.Dim)
+	copy(vec, d.Vectors[0])
+	// Warmup (inside AllocsPerRun too) sizes the scratch and prepends fresh
+	// head blocks where build left a bucket's head exactly full.
+	if _, err := ix.Insert(vec); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ix.Insert(vec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Insert allocates %v allocs/op, want 0", allocs)
 	}
 }
 

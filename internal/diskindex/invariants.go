@@ -1,0 +1,136 @@
+package diskindex
+
+import (
+	"fmt"
+
+	"e2lshos/internal/blockstore"
+	"e2lshos/internal/memindex"
+)
+
+// Structural audit of the on-storage index, used by the crash-recovery
+// property tests and available to operators as a post-recovery fsck. It
+// recomputes every resident object's compound hashes and walks every chain,
+// so it is O(n·L·R) hashing plus a full index scan — a deliberate, paid-for
+// exhaustiveness that test-sized indexes afford.
+
+// CheckInvariants verifies the block layout against the DRAM metadata and
+// the hash functions:
+//
+//   - a bucket's occupancy bit is set iff its table entry is non-Nil;
+//   - chains are acyclic and every block's entry count is in [1,
+//     entriesPerBlock] (empty heads are unlinked, never persisted);
+//   - every entry's ID names a resident object, and the entry sits in
+//     exactly the bucket (low u bits) with exactly the fingerprint (high
+//     bits) of that object's recomputed compound hash;
+//   - no chain holds the same object twice.
+//
+// A torn insert — some of an object's L·R entries present, others not —
+// does NOT trip this check (each chain is locally consistent); that
+// atomicity property is EntryCounts' to verify.
+func (ix *Index) CheckInvariants() error {
+	u := ix.upd
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	p := ix.params
+	keys := memindex.HashKeys(ix.data, ix.families, p, ix.opts.ShareProjections, ix.opts.Workers)
+	numBuckets := uint32(1) << ix.u
+	mask := numBuckets - 1
+	buf := make([]byte, ix.bucketBufBytes())
+	maxSteps := int(ix.store.NumBlocks()) + 1
+	seenInChain := make(map[uint32]bool)
+	for r := 0; r < p.R(); r++ {
+		for l := 0; l < p.L; l++ {
+			hashes := keys[r][l]
+			for idx := uint32(0); idx < numBuckets; idx++ {
+				head, err := ix.loadTableEntry(r, l, idx, buf)
+				if err != nil {
+					return err
+				}
+				if occ := ix.isOccupied(r, l, idx); occ != (head != blockstore.Nil) {
+					return fmt.Errorf("diskindex: bucket (%d,%d,%d): occupancy bit %v but head %v", r, l, idx, occ, head)
+				}
+				clear(seenInChain)
+				steps := 0
+				for addr := head; addr != blockstore.Nil; {
+					if steps++; steps > maxSteps {
+						return fmt.Errorf("diskindex: bucket (%d,%d,%d): chain cycle", r, l, idx)
+					}
+					if err := ix.readLogicalBlock(addr, buf, nil); err != nil {
+						return err
+					}
+					next, count := bucketHeader(buf)
+					if count < 1 || count > ix.entriesPerBlock {
+						return fmt.Errorf("diskindex: bucket (%d,%d,%d) block %d: entry count %d outside [1,%d]",
+							r, l, idx, addr, count, ix.entriesPerBlock)
+					}
+					for i := 0; i < count; i++ {
+						id, fp := ix.unpackEntry(getUint40(buf[HeaderBytes+i*EntryBytes:]))
+						if int(id) >= len(ix.data) {
+							return fmt.Errorf("diskindex: bucket (%d,%d,%d): entry names unknown ID %d", r, l, idx, id)
+						}
+						h := hashes[id]
+						if h&mask != idx {
+							return fmt.Errorf("diskindex: object %d hashed to bucket %d but found in (%d,%d,%d)",
+								id, h&mask, r, l, idx)
+						}
+						if h>>ix.u != fp {
+							return fmt.Errorf("diskindex: object %d in (%d,%d,%d): fingerprint %#x, recomputed %#x",
+								id, r, l, idx, fp, h>>ix.u)
+						}
+						if seenInChain[id] {
+							return fmt.Errorf("diskindex: object %d appears twice in chain (%d,%d,%d)", id, r, l, idx)
+						}
+						seenInChain[id] = true
+					}
+					addr = next
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// EntryCounts scans every chain and returns, per object ID, how many index
+// entries reference it. A fully indexed object has exactly L·R entries (one
+// per (radius, table) chain) and a fully deleted one has zero, so the map
+// exposes torn multi-block updates: any other count is a partially visible
+// insert or delete.
+func (ix *Index) EntryCounts() (map[uint32]int, error) {
+	u := ix.upd
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	p := ix.params
+	counts := make(map[uint32]int)
+	numBuckets := uint32(1) << ix.u
+	buf := make([]byte, ix.bucketBufBytes())
+	maxSteps := int(ix.store.NumBlocks()) + 1
+	for r := 0; r < p.R(); r++ {
+		for l := 0; l < p.L; l++ {
+			for idx := uint32(0); idx < numBuckets; idx++ {
+				if !ix.isOccupied(r, l, idx) {
+					continue
+				}
+				head, err := ix.loadTableEntry(r, l, idx, buf)
+				if err != nil {
+					return nil, err
+				}
+				steps := 0
+				for addr := head; addr != blockstore.Nil; {
+					if steps++; steps > maxSteps {
+						return nil, fmt.Errorf("diskindex: bucket (%d,%d,%d): chain cycle", r, l, idx)
+					}
+					if err := ix.readLogicalBlock(addr, buf, nil); err != nil {
+						return nil, err
+					}
+					next, count := bucketHeader(buf)
+					for i := 0; i < count; i++ {
+						id, _ := ix.unpackEntry(getUint40(buf[HeaderBytes+i*EntryBytes:]))
+						counts[id]++
+					}
+					addr = next
+				}
+			}
+		}
+	}
+	return counts, nil
+}

@@ -10,6 +10,7 @@ import (
 
 	"e2lshos/internal/blockstore"
 	"e2lshos/internal/lsh"
+	"e2lshos/internal/wal"
 )
 
 // Index file format: a metadata header followed by the serialized block
@@ -113,8 +114,11 @@ func Load(r io.Reader, data [][]float32, store *blockstore.Store) (*Index, error
 	if version != indexVersion {
 		return nil, fmt.Errorf("diskindex: unsupported version %d", version)
 	}
-	if int(n) != len(data) {
-		return nil, fmt.Errorf("diskindex: index built over %d objects, data has %d", n, len(data))
+	// The image may predate online inserts: those vectors ride in the WAL
+	// directory's tail sidecar and log, so data may legitimately be longer
+	// than the build-time n — only shorter is unrecoverable.
+	if len(data) < int(n) {
+		return nil, fmt.Errorf("diskindex: index built over %d objects, data has only %d", n, len(data))
 	}
 	if nr <= 0 || nr > 64 {
 		return nil, fmt.Errorf("diskindex: implausible radius count %d", nr)
@@ -149,6 +153,7 @@ func Load(r io.Reader, data [][]float32, store *blockstore.Store) (*Index, error
 		bucketBytes:     int(bucketBytes),
 		physPerBucket:   (int(bucketBytes) + blockstore.BlockSize - 1) / blockstore.BlockSize,
 		entriesPerBlock: (int(bucketBytes) - HeaderBytes) / EntryBytes,
+		upd:             &updState{},
 	}
 	fams, err := lsh.NewFamilies(params, ix.opts.ShareProjections, seed)
 	if err != nil {
@@ -187,17 +192,12 @@ func Load(r io.Reader, data [][]float32, store *blockstore.Store) (*Index, error
 	return ix, nil
 }
 
-// SaveFile writes the index to the named file.
+// SaveFile writes the index to the named file atomically: the image lands
+// in a same-directory temp file, is fsynced, and renamed into place, so a
+// crash (or error) mid-save leaves any previous image untouched instead of
+// destroying it.
 func (ix *Index) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("diskindex: create %s: %w", path, err)
-	}
-	if err := ix.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return wal.WriteFileAtomic(path, func(f *os.File) error { return ix.Save(f) })
 }
 
 // LoadFile reads an index from the named file into a fresh in-memory store.

@@ -145,13 +145,19 @@ func (s *Searcher) SetTrace(tr *telemetry.Trace) { s.trace = tr }
 // per radius round (nil disables control).
 func (s *Searcher) SetController(c *autotune.Ctl) { s.ctl = c }
 
-// NewSearcher returns a fresh synchronous searcher.
+// NewSearcher returns a fresh synchronous searcher. Safe to call while
+// updates run: sizing the dedup arena reads the dataset length under the
+// update lock (search() regrows it if inserts land later anyway).
 func (ix *Index) NewSearcher() *Searcher {
+	u := ix.upd
+	u.mu.RLock()
+	n := len(ix.data)
+	u.mu.RUnlock()
 	s := &Searcher{
 		ix:     ix,
 		proj:   make([]float64, ix.params.L*ix.params.M),
 		hashes: make([]uint32, ix.params.L),
-		seen:   make([]uint32, len(ix.data)),
+		seen:   make([]uint32, n),
 		buf:    make([]byte, ix.bucketBufBytes()),
 	}
 	if ix.readaheadActive() {
@@ -202,8 +208,20 @@ func (s *Searcher) SearchInto(ctx context.Context, q []float32, k int, dst []ann
 }
 
 // search runs the ladder, leaving the winners (keyed by squared distance)
-// in s.topk; on an I/O error the accumulator is emptied.
+// in s.topk; on an I/O error the accumulator is emptied. The whole query
+// holds the index's update lock shared, so a concurrent Insert/Delete
+// (which holds it exclusively) is observed either fully applied across all
+// its chains or not at all — never a torn chain.
 func (s *Searcher) search(ctx context.Context, q []float32, k int) (Stats, error) {
+	u := s.ix.upd
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	if n := len(s.ix.data); n > len(s.seen) {
+		// Inserts grew the dataset past this searcher's dedup array.
+		grown := make([]uint32, n)
+		copy(grown, s.seen)
+		s.seen = grown
+	}
 	st, err := s.searchContext(ctx, q, k)
 	if s.pending != nil {
 		// Settle readahead issued for a round the ladder never entered, so

@@ -67,17 +67,23 @@ func (ps *ParallelSearcher) SetTrace(tr *telemetry.Trace) { ps.trace = tr }
 // per radius round (nil disables control).
 func (ps *ParallelSearcher) SetController(c *autotune.Ctl) { ps.ctl = c }
 
-// NewParallelSearcher creates a searcher with the given fan-out (≥1).
+// NewParallelSearcher creates a searcher with the given fan-out (≥1). Safe
+// to call while updates run: the dedup arena is sized under the update lock
+// (search() regrows it if inserts land later anyway).
 func (ix *Index) NewParallelSearcher(workers int) (*ParallelSearcher, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("diskindex: parallel searcher needs at least 1 worker, got %d", workers)
 	}
+	u := ix.upd
+	u.mu.RLock()
+	n := len(ix.data)
+	u.mu.RUnlock()
 	ps := &ParallelSearcher{
 		ix:         ix,
 		workers:    workers,
 		proj:       make([]float64, ix.params.L*ix.params.M),
 		hashes:     make([]uint32, ix.params.L),
-		seen:       make([]uint32, len(ix.data)),
+		seen:       make([]uint32, n),
 		probeBuf:   make([]probe, ix.params.L),
 		probePtrs:  make([]*probe, 0, ix.params.L),
 		workerBufs: make([][]byte, workers),
@@ -148,8 +154,19 @@ func (ps *ParallelSearcher) SearchInto(ctx context.Context, q []float32, k int, 
 }
 
 // search runs the ladder, leaving the winners (keyed by squared distance)
-// in ps.topk; on an I/O error the accumulator is emptied.
+// in ps.topk; on an I/O error the accumulator is emptied. The whole query
+// (fan-out goroutines included) holds the index's update lock shared; see
+// Searcher.search for the torn-chain argument.
 func (ps *ParallelSearcher) search(ctx context.Context, q []float32, k int) (Stats, error) {
+	u := ps.ix.upd
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	if n := len(ps.ix.data); n > len(ps.seen) {
+		// Inserts grew the dataset past this searcher's dedup array.
+		grown := make([]uint32, n)
+		copy(grown, ps.seen)
+		ps.seen = grown
+	}
 	st, err := ps.searchContext(ctx, q, k)
 	if ps.pending != nil {
 		// See Searcher.SearchContext: settle readahead for unentered rounds.

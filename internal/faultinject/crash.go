@@ -1,0 +1,159 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"e2lshos/internal/blockstore"
+)
+
+// ErrCrashed is wrapped by every error a Crasher injects after its fail-stop
+// point fires, so tests can tell simulated crashes from real failures.
+var ErrCrashed = errors.New("faultinject: simulated crash")
+
+// Crasher is a deterministic fail-stop crash point shared across a process's
+// write paths: after Allow spends the N-th unit of its budget, every
+// subsequent write (WAL append, block write, fsync) fails with ErrCrashed —
+// the process is "dead" from the storage stack's point of view, exactly the
+// state a recovery test wants to reopen from. Torn mode additionally lets
+// the crashing write land a half-written prefix, the damage a power cut
+// inflicts on the device's last in-flight request.
+//
+// It implements the wal package's CrashPoint interface and plugs into block
+// writes through WrapCrash, so one budget counter interleaves crash points
+// through a whole insert sequence (log append, then its L·R head-block
+// writes, then the next append, ...) — sweeping the budget sweeps the crash
+// through every write the workload issues.
+//
+// Like the read-fault Backend, a Crasher starts disarmed-adjacent: use Arm
+// after setup (builds, checkpoints) so only the workload's writes spend
+// budget.
+type Crasher struct {
+	mu      sync.Mutex
+	budget  int  //lsh:guardedby mu — writes allowed before the crash fires
+	crashed bool //lsh:guardedby mu
+	torn    bool //lsh:guardedby mu — crashing write lands a half prefix
+	armed   bool //lsh:guardedby mu
+	ops     int  //lsh:guardedby mu — armed writes observed (crash point index)
+}
+
+// NewCrasher returns a crasher that fires on the (budget+1)-th armed write.
+// With torn set, the firing write persists the first half of its bytes.
+// The crasher starts disarmed: Arm it once setup writes are done.
+func NewCrasher(budget int, torn bool) *Crasher {
+	return &Crasher{budget: budget, torn: torn}
+}
+
+// Arm activates the budget: subsequent writes spend it.
+func (c *Crasher) Arm() {
+	c.mu.Lock()
+	c.armed = true
+	c.mu.Unlock()
+}
+
+// Disarm suspends the crasher; writes pass through unspent and uncounted.
+func (c *Crasher) Disarm() {
+	c.mu.Lock()
+	c.armed = false
+	c.mu.Unlock()
+}
+
+// Crashed reports whether the fail-stop point has fired.
+func (c *Crasher) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// Ops reports how many armed writes the crasher has observed (including the
+// one that fired), so a sweep can discover the total number of crash points
+// in a workload by running it once with an unreachable budget.
+func (c *Crasher) Ops() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// allow spends one unit of budget, returning whether the write may proceed
+// and whether this very write is the torn one.
+func (c *Crasher) allow() (ok, torn bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.armed {
+		return true, false
+	}
+	if c.crashed {
+		return false, false
+	}
+	c.ops++
+	if c.budget > 0 {
+		c.budget--
+		return true, false
+	}
+	c.crashed = true
+	return false, c.torn
+}
+
+// BeforeWrite implements wal.CrashPoint for an n-byte log append.
+func (c *Crasher) BeforeWrite(n int) (int, error) {
+	ok, torn := c.allow()
+	if ok {
+		return n, nil
+	}
+	m := 0
+	if torn {
+		m = n / 2
+	}
+	return m, fmt.Errorf("faultinject: crash at write: %w", ErrCrashed)
+}
+
+// BeforeSync implements wal.CrashPoint: syncs spend no budget (an fsync
+// does not mutate state) but fail once the crash has fired.
+func (c *Crasher) BeforeSync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.armed && c.crashed {
+		return fmt.Errorf("faultinject: crash at sync: %w", ErrCrashed)
+	}
+	return nil
+}
+
+// CrashBackend wraps a blockstore backend so block writes share a Crasher's
+// budget with the WAL: reads always pass through (a crashed process stops
+// issuing them anyway; recovery reads a different store), writes spend
+// budget and fail once the crash fires. A torn crashing write persists the
+// first half of the block, zero-filling the rest — the torn-page image a
+// real device would expose.
+type CrashBackend struct {
+	inner blockstore.Backend
+	c     *Crasher
+}
+
+// WrapCrash returns a crash-injecting view of inner sharing c's budget.
+func WrapCrash(inner blockstore.Backend, c *Crasher) *CrashBackend {
+	return &CrashBackend{inner: inner, c: c}
+}
+
+func (b *CrashBackend) ReadBlock(a blockstore.Addr, buf []byte) error {
+	return b.inner.ReadBlock(a, buf)
+}
+
+func (b *CrashBackend) ReadBlocks(addrs []blockstore.Addr, bufs [][]byte) (int, error) {
+	return b.inner.ReadBlocks(addrs, bufs)
+}
+
+func (b *CrashBackend) WriteBlock(a blockstore.Addr, data []byte) error {
+	ok, torn := b.c.allow()
+	if ok {
+		return b.inner.WriteBlock(a, data)
+	}
+	if torn {
+		half := make([]byte, len(data))
+		copy(half, data[:len(data)/2])
+		b.inner.WriteBlock(a, half) //lsh:errok landing the torn half-block of a crashing write; the crash error below supersedes
+	}
+	return fmt.Errorf("faultinject: crash writing block %d: %w", a, ErrCrashed)
+}
+
+func (b *CrashBackend) NumBlocks() uint64 { return b.inner.NumBlocks() }

@@ -1,0 +1,94 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"e2lshos/internal/blockstore"
+)
+
+func TestCrasherBudgetAndArm(t *testing.T) {
+	c := NewCrasher(2, false)
+	// Disarmed: writes spend nothing.
+	for i := 0; i < 5; i++ {
+		if n, err := c.BeforeWrite(10); err != nil || n != 10 {
+			t.Fatalf("disarmed write %d: n=%d err=%v", i, n, err)
+		}
+	}
+	if c.Ops() != 0 {
+		t.Fatalf("disarmed ops counted: %d", c.Ops())
+	}
+	c.Arm()
+	if _, err := c.BeforeWrite(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BeforeSync(); err != nil {
+		t.Fatalf("sync before crash: %v", err)
+	}
+	if _, err := c.BeforeWrite(10); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.BeforeWrite(10)
+	if !errors.Is(err, ErrCrashed) || n != 0 {
+		t.Fatalf("crash point: n=%d err=%v", n, err)
+	}
+	if !c.Crashed() {
+		t.Fatal("Crashed() false after firing")
+	}
+	// Everything past the crash fails, syncs included.
+	if _, err := c.BeforeWrite(10); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := c.BeforeSync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if c.Ops() != 3 { // the two allowed writes plus the firing one
+		t.Fatalf("Ops = %d, want 3", c.Ops())
+	}
+}
+
+func TestCrasherTornWrite(t *testing.T) {
+	c := NewCrasher(0, true)
+	c.Arm()
+	n, err := c.BeforeWrite(100)
+	if !errors.Is(err, ErrCrashed) || n != 50 {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+}
+
+func TestCrashBackendWrites(t *testing.T) {
+	inner := blockstore.NewMemBackend()
+	c := NewCrasher(1, true)
+	b := WrapCrash(inner, c)
+
+	buf := make([]byte, blockstore.BlockSize)
+	for i := range buf {
+		buf[i] = 0xEE
+	}
+	c.Arm()
+	if err := b.WriteBlock(0, buf); err != nil {
+		t.Fatalf("budgeted write: %v", err)
+	}
+	if err := b.WriteBlock(1, buf); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write: %v", err)
+	}
+	// Torn block: first half persisted, rest zero.
+	got := make([]byte, blockstore.BlockSize)
+	if err := b.ReadBlock(1, got); err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	for i := 0; i < blockstore.BlockSize/2; i++ {
+		if got[i] != 0xEE {
+			t.Fatalf("torn block byte %d = %x, want EE", i, got[i])
+		}
+	}
+	for i := blockstore.BlockSize / 2; i < blockstore.BlockSize; i++ {
+		if got[i] != 0 {
+			t.Fatalf("torn block byte %d = %x, want 0", i, got[i])
+		}
+	}
+	// Reads keep passing through after the crash.
+	if err := b.ReadBlock(0, got); err != nil {
+		t.Fatalf("post-crash read: %v", err)
+	}
+}

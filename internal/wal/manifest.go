@@ -1,0 +1,155 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Manifest is the generation-stamped superblock of a WAL directory: it
+// names the checkpoint image, the log whose records postdate that image,
+// and the tail-vectors sidecar (vectors inserted before the checkpoint,
+// which the image itself — like the paper's setup — does not carry). The
+// manifest file is the commit point of a checkpoint: it is replaced by an
+// atomic temp-file + fsync + rename, so a crash anywhere in a checkpoint
+// leaves either the old generation (all its files untouched) or the new
+// one, never a mix.
+type Manifest struct {
+	// Generation increments at every checkpoint; recovery reports it so
+	// operators can correlate images, logs and metrics.
+	Generation uint64
+	// Image is the checkpoint image filename, relative to the directory.
+	Image string
+	// Log is the write-ahead log filename, relative to the directory.
+	Log string
+	// Tail is the tail-vectors sidecar filename ("" when no vectors had
+	// been inserted by checkpoint time).
+	Tail string
+}
+
+// ManifestName is the fixed manifest filename inside a WAL directory; its
+// existence distinguishes "resume this directory" from "initialize fresh".
+const ManifestName = "MANIFEST"
+
+const manifestMagic = "E2MF"
+
+// appendManifestString appends one length-prefixed string.
+func appendManifestString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// EncodeManifest serializes m: magic, generation, three length-prefixed
+// names, and a trailing CRC32C over everything before it.
+func EncodeManifest(m Manifest) []byte {
+	b := []byte(manifestMagic)
+	b = binary.LittleEndian.AppendUint64(b, m.Generation)
+	b = appendManifestString(b, m.Image)
+	b = appendManifestString(b, m.Log)
+	b = appendManifestString(b, m.Tail)
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+}
+
+// DecodeManifest parses what EncodeManifest produced.
+func DecodeManifest(b []byte) (Manifest, error) {
+	var m Manifest
+	if len(b) < len(manifestMagic)+8+4 {
+		return m, fmt.Errorf("wal: manifest too short (%d bytes)", len(b))
+	}
+	if string(b[:4]) != manifestMagic {
+		return m, fmt.Errorf("wal: bad manifest magic %q", b[:4])
+	}
+	body, crc := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if got := crc32.Checksum(body, castagnoli); got != crc {
+		return m, fmt.Errorf("wal: manifest checksum mismatch (stored %08x, computed %08x)", crc, got)
+	}
+	m.Generation = binary.LittleEndian.Uint64(body[4:12])
+	rest := body[12:]
+	next := func() (string, error) {
+		if len(rest) < 4 {
+			return "", fmt.Errorf("wal: manifest truncated")
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		if uint64(len(rest)) < 4+uint64(n) {
+			return "", fmt.Errorf("wal: manifest name overruns buffer")
+		}
+		s := string(rest[4 : 4+n])
+		rest = rest[4+n:]
+		return s, nil
+	}
+	var err error
+	if m.Image, err = next(); err != nil {
+		return m, err
+	}
+	if m.Log, err = next(); err != nil {
+		return m, err
+	}
+	if m.Tail, err = next(); err != nil {
+		return m, err
+	}
+	if len(rest) != 0 {
+		return m, fmt.Errorf("wal: %d trailing manifest bytes", len(rest))
+	}
+	return m, nil
+}
+
+// WriteManifest atomically replaces dir's manifest: temp file in the same
+// directory, fsync, rename over ManifestName, fsync the directory so the
+// rename itself is durable. This is the checkpoint commit point.
+func WriteManifest(dir string, m Manifest) error {
+	return WriteFileAtomic(filepath.Join(dir, ManifestName), func(f *os.File) error {
+		_, err := f.Write(EncodeManifest(m))
+		return err
+	})
+}
+
+// ReadManifest loads and validates dir's manifest. A missing manifest
+// returns an error satisfying os.IsNotExist / errors.Is(err, fs.ErrNotExist).
+func ReadManifest(dir string) (Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return Manifest{}, err
+	}
+	return DecodeManifest(b)
+}
+
+// WriteFileAtomic writes a file such that a crash at any point leaves
+// either the old content or the new, never a torn mix: the payload goes to
+// a temp file in the target's directory (same filesystem, so the rename is
+// atomic), is fsynced, then renamed over path; the parent directory is
+// fsynced so the rename survives a crash too. On any error the temp file
+// is removed and the old file survives untouched.
+func WriteFileAtomic(path string, write func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("wal: create temp for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return fail(fmt.Errorf("wal: write %s: %w", path, err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("wal: sync %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: rename %s over %s: %w", tmp, path, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck // advisory: rename durability
+		d.Close()
+	}
+	return nil
+}

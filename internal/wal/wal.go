@@ -1,0 +1,311 @@
+// Package wal implements the write-ahead log behind crash-safe online
+// mutation (ISSUE 10; the write-side complement of PR 9's read-path fault
+// tolerance). Durable state is the pair (checkpoint image, log): every
+// logical insert/delete is appended to the log — CRC32C-framed, fsynced
+// under a group-commit policy — before it is applied to the block layout,
+// and recovery replays the log tail over the last checkpoint image. The
+// contract is exactly the acked prefix: a record whose append returned
+// without error survives any crash; a torn final record (the only damage a
+// fail-stop crash can inflict on an append-only file) is detected by its
+// frame checksum and truncated away on open.
+//
+// Frame format, little-endian:
+//
+//	[payload len u32][CRC32C(payload) u32][payload]
+//
+// with payload = [type u8][id u32][dim u32][dim × f32]. Deletes carry
+// dim = 0. The CRC is computed with the Castagnoli polynomial — the same
+// checksum the block store uses (PR 9), hardware-accelerated on amd64/arm64.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// Record types.
+const (
+	// RecordInsert logs one inserted vector under its assigned object ID.
+	RecordInsert = byte(1)
+	// RecordDelete logs one deletion by object ID.
+	RecordDelete = byte(2)
+)
+
+// frameHeaderBytes is the fixed [len u32][crc u32] prefix of every frame.
+const frameHeaderBytes = 8
+
+// maxPayloadBytes bounds a single record (16 MiB ≈ a 4M-dim vector), so a
+// corrupt length field cannot drive a multi-gigabyte allocation on open.
+const maxPayloadBytes = 16 << 20
+
+// castagnoli mirrors blockstore's checksum table: CRC32C, SSE4.2/ARMv8
+// accelerated by the stdlib.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one logical mutation. Insert records own their vector copy
+// after decode; on encode the vector is read but not retained.
+type Record struct {
+	Type byte
+	ID   uint32
+	Vec  []float32 // nil for deletes
+}
+
+// AppendRecord encodes rec as one framed record appended to dst and returns
+// the extended slice (self-append style, so a caller-owned scratch buffer
+// makes encoding allocation-free after warmup).
+func AppendRecord(dst []byte, rec Record) []byte {
+	payload := 1 + 4 + 4 + 4*len(rec.Vec)
+	start := len(dst)
+	dst = append(dst, make([]byte, frameHeaderBytes+payload)...)
+	b := dst[start:]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(payload))
+	p := b[frameHeaderBytes:]
+	p[0] = rec.Type
+	binary.LittleEndian.PutUint32(p[1:5], rec.ID)
+	binary.LittleEndian.PutUint32(p[5:9], uint32(len(rec.Vec)))
+	for i, x := range rec.Vec {
+		binary.LittleEndian.PutUint32(p[9+4*i:], math.Float32bits(x))
+	}
+	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(p, castagnoli))
+	return dst
+}
+
+// errBadFrame marks a frame that failed structural or checksum validation —
+// the torn-tail signal on open.
+var errBadFrame = errors.New("wal: bad frame")
+
+// DecodeRecord decodes one framed record from the front of b, returning the
+// record and the number of bytes consumed. Errors wrap errBadFrame for
+// frames that are short, oversized, or fail their checksum; the vector (if
+// any) is a fresh copy, independent of b.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < frameHeaderBytes {
+		return Record{}, 0, fmt.Errorf("%w: %d-byte tail shorter than frame header", errBadFrame, len(b))
+	}
+	payload := binary.LittleEndian.Uint32(b[0:4])
+	if payload > maxPayloadBytes {
+		return Record{}, 0, fmt.Errorf("%w: implausible payload length %d", errBadFrame, payload)
+	}
+	if uint64(len(b)) < frameHeaderBytes+uint64(payload) {
+		return Record{}, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes)",
+			errBadFrame, len(b)-frameHeaderBytes, payload)
+	}
+	p := b[frameHeaderBytes : frameHeaderBytes+payload]
+	if got, want := crc32.Checksum(p, castagnoli), binary.LittleEndian.Uint32(b[4:8]); got != want {
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", errBadFrame, want, got)
+	}
+	if len(p) < 9 {
+		return Record{}, 0, fmt.Errorf("%w: %d-byte payload shorter than record header", errBadFrame, len(p))
+	}
+	rec := Record{Type: p[0], ID: binary.LittleEndian.Uint32(p[1:5])}
+	dim := binary.LittleEndian.Uint32(p[5:9])
+	if rec.Type != RecordInsert && rec.Type != RecordDelete {
+		return Record{}, 0, fmt.Errorf("%w: unknown record type %d", errBadFrame, rec.Type)
+	}
+	if uint64(len(p)) != 9+4*uint64(dim) {
+		return Record{}, 0, fmt.Errorf("%w: dim %d does not match %d payload bytes", errBadFrame, dim, len(p))
+	}
+	if dim > 0 {
+		rec.Vec = make([]float32, dim)
+		for i := range rec.Vec {
+			rec.Vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[9+4*i:]))
+		}
+	}
+	return rec, frameHeaderBytes + int(payload), nil
+}
+
+// CrashPoint injects fail-stop crashes into the log's write path; the
+// interface lives here (not in faultinject) so production code never
+// imports the test substrate. faultinject.Crasher implements it.
+type CrashPoint interface {
+	// BeforeWrite is consulted before an n-byte append. It returns how many
+	// bytes to actually write and, to simulate the crash, a non-nil error:
+	// m < n with an error is a torn final write, the classic power-cut tail.
+	BeforeWrite(n int) (int, error)
+	// BeforeSync is consulted before each fsync.
+	BeforeSync() error
+}
+
+// Options configure a Log.
+type Options struct {
+	// FsyncEvery is the group-commit interval: the log fsyncs after every
+	// Nth appended record (default 1 — every append is durable before it is
+	// acked). N > 1 trades a bounded window of the most recent acked
+	// records for fewer fsyncs, the synchronous_commit=off bargain; the
+	// acked-prefix contract then holds at record granularity but with up to
+	// N−1 trailing records at risk.
+	FsyncEvery int
+	// Crash, when set, is consulted before every file write and sync.
+	Crash CrashPoint
+}
+
+// Stats reports what Open found.
+type Stats struct {
+	// Replayed is the number of intact records replayed.
+	Replayed int
+	// TornTail reports whether the log ended in a damaged frame.
+	TornTail bool
+	// TornBytes is how many trailing bytes were truncated away.
+	TornBytes int64
+}
+
+// Log is an append-only record log. Appends are not internally
+// synchronized; the index serializes them under its update lock.
+type Log struct {
+	f          *os.File
+	opts       Options
+	buf        []byte // encode scratch, reused across appends
+	sinceSync  int    // appends since the last fsync
+	appends    int64
+	syncs      int64
+	failed     bool // a write/sync failed; the log is poisoned until reopen
+	lastSynced int64
+}
+
+// Open opens (creating if absent) the log at path, replays every intact
+// record through apply in order, truncates a torn tail, and returns the log
+// positioned for appends. A nil apply skips replay delivery but still
+// validates and truncates. If apply returns an error, Open stops and
+// returns it: the log file is left untouched past the failing record.
+func Open(path string, opts Options, apply func(Record) error) (*Log, Stats, error) {
+	if opts.FsyncEvery <= 0 {
+		opts.FsyncEvery = 1
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, Stats{}, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	var st Stats
+	good := 0
+	for off := 0; off < len(raw); {
+		rec, n, err := DecodeRecord(raw[off:])
+		if err != nil {
+			// Damage in an append-only, checksummed log means a torn final
+			// write: everything from the first bad frame on is discarded.
+			st.TornTail = true
+			st.TornBytes = int64(len(raw) - off)
+			break
+		}
+		if apply != nil {
+			if err := apply(rec); err != nil {
+				f.Close()
+				return nil, st, fmt.Errorf("wal: replay record %d: %w", st.Replayed, err)
+			}
+		}
+		st.Replayed++
+		off += n
+		good = off
+	}
+	if st.TornTail {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, st, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, st, fmt.Errorf("wal: sync after truncate: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, st, fmt.Errorf("wal: seek to append position: %w", err)
+	}
+	return &Log{f: f, opts: opts, lastSynced: int64(good)}, st, nil
+}
+
+// ErrPoisoned reports an append against a log whose earlier write or sync
+// failed: the on-disk tail is in an unknown state, so the log refuses
+// further work until the index reopens (and truncates) it.
+var ErrPoisoned = errors.New("wal: log poisoned by earlier write failure")
+
+// Append encodes rec, writes the frame, and applies the group-commit
+// policy. When it returns nil under FsyncEvery == 1, the record is durable.
+func (w *Log) Append(rec Record) error {
+	if w.failed {
+		return ErrPoisoned
+	}
+	w.buf = AppendRecord(w.buf[:0], rec)
+	n := len(w.buf)
+	if cp := w.opts.Crash; cp != nil {
+		m, err := cp.BeforeWrite(n)
+		if err != nil {
+			// Fail-stop: land the torn prefix (what a power cut would leave)
+			// and poison the log.
+			if m > 0 {
+				if m > n {
+					m = n
+				}
+				w.f.Write(w.buf[:m]) //nolint:errcheck // already crashing
+				w.f.Sync()           //nolint:errcheck
+			}
+			w.failed = true
+			return fmt.Errorf("wal: append: %w", err)
+		}
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		w.failed = true
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	w.appends++
+	w.sinceSync++
+	if w.sinceSync >= w.opts.FsyncEvery {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Sync forces the group commit: fsyncs any appends not yet made durable.
+func (w *Log) Sync() error {
+	if w.failed {
+		return ErrPoisoned
+	}
+	if w.sinceSync == 0 {
+		return nil
+	}
+	if cp := w.opts.Crash; cp != nil {
+		if err := cp.BeforeSync(); err != nil {
+			w.failed = true
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	if err := w.f.Sync(); err != nil {
+		w.failed = true
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	w.sinceSync = 0
+	w.syncs++
+	return nil
+}
+
+// Appends returns how many records this process appended (durable or
+// pending group commit).
+func (w *Log) Appends() int64 { return w.appends }
+
+// Syncs returns how many fsyncs the group-commit policy issued.
+func (w *Log) Syncs() int64 { return w.syncs }
+
+// Close syncs pending appends and closes the file.
+func (w *Log) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	var firstErr error
+	if !w.failed {
+		firstErr = w.Sync()
+	}
+	if err := w.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	w.f = nil
+	return firstErr
+}

@@ -1,0 +1,308 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Type: RecordInsert, ID: 7, Vec: []float32{1, -2.5, 3.25}},
+		{Type: RecordDelete, ID: 7},
+		{Type: RecordInsert, ID: 8, Vec: []float32{0}},
+		{Type: RecordInsert, ID: 9, Vec: nil},
+	}
+}
+
+func openCollect(t *testing.T, path string, opts Options) (*Log, Stats, []Record) {
+	t.Helper()
+	var got []Record
+	w, st, err := Open(path, opts, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return w, st, got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, st, _ := openCollect(t, path, Options{})
+	if st.Replayed != 0 || st.TornTail {
+		t.Fatalf("fresh log stats: %+v", st)
+	}
+	recs := testRecords()
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if w.Appends() != int64(len(recs)) {
+		t.Fatalf("Appends = %d, want %d", w.Appends(), len(recs))
+	}
+	// FsyncEvery defaults to 1: every append syncs.
+	if w.Syncs() != int64(len(recs)) {
+		t.Fatalf("Syncs = %d, want %d", w.Syncs(), len(recs))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2, st, got := openCollect(t, path, Options{})
+	defer w2.Close()
+	if st.Replayed != len(recs) || st.TornTail {
+		t.Fatalf("reopen stats: %+v", st)
+	}
+	// A delete decodes with a nil vector; normalize empty-vs-nil for inserts.
+	for i := range got {
+		if len(got[i].Vec) == 0 {
+			got[i].Vec = nil
+		}
+		if len(recs[i].Vec) == 0 {
+			recs[i].Vec = nil
+		}
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("replayed %+v, want %+v", got, recs)
+	}
+}
+
+func TestGroupCommitSyncsEveryN(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, _ := openCollect(t, path, Options{FsyncEvery: 3})
+	for i := 0; i < 7; i++ {
+		if err := w.Append(Record{Type: RecordDelete, ID: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Syncs() != 2 { // after records 3 and 6
+		t.Fatalf("Syncs = %d, want 2", w.Syncs())
+	}
+	if err := w.Sync(); err != nil { // flush the 7th
+		t.Fatal(err)
+	}
+	if w.Syncs() != 3 {
+		t.Fatalf("Syncs after manual flush = %d, want 3", w.Syncs())
+	}
+	if err := w.Sync(); err != nil { // nothing pending: no-op
+		t.Fatal(err)
+	}
+	if w.Syncs() != 3 {
+		t.Fatalf("idle Sync must not fsync; Syncs = %d", w.Syncs())
+	}
+	w.Close()
+}
+
+// TestTornTailTruncated damages the log at every possible byte length of
+// its final record and checks Open keeps exactly the intact prefix.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.log")
+	w, _, _ := openCollect(t, ref, Options{})
+	recs := testRecords()
+	var lastStart int64
+	for _, r := range recs {
+		off, _ := w.f.Seek(0, 1)
+		lastStart = off
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	full, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := lastStart + 1; cut < int64(len(full)); cut++ {
+		path := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, st, got := openCollect(t, path, Options{})
+		if !st.TornTail {
+			t.Fatalf("cut=%d: torn tail not detected", cut)
+		}
+		if st.Replayed != len(recs)-1 || len(got) != len(recs)-1 {
+			t.Fatalf("cut=%d: replayed %d records, want %d", cut, st.Replayed, len(recs)-1)
+		}
+		if st.TornBytes != cut-lastStart {
+			t.Fatalf("cut=%d: TornBytes = %d, want %d", cut, st.TornBytes, cut-lastStart)
+		}
+		// The file must have been truncated back to the good prefix and
+		// accept new appends cleanly.
+		if fi, _ := os.Stat(path); fi.Size() != lastStart {
+			t.Fatalf("cut=%d: file size %d after truncate, want %d", cut, fi.Size(), lastStart)
+		}
+		if err := w.Append(Record{Type: RecordDelete, ID: 99}); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		_, st2, got2 := openCollect(t, path, Options{})
+		if st2.TornTail || st2.Replayed != len(recs) || got2[len(got2)-1].ID != 99 {
+			t.Fatalf("cut=%d: reopen after repair: %+v", cut, st2)
+		}
+	}
+}
+
+// TestCorruptMiddleTruncatesFrom checks that damage strictly inside the log
+// (not just its tail) still yields a consistent prefix: everything from the
+// first bad frame on is dropped.
+func TestCorruptMiddleTruncatesFrom(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, _ := openCollect(t, path, Options{})
+	for _, r := range testRecords() {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)/3] ^= 0x40 // flip a bit well inside the file
+	os.WriteFile(path, raw, 0o644)
+	w2, st, _ := openCollect(t, path, Options{})
+	defer w2.Close()
+	if !st.TornTail || st.Replayed >= len(testRecords()) {
+		t.Fatalf("corrupt middle: %+v", st)
+	}
+}
+
+type crashAfter struct {
+	writesLeft int
+	torn       bool
+	crashed    bool
+}
+
+func (c *crashAfter) BeforeWrite(n int) (int, error) {
+	if !c.crashed && c.writesLeft > 0 {
+		c.writesLeft--
+		return n, nil
+	}
+	c.crashed = true
+	if c.torn {
+		return n / 2, errors.New("crash: torn write")
+	}
+	return 0, errors.New("crash: power cut")
+}
+
+func (c *crashAfter) BeforeSync() error {
+	if c.crashed {
+		return errors.New("crash: power cut before sync")
+	}
+	return nil
+}
+
+func TestCrashPointPoisonsAndRecovers(t *testing.T) {
+	for _, torn := range []bool{false, true} {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		w, _, _ := openCollect(t, path, Options{Crash: &crashAfter{writesLeft: 2, torn: torn}})
+		if err := w.Append(Record{Type: RecordInsert, ID: 1, Vec: []float32{1, 2}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(Record{Type: RecordInsert, ID: 2, Vec: []float32{3, 4}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(Record{Type: RecordInsert, ID: 3, Vec: []float32{5, 6}}); err == nil {
+			t.Fatal("append past crash point succeeded")
+		}
+		// Poisoned: further appends refuse.
+		if err := w.Append(Record{Type: RecordDelete, ID: 1}); !errors.Is(err, ErrPoisoned) {
+			t.Fatalf("poisoned append: %v", err)
+		}
+		w.Close()
+		// Recovery sees exactly the acked prefix.
+		w2, st, got := openCollect(t, path, Options{})
+		if st.Replayed != 2 || len(got) != 2 {
+			t.Fatalf("torn=%v: recovered %d records, want 2 (%+v)", torn, st.Replayed, st)
+		}
+		if torn != st.TornTail {
+			t.Fatalf("torn=%v but TornTail=%v", torn, st.TornTail)
+		}
+		w2.Close()
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadManifest(dir); !os.IsNotExist(err) {
+		t.Fatalf("missing manifest: %v", err)
+	}
+	m := Manifest{Generation: 42, Image: "checkpoint-000042.img", Log: "wal-000042.log", Tail: "tail-000042.vec"}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("manifest = %+v, want %+v", got, m)
+	}
+	// Overwrite with the next generation; no temp litter left behind.
+	m.Generation = 43
+	m.Tail = ""
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = ReadManifest(dir); got != m {
+		t.Fatalf("manifest after rewrite = %+v, want %+v", got, m)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 || ents[0].Name() != ManifestName {
+		t.Fatalf("directory litter: %v", ents)
+	}
+}
+
+func TestManifestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteManifest(dir, Manifest{Generation: 1, Image: "i", Log: "l"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, ManifestName)
+	b, _ := os.ReadFile(path)
+	b[len(b)/2] ^= 1
+	os.WriteFile(path, b, 0o644)
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+func TestWriteFileAtomicKeepsOldOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "image")
+	if err := os.WriteFile(path, []byte("old content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Payload writes a partial new image, then fails (injected short write).
+	err := WriteFileAtomic(path, func(f *os.File) error {
+		f.Write([]byte("new par"))
+		return errors.New("injected short write")
+	})
+	if err == nil {
+		t.Fatal("WriteFileAtomic swallowed the payload error")
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old content" {
+		t.Fatalf("old file destroyed: %q", got)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("temp litter after failure: %v", ents)
+	}
+}
+
+func TestOpenRejectsOversizedLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	// A frame whose length field claims 1 GiB must be rejected as torn, not
+	// allocated.
+	os.WriteFile(path, []byte{0, 0, 0, 0x40, 1, 2, 3, 4}, 0o644)
+	w, st, _ := openCollect(t, path, Options{})
+	defer w.Close()
+	if !st.TornTail || st.Replayed != 0 {
+		t.Fatalf("oversized frame: %+v", st)
+	}
+}

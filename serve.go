@@ -116,6 +116,8 @@ type Server struct {
 	agg       Stats   //lsh:guardedby mu
 	served    uint64  //lsh:guardedby mu
 	failed    uint64  //lsh:guardedby mu
+	inserts   uint64  //lsh:guardedby mu — /v1/insert acks
+	deletes   uint64  //lsh:guardedby mu — /v1/object DELETE acks
 	canceled  uint64  //lsh:guardedby mu
 	degraded  uint64  //lsh:guardedby mu — served, but the controller degraded them
 	panics    uint64  //lsh:guardedby mu — panics recovered in HTTP handlers
@@ -401,6 +403,16 @@ type statsResponse struct {
 	Canceled        uint64  `json:"canceled"`
 	Shed            uint64  `json:"shed"`
 	Degraded        uint64  `json:"degraded"`
+	// Online-update counters: mutations acked through /v1/insert and
+	// /v1/object, plus — when the engine is WAL-backed — its durability
+	// state: the checkpoint generation, cumulative log appends, the records
+	// replayed at the last open, and whether that open truncated a torn tail.
+	Inserts       uint64 `json:"inserts"`
+	Deletes       uint64 `json:"deletes"`
+	WALGeneration uint64 `json:"wal_generation,omitempty"`
+	WALAppends    int64  `json:"wal_appends,omitempty"`
+	WALReplayed   int    `json:"wal_replayed,omitempty"`
+	WALTornTail   bool   `json:"wal_torn_tail,omitempty"`
 	// Panics counts recovered panics — batch functions and HTTP handlers —
 	// that were converted to errors instead of crashes.
 	Panics uint64 `json:"panics"`
@@ -424,6 +436,8 @@ type statsResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/search", s.handleSearchV1)
+	mux.HandleFunc("/v1/insert", s.handleInsertV1)
+	mux.HandleFunc("/v1/object/", s.handleObjectV1)
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -809,6 +823,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Failed:           s.failed,
 		Canceled:         s.canceled,
 		Degraded:         s.degraded,
+		Inserts:          s.inserts,
+		Deletes:          s.deletes,
 		Shed:             s.batcher.Shed(),
 		Panics:           s.panics + s.batcher.Panics(),
 		UptimeSeconds:    time.Since(s.start).Seconds(),
@@ -816,6 +832,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if h, ok := s.eng.(interface{ HedgeStats() (int64, int64) }); ok {
 		resp.Hedged, resp.HedgeWins = h.HedgeStats()
+	}
+	if rec, ok := s.eng.(recoverable); ok {
+		rst := rec.RecoveryStats()
+		resp.WALGeneration = rst.Generation
+		resp.WALAppends = rst.Appends
+		resp.WALReplayed = rst.Replayed
+		resp.WALTornTail = rst.TornTail
 	}
 	if s.scored > 0 {
 		resp.MeanRecall = s.recallSum / float64(s.scored)
@@ -839,6 +862,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	st := s.agg
 	served, failed, canceled, degraded, panics := s.served, s.failed, s.canceled, s.degraded, s.panics
+	inserts, deletes := s.inserts, s.deletes
 	s.mu.Unlock()
 
 	w.Header().Set("Content-Type", telemetry.PromContentType)
@@ -849,6 +873,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	telemetry.WriteCounter(w, "lsh_shed_total", float64(s.batcher.Shed()))
 	telemetry.WriteCounter(w, "lsh_degraded_total", float64(degraded))
 	telemetry.WriteCounter(w, "lsh_panics_total", float64(panics+s.batcher.Panics()))
+	telemetry.WriteCounter(w, "lsh_inserts_total", float64(inserts))
+	telemetry.WriteCounter(w, "lsh_deletes_total", float64(deletes))
+	if rec, ok := s.eng.(recoverable); ok {
+		rst := rec.RecoveryStats()
+		telemetry.WriteCounter(w, "lsh_wal_appends_total", float64(rst.Appends))
+		telemetry.WriteCounter(w, "lsh_wal_replayed_total", float64(rst.Replayed))
+		telemetry.WriteGauge(w, "lsh_wal_generation", float64(rst.Generation))
+		torn := 0.0
+		if rst.TornTail {
+			torn = 1
+		}
+		telemetry.WriteGauge(w, "lsh_wal_torn_tail", torn)
+	}
 	if h, ok := s.eng.(interface{ HedgeStats() (int64, int64) }); ok {
 		hedged, wins := h.HedgeStats()
 		telemetry.WriteCounter(w, "lsh_hedged_total", float64(hedged))

@@ -1,0 +1,160 @@
+package e2lshos
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newUpdateServer builds a real WAL-backed StorageIndex behind a Server,
+// returning the dataset too (vectors [1000:] are insertable headroom).
+func newUpdateServer(t *testing.T) (*Dataset, *Server, http.Handler) {
+	t.Helper()
+	ds, err := GenerateDataset(DatasetSpec{
+		Name: "srvupd", N: 1100, Queries: 3, Dim: 16,
+		Clusters: 4, Spread: 0.05, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewStorageIndex(ds.Vectors[:1000], Config{Sigma: 64}, WithWAL(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ix, ServerConfig{Dim: 16, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return ds, srv, srv.Handler()
+}
+
+// TestServeInsertDelete drives the mutation endpoints end to end: insert a
+// vector over HTTP, find it via /v1/search, delete it, see it gone, and
+// check the durability counters surface in /stats and /metrics.
+func TestServeInsertDelete(t *testing.T) {
+	ds, _, h := newUpdateServer(t)
+
+	rec := postJSON(t, h, "/v1/insert", insertRequest{Vector: ds.Vectors[1000]})
+	if rec.Code != 200 {
+		t.Fatalf("/v1/insert returned %d: %s", rec.Code, rec.Body)
+	}
+	var ins insertResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ins); err != nil {
+		t.Fatal(err)
+	}
+	if ins.ID != 1000 {
+		t.Fatalf("insert assigned ID %d, want 1000", ins.ID)
+	}
+
+	rec = postJSON(t, h, "/v1/search", searchRequestV1{Query: ds.Vectors[1000], K: 1})
+	if rec.Code != 200 {
+		t.Fatalf("/v1/search returned %d: %s", rec.Code, rec.Body)
+	}
+	var sr searchResponseV1
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Neighbors) == 0 || sr.Neighbors[0].ID != 1000 || sr.Neighbors[0].Dist != 0 {
+		t.Fatalf("inserted vector not served back: %+v", sr.Neighbors)
+	}
+
+	del := httptest.NewRecorder()
+	h.ServeHTTP(del, httptest.NewRequest("DELETE", "/v1/object/1000", nil))
+	if del.Code != 200 {
+		t.Fatalf("DELETE /v1/object/1000 returned %d: %s", del.Code, del.Body)
+	}
+	var dr deleteResponse
+	if err := json.Unmarshal(del.Body.Bytes(), &dr); err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Removed || dr.ID != 1000 {
+		t.Fatalf("delete response: %+v", dr)
+	}
+	rec = postJSON(t, h, "/v1/search", searchRequestV1{Query: ds.Vectors[1000], K: 1})
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Neighbors) > 0 && sr.Neighbors[0].ID == 1000 && sr.Neighbors[0].Dist == 0 {
+		t.Fatal("deleted vector still served")
+	}
+
+	// /stats: serving-level mutation counters plus the WAL's own.
+	st := httptest.NewRecorder()
+	h.ServeHTTP(st, httptest.NewRequest("GET", "/stats", nil))
+	var stats statsResponse
+	if err := json.Unmarshal(st.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inserts != 1 || stats.Deletes != 1 {
+		t.Fatalf("stats mutation counters: inserts=%d deletes=%d", stats.Inserts, stats.Deletes)
+	}
+	if stats.WALAppends != 2 || stats.WALGeneration != 1 {
+		t.Fatalf("stats WAL counters: %+v", stats)
+	}
+
+	// /metrics: the Prometheus lines for the same counters.
+	met := httptest.NewRecorder()
+	h.ServeHTTP(met, httptest.NewRequest("GET", "/metrics", nil))
+	body := met.Body.String()
+	for _, want := range []string{
+		"lsh_inserts_total 1",
+		"lsh_deletes_total 1",
+		"lsh_wal_appends_total 2",
+		"lsh_wal_replayed_total 0",
+		"lsh_wal_generation 1",
+		"lsh_wal_torn_tail 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServeUpdateValidation pins the mutation endpoints' error contract.
+func TestServeUpdateValidation(t *testing.T) {
+	ds, _, h := newUpdateServer(t)
+
+	// Wrong dimensionality.
+	rec := postJSON(t, h, "/v1/insert", insertRequest{Vector: []float32{1, 2}})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("short vector: got %d", rec.Code)
+	}
+	// Wrong methods.
+	get := httptest.NewRecorder()
+	h.ServeHTTP(get, httptest.NewRequest("GET", "/v1/insert", nil))
+	if get.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/insert: got %d", get.Code)
+	}
+	post := httptest.NewRecorder()
+	h.ServeHTTP(post, httptest.NewRequest("POST", "/v1/object/3", nil))
+	if post.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/object/3: got %d", post.Code)
+	}
+	// Bad and unknown IDs.
+	bad := httptest.NewRecorder()
+	h.ServeHTTP(bad, httptest.NewRequest("DELETE", "/v1/object/xyz", nil))
+	if bad.Code != http.StatusBadRequest {
+		t.Fatalf("DELETE /v1/object/xyz: got %d", bad.Code)
+	}
+	missing := httptest.NewRecorder()
+	h.ServeHTTP(missing, httptest.NewRequest("DELETE", "/v1/object/999999", nil))
+	if missing.Code != http.StatusNotFound {
+		t.Fatalf("DELETE of unknown ID: got %d", missing.Code)
+	}
+	_ = ds
+
+	// Engines without the mutation surface answer 501.
+	srv2, err := NewServer(&captureEngine{}, ServerConfig{Dim: 2, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	h2 := srv2.Handler()
+	rec = postJSON(t, h2, "/v1/insert", insertRequest{Vector: []float32{1, 2}})
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("insert on non-updatable engine: got %d", rec.Code)
+	}
+}

@@ -62,6 +62,11 @@ func NewStorageIndex(data [][]float32, cfg Config, opts ...StorageOption) (*Stor
 	if err := attachCache(ix, set); err != nil {
 		return nil, err
 	}
+	if set.walDir != "" {
+		if err := ix.InitWAL(set.walDir, diskindex.WALConfig{FsyncEvery: set.fsyncEvery}); err != nil {
+			return nil, err
+		}
+	}
 	return &StorageIndex{ix: ix}, nil
 }
 
@@ -96,6 +101,9 @@ func OpenStorageIndex(path string, data [][]float32, opts ...StorageOption) (*St
 	if set.backend != nil {
 		return nil, fmt.Errorf("e2lshos: WithStorageBackend applies to NewStorageIndex only; a loaded index owns its store")
 	}
+	if set.walDir != "" {
+		return nil, fmt.Errorf("e2lshos: WithWAL applies to NewStorageIndex only; recover a WAL directory with OpenWALIndex")
+	}
 	ix, err := diskindex.LoadFile(path, data)
 	if err != nil {
 		return nil, err
@@ -108,6 +116,53 @@ func OpenStorageIndex(path string, data [][]float32, opts ...StorageOption) (*St
 	}
 	return &StorageIndex{ix: ix}, nil
 }
+
+// OpenWALIndex recovers a crash-safe index from a WAL directory created by
+// NewStorageIndex with WithWAL: it loads the newest checkpoint image and
+// replays the log's acked tail, so every update that was acked before the
+// crash (or clean shutdown) is searchable again. data must be the vectors
+// the index was BUILT over — vectors inserted online afterwards are part of
+// the durable state and come back from the checkpoint and log themselves.
+// Storage options apply as in OpenStorageIndex; RecoveryStats reports what
+// the replay found.
+func OpenWALIndex(dir string, data [][]float32, opts ...StorageOption) (*StorageIndex, error) {
+	// Resolve with the WAL directory set so WithFsyncEvery alone validates:
+	// here the log's presence is implied by the call itself.
+	set, err := resolveStorageSettings(append(opts[:len(opts):len(opts)], WithWAL(dir)))
+	if err != nil {
+		return nil, err
+	}
+	if set.backend != nil {
+		return nil, fmt.Errorf("e2lshos: WithStorageBackend applies to NewStorageIndex only; a recovered index owns its store")
+	}
+	store := blockstore.NewMem()
+	if set.checksumOff {
+		store.SetChecksums(false)
+	}
+	ix, err := diskindex.OpenWAL(dir, data, store, diskindex.WALConfig{FsyncEvery: set.fsyncEvery})
+	if err != nil {
+		return nil, err
+	}
+	if err := attachCache(ix, set); err != nil {
+		return nil, err
+	}
+	return &StorageIndex{ix: ix}, nil
+}
+
+// RecoveryStats mirrors diskindex.RecoveryStats at the facade: the WAL
+// generation plus what recovery replayed (all zero without WithWAL).
+type RecoveryStats = diskindex.RecoveryStats
+
+// RecoveryStats reports the index's durability counters: the checkpoint
+// generation, records replayed at open, whether a torn log tail was
+// truncated, and the cumulative append/insert/delete counts.
+func (s *StorageIndex) RecoveryStats() RecoveryStats { return s.ix.RecoveryStats() }
+
+// Checkpoint writes a fresh checkpoint image (and insert-tail sidecar) and
+// truncates the WAL under it, bounding replay time at the next open. The
+// swap commits atomically through the manifest: a crash mid-checkpoint
+// leaves the previous generation authoritative. Errors without WithWAL.
+func (s *StorageIndex) Checkpoint() error { return s.ix.Checkpoint() }
 
 // attachCache realizes the resolved storage settings on the index: the
 // cache tier first, then (if requested) the vectored I/O engine in front of
@@ -232,12 +287,15 @@ func (s *StorageIndex) MemBytes() int64 { return s.ix.MemBytes() }
 
 // Insert adds one vector online (one head-block write per bucket, no
 // rebuild) and returns its object ID. Fails once the index's ID space is
-// exhausted. Not safe concurrently with searches.
+// exhausted. Safe to call concurrently with searches and other updates;
+// with WithWAL the insert is durable — logged and synced — before Insert
+// returns.
 func (s *StorageIndex) Insert(v []float32) (uint32, error) { return s.ix.Insert(v) }
 
 // Delete removes an object online, reporting whether any index entry was
 // removed. Vacated blocks are not reclaimed (lazy deletion); rebuild to
-// compact. Not safe concurrently with searches.
+// compact. Safe to call concurrently with searches and other updates; with
+// WithWAL the delete is durable before it returns.
 func (s *StorageIndex) Delete(id uint32) (bool, error) { return s.ix.Delete(id) }
 
 func (s *StorageIndex) newQuerier(set searchSettings) (querier, error) {

@@ -1,0 +1,153 @@
+package e2lshos
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestWALFacadeRoundTrip drives the crash-safety surface end to end at the
+// facade: build with WithWAL, mutate, recover with OpenWALIndex, checkpoint,
+// recover again.
+func TestWALFacadeRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	ds, err := GenerateDataset(DatasetSpec{
+		Name: "walf", N: 2000, Queries: 5, Dim: 16,
+		Clusters: 4, Spread: 0.05, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ds.Vectors[:1500]
+	dir := t.TempDir()
+	ix, err := NewStorageIndex(base, Config{Sigma: 64}, WithWAL(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inserted []uint32
+	for i := 1500; i < 1510; i++ {
+		id, err := ix.Insert(ds.Vectors[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted = append(inserted, id)
+	}
+	if _, err := ix.Delete(inserted[0]); err != nil {
+		t.Fatal(err)
+	}
+	st := ix.RecoveryStats()
+	if st.Appends != 11 || st.Inserts != 10 || st.Deletes != 1 {
+		t.Fatalf("live stats: %+v", st)
+	}
+
+	// Recover: acked updates come back without the original index object.
+	rec, err := OpenWALIndex(dir, base, WithBlockCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst := rec.RecoveryStats()
+	if rst.Replayed != 11 || rst.TornTail || rst.Generation != 1 {
+		t.Fatalf("recovery stats: %+v", rst)
+	}
+	for _, id := range inserted[1:] {
+		res, _, err := rec.Search(ctx, ds.Vectors[id], WithK(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Neighbors) == 0 || res.Neighbors[0].ID != id || res.Neighbors[0].Dist != 0 {
+			t.Fatalf("recovered insert %d not self-found: %+v", id, res.Neighbors)
+		}
+	}
+
+	// Checkpoint bounds the next replay to post-checkpoint records only.
+	if err := rec.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Insert(ds.Vectors[1510]); err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := OpenWALIndex(dir, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst2 := rec2.RecoveryStats()
+	if rst2.Replayed != 1 || rst2.Generation != 2 {
+		t.Fatalf("post-checkpoint recovery stats: %+v", rst2)
+	}
+}
+
+// TestWALFacadeConcurrentUpdates runs facade searches against concurrent
+// durable inserts — the serving pattern /v1/insert enables.
+func TestWALFacadeConcurrentUpdates(t *testing.T) {
+	ctx := context.Background()
+	ds, err := GenerateDataset(DatasetSpec{
+		Name: "walc", N: 1100, Queries: 5, Dim: 16,
+		Clusters: 4, Spread: 0.05, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewStorageIndex(ds.Vectors[:1000], Config{Sigma: 64}, WithWAL(t.TempDir()), WithFsyncEvery(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for qi := 0; ; qi++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := ds.Vectors[(g*113+qi*17)%1000]
+				if _, _, err := ix.Search(ctx, q, WithK(3), WithFanout(2)); err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 1000; i < 1020; i++ {
+		if _, err := ix.Insert(ds.Vectors[i]); err != nil {
+			t.Errorf("insert %d: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestWALOptionValidation pins the option-combination errors.
+func TestWALOptionValidation(t *testing.T) {
+	ds, err := GenerateDataset(DatasetSpec{
+		Name: "walv", N: 300, Queries: 1, Dim: 8,
+		Clusters: 2, Spread: 0.1, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStorageIndex(ds.Vectors, Config{}, WithFsyncEvery(4)); err == nil {
+		t.Fatal("WithFsyncEvery without WithWAL accepted")
+	}
+	if _, err := NewStorageIndex(ds.Vectors, Config{}, WithWAL(t.TempDir()), WithFsyncEvery(-1)); err == nil {
+		t.Fatal("negative fsync interval accepted")
+	}
+	img := t.TempDir() + "/img"
+	ix, err := NewStorageIndex(ds.Vectors, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveFile(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStorageIndex(img, ds.Vectors, WithWAL(t.TempDir())); err == nil {
+		t.Fatal("OpenStorageIndex accepted WithWAL")
+	}
+	if err := ix.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint without WithWAL succeeded")
+	}
+}
